@@ -1,0 +1,395 @@
+// Benchmark harness: one testing.B target per table and figure of the
+// paper's evaluation section, plus the ablation benches DESIGN.md calls
+// out and micro-benchmarks of the pipeline's hot components. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Each paper-level bench regenerates its table/figure end to end and
+// reports the headline metric via b.ReportMetric, so the bench output
+// doubles as the reproduction record (see EXPERIMENTS.md).
+package paramdbt_test
+
+import (
+	"sync"
+	"testing"
+
+	"paramdbt/internal/core"
+	"paramdbt/internal/dbt"
+	"paramdbt/internal/exp"
+	"paramdbt/internal/guest"
+	"paramdbt/internal/host"
+	"paramdbt/internal/mem"
+	"paramdbt/internal/rule"
+	"paramdbt/internal/tcg"
+)
+
+var (
+	corpusOnce sync.Once
+	corpus     *exp.Corpus
+	looOnce    sync.Once
+	loo        []exp.ModeResults
+)
+
+func getCorpus(b *testing.B) *exp.Corpus {
+	b.Helper()
+	corpusOnce.Do(func() {
+		c, err := exp.BuildCorpus(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		corpus = c
+	})
+	return corpus
+}
+
+func getLOO(b *testing.B) []exp.ModeResults {
+	b.Helper()
+	c := getCorpus(b)
+	looOnce.Do(func() {
+		rs, err := exp.LeaveOneOut(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		loo = rs
+	})
+	return loo
+}
+
+// BenchmarkTable1LearningFunnel regenerates Table I: the full
+// compile-and-learn pipeline over the 12 benchmarks.
+func BenchmarkTable1LearningFunnel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := exp.BuildCorpus(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := exp.Table1(c)
+		var stmts, unique int
+		for _, r := range rows {
+			stmts += r.Statements
+			unique += r.Unique
+		}
+		b.ReportMetric(float64(unique)/float64(stmts)*100, "%unique-of-stmts")
+	}
+}
+
+// BenchmarkFig2RuleGrowth regenerates the rule-growth curve.
+func BenchmarkFig2RuleGrowth(b *testing.B) {
+	c := getCorpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		points := exp.Fig2(c, 1)
+		b.ReportMetric(float64(points[len(points)-1].Rules), "rules-at-12")
+	}
+}
+
+// BenchmarkFig11Speedup regenerates the headline speedup figure.
+func BenchmarkFig11Speedup(b *testing.B) {
+	rs := getLOO(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var overQ, overBase []float64
+		for _, r := range rs {
+			overQ = append(overQ, exp.Speedup(r.QEMU, r.Flags))
+			overBase = append(overBase, exp.Speedup(r.Base, r.Flags))
+		}
+		b.ReportMetric(exp.Geomean(overQ), "speedup-vs-qemu")
+		b.ReportMetric(exp.Geomean(overBase), "speedup-vs-baseline")
+	}
+}
+
+// BenchmarkFig12Coverage regenerates the coverage figure.
+func BenchmarkFig12Coverage(b *testing.B) {
+	rs := getLOO(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var base, para []float64
+		for _, r := range rs {
+			base = append(base, r.Base.Stats.Coverage())
+			para = append(para, r.Flags.Stats.Coverage())
+		}
+		b.ReportMetric(100*exp.Geomean(base), "%cov-w/o-para")
+		b.ReportMetric(100*exp.Geomean(para), "%cov-para")
+	}
+}
+
+// BenchmarkFig13Expansion regenerates the host-per-guest instruction
+// ratios.
+func BenchmarkFig13Expansion(b *testing.B) {
+	rs := getLOO(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var q, p []float64
+		for _, r := range rs {
+			q = append(q, float64(r.QEMU.Total)/float64(r.QEMU.Stats.GuestExec))
+			p = append(p, float64(r.Flags.Total)/float64(r.Flags.Stats.GuestExec))
+		}
+		b.ReportMetric(exp.Geomean(q), "host/guest-qemu")
+		b.ReportMetric(exp.Geomean(p), "host/guest-para")
+	}
+}
+
+// BenchmarkTable2Breakdown regenerates the per-category breakdown.
+func BenchmarkTable2Breakdown(b *testing.B) {
+	rs := getLOO(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := exp.Table2(rs)
+		var rt, dt, cc float64
+		for _, r := range rows {
+			rt += r.RuleTranslated
+			dt += r.DataTransfer
+			cc += r.ControlCode
+		}
+		n := float64(len(rows))
+		b.ReportMetric(rt/n, "rule-translated")
+		b.ReportMetric(dt/n, "data-transfer")
+		b.ReportMetric(cc/n, "control-code")
+	}
+}
+
+// BenchmarkFig14CoverageAblation regenerates the per-factor coverage.
+func BenchmarkFig14CoverageAblation(b *testing.B) {
+	rs := getLOO(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var base, op, md, fl []float64
+		for _, r := range rs {
+			base = append(base, r.Base.Stats.Coverage())
+			op = append(op, r.Op.Stats.Coverage())
+			md = append(md, r.Mode.Stats.Coverage())
+			fl = append(fl, r.Flags.Stats.Coverage())
+		}
+		b.ReportMetric(100*exp.Geomean(base), "%w/o")
+		b.ReportMetric(100*exp.Geomean(op), "%opcode")
+		b.ReportMetric(100*exp.Geomean(md), "%addrmode")
+		b.ReportMetric(100*exp.Geomean(fl), "%condition")
+	}
+}
+
+// BenchmarkFig15SpeedupAblation regenerates the per-factor speedups.
+func BenchmarkFig15SpeedupAblation(b *testing.B) {
+	rs := getLOO(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var base, op, md, fl []float64
+		for _, r := range rs {
+			base = append(base, exp.Speedup(r.QEMU, r.Base))
+			op = append(op, exp.Speedup(r.QEMU, r.Op))
+			md = append(md, exp.Speedup(r.QEMU, r.Mode))
+			fl = append(fl, exp.Speedup(r.QEMU, r.Flags))
+		}
+		b.ReportMetric(exp.Geomean(base), "x-w/o")
+		b.ReportMetric(exp.Geomean(op), "x-opcode")
+		b.ReportMetric(exp.Geomean(md), "x-addrmode")
+		b.ReportMetric(exp.Geomean(fl), "x-condition")
+	}
+}
+
+// BenchmarkFig16TrainingSets regenerates the training-set-size sweep
+// (reduced repeats keep the bench under a minute).
+func BenchmarkFig16TrainingSets(b *testing.B) {
+	c := getCorpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		points, err := exp.Fig16(c, 8, 2, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := points[len(points)-1]
+		b.ReportMetric(100*last.CovBase, "%cov-w/o-k8")
+		b.ReportMetric(100*last.CovPara, "%cov-para-k8")
+	}
+}
+
+// BenchmarkTable3RuleCounts regenerates the rule accounting.
+func BenchmarkTable3RuleCounts(b *testing.B) {
+	c := getCorpus(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		counts := exp.Table3(c)
+		b.ReportMetric(float64(counts.Learned), "learned")
+		b.ReportMetric(float64(counts.AddrModeParam), "parameterized")
+		b.ReportMetric(float64(counts.Instantiated), "instantiated")
+	}
+}
+
+// ---- ablation benches (design choices from DESIGN.md) ----
+
+// BenchmarkAblationFlagWindow varies the delegation kill window the
+// paper fixes at 3.
+func BenchmarkAblationFlagWindow(b *testing.B) {
+	c := getCorpus(b)
+	union := c.Union(c.Others("gcc"))
+	full, _ := core.Parameterize(union, core.Config{Opcode: true, AddrMode: true})
+	for _, w := range []int{-1, 1, 3, 8} {
+		name := map[int]string{-1: "w0", 1: "w1", 3: "w3", 8: "w8"}[w]
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := c.Run("gcc", dbt.Config{Rules: full, DelegateFlags: true, FlagWindow: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(100*r.Stats.Coverage(), "%coverage")
+				b.ReportMetric(float64(r.Total)/float64(r.Stats.GuestExec), "host/guest")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSeqRules compares full rule tables against tables
+// with the multi-instruction (sequence and branch-tail) rules removed —
+// the paper's §V-D discussion of parameterizing only single-instruction
+// rules.
+func BenchmarkAblationSeqRules(b *testing.B) {
+	c := getCorpus(b)
+	union := c.Union(c.Others("perlbench"))
+	full, _ := core.Parameterize(union, core.Config{Opcode: true, AddrMode: true})
+	single := rule.NewStore()
+	for _, t := range full.All() {
+		if t.GuestLen() == 1 {
+			cp := *t
+			single.Add(&cp)
+		}
+	}
+	run := func(b *testing.B, s *rule.Store) {
+		for i := 0; i < b.N; i++ {
+			r, err := c.Run("perlbench", dbt.Config{Rules: s, DelegateFlags: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(100*r.Stats.Coverage(), "%coverage")
+			b.ReportMetric(float64(r.Total)/float64(r.Stats.GuestExec), "host/guest")
+		}
+	}
+	seqPar, _ := core.Parameterize(union, core.Config{Opcode: true, AddrMode: true, Sequences: true})
+	b.Run("with-seq-rules", func(b *testing.B) { run(b, full) })
+	b.Run("single-only", func(b *testing.B) { run(b, single) })
+	// The paper's §V-D future work: sequence rules themselves
+	// parameterized along the opcode dimension.
+	b.Run("seq-parameterized", func(b *testing.B) { run(b, seqPar) })
+}
+
+// BenchmarkAblationRegAlloc toggles per-block guest-register allocation,
+// quantifying the data-transfer overhead Table II discusses.
+func BenchmarkAblationRegAlloc(b *testing.B) {
+	c := getCorpus(b)
+	union := c.Union(c.Others("mcf"))
+	full, _ := core.Parameterize(union, core.Config{Opcode: true, AddrMode: true})
+	for _, noAlloc := range []bool{false, true} {
+		name := "block-regalloc"
+		if noAlloc {
+			name = "state-resident"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := c.Run("mcf", dbt.Config{Rules: full, DelegateFlags: true, NoBlockRegAlloc: noAlloc})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(r.Executed[1])/float64(r.Stats.GuestExec), "data-transfer")
+				b.ReportMetric(float64(r.Total)/float64(r.Stats.GuestExec), "host/guest")
+			}
+		})
+	}
+}
+
+// ---- micro-benchmarks of the pipeline's hot paths ----
+
+// BenchmarkHostCPUExec measures the host simulator's raw throughput.
+func BenchmarkHostCPUExec(b *testing.B) {
+	const lbl = 1
+	insts := []host.Inst{
+		host.I(host.MOVL, host.R(host.EAX), host.Imm(0)),
+		host.I(host.MOVL, host.R(host.ECX), host.Imm(1000)),
+		host.I(host.ADDL, host.R(host.EAX), host.R(host.ECX)),
+		host.I(host.SUBL, host.R(host.ECX), host.Imm(1)),
+		host.Jcc(host.NE, lbl),
+		host.Exit(host.Imm(0)),
+	}
+	blk := host.NewBlock(insts, map[int]int{lbl: 2})
+	cpu := host.NewCPU(mem.New())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cpu.Exec(blk, 1e9); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(cpu.Total())/float64(b.N), "host-insts/op")
+}
+
+// BenchmarkRuleLookup measures rule-table retrieval (the runtime hash
+// lookup of §IV-D).
+func BenchmarkRuleLookup(b *testing.B) {
+	c := getCorpus(b)
+	full, _ := core.Parameterize(c.Union(c.Names), core.Config{Opcode: true, AddrMode: true})
+	seq := guest.MustAssemble("eor r3, r4, r5\nhlt")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if t, _, _ := full.Lookup(seq); t == nil {
+			b.Fatal("lookup failed")
+		}
+	}
+}
+
+// BenchmarkVerifyRule measures one symbolic rule verification.
+func BenchmarkVerifyRule(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := &rule.Template{
+			Guest:  []rule.GPat{{Op: guest.ADD, Args: []rule.Arg{rule.RegArg(0), rule.RegArg(0), rule.RegArg(1)}}},
+			Host:   []rule.HPat{{Op: host.ADDL, Dst: rule.RegArg(0), Src: rule.RegArg(1)}},
+			Params: []rule.ParamKind{rule.PReg, rule.PReg},
+		}
+		if _, ok := rule.Verify(t); !ok {
+			b.Fatal("verification failed")
+		}
+	}
+}
+
+// BenchmarkTCGLowering measures the emulation path's per-instruction
+// translation cost.
+func BenchmarkTCGLowering(b *testing.B) {
+	in := guest.MustAssemble("adds r0, r1, r2")[0]
+	pool := []host.Reg{host.EAX, host.ECX, host.EDX}
+	mapf := func(r guest.Reg) host.Operand {
+		return host.Mem(host.EBP, int32(4*int(r)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := host.NewAsm()
+		g := tcg.NewGen(a.NewLabel)
+		if err := g.Translate(in, 0x1000); err != nil {
+			b.Fatal(err)
+		}
+		if err := tcg.Lower(a, g, mapf, pool); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParameterize measures the full derivation pass.
+func BenchmarkParameterize(b *testing.B) {
+	c := getCorpus(b)
+	union := c.Union(c.Names)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, counts := core.Parameterize(union, core.Config{Opcode: true, AddrMode: true}); counts.Derived == 0 {
+			b.Fatal("nothing derived")
+		}
+	}
+}
+
+// BenchmarkEndToEndMCF measures one complete translate-and-run of the
+// smallest benchmark under the full system.
+func BenchmarkEndToEndMCF(b *testing.B) {
+	c := getCorpus(b)
+	full, _ := core.Parameterize(c.Union(c.Others("mcf")), core.Config{Opcode: true, AddrMode: true})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := c.Run("mcf", dbt.Config{Rules: full, DelegateFlags: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.Stats.GuestExec), "guest-insts")
+	}
+}

@@ -1,0 +1,106 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section from the synthetic SPEC CINT 2006 stand-ins.
+//
+//	go run ./cmd/experiments            # everything, scale 1
+//	go run ./cmd/experiments -scale 3   # longer "reference input"
+//	go run ./cmd/experiments -only fig14,table3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"paramdbt/internal/exp"
+)
+
+func main() {
+	scale := flag.Int("scale", 1, "dynamic work multiplier (1 = reference input)")
+	only := flag.String("only", "", "comma-separated subset: table1,fig2,fig11,fig12,fig13,table2,fig14,fig15,fig16,table3")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, s := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(s)] = true
+		}
+	}
+	sel := func(name string) bool { return len(want) == 0 || want[name] }
+
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "building corpus (compile + learn, scale %d)...\n", *scale)
+	corpus, err := exp.BuildCorpus(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "corpus:", err)
+		os.Exit(1)
+	}
+
+	section := func(title string) { fmt.Printf("\n==== %s ====\n", title) }
+
+	if sel("table1") {
+		section("Table I: rules learned per benchmark")
+		fmt.Print(exp.RenderTable1(exp.Table1(corpus)))
+	}
+	if sel("fig2") {
+		section("Fig 2: learned rules vs training benchmarks")
+		fmt.Print(exp.RenderFig2(exp.Fig2(corpus, 1)))
+	}
+
+	needLOO := sel("fig11") || sel("fig12") || sel("fig13") || sel("table2") ||
+		sel("fig14") || sel("fig15")
+	var loo []exp.ModeResults
+	if needLOO {
+		fmt.Fprintln(os.Stderr, "leave-one-out evaluation (5 configurations x 12 benchmarks)...")
+		loo, err = exp.LeaveOneOut(corpus)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "leave-one-out:", err)
+			os.Exit(1)
+		}
+	}
+	if sel("fig11") {
+		section("Fig 11: speedup over QEMU")
+		fmt.Print(exp.RenderFig11(loo))
+	}
+	if sel("fig12") {
+		section("Fig 12: dynamic coverage")
+		fmt.Print(exp.RenderFig12(loo))
+	}
+	if sel("fig13") {
+		section("Fig 13: host instructions per guest instruction")
+		fmt.Print(exp.RenderFig13(loo))
+	}
+	if sel("table2") {
+		section("Table II: host-instruction breakdown per guest instruction")
+		fmt.Print(exp.RenderTable2(exp.Table2(loo)))
+	}
+	if sel("fig14") {
+		section("Fig 14: coverage by parameterization factor")
+		fmt.Print(exp.RenderFig14(loo))
+	}
+	if sel("fig15") {
+		section("Fig 15: speedup by parameterization factor")
+		fmt.Print(exp.RenderFig15(loo))
+	}
+	if needLOO {
+		section("Uncovered instruction kinds (cf. the paper's seven)")
+		fmt.Println(strings.Join(exp.UncoveredKinds(loo), ", "))
+	}
+
+	if sel("fig16") {
+		section("Fig 16: coverage vs training-set size")
+		points, err := exp.Fig16(corpus, 8, 5, 7)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fig16:", err)
+			os.Exit(1)
+		}
+		fmt.Print(exp.RenderFig16(points))
+	}
+	if sel("table3") {
+		section("Table III: rule number comparison")
+		fmt.Print(exp.RenderTable3(exp.Table3(corpus)))
+	}
+
+	fmt.Fprintf(os.Stderr, "done in %s\n", time.Since(start).Round(time.Millisecond))
+}

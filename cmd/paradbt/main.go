@@ -1,0 +1,175 @@
+// Command paradbt runs one guest binary under the DBT, with a choice of
+// translation strategy, and reports the evaluation metrics.
+//
+//	go run ./cmd/paradbt -bench mcf -mode para
+//	go run ./cmd/paradbt -bench gcc -mode qemu -scale 2
+//	go run ./cmd/paradbt -bench sjeng -mode learned -train-all
+//
+// Modes: qemu (pure TCG), learned (the enhanced learning-based
+// baseline), opcode, mode, para (full parameterization + condition-flag
+// delegation).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"paramdbt/internal/core"
+	"paramdbt/internal/dbt"
+	"paramdbt/internal/env"
+	"paramdbt/internal/exp"
+	"paramdbt/internal/guest"
+	"paramdbt/internal/mem"
+	"paramdbt/internal/rule"
+)
+
+// dump re-translates the benchmark's entry blocks and prints their
+// listings.
+func dump(corpus *exp.Corpus, bench string, cfg dbt.Config, n int) error {
+	m := mem.New()
+	comp := corpus.Comp[bench]
+	if _, err := comp.LoadGuest(m); err != nil {
+		return err
+	}
+	e := dbt.New(m, cfg)
+	init := &guest.State{Mem: m}
+	init.R[guest.SP] = env.StackTop
+	e.SetGuestState(init)
+	pc := uint32(env.CodeBase)
+	for i := 0; i < n; i++ {
+		s, err := e.BlockListing(pc)
+		if err != nil {
+			return err
+		}
+		fmt.Println(s)
+		// Walk forward past this block (next sequential block start).
+		insts := 0
+		for {
+			in, err := guest.Decode(m.Read32(pc + uint32(insts*guest.InstBytes)))
+			if err != nil {
+				return err
+			}
+			insts++
+			if in.IsBranch() {
+				break
+			}
+		}
+		pc += uint32(insts * guest.InstBytes)
+	}
+	return nil
+}
+
+func main() {
+	bench := flag.String("bench", "mcf", "benchmark name (see -list)")
+	mode := flag.String("mode", "para", "qemu | learned | opcode | mode | para")
+	scale := flag.Int("scale", 1, "dynamic work multiplier")
+	trainAll := flag.Bool("train-all", false, "train on all 12 benchmarks instead of leave-one-out")
+	list := flag.Bool("list", false, "list benchmarks and exit")
+	rulesPath := flag.String("rules", "", "load the rule table from this file (JSON Lines, see rulegen -o) instead of training")
+	manual := flag.Bool("manual", false, "add the manual ABI/special-instruction translations (paper §V-B2)")
+	dumpBlocks := flag.Int("dump-blocks", 0, "print the first N translated blocks (guest disassembly + host listing)")
+	flag.Parse()
+
+	corpus, err := exp.BuildCorpus(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *list {
+		for _, n := range corpus.Names {
+			fmt.Println(n)
+		}
+		return
+	}
+	if _, ok := corpus.Comp[*bench]; !ok {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q (try -list)\n", *bench)
+		os.Exit(1)
+	}
+
+	train := corpus.Others(*bench)
+	if *trainAll {
+		train = corpus.Names
+	}
+	union := corpus.Union(train)
+
+	var cfg dbt.Config
+	if *rulesPath != "" {
+		f, err := os.Open(*rulesPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cfg.Rules, err = rule.Load(f, false)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cfg.DelegateFlags = true
+	} else {
+		switch *mode {
+		case "qemu":
+		case "learned":
+			cfg.Rules = union
+		case "opcode":
+			cfg.Rules, _ = core.Parameterize(union, core.Config{Opcode: true})
+		case "mode":
+			cfg.Rules, _ = core.Parameterize(union, core.Config{Opcode: true, AddrMode: true})
+		case "para":
+			cfg.Rules, _ = core.Parameterize(union, core.Config{Opcode: true, AddrMode: true})
+			cfg.DelegateFlags = true
+		default:
+			fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+			os.Exit(1)
+		}
+	}
+	cfg.ManualABI = *manual
+
+	res, err := corpus.Run(*bench, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *dumpBlocks > 0 {
+		if err := dump(corpus, *bench, cfg, *dumpBlocks); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	st := res.Stats
+	fmt.Printf("benchmark          %s (mode %s, scale %d)\n", *bench, *mode, *scale)
+	fmt.Printf("guest instructions %d\n", st.GuestExec)
+	fmt.Printf("host instructions  %d (%.2f per guest)\n", res.Total,
+		float64(res.Total)/float64(st.GuestExec))
+	fmt.Printf("  compute          %d\n", res.Executed[0])
+	fmt.Printf("  data transfer    %d\n", res.Executed[1])
+	fmt.Printf("  control          %d\n", res.Executed[2])
+	fmt.Printf("dynamic coverage   %.1f%%\n", 100*st.Coverage())
+	fmt.Printf("translated blocks  %d\n", st.Blocks)
+	if cfg.Rules != nil {
+		fmt.Printf("rule table size    %d\n", cfg.Rules.Len())
+	}
+	if len(st.UncoveredOps) > 0 {
+		type kv struct {
+			op guest.Op
+			n  uint64
+		}
+		var ops []kv
+		for op, n := range st.UncoveredOps {
+			ops = append(ops, kv{op, n})
+		}
+		sort.Slice(ops, func(i, j int) bool { return ops[i].n > ops[j].n })
+		fmt.Printf("emulated (top):   ")
+		for i, e := range ops {
+			if i == 6 {
+				break
+			}
+			fmt.Printf(" %s=%.1f%%", e.op, 100*float64(e.n)/float64(st.GuestExec))
+		}
+		fmt.Println()
+	}
+}

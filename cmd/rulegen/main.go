@@ -1,0 +1,80 @@
+// Command rulegen runs the offline rule-generation pipeline: compile the
+// training benchmarks, learn rules, parameterize them, and dump the
+// resulting rule table with the Table III accounting.
+//
+//	go run ./cmd/rulegen                      # train on all benchmarks
+//	go run ./cmd/rulegen -exclude gcc         # leave-one-out set
+//	go run ./cmd/rulegen -opcode=false        # disable a dimension
+//	go run ./cmd/rulegen -dump                # print every rule
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"paramdbt/internal/core"
+	"paramdbt/internal/exp"
+	"paramdbt/internal/rule"
+)
+
+func main() {
+	exclude := flag.String("exclude", "", "benchmark to leave out of training")
+	opcode := flag.Bool("opcode", true, "enable opcode parameterization")
+	mode := flag.Bool("mode", true, "enable addressing-mode parameterization")
+	dump := flag.Bool("dump", false, "print every rule in the final table")
+	out := flag.String("o", "", "write the final rule table (JSON Lines) to this file")
+	flag.Parse()
+
+	corpus, err := exp.BuildCorpus(1)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	names := corpus.Names
+	if *exclude != "" {
+		names = corpus.Others(*exclude)
+		if len(names) == len(corpus.Names) {
+			fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *exclude)
+			os.Exit(1)
+		}
+	}
+
+	fmt.Println("== learning funnel (Table I) ==")
+	fmt.Print(exp.RenderTable1(exp.Table1(corpus)))
+
+	union := corpus.Union(names)
+	table, counts := core.Parameterize(union, core.Config{Opcode: *opcode, AddrMode: *mode})
+
+	fmt.Println("\n== rule accounting (Table III) ==")
+	fmt.Print(exp.RenderTable3(counts))
+	fmt.Printf("derived: %d  rejected by verifier: %d\n", counts.Derived, counts.Rejected)
+
+	fmt.Println("\n== rule table by origin ==")
+	for origin, n := range table.CountByOrigin() {
+		fmt.Printf("%-14v %d\n", rule.Origin(origin), n)
+	}
+
+	if *dump {
+		fmt.Println("\n== rules ==")
+		fmt.Print(table.Dump())
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := table.Save(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %d rules to %s\n", table.Len(), *out)
+	}
+}

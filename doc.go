@@ -1,0 +1,12 @@
+// Package paramdbt reproduces "More with Less — Deriving More
+// Translation Rules with Less Training Data for DBTs Using
+// Parameterization" (MICRO 2020): a learning-based dynamic binary
+// translator whose learned rules are parameterized along the opcode and
+// addressing-mode dimensions, with condition-flag delegation.
+//
+// The implementation lives under internal/ (see DESIGN.md for the
+// system inventory); cmd/ holds the executables and examples/ the
+// runnable demos. The root package carries the benchmark harness that
+// regenerates every table and figure of the paper's evaluation
+// (bench_test.go).
+package paramdbt

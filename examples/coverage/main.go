@@ -1,0 +1,82 @@
+// Coverage study: how the training-set size affects dynamic coverage
+// with and without parameterization — an interactive version of the
+// paper's Fig. 16, including the per-benchmark breakdown for one chosen
+// training set.
+//
+//	go run ./examples/coverage
+//	go run ./examples/coverage -k 3 -repeats 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"paramdbt/internal/core"
+	"paramdbt/internal/dbt"
+	"paramdbt/internal/exp"
+)
+
+func main() {
+	k := flag.Int("k", 4, "training-set size for the breakdown section")
+	repeats := flag.Int("repeats", 3, "random draws for the sweep")
+	maxK := flag.Int("maxk", 8, "largest training-set size in the sweep")
+	flag.Parse()
+
+	corpus, err := exp.BuildCorpus(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== coverage vs training-set size (cf. Fig 16) ==")
+	points, err := exp.Fig16(corpus, *maxK, *repeats, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range points {
+		bar := func(v float64) string {
+			n := int(v * 40)
+			s := ""
+			for i := 0; i < n; i++ {
+				s += "#"
+			}
+			return s
+		}
+		fmt.Printf("k=%d  w/o para %5.1f%% |%s\n", p.K, 100*p.CovBase, bar(p.CovBase))
+		fmt.Printf("     para     %5.1f%% |%s\n", 100*p.CovPara, bar(p.CovPara))
+	}
+
+	// Breakdown for one fixed random training set of size k.
+	r := rand.New(rand.NewSource(42))
+	perm := r.Perm(len(corpus.Names))
+	var train []string
+	for _, i := range perm[:*k] {
+		train = append(train, corpus.Names[i])
+	}
+	sort.Strings(train)
+	fmt.Printf("\n== per-benchmark coverage, training on %v ==\n", train)
+
+	union := corpus.Union(train)
+	par, _ := core.Parameterize(union, core.Config{Opcode: true, AddrMode: true})
+	inTrain := map[string]bool{}
+	for _, n := range train {
+		inTrain[n] = true
+	}
+	for _, n := range corpus.Names {
+		if inTrain[n] {
+			continue
+		}
+		base, err := corpus.Run(n, dbt.Config{Rules: union})
+		if err != nil {
+			log.Fatal(err)
+		}
+		full, err := corpus.Run(n, dbt.Config{Rules: par, DelegateFlags: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s w/o para %5.1f%%   para %5.1f%%\n", n,
+			100*base.Stats.Coverage(), 100*full.Stats.Coverage())
+	}
+}

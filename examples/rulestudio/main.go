@@ -1,0 +1,101 @@
+// Rulestudio: an interactive look at single rules — the paper's Fig. 3
+// and Fig. 7 examples reproduced live. It seeds the store with one
+// learned add rule, shows what parameterization derives (eor without
+// training, bic with auxiliary instructions, dependence-shape variants
+// with the Fig. 8 staging move), and demonstrates the verifier rejecting
+// an unsound derivation.
+//
+//	go run ./examples/rulestudio
+package main
+
+import (
+	"fmt"
+
+	"paramdbt/internal/core"
+	"paramdbt/internal/guest"
+	"paramdbt/internal/host"
+	"paramdbt/internal/rule"
+)
+
+func main() {
+	// The learned seed: add p0, p0, p1 => addl p1, p0 (Fig. 3, left box).
+	seed := &rule.Template{
+		Guest:  []rule.GPat{{Op: guest.ADD, Args: []rule.Arg{rule.RegArg(0), rule.RegArg(0), rule.RegArg(1)}}},
+		Host:   []rule.HPat{{Op: host.ADDL, Dst: rule.RegArg(0), Src: rule.RegArg(1)}},
+		Params: []rule.ParamKind{rule.PReg, rule.PReg},
+		Origin: rule.OriginLearned,
+	}
+	if res, ok := rule.Verify(seed); !ok {
+		panic("seed rule failed verification: " + res.Reason)
+	}
+	fmt.Println("learned seed rule:")
+	fmt.Println("  ", seed)
+
+	store := rule.NewStore()
+	store.Add(seed)
+	out, counts := core.Parameterize(store, core.Config{Opcode: true, AddrMode: true})
+	fmt.Printf("\nparameterization derived %d rules (%d candidates rejected by the verifier)\n\n",
+		counts.Derived, counts.Rejected)
+
+	show := func(title string, match func(*rule.Template) bool) {
+		fmt.Println(title)
+		n := 0
+		for _, t := range out.All() {
+			if t.Origin != rule.OriginLearned && match(t) && n < 4 {
+				fmt.Println("  ", t)
+				n++
+			}
+		}
+		fmt.Println()
+	}
+	show("the Fig. 3 derivation — eor from add, never trained:",
+		func(t *rule.Template) bool { return t.Guest[0].Op == guest.EOR })
+	show("the Fig. 7 derivation — bic needs auxiliary movl+notl:",
+		func(t *rule.Template) bool { return t.Guest[0].Op == guest.BIC })
+	show("the Fig. 8 derivation — new dependence shapes stage through a scratch register:",
+		func(t *rule.Template) bool {
+			return t.Guest[0].Op == guest.ADD && len(t.Host) > 1
+		})
+
+	// A deliberately unsound derivation: sub with swapped operands. The
+	// verifier must refuse it (the paper's commutativity constraint).
+	bad := &rule.Template{
+		Guest: []rule.GPat{{Op: guest.SUB, Args: []rule.Arg{rule.RegArg(0), rule.RegArg(0), rule.RegArg(1)}}},
+		Host: []rule.HPat{
+			{Op: host.MOVL, Dst: rule.ScratchArg(0), Src: rule.RegArg(1)},
+			{Op: host.SUBL, Dst: rule.ScratchArg(0), Src: rule.RegArg(0)},
+			{Op: host.MOVL, Dst: rule.RegArg(0), Src: rule.ScratchArg(0)},
+		},
+		Params:   []rule.ParamKind{rule.PReg, rule.PReg},
+		NScratch: 1,
+	}
+	res, ok := rule.Verify(bad)
+	fmt.Printf("unsound swapped-sub candidate accepted? %v\n", ok)
+	fmt.Printf("verifier's reason: %s\n", res.Reason)
+
+	// Matching and instantiation: apply a derived rule to a concrete
+	// guest instruction.
+	insts := guest.MustAssemble("eor r3, r3, r7")
+	tmpl, binding, n := out.Lookup(insts)
+	if tmpl == nil {
+		panic("no rule for eor r3, r3, r7")
+	}
+	fmt.Printf("\nguest %q matches (%d insts): %s\n", insts[0], n, tmpl)
+	regOf := func(r guest.Reg) (host.Reg, bool) {
+		switch r {
+		case guest.R3:
+			return host.EBX, true
+		case guest.R7:
+			return host.ESI, true
+		}
+		return 0, false
+	}
+	hseq, err := rule.Instantiate(tmpl, binding, regOf, []host.Reg{host.EAX})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("instantiated host code (r3->ebx, r7->esi):")
+	for _, in := range hseq {
+		fmt.Println("  ", in)
+	}
+}

@@ -1,0 +1,3 @@
+module paramdbt
+
+go 1.22

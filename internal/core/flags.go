@@ -1,0 +1,76 @@
+package core
+
+import (
+	"paramdbt/internal/guest"
+	"paramdbt/internal/host"
+	"paramdbt/internal/symexec"
+)
+
+// Condition-flag delegation (paper §IV-B, §IV-D): instead of
+// materializing NZCV into the CPUState after every flag-setting
+// instruction, the translator leaves them in the host EFLAGS and
+// rewrites the consuming conditional branch to the corresponding host
+// condition — when a correspondence exists. The per-rule
+// FlagCorrespondence computed by the verifier says which guest flags the
+// host EFLAGS reproduce (the ARM-C/x86-CF borrow inversion appears here
+// as CInverted).
+
+// DelegateCond maps a guest condition to the host condition that tests
+// the same predicate over the delegated EFLAGS. ok is false when the
+// correspondence cannot express the condition (the translator then
+// falls back to flag materialization).
+func DelegateCond(fc symexec.FlagCorrespondence, c guest.Cond) (host.Cond, bool) {
+	switch c {
+	case guest.EQ:
+		return host.E, fc.NZMatch
+	case guest.NE:
+		return host.NE, fc.NZMatch
+	case guest.MI:
+		return host.S, fc.NZMatch
+	case guest.PL:
+		return host.NS, fc.NZMatch
+	case guest.VS:
+		return host.O, fc.VMatch
+	case guest.VC:
+		return host.NO, fc.VMatch
+	case guest.CS:
+		if fc.CMatch {
+			return host.B, true
+		}
+		return host.AE, fc.CInverted
+	case guest.CC:
+		if fc.CMatch {
+			return host.AE, true
+		}
+		return host.B, fc.CInverted
+	case guest.HI:
+		// C && !Z: with inverted carry this is exactly x86 A (!CF &&
+		// !ZF); with a matching carry no single host condition exists.
+		return host.A, fc.CInverted && fc.NZMatch
+	case guest.LS:
+		return host.BE, fc.CInverted && fc.NZMatch
+	case guest.GE:
+		return host.GE, fc.NZMatch && fc.VMatch
+	case guest.LT:
+		return host.L, fc.NZMatch && fc.VMatch
+	case guest.GT:
+		return host.G, fc.NZMatch && fc.VMatch
+	case guest.LE:
+		return host.LE, fc.NZMatch && fc.VMatch
+	}
+	return 0, false
+}
+
+// FlagsMaterializable reports whether the translator can materialize the
+// guest NZCV into the CPUState from the host EFLAGS this correspondence
+// describes. FamLogic rules leave C architecturally unchanged, so a C
+// correspondence is not required for them.
+func FlagsMaterializable(fc symexec.FlagCorrespondence, logicFamily bool) bool {
+	if !fc.NZMatch || !fc.VMatch {
+		return false
+	}
+	if logicFamily {
+		return true
+	}
+	return fc.CMatch || fc.CInverted
+}

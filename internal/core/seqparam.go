@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+
+	"paramdbt/internal/guest"
+	"paramdbt/internal/host"
+	"paramdbt/internal/rule"
+)
+
+// Sequence-rule parameterization — the paper's §V-D future work
+// ("parameterizing guest instruction sequences will improve the
+// performance further because they can produce more optimized host code
+// sequences"). A learned multi-instruction rule is generalized along the
+// opcode dimension only: each data-processing instruction inside the
+// sequence whose host anchor admits a plain two-address swap derives a
+// variant per subgroup member, preserving the learned host idiom around
+// it. Every variant passes through the verifier like any other derived
+// rule.
+
+// plainSwap maps the kinds that exchange 1:1 between the ISAs with
+// identical slot shapes; complex-op adapters are not applied inside
+// sequences (the paper keeps sequence handling simple for the same
+// reason).
+var plainSwap = map[OpKind]host.Op{
+	KAdd: host.ADDL, KSub: host.SUBL, KAnd: host.ANDL, KOr: host.ORL,
+	KXor: host.XORL, KShl: host.SHLL, KShr: host.SHRL, KSar: host.SARL,
+	KRor: host.RORL,
+}
+
+var plainSwapGuest = map[guest.Op]OpKind{
+	guest.ADD: KAdd, guest.SUB: KSub, guest.AND: KAnd, guest.ORR: KOr,
+	guest.EOR: KXor, guest.LSL: KShl, guest.LSR: KShr, guest.ASR: KSar,
+	guest.ROR: KRor,
+}
+
+// seqAnchor locates, for guest pattern index gi, the unique host pattern
+// index with the matching swap kind. Ambiguity (zero or several hosts of
+// that kind) disqualifies the swap — the conservative choice.
+func seqAnchor(t *rule.Template, gi int) (int, bool) {
+	k, ok := plainSwapGuest[t.Guest[gi].Op]
+	if !ok {
+		return 0, false
+	}
+	wantOp := plainSwap[k]
+	found := -1
+	for hi, h := range t.Host {
+		if h.Op == wantOp {
+			if found >= 0 {
+				return 0, false
+			}
+			found = hi
+		}
+	}
+	if found < 0 {
+		return 0, false
+	}
+	return found, true
+}
+
+// deriveSequences expands the multi-instruction learned rules of `in`
+// along the opcode dimension into `out`, returning how many variants
+// were added and how many the verifier rejected.
+func deriveSequences(in, out *rule.Store, guestSeen map[string]bool) (derived, rejected int) {
+	for _, t := range in.All() {
+		if t.GuestLen() < 2 || t.Origin != rule.OriginLearned {
+			continue
+		}
+		for gi := range t.Guest {
+			// Flag-setting members stay fixed: their side effects are
+			// tied to the learned opcode.
+			if t.Guest[gi].S {
+				continue
+			}
+			hi, ok := seqAnchor(t, gi)
+			if !ok {
+				continue
+			}
+			id := SubgroupOf(t.Guest[gi].Op, false)
+			if id == "" {
+				continue
+			}
+			for _, op := range subgroupOps(id) {
+				k, ok := plainSwapGuest[op]
+				if !ok || op == t.Guest[gi].Op {
+					continue
+				}
+				v := cloneTemplate(t)
+				v.Guest[gi].Op = op
+				v.Host[hi].Op = plainSwap[k]
+				v.Origin = rule.OriginOpcodeParam
+				v.GroupKey = fmt.Sprintf("seq:%s@%d:%s", id, gi, shapeSigSeq(t))
+				gs := guestSideString(v)
+				if guestSeen[gs] {
+					derived++ // instance already realized by a learned rule
+					continue
+				}
+				if _, ok := rule.Verify(v); !ok {
+					rejected++
+					continue
+				}
+				if out.Add(v) {
+					derived++
+					guestSeen[gs] = true
+				}
+			}
+		}
+	}
+	return derived, rejected
+}
+
+// cloneTemplate deep-copies the mutable slices of a template.
+func cloneTemplate(t *rule.Template) *rule.Template {
+	cp := *t
+	cp.Guest = append([]rule.GPat(nil), t.Guest...)
+	for i := range cp.Guest {
+		cp.Guest[i].Args = append([]rule.Arg(nil), t.Guest[i].Args...)
+	}
+	cp.Host = append([]rule.HPat(nil), t.Host...)
+	cp.Params = append([]rule.ParamKind(nil), t.Params...)
+	cp.NonZeroImms = append([]int(nil), t.NonZeroImms...)
+	return &cp
+}
+
+// shapeSigSeq builds a stable grouping key for a sequence rule.
+func shapeSigSeq(t *rule.Template) string {
+	s := ""
+	for _, g := range t.Guest {
+		s += shapeSig(g) + "|"
+	}
+	return s
+}

@@ -1,0 +1,223 @@
+// Package dbt implements the dynamic binary translator: a block-at-a-time
+// translation engine with a code cache, per-block guest-register
+// allocation, a rule-based fast path fed by the (optionally
+// parameterized) rule store, a TCG emulation fallback for everything the
+// rules do not cover, and condition-flag delegation at rule-application
+// time. Dynamic coverage and category-tagged host instruction counts —
+// the paper's evaluation metrics — are collected while running.
+package dbt
+
+import (
+	"fmt"
+
+	"paramdbt/internal/env"
+	"paramdbt/internal/guest"
+	"paramdbt/internal/host"
+	"paramdbt/internal/mem"
+	"paramdbt/internal/rule"
+)
+
+// HaltPC is the sentinel next-PC meaning the guest executed HLT.
+const HaltPC = 0xffffffff
+
+// maxBlockInsts caps translation-block length (long straight-line runs
+// occur in big generated functions).
+const maxBlockInsts = 512
+
+// Config selects the translation strategy; the experiment harness builds
+// one Engine per paper configuration.
+type Config struct {
+	// Rules is the rule store (nil for the pure-QEMU baseline).
+	Rules *rule.Store
+	// DelegateFlags enables condition-flag delegation and the use of
+	// derived flag-setting rules (the paper's "condition" factor).
+	DelegateFlags bool
+	// FlagWindow is the maximum setter-to-consumer distance (in guest
+	// instructions) delegation accepts; the paper fixes 3.
+	FlagWindow int
+	// NoBlockRegAlloc disables per-block guest-register allocation:
+	// every guest register access goes through its CPUState slot. Used
+	// by the register-allocation ablation bench (Table II's data-transfer
+	// overhead discussion).
+	NoBlockRegAlloc bool
+	// ManualABI adds the hand-written translations for the instructions
+	// learning can never cover (push/pop/clz/mla/umla, and the pure-stub
+	// control terminators) — the paper's §V-B2 path to ~100% coverage.
+	ManualABI bool
+}
+
+// Stats aggregates the evaluation metrics.
+type Stats struct {
+	GuestExec   uint64 // dynamic guest instructions
+	RuleCovered uint64 // of which rule-translated (dynamic coverage)
+	Blocks      int    // translated blocks
+	SeqRuleUses uint64 // dynamic guest insts covered by multi-insn rules
+
+	// UncoveredOps breaks down emulated instructions by opcode — the
+	// analysis behind the paper's "seven uncoverable instructions".
+	UncoveredOps map[guest.Op]uint64
+}
+
+// Coverage returns the dynamic coverage fraction.
+func (s Stats) Coverage() float64 {
+	if s.GuestExec == 0 {
+		return 0
+	}
+	return float64(s.RuleCovered) / float64(s.GuestExec)
+}
+
+// Engine is one DBT instance bound to a memory image.
+type Engine struct {
+	Cfg   Config
+	Mem   *mem.Memory
+	CPU   *host.CPU
+	cache map[uint32]*tblock
+}
+
+type tblock struct {
+	hb        *host.Block
+	nGuest    uint64
+	nCovered  uint64
+	nSeq      uint64
+	uncovered []guest.Op
+}
+
+// New creates an engine over the given memory. The CPUState block and
+// host stack are established per the env layout.
+func New(m *mem.Memory, cfg Config) *Engine {
+	if cfg.FlagWindow == 0 {
+		cfg.FlagWindow = 3
+	}
+	cpu := host.NewCPU(m)
+	cpu.R[host.EBP] = env.StateBase
+	cpu.R[host.ESP] = env.HostStackTop
+	return &Engine{Cfg: cfg, Mem: m, CPU: cpu, cache: map[uint32]*tblock{}}
+}
+
+// SetGuestState writes a guest architectural state into the CPUState.
+func (e *Engine) SetGuestState(st *guest.State) {
+	for i := 0; i < guest.NumRegs; i++ {
+		e.Mem.Write32(env.StateBase+uint32(env.OffReg(i)), st.R[i])
+	}
+	w := func(off int32, b bool) {
+		v := uint32(0)
+		if b {
+			v = 1
+		}
+		e.Mem.Write32(env.StateBase+uint32(off), v)
+	}
+	w(env.OffN, st.Flags.N)
+	w(env.OffZ, st.Flags.Z)
+	w(env.OffC, st.Flags.C)
+	w(env.OffV, st.Flags.V)
+	for i := 0; i < guest.NumFRegs; i++ {
+		e.Mem.Write32(env.StateBase+uint32(env.OffFReg(i)), st.F[i])
+	}
+}
+
+// GuestState reads the guest architectural state out of the CPUState.
+func (e *Engine) GuestState() *guest.State {
+	st := &guest.State{Mem: e.Mem}
+	for i := 0; i < guest.NumRegs; i++ {
+		st.R[i] = e.Mem.Read32(env.StateBase + uint32(env.OffReg(i)))
+	}
+	st.Flags.N = e.Mem.Read32(env.StateBase+env.OffN) != 0
+	st.Flags.Z = e.Mem.Read32(env.StateBase+env.OffZ) != 0
+	st.Flags.C = e.Mem.Read32(env.StateBase+env.OffC) != 0
+	st.Flags.V = e.Mem.Read32(env.StateBase+env.OffV) != 0
+	for i := 0; i < guest.NumFRegs; i++ {
+		st.F[i] = e.Mem.Read32(env.StateBase + uint32(env.OffFReg(i)))
+	}
+	return st
+}
+
+// Run executes guest code from entry until HLT, collecting statistics.
+// maxHostSteps bounds total host instructions (runaway protection).
+func (e *Engine) Run(entry uint32, maxHostSteps uint64) (Stats, error) {
+	stats := Stats{UncoveredOps: map[guest.Op]uint64{}}
+	pc := entry
+	for pc != HaltPC {
+		tb, err := e.block(pc, &stats)
+		if err != nil {
+			return stats, fmt.Errorf("dbt: translating block at %#x: %w", pc, err)
+		}
+		if e.CPU.Total() >= maxHostSteps {
+			return stats, fmt.Errorf("dbt: host step budget exhausted at pc=%#x", pc)
+		}
+		res, err := e.CPU.Exec(tb.hb, maxHostSteps-e.CPU.Total())
+		if err != nil {
+			return stats, fmt.Errorf("dbt: executing block at %#x: %w\n%s", pc, err, tb.hb.Listing())
+		}
+		stats.GuestExec += tb.nGuest
+		stats.RuleCovered += tb.nCovered
+		stats.SeqRuleUses += tb.nSeq
+		for _, op := range tb.uncovered {
+			stats.UncoveredOps[op]++
+		}
+		pc = res.NextPC
+	}
+	// Keep the architectural PC in the CPUState coherent.
+	e.Mem.Write32(env.StateBase+uint32(env.OffReg(int(guest.PC))), pc)
+	return stats, nil
+}
+
+// block returns the translated block at pc, translating on a miss.
+func (e *Engine) block(pc uint32, stats *Stats) (*tblock, error) {
+	if tb, ok := e.cache[pc]; ok {
+		return tb, nil
+	}
+	tb, err := e.translate(pc)
+	if err != nil {
+		return nil, err
+	}
+	e.cache[pc] = tb
+	stats.Blocks++
+	return tb, nil
+}
+
+// BlockListing translates (or fetches from cache) the block at pc and
+// returns its annotated host listing alongside the guest disassembly —
+// the debugging view of what the translator produced.
+func (e *Engine) BlockListing(pc uint32) (string, error) {
+	insts, err := e.fetchBlock(pc)
+	if err != nil {
+		return "", err
+	}
+	var st Stats
+	tb, err := e.block(pc, &st)
+	if err != nil {
+		return "", err
+	}
+	s := fmt.Sprintf("guest block @%#x (%d insts, %d rule-covered):\n", pc, tb.nGuest, tb.nCovered)
+	s += guest.Disassemble(pc, insts)
+	s += "host code:\n" + tb.hb.Listing()
+	return s, nil
+}
+
+// fetchBlock decodes guest instructions from pc up to and including the
+// terminator.
+func (e *Engine) fetchBlock(pc uint32) ([]guest.Inst, error) {
+	var out []guest.Inst
+	for len(out) < maxBlockInsts {
+		w := e.Mem.Read32(pc + uint32(len(out)*guest.InstBytes))
+		in, err := guest.Decode(w)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, in)
+		if isTerminator(in) {
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("block at %#x exceeds %d instructions without a terminator", pc, maxBlockInsts)
+}
+
+func isTerminator(in guest.Inst) bool {
+	if in.IsBranch() {
+		return true
+	}
+	if in.Op == guest.POP && in.Ops[0].List&(1<<uint(guest.PC)) != 0 {
+		return true
+	}
+	return false
+}

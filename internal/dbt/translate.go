@@ -1,0 +1,650 @@
+package dbt
+
+import (
+	"fmt"
+	"sort"
+
+	"paramdbt/internal/core"
+	"paramdbt/internal/env"
+	"paramdbt/internal/guest"
+	"paramdbt/internal/host"
+	"paramdbt/internal/rule"
+	"paramdbt/internal/tcg"
+)
+
+// blockRegs are the host registers available for block-lifetime guest
+// register mapping; tempPool serves TCG temporaries, rule operand
+// staging and flag materialization.
+var blockRegs = []host.Reg{host.EBX, host.ESI, host.EDI}
+var tempPool = []host.Reg{host.EAX, host.ECX, host.EDX}
+
+type pathKind uint8
+
+const (
+	pathTCG pathKind = iota
+	pathRule
+	pathRuleTail // covered by the rule headed at an earlier instruction
+	pathTerm
+)
+
+// iplan is the per-instruction translation plan.
+type iplan struct {
+	kind pathKind
+	tmpl *rule.Template
+	bind rule.Binding
+	// delegated: this flag-setting instruction leaves NZCV in the host
+	// EFLAGS for the terminator branch instead of materializing.
+	delegated bool
+	// needsDeleg: the rule has no materialization recipe (S-shifts), so
+	// it survives only if delegation lands; otherwise it demotes to TCG.
+	needsDeleg bool
+}
+
+// translate builds the host block for the guest block at pc.
+func (e *Engine) translate(pc uint32) (*tblock, error) {
+	insts, err := e.fetchBlock(pc)
+	if err != nil {
+		return nil, err
+	}
+	n := len(insts)
+	body := insts[:n-1]
+	term := insts[n-1]
+
+	plans := make([]iplan, n)
+	plans[n-1] = iplan{kind: pathTerm}
+
+	// Pass 1: choose rule windows greedily (longest match first). The
+	// window may extend through the terminator when a branch-tail rule
+	// (compare-and-branch) matches it.
+	var termRule *iplan
+	if e.Cfg.Rules != nil {
+		for i := 0; i < len(body); {
+			in := body[i]
+			if in.Cond != guest.AL {
+				plans[i] = iplan{kind: pathTCG}
+				i++
+				continue
+			}
+			tmpl, bind, l := e.Cfg.Rules.Lookup(insts[i:])
+			usable, needsDeleg := e.ruleUsable(tmpl)
+			if tmpl != nil && usable {
+				plans[i] = iplan{kind: pathRule, tmpl: tmpl, bind: bind, needsDeleg: needsDeleg}
+				for j := 1; j < l; j++ {
+					plans[i+j] = iplan{kind: pathRuleTail}
+				}
+				if tmpl.BranchTail {
+					termRule = &plans[i]
+				}
+				i += l
+				continue
+			}
+			plans[i] = iplan{kind: pathTCG}
+			i++
+		}
+	}
+
+	// Pass 2: block register allocation by static use count.
+	mapping := e.allocRegs(insts)
+
+	// Pass 3: demote rules whose operand staging exceeds the temp pool.
+	for i := range body {
+		p := &plans[i]
+		if p.kind != pathRule {
+			continue
+		}
+		need := e.stagingNeed(p.tmpl, p.bind, mapping)
+		if body[i].SetsFlags() {
+			need++ // flag materialization needs one free register
+		}
+		if need > len(tempPool) {
+			demote(plans, i)
+		}
+	}
+
+	// Pass 4: condition-flag delegation for the terminator branch; rules
+	// that required delegation but did not get it fall back to TCG.
+	e.planDelegation(insts, plans)
+	for i := range body {
+		if plans[i].kind == pathRule && plans[i].needsDeleg && !plans[i].delegated {
+			demote(plans, i)
+		}
+	}
+
+	// Pass 5: emission.
+	a := host.NewAsm()
+	e.emitPrologue(a, mapping)
+	covered, seqCovered := uint64(0), uint64(0)
+	var uncovered []guest.Op
+	for i := range body {
+		p := plans[i]
+		switch p.kind {
+		case pathRule:
+			if err := e.emitRule(a, body[i], p, mapping); err != nil {
+				return nil, fmt.Errorf("inst %d %q: %w", i, body[i], err)
+			}
+			l := p.tmpl.GuestLen()
+			covered += uint64(l)
+			if l > 1 {
+				seqCovered += uint64(l)
+			}
+		case pathRuleTail:
+			// emitted by the head
+		case pathTCG:
+			if e.Cfg.ManualABI && manualEmittable(body[i]) {
+				if err := e.emitManual(a, body[i], mapping); err != nil {
+					return nil, fmt.Errorf("inst %d %q: %w", i, body[i], err)
+				}
+				covered++
+				continue
+			}
+			uncovered = append(uncovered, body[i].Op)
+			if err := e.emitTCG(a, body[i], pc+uint32(i*guest.InstBytes), mapping); err != nil {
+				return nil, fmt.Errorf("inst %d %q: %w", i, body[i], err)
+			}
+		}
+	}
+	termCovered, err := e.emitTerminator(a, term, pc+uint32((n-1)*guest.InstBytes), plans, termRule, mapping)
+	if err != nil {
+		return nil, fmt.Errorf("terminator %q: %w", term, err)
+	}
+	if !termCovered && e.Cfg.ManualABI && manualTerminatorCovered(term) {
+		termCovered = true
+	}
+	if termCovered {
+		if termRule == nil {
+			// Covered through delegation (a branch-tail rule's window
+			// already counted its own branch).
+			covered++
+		}
+	} else {
+		uncovered = append(uncovered, term.Op)
+		if termRule != nil {
+			// The branch of the matched branch-tail rule could not be
+			// emitted; its body still counted itself.
+			covered--
+		}
+	}
+
+	return &tblock{hb: a.Block(), nGuest: uint64(n), nCovered: covered, nSeq: seqCovered, uncovered: uncovered}, nil
+}
+
+// ruleUsable applies the static gating rules: flag-setting derived rules
+// need the condition-flag machinery (paper §IV-B — without delegation,
+// parameterized rules cannot absorb flag side effects), and every
+// accepted flag-setting rule must either be materializable or — for
+// rules with no materialization recipe, like S-shifts — actually get
+// delegated (checked later; needsDeleg marks them for demotion if not).
+func (e *Engine) ruleUsable(t *rule.Template) (usable, needsDeleg bool) {
+	if t == nil {
+		return false, false
+	}
+	if !t.SetsFlags || t.BranchTail {
+		return true, false
+	}
+	if t.Origin != rule.OriginLearned && !e.Cfg.DelegateFlags {
+		return false, false
+	}
+	if core.FlagsMaterializable(t.Flags, t.FlagSrc == rule.FamLogic) {
+		return true, false
+	}
+	if e.Cfg.DelegateFlags && t.Flags.NZMatch {
+		return true, true
+	}
+	return false, false
+}
+
+// demote turns a rule window back into per-instruction TCG.
+func demote(plans []iplan, head int) {
+	l := plans[head].tmpl.GuestLen()
+	for j := 0; j < l; j++ {
+		plans[head+j] = iplan{kind: pathTCG}
+	}
+}
+
+// allocRegs maps the most-used guest registers onto blockRegs.
+func (e *Engine) allocRegs(insts []guest.Inst) map[guest.Reg]host.Reg {
+	if e.Cfg.NoBlockRegAlloc {
+		return map[guest.Reg]host.Reg{}
+	}
+	var counts [guest.NumRegs]int
+	bump := func(r guest.Reg) {
+		if r != guest.PC {
+			counts[r]++
+		}
+	}
+	for _, in := range insts {
+		if d, ok := in.DstReg(); ok {
+			bump(d)
+		}
+		for _, r := range in.SrcRegs(nil) {
+			bump(r)
+		}
+	}
+	type rc struct {
+		r guest.Reg
+		c int
+	}
+	var list []rc
+	for r, c := range counts {
+		if c > 0 {
+			list = append(list, rc{guest.Reg(r), c})
+		}
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].c != list[j].c {
+			return list[i].c > list[j].c
+		}
+		return list[i].r < list[j].r
+	})
+	m := map[guest.Reg]host.Reg{}
+	for i := 0; i < len(list) && i < len(blockRegs); i++ {
+		m[list[i].r] = blockRegs[i]
+	}
+	return m
+}
+
+// stagingNeed counts temp-pool registers a rule application requires:
+// one per distinct unmapped bound guest register plus the template's
+// scratch demand.
+func (e *Engine) stagingNeed(t *rule.Template, b rule.Binding, mapping map[guest.Reg]host.Reg) int {
+	seen := map[guest.Reg]bool{}
+	need := t.NScratch
+	for p, k := range t.Params {
+		if k != rule.PReg {
+			continue
+		}
+		r := b.Regs[p]
+		if _, mapped := mapping[r]; !mapped && !seen[r] {
+			seen[r] = true
+			need++
+		}
+	}
+	return need
+}
+
+// planDelegation decides, per flag-setting instruction, whether its
+// flags can stay in the host EFLAGS for the terminator branch.
+func (e *Engine) planDelegation(insts []guest.Inst, plans []iplan) {
+	if !e.Cfg.DelegateFlags {
+		return
+	}
+	n := len(insts)
+	term := insts[n-1]
+	if term.Op != guest.B || term.Cond == guest.AL {
+		return
+	}
+	// Find the last flag setter before the terminator.
+	setter := -1
+	for i := n - 2; i >= 0; i-- {
+		if insts[i].SetsFlags() {
+			setter = i
+			break
+		}
+	}
+	if setter < 0 || plans[setter].kind != pathRule {
+		return
+	}
+	t := plans[setter].tmpl
+	if !t.SetsFlags {
+		return
+	}
+	// Window check (paper: 3 instructions).
+	if n-1-setter > e.Cfg.FlagWindow {
+		return
+	}
+	// No other consumer may sit between setter and terminator, and the
+	// intervening instructions' host code must preserve EFLAGS.
+	for j := setter + 1; j < n-1; j++ {
+		if insts[j].ReadsFlags() || insts[j].SetsFlags() {
+			return
+		}
+		p := plans[j]
+		switch p.kind {
+		case pathRule:
+			for _, h := range p.tmpl.Host {
+				if h.Op.WritesFlags() {
+					return
+				}
+			}
+		case pathRuleTail:
+			// covered by its head's check
+		default:
+			return // TCG code clobbers EFLAGS
+		}
+	}
+	// The terminator's condition must be expressible.
+	if _, ok := core.DelegateCond(t.Flags, term.Cond); !ok {
+		return
+	}
+	// The rule's own host code must not write EFLAGS after its anchor;
+	// the verifier's correspondence was computed at sequence end, so any
+	// final EFLAGS writer is the one it describes. Nothing to re-check.
+	plans[setter].delegated = true
+}
+
+// emitPrologue loads mapped guest registers from the CPUState.
+func (e *Engine) emitPrologue(a *host.Asm, mapping map[guest.Reg]host.Reg) {
+	a.SetCat(host.CatDataTransfer)
+	for _, gr := range sortedRegs(mapping) {
+		a.Emit(host.I(host.MOVL, host.R(mapping[gr]), host.Mem(host.EBP, env.OffReg(int(gr)))))
+	}
+	a.SetCat(host.CatCompute)
+}
+
+// emitEpilogue stores mapped guest registers back to the CPUState.
+func (e *Engine) emitEpilogue(a *host.Asm, mapping map[guest.Reg]host.Reg) {
+	a.SetCat(host.CatDataTransfer)
+	for _, gr := range sortedRegs(mapping) {
+		a.Emit(host.I(host.MOVL, host.Mem(host.EBP, env.OffReg(int(gr))), host.R(mapping[gr])))
+	}
+	a.SetCat(host.CatControl)
+}
+
+func sortedRegs(m map[guest.Reg]host.Reg) []guest.Reg {
+	var out []guest.Reg
+	for r := range m {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// emitRule applies a matched rule: stage unmapped guest registers into
+// temp registers, instantiate the template, materialize flags unless
+// delegated, and write back.
+func (e *Engine) emitRule(a *host.Asm, head guest.Inst, p iplan, mapping map[guest.Reg]host.Reg) error {
+	t, b := p.tmpl, p.bind
+
+	free := append([]host.Reg(nil), tempPool...)
+	take := func() (host.Reg, error) {
+		if len(free) == 0 {
+			return 0, fmt.Errorf("temp pool exhausted")
+		}
+		r := free[len(free)-1]
+		free = free[:len(free)-1]
+		return r, nil
+	}
+
+	staged := map[guest.Reg]host.Reg{}
+	a.SetCat(host.CatDataTransfer)
+	for pi, k := range t.Params {
+		if k != rule.PReg {
+			continue
+		}
+		gr := b.Regs[pi]
+		if _, mapped := mapping[gr]; mapped {
+			continue
+		}
+		if _, done := staged[gr]; done {
+			continue
+		}
+		hr, err := take()
+		if err != nil {
+			return err
+		}
+		staged[gr] = hr
+		a.Emit(host.I(host.MOVL, host.R(hr), host.Mem(host.EBP, env.OffReg(int(gr)))))
+	}
+	a.SetCat(host.CatCompute)
+
+	var scratch []host.Reg
+	for i := 0; i < t.NScratch; i++ {
+		hr, err := take()
+		if err != nil {
+			return err
+		}
+		scratch = append(scratch, hr)
+	}
+
+	regOf := func(r guest.Reg) (host.Reg, bool) {
+		if hr, ok := mapping[r]; ok {
+			return hr, true
+		}
+		if hr, ok := staged[r]; ok {
+			return hr, true
+		}
+		return 0, false
+	}
+	insts, err := rule.Instantiate(t, b, regOf, scratch)
+	if err != nil {
+		return err
+	}
+	a.EmitAll(insts...)
+
+	// Branch-tail rules consume their flags in the terminator's jcc;
+	// everything else materializes unless delegated.
+	if t.SetsFlags && !p.delegated && !t.BranchTail {
+		mr, err := take()
+		if err != nil {
+			return err
+		}
+		emitMaterialize(a, t, mr)
+	}
+
+	// Write back unmapped written guest registers.
+	a.SetCat(host.CatDataTransfer)
+	for _, gr := range writtenRegs(t, b) {
+		if hr, ok := staged[gr]; ok {
+			a.Emit(host.I(host.MOVL, host.Mem(host.EBP, env.OffReg(int(gr))), host.R(hr)))
+		}
+	}
+	a.SetCat(host.CatCompute)
+	return nil
+}
+
+// emitMaterialize writes the guest NZCV words from the host EFLAGS per
+// the rule's verified correspondence, using mr as the setcc staging
+// register. For the logic family C is architecturally unchanged, so the
+// CPUState C word stays valid and is not written.
+func emitMaterialize(a *host.Asm, t *rule.Template, mr host.Reg) {
+	set := func(c host.Cond, off int32) {
+		a.Emit(host.Inst{Op: host.SETCC, Cond: c, Dst: host.R(mr)})
+		a.Emit(host.I(host.MOVL, host.Mem(host.EBP, off), host.R(mr)))
+	}
+	// C and V must be captured before SETCC sequences… SETCC does not
+	// modify EFLAGS, so order is free; match the TCG backend's order.
+	if t.FlagSrc != rule.FamLogic {
+		if t.Flags.CMatch {
+			set(host.B, env.OffC)
+		} else {
+			set(host.AE, env.OffC)
+		}
+		set(host.O, env.OffV)
+	} else {
+		a.Emit(host.I(host.MOVL, host.Mem(host.EBP, env.OffV), host.Imm(0)))
+	}
+	set(host.S, env.OffN)
+	set(host.E, env.OffZ)
+}
+
+// writtenRegs lists the distinct guest registers the rule writes.
+func writtenRegs(t *rule.Template, b rule.Binding) []guest.Reg {
+	var out []guest.Reg
+	seen := map[guest.Reg]bool{}
+	for _, g := range t.Guest {
+		switch g.Op {
+		case guest.CMP, guest.CMN, guest.TST, guest.TEQ, guest.STR, guest.STRB:
+			continue
+		}
+		if len(g.Args) == 0 || g.Args[0].Kind != guest.KindReg {
+			continue
+		}
+		r := b.Regs[g.Args[0].Param]
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// emitTCG lowers one guest instruction through the TCG pipeline.
+func (e *Engine) emitTCG(a *host.Asm, in guest.Inst, pc uint32, mapping map[guest.Reg]host.Reg) error {
+	g := tcg.NewGen(a.NewLabel)
+	if err := g.Translate(in, pc); err != nil {
+		return err
+	}
+	return tcg.Lower(a, g, e.regmap(mapping), tempPool)
+}
+
+func (e *Engine) regmap(mapping map[guest.Reg]host.Reg) func(guest.Reg) host.Operand {
+	return func(r guest.Reg) host.Operand {
+		if hr, ok := mapping[r]; ok {
+			return host.R(hr)
+		}
+		return host.Mem(host.EBP, env.OffReg(int(r)))
+	}
+}
+
+// emitTerminator ends the block: evaluate the branch, store mapped
+// registers, and exit with the next guest PC. Both exit paths carry
+// their own epilogue (QEMU's two goto_tb stubs). It reports whether the
+// terminator itself counts as rule-covered: true for the jcc of a
+// branch-tail rule and for a delegated conditional branch — in both
+// cases no emulation code is emitted for it, only the universal exit
+// stubs.
+func (e *Engine) emitTerminator(a *host.Asm, term guest.Inst, pc uint32, plans []iplan, termRule *iplan, mapping map[guest.Reg]host.Reg) (bool, error) {
+	fall := pc + guest.InstBytes
+	exitImm := func(target uint32) {
+		e.emitEpilogue(a, mapping)
+		a.SetCat(host.CatControl)
+		a.Emit(host.Exit(host.Imm(int32(target))))
+		a.SetCat(host.CatCompute)
+	}
+
+	switch term.Op {
+	case guest.HLT:
+		exitImm(HaltPC)
+		return false, nil
+
+	case guest.B:
+		target := pc + guest.InstBytes + uint32(term.Ops[0].Imm)*guest.InstBytes
+		if term.Cond == guest.AL {
+			exitImm(target)
+			return false, nil
+		}
+		taken := a.NewLabel()
+		covered := false
+		// Branch-tail rule: the matched rule's host code left EFLAGS
+		// ready; finish with its jcc.
+		delegatedFrom := -1
+		for i := range plans {
+			if plans[i].delegated {
+				delegatedFrom = i
+			}
+		}
+		switch {
+		case termRule != nil:
+			a.SetCat(host.CatControl)
+			a.Emit(host.Jcc(termRule.tmpl.HCond, taken))
+			a.SetCat(host.CatCompute)
+			covered = true
+		case delegatedFrom >= 0:
+			hc, ok := core.DelegateCond(plans[delegatedFrom].tmpl.Flags, term.Cond)
+			if !ok {
+				return false, fmt.Errorf("delegation planned but condition unmappable")
+			}
+			a.SetCat(host.CatControl)
+			a.Emit(host.Jcc(hc, taken))
+			a.SetCat(host.CatCompute)
+			covered = true
+		default:
+			start := a.Len()
+			g := tcg.NewGen(a.NewLabel)
+			v := g.EvalCond(term.Cond)
+			g.Insts = append(g.Insts, tcg.Inst{Op: tcg.Brnz, A: v, Label: taken, Dst: -1})
+			if err := tcg.Lower(a, g, e.regmap(mapping), tempPool); err != nil {
+				return false, err
+			}
+			retag(a, start, host.CatControl)
+		}
+		exitImm(fall)
+		a.Bind(taken)
+		exitImm(target)
+		return covered, nil
+
+	case guest.BL:
+		target := pc + guest.InstBytes + uint32(term.Ops[0].Imm)*guest.InstBytes
+		a.SetCat(host.CatControl)
+		if hr, ok := mapping[guest.LR]; ok {
+			a.Emit(host.I(host.MOVL, host.R(hr), host.Imm(int32(fall))))
+		} else {
+			a.Emit(host.I(host.MOVL, host.Mem(host.EBP, env.OffReg(int(guest.LR))), host.Imm(int32(fall))))
+		}
+		a.SetCat(host.CatCompute)
+		exitImm(target)
+		return false, nil
+
+	case guest.BX:
+		r := term.Ops[0].Reg
+		if hr, ok := mapping[r]; ok {
+			e.emitEpilogue(a, mapping)
+			a.SetCat(host.CatControl)
+			a.Emit(host.Exit(host.R(hr)))
+			a.SetCat(host.CatCompute)
+			return false, nil
+		}
+		a.SetCat(host.CatControl)
+		a.Emit(host.I(host.MOVL, host.R(host.EAX), host.Mem(host.EBP, env.OffReg(int(r)))))
+		a.SetCat(host.CatCompute)
+		e.emitEpilogue(a, mapping)
+		a.SetCat(host.CatControl)
+		a.Emit(host.Exit(host.R(host.EAX)))
+		a.SetCat(host.CatCompute)
+		return false, nil
+
+	case guest.POP:
+		// pop {..., pc}: pop the non-PC registers, bump SP over the PC
+		// slot, and exit with the value that slot held.
+		list := term.Ops[0].List &^ (1 << uint(guest.PC))
+		if list != 0 {
+			sub := guest.NewInst(guest.POP, guest.Operand{Kind: guest.KindRegList, List: list})
+			if err := e.emitTCG(a, sub, pc, mapping); err != nil {
+				return false, err
+			}
+		}
+		bump := guest.NewInst(guest.ADD, guest.RegOp(guest.SP), guest.RegOp(guest.SP), guest.ImmOp(4))
+		if err := e.emitTCG(a, bump, pc, mapping); err != nil {
+			return false, err
+		}
+		a.SetCat(host.CatControl)
+		spOp := e.regmap(mapping)(guest.SP)
+		if spOp.Kind == host.KindReg {
+			a.Emit(host.I(host.MOVL, host.R(host.EAX), host.Mem(spOp.Reg, -4)))
+		} else {
+			a.Emit(host.I(host.MOVL, host.R(host.EAX), spOp))
+			a.Emit(host.I(host.MOVL, host.R(host.EAX), host.Mem(host.EAX, -4)))
+		}
+		a.SetCat(host.CatCompute)
+		e.emitEpilogue(a, mapping)
+		a.SetCat(host.CatControl)
+		a.Emit(host.Exit(host.R(host.EAX)))
+		a.SetCat(host.CatCompute)
+		return false, nil
+	}
+
+	// PC-writing data instructions (mov pc, lr style).
+	if d, ok := term.DstReg(); ok && d == guest.PC && term.Op == guest.MOV &&
+		term.Cond == guest.AL && term.Ops[1].Kind == guest.KindReg {
+		src := term.Ops[1].Reg
+		a.SetCat(host.CatControl)
+		srcOp := e.regmap(mapping)(src)
+		a.Emit(host.I(host.MOVL, host.R(host.EAX), srcOp))
+		a.SetCat(host.CatCompute)
+		e.emitEpilogue(a, mapping)
+		a.SetCat(host.CatControl)
+		a.Emit(host.Exit(host.R(host.EAX)))
+		a.SetCat(host.CatCompute)
+		return false, nil
+	}
+
+	return false, fmt.Errorf("dbt: unsupported terminator %q", term)
+}
+
+// retag rewrites the category of instructions emitted since start.
+func retag(a *host.Asm, start int, cat host.Category) {
+	insts := a.Insts()
+	for i := start; i < len(insts); i++ {
+		insts[i].Cat = cat
+	}
+}

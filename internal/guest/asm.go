@@ -1,0 +1,296 @@
+package guest
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// The assembler parses the textual syntax printed by Inst.String, plus
+// labels, so tests and examples can write guest programs legibly.
+//
+//	loop: subs r0, r0, #1
+//	      bne loop
+//	      hlt
+
+// Assemble parses a program. Each line holds at most one instruction,
+// optionally preceded by "label:". Branch targets may be labels or
+// immediate word offsets. Comments start with ';' or '//'.
+func Assemble(src string) ([]Inst, error) {
+	type pending struct {
+		inst  Inst
+		label string // non-empty when the branch target is symbolic
+		line  int
+	}
+	var prog []pending
+	labels := map[string]int{}
+
+	lines := strings.Split(src, "\n")
+	for ln, raw := range lines {
+		line := raw
+		if i := strings.Index(line, ";"); i >= 0 {
+			line = line[:i]
+		}
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		for {
+			colon := strings.Index(line, ":")
+			if colon < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:colon])
+			if label == "" || strings.ContainsAny(label, " \t,[]{}#") {
+				return nil, fmt.Errorf("line %d: bad label %q", ln+1, label)
+			}
+			if _, dup := labels[label]; dup {
+				return nil, fmt.Errorf("line %d: duplicate label %q", ln+1, label)
+			}
+			labels[label] = len(prog)
+			line = strings.TrimSpace(line[colon+1:])
+		}
+		if line == "" {
+			continue
+		}
+		in, target, err := parseInst(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		prog = append(prog, pending{in, target, ln + 1})
+	}
+
+	out := make([]Inst, len(prog))
+	for i, p := range prog {
+		if p.label != "" {
+			idx, ok := labels[p.label]
+			if !ok {
+				return nil, fmt.Errorf("line %d: undefined label %q", p.line, p.label)
+			}
+			// Offset is in words relative to the instruction after the branch.
+			p.inst.Ops[0] = ImmOp(int32(idx - (i + 1)))
+		}
+		out[i] = p.inst
+	}
+	return out, nil
+}
+
+// MustAssemble is Assemble that panics on error; for tests and examples.
+func MustAssemble(src string) []Inst {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+var mnemonicOps = func() map[string]Op {
+	m := make(map[string]Op)
+	for op := Op(1); int(op) < NumOps; op++ {
+		m[op.String()] = op
+	}
+	return m
+}()
+
+var condSuffixes = func() map[string]Cond {
+	m := make(map[string]Cond)
+	for c := Cond(1); c < NumConds; c++ {
+		m[c.String()] = c
+	}
+	return m
+}()
+
+// parseMnemonic splits a mnemonic like "addseq" into opcode, S flag and
+// condition. Longest-opcode match wins so that e.g. "lsls" parses as
+// LSL+S rather than failing.
+func parseMnemonic(m string) (Op, bool, Cond, error) {
+	for l := len(m); l > 0; l-- {
+		op, ok := mnemonicOps[m[:l]]
+		if !ok {
+			continue
+		}
+		rest := m[l:]
+		s := false
+		if strings.HasPrefix(rest, "s") && op != CMP && op != CMN && op != TST && op != TEQ {
+			s = true
+			rest = rest[1:]
+		}
+		if rest == "" {
+			return op, s, AL, nil
+		}
+		if c, ok := condSuffixes[rest]; ok {
+			return op, s, c, nil
+		}
+	}
+	return BAD, false, AL, fmt.Errorf("unknown mnemonic %q", m)
+}
+
+func parseReg(tok string) (Reg, error) {
+	switch tok {
+	case "sp":
+		return SP, nil
+	case "lr":
+		return LR, nil
+	case "pc":
+		return PC, nil
+	}
+	if strings.HasPrefix(tok, "r") {
+		n, err := strconv.Atoi(tok[1:])
+		if err == nil && n >= 0 && n < NumRegs {
+			return Reg(n), nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", tok)
+}
+
+func parseOperand(tok string) (Operand, error) {
+	tok = strings.TrimSpace(tok)
+	switch {
+	case strings.HasPrefix(tok, "#"):
+		v, err := strconv.ParseInt(strings.TrimPrefix(tok, "#"), 0, 64)
+		if err != nil {
+			return Operand{}, fmt.Errorf("bad immediate %q", tok)
+		}
+		return ImmOp(int32(v)), nil
+	case strings.HasPrefix(tok, "s") && !strings.HasPrefix(tok, "sp"):
+		n, err := strconv.Atoi(tok[1:])
+		if err == nil && n >= 0 && n < NumFRegs {
+			return FRegOp(FReg(n)), nil
+		}
+		return Operand{}, fmt.Errorf("bad float register %q", tok)
+	default:
+		r, err := parseReg(tok)
+		if err != nil {
+			return Operand{}, err
+		}
+		return RegOp(r), nil
+	}
+}
+
+func parseMem(tok string) (Operand, error) {
+	inner := strings.TrimSpace(strings.TrimSuffix(strings.TrimPrefix(tok, "["), "]"))
+	parts := strings.Split(inner, ",")
+	base, err := parseReg(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return Operand{}, err
+	}
+	if len(parts) == 1 {
+		return MemOp(base, 0), nil
+	}
+	second := strings.TrimSpace(parts[1])
+	if strings.HasPrefix(second, "#") {
+		v, err := strconv.ParseInt(strings.TrimPrefix(second, "#"), 0, 64)
+		if err != nil {
+			return Operand{}, fmt.Errorf("bad displacement %q", second)
+		}
+		return MemOp(base, int32(v)), nil
+	}
+	idx, err := parseReg(second)
+	if err != nil {
+		return Operand{}, err
+	}
+	return MemIdxOp(base, idx), nil
+}
+
+func parseRegList(tok string) (Operand, error) {
+	inner := strings.TrimSpace(strings.TrimSuffix(strings.TrimPrefix(tok, "{"), "}"))
+	var list uint16
+	if inner != "" {
+		for _, p := range strings.Split(inner, ",") {
+			r, err := parseReg(strings.TrimSpace(p))
+			if err != nil {
+				return Operand{}, err
+			}
+			list |= 1 << uint(r)
+		}
+	}
+	return Operand{Kind: KindRegList, List: list}, nil
+}
+
+// splitOperands splits on top-level commas (commas inside [..] or {..}
+// do not split).
+func splitOperands(s string) []string {
+	var out []string
+	depth := 0
+	start := 0
+	for i, c := range s {
+		switch c {
+		case '[', '{':
+			depth++
+		case ']', '}':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}
+
+// parseInst parses one instruction. For symbolic branch targets the label
+// name is returned and the operand left unresolved.
+func parseInst(line string) (Inst, string, error) {
+	fields := strings.SplitN(line, " ", 2)
+	op, s, cond, err := parseMnemonic(strings.ToLower(fields[0]))
+	if err != nil {
+		return Inst{}, "", err
+	}
+	in := Inst{Op: op, Cond: cond, S: s}
+	if len(fields) == 1 {
+		return in, "", nil
+	}
+	rest := strings.TrimSpace(fields[1])
+	if rest == "" {
+		return in, "", nil
+	}
+
+	if op == B || op == BL {
+		if strings.HasPrefix(rest, "#") {
+			o, err := parseOperand(rest)
+			if err != nil {
+				return Inst{}, "", err
+			}
+			in.Ops[0] = o
+			in.N = 1
+			return in, "", nil
+		}
+		in.N = 1
+		return in, rest, nil
+	}
+
+	toks := splitOperands(rest)
+	for i, tok := range toks {
+		tok = strings.TrimSpace(tok)
+		if i >= len(in.Ops) {
+			return Inst{}, "", fmt.Errorf("too many operands in %q", line)
+		}
+		var o Operand
+		var err error
+		switch {
+		case strings.HasPrefix(tok, "["):
+			o, err = parseMem(tok)
+		case strings.HasPrefix(tok, "{"):
+			o, err = parseRegList(tok)
+		default:
+			o, err = parseOperand(tok)
+		}
+		if err != nil {
+			return Inst{}, "", err
+		}
+		in.Ops[i] = o
+		in.N = i + 1
+	}
+	return in, "", nil
+}
+
+// Disassemble formats a program with addresses, one instruction per line.
+func Disassemble(base uint32, prog []Inst) string {
+	var b strings.Builder
+	for i, in := range prog {
+		fmt.Fprintf(&b, "%08x: %s\n", base+uint32(i)*InstBytes, in)
+	}
+	return b.String()
+}

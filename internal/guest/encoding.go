@@ -1,0 +1,308 @@
+package guest
+
+import "fmt"
+
+// Format identifies the binary encoding format class of an instruction.
+// The classification step of the parameterization framework requires that
+// instructions in the same subgroup share an encoding format (paper
+// §IV-A, first guideline); the decoder below is the ground truth for
+// that property.
+type Format uint8
+
+// Encoding format classes.
+const (
+	FmtBad    Format = iota
+	FmtDP3Reg        // rd, rn, rm         (three-operand data processing)
+	FmtDP3Imm        // rd, rn, #imm
+	FmtDP2Reg        // rd, rm             (mov/mvn/clz)
+	FmtDP2Imm        // rd, #imm
+	FmtCmpReg        // rn, rm
+	FmtCmpImm        // rn, #imm
+	FmtMemImm        // rt, [base, #disp]
+	FmtMemReg        // rt, [base, index]
+	FmtMul           // rd, rn, rm [, ra]
+	FmtBranch        // signed word offset
+	FmtStack         // register list
+	FmtFloat         // float ops
+	FmtSys           // hlt
+)
+
+// String names the format class.
+func (f Format) String() string {
+	switch f {
+	case FmtDP3Reg:
+		return "dp3-reg"
+	case FmtDP3Imm:
+		return "dp3-imm"
+	case FmtDP2Reg:
+		return "dp2-reg"
+	case FmtDP2Imm:
+		return "dp2-imm"
+	case FmtCmpReg:
+		return "cmp-reg"
+	case FmtCmpImm:
+		return "cmp-imm"
+	case FmtMemImm:
+		return "mem-imm"
+	case FmtMemReg:
+		return "mem-reg"
+	case FmtMul:
+		return "mul"
+	case FmtBranch:
+		return "branch"
+	case FmtStack:
+		return "stack"
+	case FmtFloat:
+		return "float"
+	case FmtSys:
+		return "sys"
+	}
+	return "bad"
+}
+
+// FormatOf returns the encoding format class the instruction uses.
+func FormatOf(in Inst) Format {
+	switch in.Op {
+	case ADD, ADC, SUB, SBC, RSB, RSC, AND, ORR, EOR, BIC, LSL, LSR, ASR, ROR:
+		if in.N >= 3 && in.Ops[2].Kind == KindImm {
+			return FmtDP3Imm
+		}
+		return FmtDP3Reg
+	case MOV, MVN:
+		if in.N >= 2 && in.Ops[1].Kind == KindImm {
+			return FmtDP2Imm
+		}
+		return FmtDP2Reg
+	case CLZ:
+		return FmtDP2Reg
+	case MUL, MLA, UMLA:
+		return FmtMul
+	case CMP, CMN, TST, TEQ:
+		if in.N >= 2 && in.Ops[1].Kind == KindImm {
+			return FmtCmpImm
+		}
+		return FmtCmpReg
+	case LDR, LDRB, STR, STRB:
+		if in.N >= 2 && in.Ops[1].Kind == KindMem && in.Ops[1].HasIdx {
+			return FmtMemReg
+		}
+		return FmtMemImm
+	case B, BL, BX:
+		return FmtBranch
+	case PUSH, POP:
+		return FmtStack
+	case FADD, FSUB, FMUL, FDIV, FMOV, FCMP, FLDR, FSTR:
+		return FmtFloat
+	case HLT:
+		return FmtSys
+	}
+	return FmtBad
+}
+
+// InstBytes is the fixed instruction width in bytes.
+const InstBytes = 4
+
+// Encoding layout (32 bits):
+//
+//	[31:28] cond
+//	[27:24] format class
+//	[23]    S bit
+//	[22:17] opcode (6 bits)
+//	[16:0]  format-specific fields
+//
+// Format-specific fields:
+//
+//	DP3Reg: rd[15:12] rn[11:8] rm[7:4]
+//	DP3Imm: rd[15:12] rn[11:8] imm8[7:0] (unsigned)
+//	DP2Reg: rd[15:12] rm[11:8]
+//	DP2Imm: rd[15:12] imm8[7:0]
+//	CmpReg: rn[15:12] rm[11:8]
+//	CmpImm: rn[15:12] imm8[7:0]
+//	MemImm: rt[15:12] base[11:8] disp8[7:0] (byte offset, unsigned)
+//	MemReg: rt[15:12] base[11:8] idx[7:4]
+//	Mul:    rd[15:12] rn[11:8] rm[7:4] ra[3:0]
+//	Branch: simm17[16:0] (word offset, two's complement); BX: rm[15:12]
+//	Stack:  list[15:0]
+//	Float:  fd[15:12] fn[11:8] fm[7:4]; FLDR/FSTR: ft[15:12] base[11:8] disp4[7:4]
+//	Sys:    none
+
+// EncodeErr describes an instruction that cannot be represented in the
+// binary encoding (e.g. an out-of-range immediate).
+type EncodeErr struct {
+	Inst Inst
+	Why  string
+}
+
+func (e *EncodeErr) Error() string {
+	return fmt.Sprintf("guest: cannot encode %q: %s", e.Inst, e.Why)
+}
+
+// Encode encodes the instruction into its 32-bit binary form.
+func Encode(in Inst) (uint32, error) {
+	f := FormatOf(in)
+	w := uint32(in.Cond)<<28 | uint32(f)<<24 | uint32(in.Op)<<17
+	if in.S {
+		w |= 1 << 23
+	}
+	bad := func(why string) (uint32, error) { return 0, &EncodeErr{in, why} }
+	imm8 := func(v int32) (uint32, bool) {
+		if v < 0 || v > 255 {
+			return 0, false
+		}
+		return uint32(v), true
+	}
+	switch f {
+	case FmtDP3Reg:
+		w |= uint32(in.Ops[0].Reg)<<12 | uint32(in.Ops[1].Reg)<<8 | uint32(in.Ops[2].Reg)<<4
+	case FmtDP3Imm:
+		iv, ok := imm8(in.Ops[2].Imm)
+		if !ok {
+			return bad("immediate out of range")
+		}
+		w |= uint32(in.Ops[0].Reg)<<12 | uint32(in.Ops[1].Reg)<<8 | iv
+	case FmtDP2Reg:
+		w |= uint32(in.Ops[0].Reg)<<12 | uint32(in.Ops[1].Reg)<<8
+	case FmtDP2Imm:
+		iv, ok := imm8(in.Ops[1].Imm)
+		if !ok {
+			return bad("immediate out of range")
+		}
+		w |= uint32(in.Ops[0].Reg)<<12 | iv
+	case FmtCmpReg:
+		w |= uint32(in.Ops[0].Reg)<<12 | uint32(in.Ops[1].Reg)<<8
+	case FmtCmpImm:
+		iv, ok := imm8(in.Ops[1].Imm)
+		if !ok {
+			return bad("immediate out of range")
+		}
+		w |= uint32(in.Ops[0].Reg)<<12 | iv
+	case FmtMemImm:
+		m := in.Ops[1]
+		iv, ok := imm8(m.Disp)
+		if !ok {
+			return bad("displacement out of range")
+		}
+		w |= uint32(in.Ops[0].Reg)<<12 | uint32(m.Base)<<8 | iv
+	case FmtMemReg:
+		m := in.Ops[1]
+		w |= uint32(in.Ops[0].Reg)<<12 | uint32(m.Base)<<8 | uint32(m.Idx)<<4
+	case FmtMul:
+		w |= uint32(in.Ops[0].Reg)<<12 | uint32(in.Ops[1].Reg)<<8 | uint32(in.Ops[2].Reg)<<4
+		if in.N >= 4 {
+			w |= uint32(in.Ops[3].Reg)
+		}
+	case FmtBranch:
+		if in.Op == BX {
+			w |= uint32(in.Ops[0].Reg) << 12
+			break
+		}
+		off := in.Ops[0].Imm
+		if off < -(1<<16) || off >= 1<<16 {
+			return bad("branch offset out of range")
+		}
+		w |= uint32(off) & 0x1ffff
+	case FmtStack:
+		w |= uint32(in.Ops[0].List)
+	case FmtFloat:
+		switch in.Op {
+		case FLDR, FSTR:
+			m := in.Ops[1]
+			if m.Disp < 0 || m.Disp > 15 {
+				return bad("float displacement out of range")
+			}
+			w |= uint32(in.Ops[0].FReg)<<12 | uint32(m.Base)<<8 | uint32(m.Disp)<<4
+		case FMOV:
+			w |= uint32(in.Ops[0].FReg)<<12 | uint32(in.Ops[1].FReg)<<8
+		case FCMP:
+			w |= uint32(in.Ops[0].FReg)<<12 | uint32(in.Ops[1].FReg)<<8
+		default:
+			w |= uint32(in.Ops[0].FReg)<<12 | uint32(in.Ops[1].FReg)<<8 | uint32(in.Ops[2].FReg)<<4
+		}
+	case FmtSys:
+		// no fields
+	default:
+		return bad("unencodable opcode")
+	}
+	return w, nil
+}
+
+// Decode decodes a 32-bit word into an instruction. It is the inverse of
+// Encode for every encodable instruction.
+func Decode(w uint32) (Inst, error) {
+	in := Inst{
+		Cond: Cond(w >> 28),
+		S:    w&(1<<23) != 0,
+		Op:   Op(w >> 17 & 0x3f),
+	}
+	f := Format(w >> 24 & 0xf)
+	if int(in.Op) >= NumOps || in.Op == BAD {
+		return Inst{}, fmt.Errorf("guest: bad opcode in word %#08x", w)
+	}
+	reg := func(sh uint) Reg { return Reg(w >> sh & 0xf) }
+	switch f {
+	case FmtDP3Reg:
+		in.Ops[0], in.Ops[1], in.Ops[2] = RegOp(reg(12)), RegOp(reg(8)), RegOp(reg(4))
+		in.N = 3
+	case FmtDP3Imm:
+		in.Ops[0], in.Ops[1], in.Ops[2] = RegOp(reg(12)), RegOp(reg(8)), ImmOp(int32(w&0xff))
+		in.N = 3
+	case FmtDP2Reg:
+		in.Ops[0], in.Ops[1] = RegOp(reg(12)), RegOp(reg(8))
+		in.N = 2
+	case FmtDP2Imm:
+		in.Ops[0], in.Ops[1] = RegOp(reg(12)), ImmOp(int32(w&0xff))
+		in.N = 2
+	case FmtCmpReg:
+		in.Ops[0], in.Ops[1] = RegOp(reg(12)), RegOp(reg(8))
+		in.N = 2
+	case FmtCmpImm:
+		in.Ops[0], in.Ops[1] = RegOp(reg(12)), ImmOp(int32(w&0xff))
+		in.N = 2
+	case FmtMemImm:
+		in.Ops[0], in.Ops[1] = RegOp(reg(12)), MemOp(reg(8), int32(w&0xff))
+		in.N = 2
+	case FmtMemReg:
+		in.Ops[0], in.Ops[1] = RegOp(reg(12)), MemIdxOp(reg(8), reg(4))
+		in.N = 2
+	case FmtMul:
+		in.Ops[0], in.Ops[1], in.Ops[2] = RegOp(reg(12)), RegOp(reg(8)), RegOp(reg(4))
+		in.N = 3
+		if in.Op == MLA || in.Op == UMLA {
+			in.Ops[3] = RegOp(reg(0))
+			in.N = 4
+		}
+	case FmtBranch:
+		if in.Op == BX {
+			in.Ops[0] = RegOp(reg(12))
+			in.N = 1
+			break
+		}
+		off := int32(w&0x1ffff) << 15 >> 15 // sign-extend 17 bits
+		in.Ops[0] = ImmOp(off)
+		in.N = 1
+	case FmtStack:
+		in.Ops[0] = Operand{Kind: KindRegList, List: uint16(w & 0xffff)}
+		in.N = 1
+	case FmtFloat:
+		switch in.Op {
+		case FLDR, FSTR:
+			in.Ops[0] = FRegOp(FReg(w >> 12 & 0xf))
+			in.Ops[1] = MemOp(reg(8), int32(w>>4&0xf))
+			in.N = 2
+		case FMOV, FCMP:
+			in.Ops[0], in.Ops[1] = FRegOp(FReg(w>>12&0xf)), FRegOp(FReg(w>>8&0xf))
+			in.N = 2
+		default:
+			in.Ops[0], in.Ops[1], in.Ops[2] = FRegOp(FReg(w>>12&0xf)), FRegOp(FReg(w>>8&0xf)), FRegOp(FReg(w>>4&0xf))
+			in.N = 3
+		}
+	case FmtSys:
+		in.N = 0
+	default:
+		return Inst{}, fmt.Errorf("guest: bad format in word %#08x", w)
+	}
+	if got := FormatOf(in); got != f {
+		return Inst{}, fmt.Errorf("guest: format mismatch decoding %#08x: %v vs %v", w, f, got)
+	}
+	return in, nil
+}

@@ -1,0 +1,56 @@
+package guest_test
+
+import (
+	"fmt"
+
+	"paramdbt/internal/guest"
+)
+
+// ExampleAssemble shows the textual syntax and the interpreter running a
+// small program end to end.
+func ExampleAssemble() {
+	prog := guest.MustAssemble(`
+		mov r0, #0
+		mov r1, #5
+	loop:
+		add r0, r0, r1
+		subs r1, r1, #1
+		bne loop
+		hlt
+	`)
+	st := guest.NewState()
+	if err := guest.LoadProgram(st.Mem, 0x1000, prog); err != nil {
+		panic(err)
+	}
+	st.SetPC(0x1000)
+	if _, err := st.Run(1000); err != nil {
+		panic(err)
+	}
+	fmt.Println("sum 1..5 =", st.R[guest.R0])
+	// Output: sum 1..5 = 15
+}
+
+// ExampleEncode shows the fixed-width binary encoding round trip.
+func ExampleEncode() {
+	in := guest.NewInst(guest.EOR, guest.RegOp(guest.R3), guest.RegOp(guest.R3), guest.RegOp(guest.R7))
+	w, err := guest.Encode(in)
+	if err != nil {
+		panic(err)
+	}
+	back, err := guest.Decode(w)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%#08x decodes to %q\n", w, back.String())
+	// Output: 0x01123370 decodes to "eor r3, r3, r7"
+}
+
+// ExampleInst_SetsFlags shows the flag side-effect classification the
+// condition-delegation machinery keys on.
+func ExampleInst_SetsFlags() {
+	a := guest.MustAssemble("add r0, r0, r1")[0]
+	b := guest.MustAssemble("adds r0, r0, r1")[0]
+	c := guest.MustAssemble("cmp r0, r1")[0]
+	fmt.Println(a.SetsFlags(), b.SetsFlags(), c.SetsFlags())
+	// Output: false true true
+}

@@ -1,0 +1,488 @@
+package guest
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegString(t *testing.T) {
+	cases := map[Reg]string{R0: "r0", R12: "r12", SP: "sp", LR: "lr", PC: "pc"}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", r, got, want)
+		}
+	}
+}
+
+func TestCondInvertIsInvolution(t *testing.T) {
+	for c := Cond(1); c < NumConds; c++ {
+		if got := c.Invert().Invert(); got != c {
+			t.Errorf("double-invert of %v = %v", c, got)
+		}
+	}
+}
+
+func TestCondEvalInvertComplement(t *testing.T) {
+	// Property: a condition and its inverse never both hold.
+	for c := Cond(1); c < NumConds; c++ {
+		for bit := 0; bit < 16; bit++ {
+			f := Flags{N: bit&1 != 0, Z: bit&2 != 0, C: bit&4 != 0, V: bit&8 != 0}
+			if f.Eval(c) == f.Eval(c.Invert()) {
+				t.Errorf("cond %v and inverse agree under %v", c, f)
+			}
+		}
+	}
+}
+
+func TestInstString(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{NewInst(ADD, RegOp(R0), RegOp(R1), ImmOp(5)), "add r0, r1, #5"},
+		{NewInst(ADD, RegOp(R0), RegOp(R1), RegOp(R2)).WithS(), "adds r0, r1, r2"},
+		{NewInst(LDR, RegOp(R3), MemOp(SP, 8)), "ldr r3, [sp, #8]"},
+		{NewInst(STR, RegOp(R3), MemIdxOp(R1, R2)), "str r3, [r1, r2]"},
+		{NewInst(B, ImmOp(-2)).WithCond(NE), "bne #-2"},
+		{NewInst(PUSH, ListOp(R4, LR)), "push {r4, lr}"},
+		{NewInst(CMP, RegOp(R0), ImmOp(0)), "cmp r0, #0"},
+		{NewInst(MVN, RegOp(R0), RegOp(R1)), "mvn r0, r1"},
+		{NewInst(FADD, FRegOp(0), FRegOp(1), FRegOp(2)), "fadd s0, s1, s2"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+}
+
+// randInst generates a random encodable instruction for property tests.
+func randInst(r *rand.Rand) Inst {
+	ops := []Op{ADD, ADC, SUB, SBC, RSB, RSC, AND, ORR, EOR, BIC, LSL, LSR, ASR, ROR,
+		MOV, MVN, CLZ, MUL, MLA, UMLA, CMP, CMN, TST, TEQ, LDR, LDRB, STR, STRB,
+		B, BL, BX, PUSH, POP, FADD, FSUB, FMUL, FDIV, FMOV, FCMP, FLDR, FSTR, HLT}
+	op := ops[r.Intn(len(ops))]
+	reg := func() Operand { return RegOp(Reg(r.Intn(NumRegs))) }
+	freg := func() Operand { return FRegOp(FReg(r.Intn(NumFRegs))) }
+	imm := func() Operand { return ImmOp(int32(r.Intn(256))) }
+	in := Inst{Op: op, Cond: Cond(r.Intn(int(NumConds)))}
+	set := func(os ...Operand) {
+		for i, o := range os {
+			in.Ops[i] = o
+		}
+		in.N = len(os)
+	}
+	switch op {
+	case ADD, ADC, SUB, SBC, RSB, RSC, AND, ORR, EOR, BIC, LSL, LSR, ASR, ROR:
+		if r.Intn(2) == 0 {
+			set(reg(), reg(), imm())
+		} else {
+			set(reg(), reg(), reg())
+		}
+		in.S = r.Intn(2) == 0
+	case MOV, MVN:
+		if r.Intn(2) == 0 {
+			set(reg(), imm())
+		} else {
+			set(reg(), reg())
+		}
+		in.S = r.Intn(2) == 0
+	case CLZ:
+		set(reg(), reg())
+	case MUL:
+		set(reg(), reg(), reg())
+	case MLA, UMLA:
+		set(reg(), reg(), reg(), reg())
+	case CMP, CMN, TST, TEQ:
+		if r.Intn(2) == 0 {
+			set(reg(), imm())
+		} else {
+			set(reg(), reg())
+		}
+	case LDR, LDRB, STR, STRB:
+		if r.Intn(2) == 0 {
+			set(reg(), MemOp(Reg(r.Intn(NumRegs)), int32(r.Intn(256))))
+		} else {
+			set(reg(), MemIdxOp(Reg(r.Intn(NumRegs)), Reg(r.Intn(NumRegs))))
+		}
+	case B, BL:
+		set(ImmOp(int32(r.Intn(2000) - 1000)))
+	case BX:
+		set(reg())
+	case PUSH, POP:
+		set(Operand{Kind: KindRegList, List: uint16(r.Uint32())})
+	case FADD, FSUB, FMUL, FDIV:
+		set(freg(), freg(), freg())
+	case FMOV, FCMP:
+		set(freg(), freg())
+	case FLDR, FSTR:
+		set(freg(), MemOp(Reg(r.Intn(NumRegs)), int32(r.Intn(16))))
+	case HLT:
+	}
+	return in
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		in := randInst(r)
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatalf("Encode(%q): %v", in, err)
+		}
+		got, err := Decode(w)
+		if err != nil {
+			t.Fatalf("Decode(Encode(%q)): %v", in, err)
+		}
+		if got.String() != in.String() {
+			t.Fatalf("round trip: %q -> %#08x -> %q", in, w, got)
+		}
+	}
+}
+
+func TestEncodeRejectsBigImmediate(t *testing.T) {
+	_, err := Encode(NewInst(ADD, RegOp(R0), RegOp(R1), ImmOp(1000)))
+	if err == nil {
+		t.Fatal("want error for out-of-range immediate")
+	}
+}
+
+func TestAssembleRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		in := randInst(r)
+		if in.Op == B || in.Op == BL {
+			continue // branch offsets are label-relative in the assembler
+		}
+		got, err := Assemble(in.String())
+		if err != nil {
+			t.Fatalf("Assemble(%q): %v", in.String(), err)
+		}
+		if len(got) != 1 || got[0].String() != in.String() {
+			t.Fatalf("assemble round trip: %q -> %v", in.String(), got)
+		}
+	}
+}
+
+func TestAssembleLabels(t *testing.T) {
+	prog := MustAssemble(`
+		mov r0, #10
+		mov r1, #0
+	loop:
+		add r1, r1, r0
+		subs r0, r0, #1
+		bne loop
+		hlt
+	`)
+	if len(prog) != 6 {
+		t.Fatalf("len = %d", len(prog))
+	}
+	if prog[4].Op != B || prog[4].Cond != NE || prog[4].Ops[0].Imm != -3 {
+		t.Fatalf("branch resolved to %v", prog[4])
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	for _, src := range []string{
+		"frob r0, r1",
+		"add r0, r99, #1",
+		"b nowhere",
+		"x: x: add r0, r0, #1",
+	} {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("Assemble(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestInterpLoopSum(t *testing.T) {
+	// sum 1..10 via countdown loop
+	prog := MustAssemble(`
+		mov r0, #10
+		mov r1, #0
+	loop:
+		add r1, r1, r0
+		subs r0, r0, #1
+		bne loop
+		hlt
+	`)
+	st := NewState()
+	if err := LoadProgram(st.Mem, 0x1000, prog); err != nil {
+		t.Fatal(err)
+	}
+	st.SetPC(0x1000)
+	if _, err := st.Run(10000); err != nil {
+		t.Fatal(err)
+	}
+	if st.R[R1] != 55 {
+		t.Fatalf("r1 = %d, want 55", st.R[R1])
+	}
+}
+
+func TestInterpMemOps(t *testing.T) {
+	prog := MustAssemble(`
+		mov r0, #64
+		lsl r0, r0, #8    ; r0 = 0x4000
+		mov r1, #123
+		str r1, [r0, #4]
+		ldr r2, [r0, #4]
+		mov r3, #4
+		ldr r4, [r0, r3]
+		strb r1, [r0, #8]
+		ldrb r5, [r0, #8]
+		hlt
+	`)
+	st := NewState()
+	if err := LoadProgram(st.Mem, 0, prog); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if st.R[R2] != 123 || st.R[R4] != 123 || st.R[R5] != 123 {
+		t.Fatalf("r2=%d r4=%d r5=%d", st.R[R2], st.R[R4], st.R[R5])
+	}
+}
+
+func TestInterpPushPop(t *testing.T) {
+	prog := MustAssemble(`
+		mov sp, #200
+		mov r0, #1
+		mov r1, #2
+		push {r0, r1}
+		mov r0, #0
+		mov r1, #0
+		pop {r0, r1}
+		hlt
+	`)
+	st := NewState()
+	if err := LoadProgram(st.Mem, 0, prog); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if st.R[R0] != 1 || st.R[R1] != 2 || st.R[SP] != 200 {
+		t.Fatalf("r0=%d r1=%d sp=%d", st.R[R0], st.R[R1], st.R[SP])
+	}
+}
+
+func TestInterpBLAndBX(t *testing.T) {
+	prog := MustAssemble(`
+		mov r0, #5
+		bl double
+		hlt
+	double:
+		add r0, r0, r0
+		bx lr
+	`)
+	st := NewState()
+	if err := LoadProgram(st.Mem, 0, prog); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if st.R[R0] != 10 {
+		t.Fatalf("r0 = %d, want 10", st.R[R0])
+	}
+}
+
+func TestInterpCarryChain(t *testing.T) {
+	// 64-bit add via adds/adc: 0xffffffff + 1 = 0x1_00000000
+	prog := MustAssemble(`
+		mvn r0, #0        ; low a = 0xffffffff
+		mov r1, #0        ; high a
+		mov r2, #1        ; low b
+		mov r3, #0        ; high b
+		adds r4, r0, r2
+		adc r5, r1, r3
+		hlt
+	`)
+	st := NewState()
+	if err := LoadProgram(st.Mem, 0, prog); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if st.R[R4] != 0 || st.R[R5] != 1 {
+		t.Fatalf("r4=%#x r5=%#x", st.R[R4], st.R[R5])
+	}
+}
+
+func TestSubCarryIsNotBorrow(t *testing.T) {
+	// ARM: subs 5-3 sets C (no borrow); subs 3-5 clears C.
+	st := NewState()
+	st.R[R1], st.R[R2] = 5, 3
+	if err := st.Step(NewInst(SUB, RegOp(R0), RegOp(R1), RegOp(R2)).WithS()); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Flags.C {
+		t.Fatal("5-3 should set C (no borrow)")
+	}
+	st.R[R1], st.R[R2] = 3, 5
+	if err := st.Step(NewInst(SUB, RegOp(R0), RegOp(R1), RegOp(R2)).WithS()); err != nil {
+		t.Fatal(err)
+	}
+	if st.Flags.C {
+		t.Fatal("3-5 should clear C (borrow)")
+	}
+}
+
+func TestCLZ(t *testing.T) {
+	st := NewState()
+	st.R[R1] = 0x00010000
+	if err := st.Step(NewInst(CLZ, RegOp(R0), RegOp(R1))); err != nil {
+		t.Fatal(err)
+	}
+	if st.R[R0] != 15 {
+		t.Fatalf("clz = %d, want 15", st.R[R0])
+	}
+}
+
+func TestConditionalExecutionSkips(t *testing.T) {
+	st := NewState()
+	st.Flags.Z = false
+	st.R[R0] = 7
+	if err := st.Step(NewInst(MOV, RegOp(R0), ImmOp(1)).WithCond(EQ)); err != nil {
+		t.Fatal(err)
+	}
+	if st.R[R0] != 7 {
+		t.Fatal("EQ-conditional mov executed with Z clear")
+	}
+}
+
+func TestEvalALUCommutativity(t *testing.T) {
+	// Property: add/and/orr/eor/mul are commutative, sub is not (in general).
+	f := func(a, b uint32) bool {
+		for _, op := range []Op{ADD, AND, ORR, EOR, MUL} {
+			x, _ := EvalALU(op, a, b, false)
+			y, _ := EvalALU(op, b, a, false)
+			if x.V != y.V {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	x, _ := EvalALU(SUB, 1, 2, false)
+	y, _ := EvalALU(SUB, 2, 1, false)
+	if x.V == y.V {
+		t.Fatal("sub looked commutative")
+	}
+}
+
+func TestEvalALUBicOrnRelations(t *testing.T) {
+	// bic a,b == and a,^b and mvn b == eor b,^0; the complex-op adapters
+	// in the parameterizer rely on these identities.
+	f := func(a, b uint32) bool {
+		bic, _ := EvalALU(BIC, a, b, false)
+		and, _ := EvalALU(AND, a, ^b, false)
+		if bic.V != and.V {
+			return false
+		}
+		mvn, _ := EvalALU(MVN, 0, b, false)
+		return mvn.V == ^b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRsbIsSwappedSub(t *testing.T) {
+	f := func(a, b uint32) bool {
+		rsb, _ := EvalALU(RSB, a, b, false)
+		sub, _ := EvalALU(SUB, b, a, false)
+		return rsb.V == sub.V && rsb.Flags == sub.Flags
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDstRegAndSrcRegs(t *testing.T) {
+	in := NewInst(STR, RegOp(R3), MemOp(R1, 4))
+	if _, ok := in.DstReg(); ok {
+		t.Fatal("store reported a destination register")
+	}
+	srcs := in.SrcRegs(nil)
+	found := map[Reg]bool{}
+	for _, r := range srcs {
+		found[r] = true
+	}
+	if !found[R3] || !found[R1] {
+		t.Fatalf("store sources = %v", srcs)
+	}
+
+	in = NewInst(ADD, RegOp(R0), RegOp(R1), RegOp(R2))
+	if d, ok := in.DstReg(); !ok || d != R0 {
+		t.Fatalf("add dst = %v, %v", d, ok)
+	}
+}
+
+func TestIsBranchPCWrite(t *testing.T) {
+	if !NewInst(MOV, RegOp(PC), RegOp(LR)).IsBranch() {
+		t.Fatal("mov pc, lr not recognized as branch")
+	}
+	if NewInst(MOV, RegOp(R0), RegOp(LR)).IsBranch() {
+		t.Fatal("mov r0, lr misidentified as branch")
+	}
+}
+
+func TestFormatOfStability(t *testing.T) {
+	// Instructions in the same family with the same operand kinds share a
+	// format class; reg vs imm forms differ.
+	a := FormatOf(NewInst(ADD, RegOp(R0), RegOp(R1), RegOp(R2)))
+	b := FormatOf(NewInst(EOR, RegOp(R3), RegOp(R4), RegOp(R5)))
+	if a != b || a != FmtDP3Reg {
+		t.Fatalf("add/eor reg formats differ: %v vs %v", a, b)
+	}
+	c := FormatOf(NewInst(ADD, RegOp(R0), RegOp(R1), ImmOp(1)))
+	if c == a {
+		t.Fatal("imm form shares reg format")
+	}
+}
+
+func TestFloatOps(t *testing.T) {
+	st := NewState()
+	st.SetFFloat(1, 1.5)
+	st.SetFFloat(2, 2.25)
+	if err := st.Step(NewInst(FADD, FRegOp(0), FRegOp(1), FRegOp(2))); err != nil {
+		t.Fatal(err)
+	}
+	if st.FFloat(0) != 3.75 {
+		t.Fatalf("fadd = %v", st.FFloat(0))
+	}
+	if err := st.Step(NewInst(FCMP, FRegOp(1), FRegOp(2))); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Flags.N || st.Flags.Z {
+		t.Fatalf("fcmp 1.5 vs 2.25 flags = %v", st.Flags)
+	}
+}
+
+func TestRunBudgetExhaustion(t *testing.T) {
+	prog := MustAssemble(`
+	spin: b spin
+	`)
+	st := NewState()
+	if err := LoadProgram(st.Mem, 0, prog); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Run(100); err == nil {
+		t.Fatal("infinite loop terminated without error")
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	prog := MustAssemble("mov r0, #1\nhlt")
+	s := Disassemble(0x1000, prog)
+	want := "00001000: mov r0, #1\n00001004: hlt\n"
+	if s != want {
+		t.Fatalf("Disassemble = %q, want %q", s, want)
+	}
+}

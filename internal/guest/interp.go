@@ -1,0 +1,308 @@
+package guest
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// The interpreter is the semantic reference for the guest ISA. It is used
+// as the oracle in differential tests of the DBT, and its per-opcode
+// evaluation functions are shared with the symbolic executor through
+// EvalALU so that the verifier and the machine can never disagree.
+
+// ALUResult is the outcome of a data-processing operation: the value and
+// the resulting NZCV flags (valid only when the instruction sets flags).
+type ALUResult struct {
+	V     uint32
+	Flags Flags
+}
+
+func logicFlags(v uint32, carry bool) Flags {
+	return Flags{N: v>>31 != 0, Z: v == 0, C: carry}
+}
+
+func addFlags(a, b uint32, carryIn uint32) ALUResult {
+	sum64 := uint64(a) + uint64(b) + uint64(carryIn)
+	v := uint32(sum64)
+	return ALUResult{
+		V: v,
+		Flags: Flags{
+			N: v>>31 != 0,
+			Z: v == 0,
+			C: sum64>>32 != 0,
+			V: (a>>31 == b>>31) && (v>>31 != a>>31),
+		},
+	}
+}
+
+// subFlags computes a-b-(1-carryIn) with ARM semantics: C is the
+// NOT-borrow flag (set when no borrow occurred), the opposite of the x86
+// CF convention. This asymmetry is what forces the carry-inversion
+// constraint in flag delegation.
+func subFlags(a, b uint32, carryIn uint32) ALUResult {
+	return addFlags(a, ^b, carryIn)
+}
+
+// EvalALU evaluates a data-processing opcode over concrete operands,
+// returning the destination value and the flags it would set. carry is
+// the incoming C flag (consumed by ADC/SBC/RSC and the shifter).
+func EvalALU(op Op, a, b uint32, carry bool) (ALUResult, bool) {
+	ci := uint32(0)
+	if carry {
+		ci = 1
+	}
+	switch op {
+	case ADD:
+		return addFlags(a, b, 0), true
+	case ADC:
+		return addFlags(a, b, ci), true
+	case SUB, CMP:
+		return subFlags(a, b, 1), true
+	case SBC:
+		return subFlags(a, b, ci), true
+	case RSB:
+		return subFlags(b, a, 1), true
+	case RSC:
+		return subFlags(b, a, ci), true
+	case CMN:
+		return addFlags(a, b, 0), true
+	case AND, TST:
+		v := a & b
+		return ALUResult{v, logicFlags(v, carry)}, true
+	case ORR:
+		v := a | b
+		return ALUResult{v, logicFlags(v, carry)}, true
+	case EOR, TEQ:
+		v := a ^ b
+		return ALUResult{v, logicFlags(v, carry)}, true
+	case BIC:
+		v := a &^ b
+		return ALUResult{v, logicFlags(v, carry)}, true
+	case LSL:
+		// Shift amounts are masked to 5 bits; a masked shift of zero
+		// leaves C unchanged (simplified ARM shifter).
+		sh := b & 31
+		v := a << sh
+		c := carry
+		if sh != 0 {
+			c = a&(1<<(32-sh)) != 0
+		}
+		return ALUResult{v, logicFlags(v, c)}, true
+	case LSR:
+		sh := b & 31
+		v := a >> sh
+		c := carry
+		if sh != 0 {
+			c = a&(1<<(sh-1)) != 0
+		}
+		return ALUResult{v, logicFlags(v, c)}, true
+	case ASR:
+		sh := b & 31
+		v := uint32(int32(a) >> sh)
+		c := carry
+		if sh != 0 {
+			c = a&(1<<(sh-1)) != 0
+		}
+		return ALUResult{v, logicFlags(v, c)}, true
+	case ROR:
+		v := bits.RotateLeft32(a, -int(b&31))
+		return ALUResult{v, logicFlags(v, v>>31 != 0)}, true
+	case MOV:
+		return ALUResult{b, logicFlags(b, carry)}, true
+	case MVN:
+		v := ^b
+		return ALUResult{v, logicFlags(v, carry)}, true
+	case CLZ:
+		v := uint32(bits.LeadingZeros32(b))
+		return ALUResult{v, logicFlags(v, carry)}, true
+	case MUL:
+		v := a * b
+		return ALUResult{v, logicFlags(v, carry)}, true
+	}
+	return ALUResult{}, false
+}
+
+// operandValue reads the value of a source operand. For KindMem it
+// computes the effective address (not the loaded value).
+func (s *State) operandValue(o Operand) uint32 {
+	switch o.Kind {
+	case KindReg:
+		return s.R[o.Reg]
+	case KindImm:
+		return uint32(o.Imm)
+	case KindMem:
+		if o.HasIdx {
+			return s.R[o.Base] + s.R[o.Idx]
+		}
+		return s.R[o.Base] + uint32(o.Disp)
+	}
+	return 0
+}
+
+// Step executes one instruction. pc must already identify the
+// instruction's own address; Step updates the state's PC to the follow-on
+// instruction (or branch target). It returns an error for malformed
+// instructions.
+func (s *State) Step(in Inst) error {
+	s.InstCount++
+	nextPC := s.R[PC] + InstBytes
+	if !s.Flags.Eval(in.Cond) {
+		s.R[PC] = nextPC
+		return nil
+	}
+
+	setDst := func(v uint32) {
+		s.R[in.Ops[0].Reg] = v
+		if in.Ops[0].Reg == PC {
+			nextPC = v
+		}
+	}
+
+	switch in.Op {
+	case ADD, ADC, SUB, SBC, RSB, RSC, AND, ORR, EOR, BIC, LSL, LSR, ASR, ROR:
+		a := s.operandValue(in.Ops[1])
+		b := s.operandValue(in.Ops[2])
+		r, _ := EvalALU(in.Op, a, b, s.Flags.C)
+		setDst(r.V)
+		if in.S {
+			s.Flags = r.Flags
+		}
+	case MOV, MVN, CLZ:
+		b := s.operandValue(in.Ops[1])
+		r, _ := EvalALU(in.Op, 0, b, s.Flags.C)
+		setDst(r.V)
+		if in.S {
+			s.Flags = r.Flags
+		}
+	case MUL:
+		r, _ := EvalALU(MUL, s.operandValue(in.Ops[1]), s.operandValue(in.Ops[2]), s.Flags.C)
+		setDst(r.V)
+		if in.S {
+			s.Flags = r.Flags
+		}
+	case MLA:
+		v := s.operandValue(in.Ops[1])*s.operandValue(in.Ops[2]) + s.operandValue(in.Ops[3])
+		setDst(v)
+		if in.S {
+			s.Flags = logicFlags(v, s.Flags.C)
+		}
+	case UMLA:
+		// Unsigned multiply-accumulate of the low halves, accumulating
+		// the full 32-bit product: rd = (rn&0xffff)*(rm&0xffff) + ra.
+		v := (s.operandValue(in.Ops[1])&0xffff)*(s.operandValue(in.Ops[2])&0xffff) + s.operandValue(in.Ops[3])
+		setDst(v)
+		if in.S {
+			s.Flags = logicFlags(v, s.Flags.C)
+		}
+	case CMP, CMN, TST, TEQ:
+		a := s.operandValue(in.Ops[0])
+		b := s.operandValue(in.Ops[1])
+		r, _ := EvalALU(in.Op, a, b, s.Flags.C)
+		s.Flags = r.Flags
+	case LDR:
+		addr := s.operandValue(in.Ops[1])
+		setDst(s.Mem.Read32(addr))
+	case LDRB:
+		addr := s.operandValue(in.Ops[1])
+		setDst(uint32(s.Mem.Read8(addr)))
+	case STR:
+		addr := s.operandValue(in.Ops[1])
+		s.Mem.Write32(addr, s.R[in.Ops[0].Reg])
+	case STRB:
+		addr := s.operandValue(in.Ops[1])
+		s.Mem.Write8(addr, byte(s.R[in.Ops[0].Reg]))
+	case B:
+		nextPC = s.R[PC] + InstBytes + uint32(in.Ops[0].Imm)*InstBytes
+	case BL:
+		s.R[LR] = s.R[PC] + InstBytes
+		nextPC = s.R[PC] + InstBytes + uint32(in.Ops[0].Imm)*InstBytes
+	case BX:
+		nextPC = s.R[in.Ops[0].Reg]
+	case PUSH:
+		list := in.Ops[0].List
+		n := uint32(bits.OnesCount16(list))
+		sp := s.R[SP] - 4*n
+		s.R[SP] = sp
+		for r := Reg(0); r < NumRegs; r++ {
+			if list&(1<<uint(r)) != 0 {
+				s.Mem.Write32(sp, s.R[r])
+				sp += 4
+			}
+		}
+	case POP:
+		list := in.Ops[0].List
+		sp := s.R[SP]
+		for r := Reg(0); r < NumRegs; r++ {
+			if list&(1<<uint(r)) != 0 {
+				s.R[r] = s.Mem.Read32(sp)
+				if r == PC {
+					nextPC = s.R[PC]
+				}
+				sp += 4
+			}
+		}
+		s.R[SP] = sp
+	case FADD:
+		s.SetFFloat(in.Ops[0].FReg, s.FFloat(in.Ops[1].FReg)+s.FFloat(in.Ops[2].FReg))
+	case FSUB:
+		s.SetFFloat(in.Ops[0].FReg, s.FFloat(in.Ops[1].FReg)-s.FFloat(in.Ops[2].FReg))
+	case FMUL:
+		s.SetFFloat(in.Ops[0].FReg, s.FFloat(in.Ops[1].FReg)*s.FFloat(in.Ops[2].FReg))
+	case FDIV:
+		s.SetFFloat(in.Ops[0].FReg, s.FFloat(in.Ops[1].FReg)/s.FFloat(in.Ops[2].FReg))
+	case FMOV:
+		s.F[in.Ops[0].FReg] = s.F[in.Ops[1].FReg]
+	case FCMP:
+		a, b := s.FFloat(in.Ops[0].FReg), s.FFloat(in.Ops[1].FReg)
+		s.Flags = Flags{N: a < b, Z: a == b, C: a >= b, V: a != a || b != b}
+	case FLDR:
+		addr := s.operandValue(in.Ops[1])
+		s.F[in.Ops[0].FReg] = s.Mem.Read32(addr)
+	case FSTR:
+		addr := s.operandValue(in.Ops[1])
+		s.Mem.Write32(addr, s.F[in.Ops[0].FReg])
+	case HLT:
+		s.Halted = true
+		nextPC = s.R[PC]
+	default:
+		return fmt.Errorf("guest: cannot interpret %q", in)
+	}
+	s.R[PC] = nextPC
+	return nil
+}
+
+// Run fetches, decodes and executes instructions from memory starting at
+// the current PC until HLT executes or maxInsts instructions retire.
+// It returns the number of instructions executed.
+func (s *State) Run(maxInsts uint64) (uint64, error) {
+	var n uint64
+	for !s.Halted && n < maxInsts {
+		w := s.Mem.Read32(s.R[PC])
+		in, err := Decode(w)
+		if err != nil {
+			return n, fmt.Errorf("at pc=%#x: %w", s.R[PC], err)
+		}
+		if err := s.Step(in); err != nil {
+			return n, fmt.Errorf("at pc=%#x: %w", s.R[PC], err)
+		}
+		n++
+	}
+	if !s.Halted {
+		return n, fmt.Errorf("guest: instruction budget %d exhausted at pc=%#x", maxInsts, s.R[PC])
+	}
+	return n, nil
+}
+
+// LoadProgram encodes the instructions and writes them to memory at base.
+func LoadProgram(m interface {
+	Write32(uint32, uint32)
+}, base uint32, prog []Inst) error {
+	for i, in := range prog {
+		w, err := Encode(in)
+		if err != nil {
+			return fmt.Errorf("inst %d: %w", i, err)
+		}
+		m.Write32(base+uint32(i)*InstBytes, w)
+	}
+	return nil
+}

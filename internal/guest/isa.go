@@ -1,0 +1,491 @@
+// Package guest implements the guest instruction set: a 32-bit ARM-like
+// RISC ISA with the instruction families the paper's examples use
+// (data-processing with optional flag setting, loads/stores, compares,
+// branches, stack push/pop, the special instructions mla/umla/clz, and a
+// small floating-point extension used by the data-type classification).
+//
+// The package provides the instruction representation, a fixed-width
+// 32-bit binary encoding grouped into format classes, an assembler and
+// disassembler for a conventional textual syntax, and a reference
+// interpreter used both as the emulation fallback oracle and by the
+// differential tests.
+package guest
+
+import "fmt"
+
+// Reg identifies one of the sixteen general-purpose guest registers.
+// R13 is the stack pointer, R14 the link register and R15 the program
+// counter; like real ARM, PC is architecturally a general-purpose
+// register, which is exactly what makes the PC-use addressing-mode
+// constraint of the paper necessary.
+type Reg uint8
+
+// Named registers.
+const (
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	SP // R13
+	LR // R14
+	PC // R15
+)
+
+// NumRegs is the number of general-purpose registers.
+const NumRegs = 16
+
+// String returns the conventional register name.
+func (r Reg) String() string {
+	switch r {
+	case SP:
+		return "sp"
+	case LR:
+		return "lr"
+	case PC:
+		return "pc"
+	default:
+		return fmt.Sprintf("r%d", uint8(r))
+	}
+}
+
+// FReg identifies one of the sixteen single-precision float registers.
+type FReg uint8
+
+// NumFRegs is the number of floating-point registers.
+const NumFRegs = 16
+
+// String returns the conventional float register name.
+func (r FReg) String() string { return fmt.Sprintf("s%d", uint8(r)) }
+
+// Cond is a condition code evaluated against the NZCV flags.
+type Cond uint8
+
+// Condition codes. AL (always) is the default.
+const (
+	AL Cond = iota // always
+	EQ             // Z
+	NE             // !Z
+	CS             // C
+	CC             // !C
+	MI             // N
+	PL             // !N
+	VS             // V
+	VC             // !V
+	HI             // C && !Z
+	LS             // !C || Z
+	GE             // N == V
+	LT             // N != V
+	GT             // !Z && N == V
+	LE             // Z || N != V
+)
+
+// NumConds is the number of condition codes.
+const NumConds = 15
+
+var condNames = [NumConds]string{"", "eq", "ne", "cs", "cc", "mi", "pl", "vs", "vc", "hi", "ls", "ge", "lt", "gt", "le"}
+
+// String returns the condition suffix ("" for AL).
+func (c Cond) String() string {
+	if int(c) < len(condNames) {
+		return condNames[c]
+	}
+	return fmt.Sprintf("cond%d", uint8(c))
+}
+
+// Invert returns the logically opposite condition. AL inverts to itself.
+func (c Cond) Invert() Cond {
+	switch c {
+	case EQ:
+		return NE
+	case NE:
+		return EQ
+	case CS:
+		return CC
+	case CC:
+		return CS
+	case MI:
+		return PL
+	case PL:
+		return MI
+	case VS:
+		return VC
+	case VC:
+		return VS
+	case HI:
+		return LS
+	case LS:
+		return HI
+	case GE:
+		return LT
+	case LT:
+		return GE
+	case GT:
+		return LE
+	case LE:
+		return GT
+	}
+	return AL
+}
+
+// Op is a guest opcode.
+type Op uint8
+
+// Guest opcodes. The comment groups mirror the ISA's format classes.
+const (
+	BAD Op = iota
+
+	// Data-processing, three-operand (rd, rn, op2).
+	ADD
+	ADC
+	SUB
+	SBC
+	RSB
+	RSC
+	AND
+	ORR
+	EOR
+	BIC
+	LSL
+	LSR
+	ASR
+	ROR
+
+	// Data-processing, two-operand (rd, op2).
+	MOV
+	MVN
+	CLZ
+
+	// Multiply family (rd, rn, rm [, ra]).
+	MUL
+	MLA
+	UMLA
+
+	// Compare (rn, op2); always set flags, no destination.
+	CMP
+	CMN
+	TST
+	TEQ
+
+	// Memory.
+	LDR
+	LDRB
+	STR
+	STRB
+
+	// Branches.
+	B
+	BL
+	BX
+
+	// Stack.
+	PUSH
+	POP
+
+	// Floating point (single precision).
+	FADD
+	FSUB
+	FMUL
+	FDIV
+	FMOV
+	FCMP
+	FLDR
+	FSTR
+
+	// HLT stops the interpreter / DBT; used as the program terminator.
+	HLT
+
+	numOps
+)
+
+// NumOps is the number of defined opcodes (including BAD).
+const NumOps = int(numOps)
+
+var opNames = [...]string{
+	BAD: "bad",
+	ADD: "add", ADC: "adc", SUB: "sub", SBC: "sbc", RSB: "rsb", RSC: "rsc",
+	AND: "and", ORR: "orr", EOR: "eor", BIC: "bic",
+	LSL: "lsl", LSR: "lsr", ASR: "asr", ROR: "ror",
+	MOV: "mov", MVN: "mvn", CLZ: "clz",
+	MUL: "mul", MLA: "mla", UMLA: "umla",
+	CMP: "cmp", CMN: "cmn", TST: "tst", TEQ: "teq",
+	LDR: "ldr", LDRB: "ldrb", STR: "str", STRB: "strb",
+	B: "b", BL: "bl", BX: "bx",
+	PUSH: "push", POP: "pop",
+	FADD: "fadd", FSUB: "fsub", FMUL: "fmul", FDIV: "fdiv",
+	FMOV: "fmov", FCMP: "fcmp", FLDR: "fldr", FSTR: "fstr",
+	HLT: "hlt",
+}
+
+// String returns the mnemonic.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op%d", uint8(o))
+}
+
+// OperandKind classifies an instruction operand. These kinds are the
+// addressing modes the parameterization generalizes over.
+type OperandKind uint8
+
+// Operand kinds.
+const (
+	KindNone    OperandKind = iota
+	KindReg                 // general-purpose register
+	KindImm                 // immediate
+	KindMem                 // [base, #disp] or [base, index]
+	KindFReg                // float register
+	KindRegList             // register list for push/pop
+)
+
+// String names the kind; used in diagnostics and rule signatures.
+func (k OperandKind) String() string {
+	switch k {
+	case KindNone:
+		return "none"
+	case KindReg:
+		return "reg"
+	case KindImm:
+		return "imm"
+	case KindMem:
+		return "mem"
+	case KindFReg:
+		return "freg"
+	case KindRegList:
+		return "reglist"
+	}
+	return "?"
+}
+
+// Operand is one instruction operand.
+type Operand struct {
+	Kind   OperandKind
+	Reg    Reg    // KindReg
+	FReg   FReg   // KindFReg
+	Imm    int32  // KindImm
+	Base   Reg    // KindMem base register
+	Idx    Reg    // KindMem index register when HasIdx
+	Disp   int32  // KindMem displacement when !HasIdx
+	HasIdx bool   // KindMem: register-offset form
+	List   uint16 // KindRegList bitmask (bit i = Ri)
+}
+
+// RegOp returns a register operand.
+func RegOp(r Reg) Operand { return Operand{Kind: KindReg, Reg: r} }
+
+// FRegOp returns a float-register operand.
+func FRegOp(r FReg) Operand { return Operand{Kind: KindFReg, FReg: r} }
+
+// ImmOp returns an immediate operand.
+func ImmOp(v int32) Operand { return Operand{Kind: KindImm, Imm: v} }
+
+// MemOp returns a base+displacement memory operand.
+func MemOp(base Reg, disp int32) Operand {
+	return Operand{Kind: KindMem, Base: base, Disp: disp}
+}
+
+// MemIdxOp returns a base+index memory operand.
+func MemIdxOp(base, idx Reg) Operand {
+	return Operand{Kind: KindMem, Base: base, Idx: idx, HasIdx: true}
+}
+
+// ListOp returns a register-list operand from the given registers.
+func ListOp(regs ...Reg) Operand {
+	var m uint16
+	for _, r := range regs {
+		m |= 1 << uint(r)
+	}
+	return Operand{Kind: KindRegList, List: m}
+}
+
+// String formats the operand in assembler syntax.
+func (o Operand) String() string {
+	switch o.Kind {
+	case KindNone:
+		return ""
+	case KindReg:
+		return o.Reg.String()
+	case KindFReg:
+		return o.FReg.String()
+	case KindImm:
+		return fmt.Sprintf("#%d", o.Imm)
+	case KindMem:
+		if o.HasIdx {
+			return fmt.Sprintf("[%s, %s]", o.Base, o.Idx)
+		}
+		if o.Disp == 0 {
+			return fmt.Sprintf("[%s]", o.Base)
+		}
+		return fmt.Sprintf("[%s, #%d]", o.Base, o.Disp)
+	case KindRegList:
+		s := "{"
+		first := true
+		for r := Reg(0); r < NumRegs; r++ {
+			if o.List&(1<<uint(r)) != 0 {
+				if !first {
+					s += ", "
+				}
+				s += r.String()
+				first = false
+			}
+		}
+		return s + "}"
+	}
+	return "?"
+}
+
+// Inst is one guest instruction. Operands are ordered destination first,
+// as in the assembler syntax: `add rd, rn, op2`, `ldr rt, [base, #disp]`,
+// `str rt, [base, #disp]`, `cmp rn, op2`, `b target`.
+type Inst struct {
+	Op   Op
+	Cond Cond
+	S    bool // set NZCV flags ("s" suffix); compares always set flags
+	Ops  [4]Operand
+	N    int // number of operands in use
+}
+
+// NewInst builds an instruction from operands.
+func NewInst(op Op, operands ...Operand) Inst {
+	in := Inst{Op: op, Cond: AL}
+	for i, o := range operands {
+		if i >= len(in.Ops) {
+			break
+		}
+		in.Ops[i] = o
+		in.N = i + 1
+	}
+	return in
+}
+
+// WithCond returns a copy with the given condition.
+func (in Inst) WithCond(c Cond) Inst { in.Cond = c; return in }
+
+// WithS returns a copy with the flag-setting suffix.
+func (in Inst) WithS() Inst { in.S = true; return in }
+
+// Mnemonic returns the full mnemonic including condition and S suffix.
+func (in Inst) Mnemonic() string {
+	m := in.Op.String()
+	if in.S && in.Op != CMP && in.Op != CMN && in.Op != TST && in.Op != TEQ {
+		m += "s"
+	}
+	m += in.Cond.String()
+	return m
+}
+
+// String formats the instruction in assembler syntax.
+func (in Inst) String() string {
+	s := in.Mnemonic()
+	for i := 0; i < in.N; i++ {
+		if i == 0 {
+			s += " " + in.Ops[i].String()
+		} else {
+			s += ", " + in.Ops[i].String()
+		}
+	}
+	return s
+}
+
+// SetsFlags reports whether executing in updates NZCV: either the S
+// suffix is present or the opcode is a compare (which exists only to set
+// flags) — this is what the condition-flag side-effect analysis keys on.
+func (in Inst) SetsFlags() bool {
+	switch in.Op {
+	case CMP, CMN, TST, TEQ, FCMP:
+		return true
+	}
+	return in.S
+}
+
+// ReadsFlags reports whether the instruction's result depends on the
+// incoming flags (conditional execution, carry-in opcodes).
+func (in Inst) ReadsFlags() bool {
+	if in.Cond != AL {
+		return true
+	}
+	switch in.Op {
+	case ADC, SBC, RSC:
+		return true
+	}
+	return false
+}
+
+// IsBranch reports whether the instruction redirects control flow.
+func (in Inst) IsBranch() bool {
+	switch in.Op {
+	case B, BL, BX, HLT:
+		return true
+	}
+	// A data-processing write to PC is also a branch (PC-as-GPR).
+	if in.N > 0 && in.Ops[0].Kind == KindReg && in.Ops[0].Reg == PC {
+		switch in.Op {
+		case ADD, SUB, MOV, LDR:
+			return true
+		}
+	}
+	return false
+}
+
+// DstReg returns the destination register and true when the instruction
+// writes exactly one general-purpose register.
+func (in Inst) DstReg() (Reg, bool) {
+	switch in.Op {
+	case CMP, CMN, TST, TEQ, FCMP, STR, STRB, B, BL, BX, PUSH, POP, HLT, FSTR:
+		return 0, false
+	}
+	if in.N > 0 && in.Ops[0].Kind == KindReg {
+		return in.Ops[0].Reg, true
+	}
+	return 0, false
+}
+
+// SrcRegs appends to dst the general-purpose registers the instruction
+// reads (including memory-operand base/index registers) and returns it.
+func (in Inst) SrcRegs(dst []Reg) []Reg {
+	start := 1
+	switch in.Op {
+	case CMP, CMN, TST, TEQ, STR, STRB, FSTR, PUSH, B, BL, BX:
+		start = 0 // no destination: every operand is a source
+	}
+	for i := start; i < in.N; i++ {
+		o := in.Ops[i]
+		switch o.Kind {
+		case KindReg:
+			dst = append(dst, o.Reg)
+		case KindMem:
+			dst = append(dst, o.Base)
+			if o.HasIdx {
+				dst = append(dst, o.Idx)
+			}
+		case KindRegList:
+			if in.Op == PUSH {
+				for r := Reg(0); r < NumRegs; r++ {
+					if o.List&(1<<uint(r)) != 0 {
+						dst = append(dst, r)
+					}
+				}
+			}
+		}
+	}
+	// Destination memory operand of a store is itself an address source;
+	// handled above because stores set start=0. LDR's memory operand is a
+	// source too:
+	if (in.Op == LDR || in.Op == LDRB || in.Op == FLDR) && in.N >= 2 && in.Ops[1].Kind == KindMem {
+		// already covered by the loop (i starts at 1)
+		_ = dst
+	}
+	if in.Op == PUSH || in.Op == POP {
+		dst = append(dst, SP)
+	}
+	return dst
+}

@@ -1,0 +1,421 @@
+package host
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"paramdbt/internal/mem"
+)
+
+// Flags is the modeled subset of EFLAGS.
+type Flags struct {
+	ZF, SF, CF, OF bool
+}
+
+// Eval evaluates a host condition code.
+func (f Flags) Eval(c Cond) bool {
+	switch c {
+	case CondNone:
+		return true
+	case E:
+		return f.ZF
+	case NE:
+		return !f.ZF
+	case S:
+		return f.SF
+	case NS:
+		return !f.SF
+	case O:
+		return f.OF
+	case NO:
+		return !f.OF
+	case B:
+		return f.CF
+	case AE:
+		return !f.CF
+	case BE:
+		return f.CF || f.ZF
+	case A:
+		return !f.CF && !f.ZF
+	case L:
+		return f.SF != f.OF
+	case GE:
+		return f.SF == f.OF
+	case LE:
+		return f.ZF || f.SF != f.OF
+	case G:
+		return !f.ZF && f.SF == f.OF
+	}
+	return false
+}
+
+// String formats the flags like "zSCo".
+func (f Flags) String() string {
+	b := []byte("zsco")
+	if f.ZF {
+		b[0] = 'Z'
+	}
+	if f.SF {
+		b[1] = 'S'
+	}
+	if f.CF {
+		b[2] = 'C'
+	}
+	if f.OF {
+		b[3] = 'O'
+	}
+	return string(b)
+}
+
+// Block is a sequence of host instructions with resolved label targets,
+// the unit of execution produced by the translators (a translation
+// block in QEMU terms).
+type Block struct {
+	Insts  []Inst
+	labels map[int]int // label id -> instruction index
+}
+
+// NewBlock builds a block, resolving labels. A label with id L binds to
+// the instruction index recorded via MarkLabel during emission.
+func NewBlock(insts []Inst, labels map[int]int) *Block {
+	return &Block{Insts: insts, labels: labels}
+}
+
+// CPU is the host machine simulator.
+type CPU struct {
+	R     [NumRegs]uint32
+	X     [NumXRegs]uint32 // float32 bit patterns
+	Flags Flags
+	Mem   *mem.Memory
+
+	// Executed counts dynamically executed instructions per category;
+	// this is the performance metric (see DESIGN.md).
+	Executed [3]uint64
+}
+
+// NewCPU returns a CPU bound to the given memory.
+func NewCPU(m *mem.Memory) *CPU {
+	return &CPU{Mem: m}
+}
+
+// Total returns the total number of host instructions executed.
+func (c *CPU) Total() uint64 {
+	return c.Executed[CatCompute] + c.Executed[CatDataTransfer] + c.Executed[CatControl]
+}
+
+// ResetCounts zeroes the execution counters.
+func (c *CPU) ResetCounts() { c.Executed = [3]uint64{} }
+
+func (c *CPU) addr(o Operand) uint32 {
+	a := uint32(o.Disp) + c.R[o.Base]
+	if o.Scale != 0 {
+		a += c.R[o.Index] * uint32(o.Scale)
+	}
+	return a
+}
+
+func (c *CPU) read(o Operand) uint32 {
+	switch o.Kind {
+	case KindReg:
+		return c.R[o.Reg]
+	case KindImm:
+		return uint32(o.Imm)
+	case KindMem:
+		return c.Mem.Read32(c.addr(o))
+	case KindXReg:
+		return c.X[o.XReg]
+	}
+	return 0
+}
+
+func (c *CPU) write(o Operand, v uint32) {
+	switch o.Kind {
+	case KindReg:
+		c.R[o.Reg] = v
+	case KindMem:
+		c.Mem.Write32(c.addr(o), v)
+	case KindXReg:
+		c.X[o.XReg] = v
+	}
+}
+
+func addFlags32(a, b, carry uint32) (uint32, Flags) {
+	s := uint64(a) + uint64(b) + uint64(carry)
+	v := uint32(s)
+	return v, Flags{
+		ZF: v == 0,
+		SF: v>>31 != 0,
+		CF: s>>32 != 0,
+		OF: (a>>31 == b>>31) && (v>>31 != a>>31),
+	}
+}
+
+// subFlags32 computes a-b-borrow with the x86 convention: CF is the
+// borrow flag (set when a borrow occurred) — the inverse of ARM's C.
+func subFlags32(a, b, borrow uint32) (uint32, Flags) {
+	v, f := addFlags32(a, ^b, 1-borrow)
+	f.CF = !f.CF
+	return v, f
+}
+
+func logicFlags32(v uint32) Flags {
+	return Flags{ZF: v == 0, SF: v>>31 != 0}
+}
+
+// ErrExit is returned by Exec through the ExitResult when a block ends.
+type ExitResult struct {
+	NextPC uint32 // next guest PC requested by the block
+	Steps  uint64 // host instructions executed in this block run
+}
+
+// ExecError reports a fault while executing a block.
+type ExecError struct {
+	Index int
+	Inst  Inst
+	Why   string
+}
+
+func (e *ExecError) Error() string {
+	return fmt.Sprintf("host: inst %d %q: %s", e.Index, e.Inst, e.Why)
+}
+
+// Exec runs the block from its first instruction until ExitTB or RET.
+// It returns the exit result; maxSteps bounds runaway blocks.
+func (c *CPU) Exec(b *Block, maxSteps uint64) (ExitResult, error) {
+	var steps uint64
+	ip := 0
+	for {
+		if ip < 0 || ip >= len(b.Insts) {
+			return ExitResult{}, &ExecError{ip, Inst{}, "instruction pointer out of block"}
+		}
+		if steps >= maxSteps {
+			return ExitResult{}, &ExecError{ip, b.Insts[ip], "step budget exhausted"}
+		}
+		in := b.Insts[ip]
+		steps++
+		c.Executed[in.Cat]++
+
+		switch in.Op {
+		case MOVL:
+			c.write(in.Dst, c.read(in.Src))
+		case LEAL:
+			if in.Src.Kind != KindMem {
+				return ExitResult{}, &ExecError{ip, in, "lea needs memory source"}
+			}
+			c.write(in.Dst, c.addr(in.Src))
+		case ADDL:
+			v, f := addFlags32(c.read(in.Dst), c.read(in.Src), 0)
+			c.write(in.Dst, v)
+			c.Flags = f
+		case ADCL:
+			ci := uint32(0)
+			if c.Flags.CF {
+				ci = 1
+			}
+			v, f := addFlags32(c.read(in.Dst), c.read(in.Src), ci)
+			c.write(in.Dst, v)
+			c.Flags = f
+		case SUBL:
+			v, f := subFlags32(c.read(in.Dst), c.read(in.Src), 0)
+			c.write(in.Dst, v)
+			c.Flags = f
+		case SBBL:
+			bi := uint32(0)
+			if c.Flags.CF {
+				bi = 1
+			}
+			v, f := subFlags32(c.read(in.Dst), c.read(in.Src), bi)
+			c.write(in.Dst, v)
+			c.Flags = f
+		case ANDL:
+			v := c.read(in.Dst) & c.read(in.Src)
+			c.write(in.Dst, v)
+			c.Flags = logicFlags32(v)
+		case ORL:
+			v := c.read(in.Dst) | c.read(in.Src)
+			c.write(in.Dst, v)
+			c.Flags = logicFlags32(v)
+		case XORL:
+			v := c.read(in.Dst) ^ c.read(in.Src)
+			c.write(in.Dst, v)
+			c.Flags = logicFlags32(v)
+		case NOTL:
+			c.write(in.Dst, ^c.read(in.Dst))
+		case NEGL:
+			v, f := subFlags32(0, c.read(in.Dst), 0)
+			c.write(in.Dst, v)
+			c.Flags = f
+		case IMULL:
+			c.write(in.Dst, c.read(in.Dst)*c.read(in.Src))
+		case SHLL:
+			sh := c.read(in.Src) & 31
+			v := c.read(in.Dst) << sh
+			c.write(in.Dst, v)
+			if sh != 0 {
+				c.Flags = logicFlags32(v)
+			}
+		case SHRL:
+			sh := c.read(in.Src) & 31
+			v := c.read(in.Dst) >> sh
+			c.write(in.Dst, v)
+			if sh != 0 {
+				c.Flags = logicFlags32(v)
+			}
+		case SARL:
+			sh := c.read(in.Src) & 31
+			v := uint32(int32(c.read(in.Dst)) >> sh)
+			c.write(in.Dst, v)
+			if sh != 0 {
+				c.Flags = logicFlags32(v)
+			}
+		case RORL:
+			sh := c.read(in.Src) & 31
+			c.write(in.Dst, bits.RotateLeft32(c.read(in.Dst), -int(sh)))
+		case CMPL:
+			_, f := subFlags32(c.read(in.Dst), c.read(in.Src), 0)
+			c.Flags = f
+		case TESTL:
+			c.Flags = logicFlags32(c.read(in.Dst) & c.read(in.Src))
+		case MOVZBL:
+			var v uint32
+			if in.Src.Kind == KindMem {
+				v = uint32(c.Mem.Read8(c.addr(in.Src)))
+			} else {
+				v = c.read(in.Src) & 0xff
+			}
+			c.write(in.Dst, v)
+		case MOVB:
+			if in.Dst.Kind == KindMem {
+				c.Mem.Write8(c.addr(in.Dst), byte(c.read(in.Src)))
+			} else {
+				c.write(in.Dst, c.read(in.Dst)&^uint32(0xff)|c.read(in.Src)&0xff)
+			}
+		case BSRL:
+			v := c.read(in.Src)
+			if v == 0 {
+				c.Flags.ZF = true
+			} else {
+				c.Flags.ZF = false
+				c.write(in.Dst, uint32(31-bits.LeadingZeros32(v)))
+			}
+		case PUSHL:
+			c.R[ESP] -= 4
+			c.Mem.Write32(c.R[ESP], c.read(in.Dst))
+		case POPL:
+			c.write(in.Dst, c.Mem.Read32(c.R[ESP]))
+			c.R[ESP] += 4
+		case SETCC:
+			v := uint32(0)
+			if c.Flags.Eval(in.Cond) {
+				v = 1
+			}
+			c.write(in.Dst, v)
+		case JMP:
+			t, ok := b.labels[in.Dst.Label]
+			if !ok {
+				return ExitResult{}, &ExecError{ip, in, "unresolved label"}
+			}
+			ip = t
+			continue
+		case JCC:
+			if c.Flags.Eval(in.Cond) {
+				t, ok := b.labels[in.Dst.Label]
+				if !ok {
+					return ExitResult{}, &ExecError{ip, in, "unresolved label"}
+				}
+				ip = t
+				continue
+			}
+		case MOVSS:
+			c.write(in.Dst, c.read(in.Src))
+		case ADDSS:
+			c.writeF(in.Dst, c.readF(in.Dst)+c.readF(in.Src))
+		case SUBSS:
+			c.writeF(in.Dst, c.readF(in.Dst)-c.readF(in.Src))
+		case MULSS:
+			c.writeF(in.Dst, c.readF(in.Dst)*c.readF(in.Src))
+		case DIVSS:
+			c.writeF(in.Dst, c.readF(in.Dst)/c.readF(in.Src))
+		case UCOMISS:
+			a, s := c.readF(in.Dst), c.readF(in.Src)
+			// x86 ucomiss: ZF=equal-or-unordered, CF=less-or-unordered.
+			un := a != a || s != s
+			c.Flags = Flags{ZF: a == s || un, CF: a < s || un, SF: false, OF: false}
+		case RET:
+			return ExitResult{NextPC: 0, Steps: steps}, nil
+		case ExitTB:
+			return ExitResult{NextPC: c.read(in.Dst), Steps: steps}, nil
+		default:
+			return ExitResult{}, &ExecError{ip, in, "unimplemented opcode"}
+		}
+		ip++
+	}
+}
+
+func (c *CPU) readF(o Operand) float32     { return math.Float32frombits(c.read(o)) }
+func (c *CPU) writeF(o Operand, v float32) { c.write(o, math.Float32bits(v)) }
+
+// Asm is a small emission helper used by all translators: append
+// instructions, allocate and bind labels, and finish into a Block.
+type Asm struct {
+	insts  []Inst
+	labels map[int]int
+	next   int
+	cat    Category
+}
+
+// NewAsm returns an empty assembler.
+func NewAsm() *Asm {
+	return &Asm{labels: make(map[int]int)}
+}
+
+// SetCat sets the category applied to subsequently emitted instructions.
+func (a *Asm) SetCat(c Category) { a.cat = c }
+
+// Emit appends an instruction tagged with the current category.
+func (a *Asm) Emit(in Inst) {
+	in.Cat = a.cat
+	a.insts = append(a.insts, in)
+}
+
+// EmitAll appends instructions, preserving the current category.
+func (a *Asm) EmitAll(ins ...Inst) {
+	for _, in := range ins {
+		a.Emit(in)
+	}
+}
+
+// NewLabel allocates a fresh label id.
+func (a *Asm) NewLabel() int {
+	a.next++
+	return a.next
+}
+
+// Bind binds a label to the next emitted instruction.
+func (a *Asm) Bind(label int) { a.labels[label] = len(a.insts) }
+
+// Len reports the number of instructions emitted so far.
+func (a *Asm) Len() int { return len(a.insts) }
+
+// Insts exposes the emitted instructions (for peephole passes).
+func (a *Asm) Insts() []Inst { return a.insts }
+
+// Block finalizes into an executable block.
+func (a *Asm) Block() *Block { return NewBlock(a.insts, a.labels) }
+
+// Listing formats the block's instructions one per line with labels.
+func (b *Block) Listing() string {
+	rev := map[int][]int{}
+	for id, idx := range b.labels {
+		rev[idx] = append(rev[idx], id)
+	}
+	s := ""
+	for i, in := range b.Insts {
+		for _, id := range rev[i] {
+			s += fmt.Sprintf(".L%d:\n", id)
+		}
+		s += fmt.Sprintf("\t%-30s ; %s\n", in.String(), in.Cat)
+	}
+	return s
+}

@@ -1,0 +1,321 @@
+package host
+
+import (
+	"testing"
+	"testing/quick"
+
+	"paramdbt/internal/mem"
+)
+
+func run(t *testing.T, setup func(*CPU), insts ...Inst) *CPU {
+	t.Helper()
+	c := NewCPU(mem.New())
+	if setup != nil {
+		setup(c)
+	}
+	insts = append(insts, Exit(Imm(0)))
+	b := NewBlock(insts, map[int]int{})
+	if _, err := c.Exec(b, 10000); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestMovAddSub(t *testing.T) {
+	c := run(t, nil,
+		I(MOVL, R(EAX), Imm(10)),
+		I(MOVL, R(ECX), Imm(3)),
+		I(ADDL, R(EAX), R(ECX)),
+		I(SUBL, R(EAX), Imm(1)),
+	)
+	if c.R[EAX] != 12 {
+		t.Fatalf("eax = %d, want 12", c.R[EAX])
+	}
+}
+
+func TestSubSetsBorrowCF(t *testing.T) {
+	c := run(t, nil,
+		I(MOVL, R(EAX), Imm(3)),
+		I(CMPL, R(EAX), Imm(5)),
+	)
+	if !c.Flags.CF {
+		t.Fatal("3-5 should set CF (borrow) on x86")
+	}
+	c = run(t, nil,
+		I(MOVL, R(EAX), Imm(5)),
+		I(CMPL, R(EAX), Imm(3)),
+	)
+	if c.Flags.CF {
+		t.Fatal("5-3 should clear CF on x86")
+	}
+}
+
+func TestMemOperands(t *testing.T) {
+	c := run(t, func(c *CPU) { c.R[EBX] = 0x4000; c.R[ESI] = 2 },
+		I(MOVL, Mem(EBX, 8), Imm(77)),
+		I(MOVL, R(EAX), Mem(EBX, 8)),
+		I(MOVL, R(EDX), MemIdx(EBX, ESI, 4, 0)), // 0x4000 + 2*4 = 0x4008
+		I(LEAL, R(ECX), MemIdx(EBX, ESI, 4, 8)),
+	)
+	if c.R[EAX] != 77 || c.R[EDX] != 77 {
+		t.Fatalf("eax=%d edx=%d", c.R[EAX], c.R[EDX])
+	}
+	if c.R[ECX] != 0x4010 {
+		t.Fatalf("lea = %#x", c.R[ECX])
+	}
+}
+
+func TestJccLoop(t *testing.T) {
+	// sum 1..10
+	const lblLoop = 1
+	insts := []Inst{
+		I(MOVL, R(EAX), Imm(0)),
+		I(MOVL, R(ECX), Imm(10)),
+		// loop:
+		I(ADDL, R(EAX), R(ECX)),
+		I(SUBL, R(ECX), Imm(1)),
+		Jcc(NE, lblLoop),
+		Exit(Imm(0)),
+	}
+	c := NewCPU(mem.New())
+	b := NewBlock(insts, map[int]int{lblLoop: 2})
+	if _, err := c.Exec(b, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if c.R[EAX] != 55 {
+		t.Fatalf("eax = %d, want 55", c.R[EAX])
+	}
+}
+
+func TestPushPop(t *testing.T) {
+	c := run(t, func(c *CPU) { c.R[ESP] = 0x8000 },
+		I(MOVL, R(EAX), Imm(42)),
+		I1(PUSHL, R(EAX)),
+		I(MOVL, R(EAX), Imm(0)),
+		I1(POPL, R(ECX)),
+	)
+	if c.R[ECX] != 42 || c.R[ESP] != 0x8000 {
+		t.Fatalf("ecx=%d esp=%#x", c.R[ECX], c.R[ESP])
+	}
+}
+
+func TestSetccAndMovzbl(t *testing.T) {
+	c := run(t, nil,
+		I(MOVL, R(EAX), Imm(5)),
+		I(CMPL, R(EAX), Imm(5)),
+		Inst{Op: SETCC, Cond: E, Dst: R(EDX)},
+	)
+	if c.R[EDX] != 1 {
+		t.Fatalf("sete = %d", c.R[EDX])
+	}
+}
+
+func TestByteOps(t *testing.T) {
+	c := run(t, func(c *CPU) { c.R[EBX] = 0x5000 },
+		I(MOVL, R(EAX), Imm(0x1ff)),
+		I(MOVB, Mem(EBX, 0), R(EAX)),
+		I(MOVZBL, R(ECX), Mem(EBX, 0)),
+	)
+	if c.R[ECX] != 0xff {
+		t.Fatalf("movzbl = %#x", c.R[ECX])
+	}
+}
+
+func TestBsrl(t *testing.T) {
+	c := run(t, nil,
+		I(MOVL, R(EAX), Imm(0x00010000)),
+		I(BSRL, R(ECX), R(EAX)),
+	)
+	if c.R[ECX] != 16 || c.Flags.ZF {
+		t.Fatalf("bsrl = %d, zf=%v", c.R[ECX], c.Flags.ZF)
+	}
+}
+
+func TestShifts(t *testing.T) {
+	c := run(t, nil,
+		I(MOVL, R(EAX), Imm(-8)),
+		I(SARL, R(EAX), Imm(1)),
+		I(MOVL, R(ECX), Imm(8)),
+		I(SHRL, R(ECX), Imm(2)),
+		I(MOVL, R(EDX), Imm(3)),
+		I(SHLL, R(EDX), Imm(4)),
+	)
+	if int32(c.R[EAX]) != -4 || c.R[ECX] != 2 || c.R[EDX] != 48 {
+		t.Fatalf("eax=%d ecx=%d edx=%d", int32(c.R[EAX]), c.R[ECX], c.R[EDX])
+	}
+}
+
+func TestFloatOps(t *testing.T) {
+	c := NewCPU(mem.New())
+	c.X[1] = 0x3fc00000 // 1.5
+	c.X[2] = 0x40100000 // 2.25
+	insts := []Inst{
+		I(MOVSS, X(0), X(1)),
+		I(ADDSS, X(0), X(2)),
+		Exit(Imm(0)),
+	}
+	if _, err := c.Exec(NewBlock(insts, nil), 100); err != nil {
+		t.Fatal(err)
+	}
+	if c.X[0] != 0x40700000 { // 3.75
+		t.Fatalf("addss = %#x", c.X[0])
+	}
+}
+
+func TestCategoryCounting(t *testing.T) {
+	c := NewCPU(mem.New())
+	insts := []Inst{
+		I(MOVL, R(EAX), Imm(1)).WithCat(CatDataTransfer),
+		I(ADDL, R(EAX), Imm(1)).WithCat(CatCompute),
+		Exit(Imm(0)), // CatControl
+	}
+	if _, err := c.Exec(NewBlock(insts, nil), 100); err != nil {
+		t.Fatal(err)
+	}
+	if c.Executed[CatCompute] != 1 || c.Executed[CatDataTransfer] != 1 || c.Executed[CatControl] != 1 {
+		t.Fatalf("counts = %v", c.Executed)
+	}
+	if c.Total() != 3 {
+		t.Fatalf("total = %d", c.Total())
+	}
+}
+
+func TestExitTBValue(t *testing.T) {
+	c := NewCPU(mem.New())
+	c.R[EDI] = 0x1234
+	res, err := c.Exec(NewBlock([]Inst{Exit(R(EDI))}, nil), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NextPC != 0x1234 {
+		t.Fatalf("next pc = %#x", res.NextPC)
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	const lbl = 1
+	c := NewCPU(mem.New())
+	b := NewBlock([]Inst{Jmp(lbl)}, map[int]int{lbl: 0})
+	if _, err := c.Exec(b, 50); err == nil {
+		t.Fatal("want budget error for infinite loop")
+	}
+}
+
+func TestUnresolvedLabel(t *testing.T) {
+	c := NewCPU(mem.New())
+	b := NewBlock([]Inst{Jmp(9)}, map[int]int{})
+	if _, err := c.Exec(b, 50); err == nil {
+		t.Fatal("want unresolved-label error")
+	}
+}
+
+// Property: host add/sub flag semantics match a reference computation.
+func TestAddSubFlagsProperty(t *testing.T) {
+	f := func(a, b uint32) bool {
+		c := NewCPU(mem.New())
+		c.R[EAX] = a
+		blk := NewBlock([]Inst{I(ADDL, R(EAX), Imm(int32(b))), Exit(Imm(0))}, nil)
+		if _, err := c.Exec(blk, 10); err != nil {
+			return false
+		}
+		sum := a + b
+		if c.R[EAX] != sum || c.Flags.ZF != (sum == 0) || c.Flags.SF != (sum>>31 != 0) {
+			return false
+		}
+		if c.Flags.CF != (uint64(a)+uint64(b) > 0xffffffff) {
+			return false
+		}
+		// x86 sub: CF = borrow
+		c2 := NewCPU(mem.New())
+		c2.R[EAX] = a
+		blk2 := NewBlock([]Inst{I(SUBL, R(EAX), Imm(int32(b))), Exit(Imm(0))}, nil)
+		if _, err := c2.Exec(blk2, 10); err != nil {
+			return false
+		}
+		return c2.R[EAX] == a-b && c2.Flags.CF == (a < b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAsmLabels(t *testing.T) {
+	a := NewAsm()
+	a.SetCat(CatCompute)
+	l := a.NewLabel()
+	a.Emit(I(MOVL, R(EAX), Imm(0)))
+	a.Bind(l)
+	a.Emit(I(ADDL, R(EAX), Imm(1)))
+	a.Emit(I(CMPL, R(EAX), Imm(3)))
+	a.Emit(Jcc(NE, l))
+	a.SetCat(CatControl)
+	a.Emit(Exit(Imm(0)))
+
+	c := NewCPU(mem.New())
+	if _, err := c.Exec(a.Block(), 100); err != nil {
+		t.Fatal(err)
+	}
+	if c.R[EAX] != 3 {
+		t.Fatalf("eax = %d, want 3", c.R[EAX])
+	}
+	if c.Executed[CatControl] != 1 {
+		t.Fatalf("control count = %d", c.Executed[CatControl])
+	}
+}
+
+func TestListingAndStrings(t *testing.T) {
+	in := I(ADDL, R(EAX), Imm(5))
+	if in.String() != "addl $5, %eax" {
+		t.Fatalf("String = %q", in.String())
+	}
+	j := Jcc(NE, 3)
+	if j.String() != "jne .L3" {
+		t.Fatalf("jcc = %q", j.String())
+	}
+	m := I(MOVL, R(EAX), MemIdx(EBX, ESI, 4, 8))
+	if m.String() != "movl 8(%ebx,%esi,4), %eax" {
+		t.Fatalf("mem = %q", m.String())
+	}
+	a := NewAsm()
+	lbl := a.NewLabel()
+	a.Bind(lbl)
+	a.Emit(in)
+	if a.Block().Listing() == "" {
+		t.Fatal("empty listing")
+	}
+}
+
+func TestAdcSbbChain(t *testing.T) {
+	// 64-bit add 0xffffffff + 1 via addl/adcl.
+	c := run(t, nil,
+		I(MOVL, R(EAX), Imm(-1)),
+		I(MOVL, R(EDX), Imm(0)),
+		I(ADDL, R(EAX), Imm(1)),
+		I(ADCL, R(EDX), Imm(0)),
+	)
+	if c.R[EAX] != 0 || c.R[EDX] != 1 {
+		t.Fatalf("eax=%#x edx=%#x", c.R[EAX], c.R[EDX])
+	}
+}
+
+func TestNotNeg(t *testing.T) {
+	c := run(t, nil,
+		I(MOVL, R(EAX), Imm(5)),
+		I1(NOTL, R(EAX)),
+		I(MOVL, R(ECX), Imm(5)),
+		I1(NEGL, R(ECX)),
+	)
+	if c.R[EAX] != ^uint32(5) || int32(c.R[ECX]) != -5 {
+		t.Fatalf("not=%#x neg=%d", c.R[EAX], int32(c.R[ECX]))
+	}
+}
+
+func TestRorl(t *testing.T) {
+	c := run(t, nil,
+		I(MOVL, R(EAX), Imm(1)),
+		I(RORL, R(EAX), Imm(1)),
+	)
+	if c.R[EAX] != 0x80000000 {
+		t.Fatalf("ror = %#x", c.R[EAX])
+	}
+}

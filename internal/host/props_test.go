@@ -1,0 +1,180 @@
+package host
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"paramdbt/internal/mem"
+)
+
+// Reference models for the two-operand ALU semantics, independent of the
+// simulator's implementation.
+func refALU(op Op, dst, src uint32) (uint32, bool) {
+	switch op {
+	case ADDL:
+		return dst + src, true
+	case SUBL:
+		return dst - src, true
+	case ANDL:
+		return dst & src, true
+	case ORL:
+		return dst | src, true
+	case XORL:
+		return dst ^ src, true
+	case IMULL:
+		return dst * src, true
+	case SHLL:
+		return dst << (src & 31), true
+	case SHRL:
+		return dst >> (src & 31), true
+	case SARL:
+		return uint32(int32(dst) >> (src & 31)), true
+	}
+	return 0, false
+}
+
+// TestALUAgainstReference drives every two-operand ALU op with random
+// values through the simulator and the reference model.
+func TestALUAgainstReference(t *testing.T) {
+	ops := []Op{ADDL, SUBL, ANDL, ORL, XORL, IMULL, SHLL, SHRL, SARL}
+	f := func(opIdx uint8, dst, src uint32) bool {
+		op := ops[int(opIdx)%len(ops)]
+		c := NewCPU(mem.New())
+		c.R[EAX] = dst
+		c.R[ECX] = src
+		blk := NewBlock([]Inst{I(op, R(EAX), R(ECX)), Exit(Imm(0))}, nil)
+		if _, err := c.Exec(blk, 10); err != nil {
+			return false
+		}
+		want, _ := refALU(op, dst, src)
+		return c.R[EAX] == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCondPairsArePartitions: each x86 condition and its negation
+// partition every flag state.
+func TestCondPairsArePartitions(t *testing.T) {
+	pairs := [][2]Cond{
+		{E, NE}, {S, NS}, {O, NO}, {B, AE}, {BE, A}, {L, GE}, {LE, G},
+	}
+	for bits := 0; bits < 16; bits++ {
+		f := Flags{ZF: bits&1 != 0, SF: bits&2 != 0, CF: bits&4 != 0, OF: bits&8 != 0}
+		for _, p := range pairs {
+			if f.Eval(p[0]) == f.Eval(p[1]) {
+				t.Fatalf("conds %v/%v not complementary under %v", p[0], p[1], f)
+			}
+		}
+	}
+}
+
+// TestSignedCondsMatchArithmetic: after cmpl a,b the signed conditions
+// must equal the corresponding Go comparisons, for random operands.
+func TestSignedCondsMatchArithmetic(t *testing.T) {
+	f := func(a, b int32) bool {
+		c := NewCPU(mem.New())
+		c.R[EAX] = uint32(a)
+		blk := NewBlock([]Inst{I(CMPL, R(EAX), Imm(b)), Exit(Imm(0))}, nil)
+		if _, err := c.Exec(blk, 10); err != nil {
+			return false
+		}
+		return c.Flags.Eval(L) == (a < b) &&
+			c.Flags.Eval(GE) == (a >= b) &&
+			c.Flags.Eval(G) == (a > b) &&
+			c.Flags.Eval(LE) == (a <= b) &&
+			c.Flags.Eval(E) == (a == b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUnsignedCondsMatchArithmetic: ditto for the unsigned conditions.
+func TestUnsignedCondsMatchArithmetic(t *testing.T) {
+	f := func(a, b uint32) bool {
+		c := NewCPU(mem.New())
+		c.R[EAX] = a
+		c.R[ECX] = b
+		blk := NewBlock([]Inst{I(CMPL, R(EAX), R(ECX)), Exit(Imm(0))}, nil)
+		if _, err := c.Exec(blk, 10); err != nil {
+			return false
+		}
+		return c.Flags.Eval(B) == (a < b) &&
+			c.Flags.Eval(AE) == (a >= b) &&
+			c.Flags.Eval(A) == (a > b) &&
+			c.Flags.Eval(BE) == (a <= b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLeaMatchesAddressArithmetic: lea computes base+index*scale+disp
+// without touching flags.
+func TestLeaMatchesAddressArithmetic(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 500; trial++ {
+		base, idx := r.Uint32(), r.Uint32()
+		scale := []uint8{1, 2, 4, 8}[r.Intn(4)]
+		disp := int32(r.Intn(1 << 16))
+		c := NewCPU(mem.New())
+		c.R[EBX] = base
+		c.R[ESI] = idx
+		c.Flags = Flags{ZF: true, CF: true} // must be preserved
+		blk := NewBlock([]Inst{
+			I(LEAL, R(EAX), MemIdx(EBX, ESI, scale, disp)),
+			Exit(Imm(0)),
+		}, nil)
+		if _, err := c.Exec(blk, 10); err != nil {
+			t.Fatal(err)
+		}
+		want := base + idx*uint32(scale) + uint32(disp)
+		if c.R[EAX] != want {
+			t.Fatalf("lea = %#x, want %#x", c.R[EAX], want)
+		}
+		if !c.Flags.ZF || !c.Flags.CF {
+			t.Fatal("lea modified flags")
+		}
+	}
+}
+
+// TestMemoryOperandALU: ALU ops with memory destinations and sources
+// agree with the register forms.
+func TestMemoryOperandALU(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	ops := []Op{ADDL, SUBL, ANDL, ORL, XORL}
+	for trial := 0; trial < 500; trial++ {
+		op := ops[r.Intn(len(ops))]
+		a, b := r.Uint32(), r.Uint32()
+
+		// mem dst, reg src
+		c := NewCPU(mem.New())
+		c.R[EBX] = 0x4000
+		c.Mem.Write32(0x4000, a)
+		c.R[ECX] = b
+		blk := NewBlock([]Inst{I(op, Mem(EBX, 0), R(ECX)), Exit(Imm(0))}, nil)
+		if _, err := c.Exec(blk, 10); err != nil {
+			t.Fatal(err)
+		}
+		want, _ := refALU(op, a, b)
+		if got := c.Mem.Read32(0x4000); got != want {
+			t.Fatalf("%v mem-dst = %#x, want %#x", op, got, want)
+		}
+
+		// reg dst, mem src
+		c2 := NewCPU(mem.New())
+		c2.R[EAX] = a
+		c2.R[EBX] = 0x4000
+		c2.Mem.Write32(0x4000, b)
+		blk2 := NewBlock([]Inst{I(op, R(EAX), Mem(EBX, 0)), Exit(Imm(0))}, nil)
+		if _, err := c2.Exec(blk2, 10); err != nil {
+			t.Fatal(err)
+		}
+		if c2.R[EAX] != want {
+			t.Fatalf("%v mem-src = %#x, want %#x", op, c2.R[EAX], want)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package learn
+
+import (
+	"strings"
+	"testing"
+
+	"paramdbt/internal/env"
+	"paramdbt/internal/guest"
+	"paramdbt/internal/minic"
+	"paramdbt/internal/rule"
+)
+
+func compile(t *testing.T, p *minic.Program) *minic.Compiled {
+	t.Helper()
+	c, err := minic.Compile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// loopProg: a counted loop with arithmetic, a store and a compare.
+func loopProg() *minic.Program {
+	main := &minic.Func{
+		Name:  "main",
+		NVars: 4,
+		Body: []*minic.Stmt{
+			minic.Assign(0, minic.C(0)),
+			minic.Assign(1, minic.C(10)),
+			minic.Assign(2, minic.C(int32(env.DataBase))),
+			minic.While(minic.Cond{Op: minic.CmpNe, L: minic.V(1), R: minic.C(0)}, []*minic.Stmt{
+				minic.Assign(0, minic.B(minic.OpAdd, minic.V(0), minic.V(1))),
+				minic.Assign(0, minic.B(minic.OpXor, minic.V(0), minic.V(1))),
+				minic.Store(minic.B(minic.OpAdd, minic.V(2), minic.C(8)), minic.V(0)),
+				minic.Assign(1, minic.B(minic.OpSub, minic.V(1), minic.C(1))),
+			}),
+			minic.Return(minic.V(0)),
+		},
+	}
+	return &minic.Program{Funcs: []*minic.Func{main}}
+}
+
+func TestLearnFromLoopProgram(t *testing.T) {
+	c := compile(t, loopProg())
+	store := rule.NewStore()
+	st := FromCompiled(c, store)
+	if st.Candidates == 0 {
+		t.Fatal("no candidates extracted")
+	}
+	if st.Learned == 0 {
+		t.Fatal("no rules learned")
+	}
+	if st.Unique == 0 || st.Unique > st.Learned || st.Learned > st.Candidates {
+		t.Fatalf("funnel inconsistent: %+v", st)
+	}
+
+	dump := store.Dump()
+	for _, want := range []string{"add p", "eor p"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("expected a rule containing %q; store:\n%s", want, dump)
+		}
+	}
+}
+
+func TestLearnedRulesMatchTheBinary(t *testing.T) {
+	// Every learned rule must match at least one window of the guest
+	// binary it was learned from (sanity of the abstraction).
+	c := compile(t, loopProg())
+	store := rule.NewStore()
+	FromCompiled(c, store)
+	for _, tm := range store.All() {
+		found := false
+		for i := 0; i < len(c.GuestInsts); i++ {
+			end := i + tm.GuestLen()
+			if end > len(c.GuestInsts) {
+				break
+			}
+			if _, ok := rule.Match(tm, c.GuestInsts[i:end]); ok {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("rule %q matches nothing in its own binary", tm)
+		}
+	}
+}
+
+func TestSubsFlagRuleLearned(t *testing.T) {
+	// The fused loop decrement must yield a flag-setting subs rule.
+	c := compile(t, loopProg())
+	store := rule.NewStore()
+	FromCompiled(c, store)
+	found := false
+	for _, tm := range store.All() {
+		if len(tm.Guest) == 1 && tm.Guest[0].Op == guest.SUB && tm.Guest[0].S {
+			found = true
+			if !tm.SetsFlags || tm.FlagSrc != rule.FamSub {
+				t.Fatalf("subs rule has wrong flag metadata: %+v", tm)
+			}
+			if !tm.Flags.NZMatch {
+				t.Fatalf("subs rule lacks NZ correspondence")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no subs rule learned; store:\n%s", store.Dump())
+	}
+}
+
+func TestCallStatementsRejected(t *testing.T) {
+	callee := &minic.Func{
+		Name: "f", NArgs: 1, NVars: 2,
+		Body: []*minic.Stmt{minic.Return(minic.B(minic.OpAdd, minic.V(0), minic.C(1)))},
+	}
+	main := &minic.Func{
+		Name: "main", NVars: 2,
+		Body: []*minic.Stmt{
+			minic.Call(0, 1, minic.C(5)),
+			minic.Return(minic.V(0)),
+		},
+	}
+	c := compile(t, &minic.Program{Funcs: []*minic.Func{main, callee}})
+	store := rule.NewStore()
+	FromCompiled(c, store)
+	for _, tm := range store.All() {
+		for _, g := range tm.Guest {
+			if g.Op == guest.BL || g.Op == guest.PUSH || g.Op == guest.POP {
+				t.Fatalf("ABI instruction leaked into a rule: %q", tm)
+			}
+		}
+	}
+}
+
+func TestClzNotLearned(t *testing.T) {
+	main := &minic.Func{
+		Name: "main", NVars: 2,
+		Body: []*minic.Stmt{
+			minic.Assign(1, minic.C(12345)),
+			minic.Assign(0, minic.U(minic.OpClz, minic.V(1))),
+			minic.Return(minic.V(0)),
+		},
+	}
+	c := compile(t, &minic.Program{Funcs: []*minic.Func{main}})
+	store := rule.NewStore()
+	FromCompiled(c, store)
+	for _, tm := range store.All() {
+		for _, g := range tm.Guest {
+			if g.Op == guest.CLZ {
+				t.Fatalf("clz rule learned despite branchy host code: %q", tm)
+			}
+		}
+	}
+}
+
+func TestSpilledHostVarRejected(t *testing.T) {
+	// v3+ are stack-resident on the host but register-resident on the
+	// guest; statements over them must not become rules (operand type
+	// mismatch under strict verification). Uses v4/v5 with v0
+	// accumulating so nothing is dead-code eliminated.
+	main := &minic.Func{
+		Name: "main", NVars: 6,
+		Body: []*minic.Stmt{
+			minic.Assign(4, minic.C(3)),
+			minic.Assign(5, minic.B(minic.OpMul, minic.V(4), minic.V(4))),
+			minic.Assign(0, minic.B(minic.OpAdd, minic.V(5), minic.V(4))),
+			minic.Return(minic.V(0)),
+		},
+	}
+	c := compile(t, &minic.Program{Funcs: []*minic.Func{main}})
+	store := rule.NewStore()
+	st := FromCompiled(c, store)
+	// v4,v5 are guest-reg/host-stack: the mul statement cannot become a
+	// rule. (Statement 0 "v4 = 3" may: movl $3, slot is mem vs reg —
+	// also rejected.)
+	for _, tm := range store.All() {
+		if len(tm.Guest) == 1 && tm.Guest[0].Op == guest.MUL {
+			t.Fatalf("mul over host-spilled vars learned: %q", tm)
+		}
+	}
+	if st.Candidates == 0 {
+		t.Fatal("expected candidates even when rejected")
+	}
+}
+
+func TestDedupAcrossPrograms(t *testing.T) {
+	store := rule.NewStore()
+	c1 := compile(t, loopProg())
+	s1 := FromCompiled(c1, store)
+	before := store.Len()
+	c2 := compile(t, loopProg())
+	s2 := FromCompiled(c2, store)
+	if s2.Unique != 0 {
+		t.Fatalf("identical program yielded %d new unique rules", s2.Unique)
+	}
+	if store.Len() != before {
+		t.Fatal("store grew on duplicate program")
+	}
+	_ = s1
+}
+
+func TestFunnelShrinks(t *testing.T) {
+	// Statements > candidates > learned for a realistic mixed program.
+	main := &minic.Func{
+		Name: "main", NVars: 6,
+		Body: []*minic.Stmt{
+			minic.Assign(1, minic.C(100)),
+			minic.Assign(2, minic.B(minic.OpAdd, minic.C(2), minic.C(3))), // folds
+			minic.Assign(3, minic.B(minic.OpShl, minic.V(1), minic.C(2))),
+			minic.Assign(4, minic.B(minic.OpAnd, minic.V(3), minic.V(2))),
+			minic.Assign(0, minic.B(minic.OpOr, minic.V(4), minic.V(1))),
+			minic.Return(minic.V(0)),
+		},
+	}
+	c := compile(t, &minic.Program{Funcs: []*minic.Func{main}})
+	store := rule.NewStore()
+	st := FromCompiled(c, store)
+	if !(st.Statements >= st.Candidates && st.Candidates >= st.Learned && st.Learned >= st.Unique) {
+		t.Fatalf("funnel not monotone: %+v", st)
+	}
+}

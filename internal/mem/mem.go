@@ -1,0 +1,139 @@
+// Package mem implements the sparse paged memory shared by the guest
+// machine state and the host CPU simulator. The DBT operates in
+// "user mode": guest addresses are identity-mapped into this single
+// address space, exactly as QEMU's linux-user mode maps the guest image
+// into the emulator's own address space.
+package mem
+
+import "fmt"
+
+// PageBits is the log2 of the page size.
+const PageBits = 12
+
+// PageSize is the size in bytes of one backing page.
+const PageSize = 1 << PageBits
+
+const pageMask = PageSize - 1
+
+// Memory is a sparse 32-bit byte-addressed memory. Pages are allocated on
+// first touch; reads of untouched memory return zero, matching a freshly
+// mapped anonymous page. The zero value is ready to use.
+type Memory struct {
+	pages map[uint32]*[PageSize]byte
+}
+
+// New returns an empty memory.
+func New() *Memory {
+	return &Memory{pages: make(map[uint32]*[PageSize]byte)}
+}
+
+func (m *Memory) page(addr uint32, alloc bool) *[PageSize]byte {
+	if m.pages == nil {
+		if !alloc {
+			return nil
+		}
+		m.pages = make(map[uint32]*[PageSize]byte)
+	}
+	key := addr >> PageBits
+	p := m.pages[key]
+	if p == nil && alloc {
+		p = new([PageSize]byte)
+		m.pages[key] = p
+	}
+	return p
+}
+
+// Read8 returns the byte at addr.
+func (m *Memory) Read8(addr uint32) byte {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&pageMask]
+}
+
+// Write8 stores b at addr.
+func (m *Memory) Write8(addr uint32, b byte) {
+	m.page(addr, true)[addr&pageMask] = b
+}
+
+// Read32 returns the little-endian 32-bit word at addr. The access may
+// straddle a page boundary.
+func (m *Memory) Read32(addr uint32) uint32 {
+	if addr&pageMask <= PageSize-4 {
+		p := m.page(addr, false)
+		if p == nil {
+			return 0
+		}
+		off := addr & pageMask
+		return uint32(p[off]) | uint32(p[off+1])<<8 | uint32(p[off+2])<<16 | uint32(p[off+3])<<24
+	}
+	return uint32(m.Read8(addr)) |
+		uint32(m.Read8(addr+1))<<8 |
+		uint32(m.Read8(addr+2))<<16 |
+		uint32(m.Read8(addr+3))<<24
+}
+
+// Write32 stores v little-endian at addr.
+func (m *Memory) Write32(addr uint32, v uint32) {
+	if addr&pageMask <= PageSize-4 {
+		p := m.page(addr, true)
+		off := addr & pageMask
+		p[off] = byte(v)
+		p[off+1] = byte(v >> 8)
+		p[off+2] = byte(v >> 16)
+		p[off+3] = byte(v >> 24)
+		return
+	}
+	m.Write8(addr, byte(v))
+	m.Write8(addr+1, byte(v>>8))
+	m.Write8(addr+2, byte(v>>16))
+	m.Write8(addr+3, byte(v>>24))
+}
+
+// Write8s copies b into memory starting at addr.
+func (m *Memory) Write8s(addr uint32, b []byte) {
+	for i, c := range b {
+		m.Write8(addr+uint32(i), c)
+	}
+}
+
+// Read8s copies n bytes starting at addr into a fresh slice.
+func (m *Memory) Read8s(addr uint32, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = m.Read8(addr + uint32(i))
+	}
+	return out
+}
+
+// PageCount reports the number of allocated pages, for tests and
+// diagnostics.
+func (m *Memory) PageCount() int { return len(m.pages) }
+
+// Reset drops every allocated page.
+func (m *Memory) Reset() { m.pages = make(map[uint32]*[PageSize]byte) }
+
+// Clone returns a deep copy of the memory. Used by the differential
+// testers to run the same program under two engines.
+func (m *Memory) Clone() *Memory {
+	c := New()
+	for k, p := range m.pages {
+		cp := *p
+		c.pages[k] = &cp
+	}
+	return c
+}
+
+// Dump formats a hex dump of n bytes at addr, for debugging.
+func (m *Memory) Dump(addr uint32, n int) string {
+	s := ""
+	for i := 0; i < n; i += 16 {
+		s += fmt.Sprintf("%08x:", addr+uint32(i))
+		for j := 0; j < 16 && i+j < n; j++ {
+			s += fmt.Sprintf(" %02x", m.Read8(addr+uint32(i+j)))
+		}
+		s += "\n"
+	}
+	return s
+}

@@ -1,0 +1,116 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueUsable(t *testing.T) {
+	var m Memory
+	if got := m.Read8(0x1000); got != 0 {
+		t.Fatalf("fresh read = %d, want 0", got)
+	}
+	m.Write8(0x1000, 7)
+	if got := m.Read8(0x1000); got != 7 {
+		t.Fatalf("read after write = %d, want 7", got)
+	}
+}
+
+func TestRead32RoundTrip(t *testing.T) {
+	m := New()
+	m.Write32(0x2000, 0xdeadbeef)
+	if got := m.Read32(0x2000); got != 0xdeadbeef {
+		t.Fatalf("Read32 = %#x", got)
+	}
+}
+
+func TestStraddlePage(t *testing.T) {
+	m := New()
+	addr := uint32(PageSize - 2)
+	m.Write32(addr, 0x01020304)
+	if got := m.Read32(addr); got != 0x01020304 {
+		t.Fatalf("straddling Read32 = %#x", got)
+	}
+	if m.PageCount() != 2 {
+		t.Fatalf("PageCount = %d, want 2", m.PageCount())
+	}
+}
+
+func TestUntouchedReadsZero(t *testing.T) {
+	m := New()
+	if got := m.Read32(0xffff0000); got != 0 {
+		t.Fatalf("untouched Read32 = %#x, want 0", got)
+	}
+	if m.PageCount() != 0 {
+		t.Fatalf("read allocated a page")
+	}
+}
+
+func TestWriteRead8s(t *testing.T) {
+	m := New()
+	data := []byte("hello, dbt")
+	m.Write8s(0x3000, data)
+	got := m.Read8s(0x3000, len(data))
+	if string(got) != string(data) {
+		t.Fatalf("Read8s = %q", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := New()
+	m.Write32(0x100, 42)
+	c := m.Clone()
+	c.Write32(0x100, 99)
+	if m.Read32(0x100) != 42 {
+		t.Fatal("clone aliased original")
+	}
+	if c.Read32(0x100) != 99 {
+		t.Fatal("clone write lost")
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := New()
+	m.Write32(0x100, 42)
+	m.Reset()
+	if m.Read32(0x100) != 0 || m.PageCount() != 0 {
+		t.Fatal("Reset did not clear memory")
+	}
+}
+
+// Property: Write32 then Read32 at any address returns the written value.
+func TestWrite32Read32Property(t *testing.T) {
+	m := New()
+	f := func(addr, v uint32) bool {
+		m.Write32(addr, v)
+		return m.Read32(addr) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: byte-wise assembly agrees with Read32 (little endian).
+func TestEndiannessProperty(t *testing.T) {
+	m := New()
+	f := func(addr, v uint32) bool {
+		m.Write32(addr, v)
+		w := uint32(m.Read8(addr)) |
+			uint32(m.Read8(addr+1))<<8 |
+			uint32(m.Read8(addr+2))<<16 |
+			uint32(m.Read8(addr+3))<<24
+		return w == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDumpFormat(t *testing.T) {
+	m := New()
+	m.Write8(0, 0xab)
+	s := m.Dump(0, 16)
+	if len(s) == 0 || s[0] != '0' {
+		t.Fatalf("Dump = %q", s)
+	}
+}

@@ -1,0 +1,222 @@
+// Package minic implements the mini imperative language and the dual
+// compiler that stands in for gcc/LLVM in the learning pipeline: the
+// same program is compiled to the guest ISA (where it actually runs
+// under the DBT) and to the host ISA (used only as learning material),
+// with a per-statement line table whose accuracy degrades under
+// optimization — the mechanism behind the paper's candidate-yield
+// funnel (Table I).
+package minic
+
+import "fmt"
+
+// BinOp is a binary operator of the language. The operator palette
+// deliberately spans the guest ISA's data-processing opcodes so workload
+// profiles can tune instruction mixes.
+type BinOp uint8
+
+// Binary operators.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpRsb // reverse subtract (r - l)
+	OpMul
+	OpAnd
+	OpOr
+	OpXor
+	OpBic // l &^ r
+	OpShl
+	OpShr
+	OpSar
+	OpRor
+	numBinOps
+)
+
+// NumBinOps is the number of binary operators.
+const NumBinOps = int(numBinOps)
+
+// String names the operator.
+func (o BinOp) String() string {
+	return [...]string{"+", "-", "rsb", "*", "&", "|", "^", "&^", "<<", ">>u", ">>s", "ror"}[o]
+}
+
+// UnOp is a unary operator.
+type UnOp uint8
+
+// Unary operators.
+const (
+	OpNot UnOp = iota // bitwise complement
+	OpNeg
+	OpClz // count leading zeros intrinsic
+)
+
+// CmpOp is a comparison operator for conditions.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	CmpEq CmpOp = iota
+	CmpNe
+	CmpLt  // signed
+	CmpGe  // signed
+	CmpGt  // signed
+	CmpLe  // signed
+	CmpLoU // unsigned <
+	CmpHsU // unsigned >=
+)
+
+// ExprKind tags expressions.
+type ExprKind uint8
+
+// Expression kinds.
+const (
+	EConst ExprKind = iota
+	EVar
+	EBin
+	EUn
+	ELoad // mem[addr]
+)
+
+// Expr is an expression tree node.
+type Expr struct {
+	Kind ExprKind
+	Val  int32 // EConst
+	Var  int   // EVar
+	Op   BinOp // EBin
+	UOp  UnOp  // EUn
+	L, R *Expr
+	Byte bool // ELoad: byte-sized load
+}
+
+// C returns a constant expression.
+func C(v int32) *Expr { return &Expr{Kind: EConst, Val: v} }
+
+// V returns a variable reference.
+func V(i int) *Expr { return &Expr{Kind: EVar, Var: i} }
+
+// B returns a binary expression.
+func B(op BinOp, l, r *Expr) *Expr { return &Expr{Kind: EBin, Op: op, L: l, R: r} }
+
+// U returns a unary expression.
+func U(op UnOp, x *Expr) *Expr { return &Expr{Kind: EUn, UOp: op, L: x} }
+
+// LoadE returns a 32-bit memory load at the address expression.
+func LoadE(addr *Expr) *Expr { return &Expr{Kind: ELoad, L: addr} }
+
+// LoadB returns a byte memory load.
+func LoadB(addr *Expr) *Expr { return &Expr{Kind: ELoad, L: addr, Byte: true} }
+
+// Cond is a branch condition.
+type Cond struct {
+	Op   CmpOp
+	L, R *Expr
+}
+
+// StmtKind tags statements.
+type StmtKind uint8
+
+// Statement kinds.
+const (
+	SAssign StmtKind = iota
+	SStore           // mem[addr] = value
+	SIf
+	SWhile
+	SCall   // dst = f(args...) (dst < 0 discards)
+	SReturn // return value
+)
+
+// Stmt is one source statement. ID is the global statement number used
+// by the line table; it is assigned by Number.
+type Stmt struct {
+	ID   int
+	Kind StmtKind
+
+	Dst  int   // SAssign, SCall destination variable (SCall: -1 = none)
+	E    *Expr // SAssign value, SStore value, SReturn value
+	Addr *Expr // SStore address
+	Byte bool  // SStore: byte-sized store
+
+	Cond       Cond // SIf, SWhile
+	Then, Else []*Stmt
+	Body       []*Stmt
+
+	Callee int     // SCall: function index
+	Args   []*Expr // SCall
+}
+
+// Assign builds dst = e.
+func Assign(dst int, e *Expr) *Stmt { return &Stmt{Kind: SAssign, Dst: dst, E: e} }
+
+// Store builds mem[addr] = e.
+func Store(addr, e *Expr) *Stmt { return &Stmt{Kind: SStore, Addr: addr, E: e} }
+
+// StoreB builds a byte store.
+func StoreB(addr, e *Expr) *Stmt { return &Stmt{Kind: SStore, Addr: addr, E: e, Byte: true} }
+
+// If builds a two-armed conditional.
+func If(c Cond, then, els []*Stmt) *Stmt { return &Stmt{Kind: SIf, Cond: c, Then: then, Else: els} }
+
+// While builds a loop.
+func While(c Cond, body []*Stmt) *Stmt { return &Stmt{Kind: SWhile, Cond: c, Body: body} }
+
+// Call builds dst = funcs[callee](args...).
+func Call(dst, callee int, args ...*Expr) *Stmt {
+	return &Stmt{Kind: SCall, Dst: dst, Callee: callee, Args: args}
+}
+
+// Return builds return e (e may be nil).
+func Return(e *Expr) *Stmt { return &Stmt{Kind: SReturn, E: e} }
+
+// Func is one function: NArgs arguments (variables 0..NArgs-1) and
+// NVars total variables.
+type Func struct {
+	Name  string
+	NArgs int
+	NVars int
+	Body  []*Stmt
+}
+
+// Program is a compilation unit. Funcs[0] is the entry point.
+type Program struct {
+	Funcs []*Func
+}
+
+// Number assigns sequential IDs to every statement (including nested
+// ones) and returns the total statement count. It must be called before
+// compilation.
+func (p *Program) Number() int {
+	id := 0
+	var walk func(ss []*Stmt)
+	walk = func(ss []*Stmt) {
+		for _, s := range ss {
+			s.ID = id
+			id++
+			walk(s.Then)
+			walk(s.Else)
+			walk(s.Body)
+		}
+	}
+	for _, f := range p.Funcs {
+		walk(f.Body)
+	}
+	return id
+}
+
+// String renders an expression for diagnostics.
+func (e *Expr) String() string {
+	switch e.Kind {
+	case EConst:
+		return fmt.Sprintf("%d", e.Val)
+	case EVar:
+		return fmt.Sprintf("v%d", e.Var)
+	case EBin:
+		return fmt.Sprintf("(%s %s %s)", e.L, e.Op, e.R)
+	case EUn:
+		return fmt.Sprintf("u%d(%s)", e.UOp, e.L)
+	case ELoad:
+		if e.Byte {
+			return fmt.Sprintf("mem8[%s]", e.L)
+		}
+		return fmt.Sprintf("mem[%s]", e.L)
+	}
+	return "?"
+}

@@ -1,0 +1,524 @@
+package minic
+
+import (
+	"fmt"
+
+	"paramdbt/internal/guest"
+)
+
+// Guest calling convention: arguments arrive in r0..r3 and are relocated
+// to allocated homes in the prologue; locals live in r4..r9 and then in
+// stack slots; r10..r12 are expression temporaries; return value in r0.
+// Callee saves the r4..r9 registers it uses plus lr with push/pop — the
+// ABI-tied instructions that, exactly as in the paper, never become
+// translation rules.
+
+// GLoc is a guest variable location.
+type GLoc struct {
+	InReg bool
+	Reg   guest.Reg
+	Slot  int // stack slot index when !InReg
+}
+
+// GenEntry attributes an instruction interval to a statement occurrence.
+type GenEntry struct {
+	Stmt  int
+	Start int
+	End   int // exclusive
+}
+
+// GuestFunc is the output of the guest code generator for one function.
+type GuestFunc struct {
+	Insts   []guest.Inst
+	Entries []GenEntry
+	Locs    map[int]GLoc
+	// CallSites maps instruction index -> callee function index; the
+	// linker resolves them.
+	CallSites map[int]int
+}
+
+var guestTempPool = []guest.Reg{guest.R10, guest.R11, guest.R12}
+var guestLocalRegs = []guest.Reg{guest.R4, guest.R5, guest.R6, guest.R7, guest.R8, guest.R9}
+
+type gg struct {
+	f     *Func
+	out   []guest.Inst
+	locs  map[int]GLoc
+	temps map[guest.Reg]bool
+	calls map[int]int
+
+	entries []GenEntry
+
+	labels    map[int]int // label id -> instruction index
+	nextLabel int
+	fixups    []int // instruction indices holding label ids in Imm
+
+	// lastALU supports compare-with-zero fusion: the index of the last
+	// emitted data-processing instruction whose destination is a
+	// variable's home register, valid only when it is the most recent
+	// instruction.
+	lastALUVar  int
+	lastALUInst int
+
+	frameSlots int
+	err        error
+}
+
+func (g *gg) fail(format string, args ...interface{}) {
+	if g.err == nil {
+		g.err = fmt.Errorf("minic/guest: "+format, args...)
+	}
+}
+
+func (g *gg) emit(in guest.Inst) int {
+	g.out = append(g.out, in)
+	return len(g.out) - 1
+}
+
+func (g *gg) newLabel() int { g.nextLabel++; return g.nextLabel }
+func (g *gg) bind(l int)    { g.labels[l] = len(g.out); g.lastALUVar = -1 }
+
+// branch emits a branch to a label; the offset is fixed up later.
+func (g *gg) branch(cond guest.Cond, label int) {
+	idx := g.emit(guest.NewInst(guest.B, guest.ImmOp(int32(label))).WithCond(cond))
+	g.fixups = append(g.fixups, idx)
+	g.lastALUVar = -1
+}
+
+func (g *gg) allocTemp() guest.Reg {
+	for _, r := range guestTempPool {
+		if !g.temps[r] {
+			g.temps[r] = true
+			return r
+		}
+	}
+	g.fail("out of expression temporaries (expression too deep)")
+	return guest.R10
+}
+
+func (g *gg) release(r guest.Reg) {
+	for _, t := range guestTempPool {
+		if t == r {
+			delete(g.temps, r)
+		}
+	}
+}
+
+func (g *gg) releaseOp(o guest.Operand) {
+	if o.Kind == guest.KindReg {
+		g.release(o.Reg)
+	}
+	if o.Kind == guest.KindMem {
+		g.release(o.Base)
+		if o.HasIdx {
+			g.release(o.Idx)
+		}
+	}
+}
+
+// slotMem returns the stack-slot operand for a spilled variable.
+func (g *gg) slotMem(slot int) guest.Operand {
+	return guest.MemOp(guest.SP, int32(4*slot))
+}
+
+// buildConst materializes an arbitrary 32-bit constant into dst.
+func (g *gg) buildConst(dst guest.Reg, v int32) {
+	u := uint32(v)
+	switch {
+	case u <= 255:
+		g.emit(guest.NewInst(guest.MOV, guest.RegOp(dst), guest.ImmOp(v)))
+	case ^u <= 255:
+		g.emit(guest.NewInst(guest.MVN, guest.RegOp(dst), guest.ImmOp(int32(^u))))
+	default:
+		// Byte-by-byte construction (movw/movt stand-in).
+		g.emit(guest.NewInst(guest.MOV, guest.RegOp(dst), guest.ImmOp(int32(u>>24))))
+		for sh := 16; sh >= 0; sh -= 8 {
+			g.emit(guest.NewInst(guest.LSL, guest.RegOp(dst), guest.RegOp(dst), guest.ImmOp(8)))
+			if b := int32(u >> uint(sh) & 0xff); b != 0 {
+				g.emit(guest.NewInst(guest.ORR, guest.RegOp(dst), guest.RegOp(dst), guest.ImmOp(b)))
+			}
+		}
+	}
+}
+
+// genReg evaluates e into a register (a variable's home register or a
+// temp the caller must release).
+func (g *gg) genReg(e *Expr) guest.Reg {
+	switch e.Kind {
+	case EVar:
+		loc := g.locs[e.Var]
+		if loc.InReg {
+			return loc.Reg
+		}
+		t := g.allocTemp()
+		g.emit(guest.NewInst(guest.LDR, guest.RegOp(t), g.slotMem(loc.Slot)))
+		return t
+	case EConst:
+		t := g.allocTemp()
+		g.buildConst(t, e.Val)
+		return t
+	default:
+		o := g.genValue(e, guest.Reg(0xff))
+		return o
+	}
+}
+
+// genOperand evaluates e into an operand usable as the second source of
+// a data-processing instruction (register or encodable immediate).
+func (g *gg) genOperand(e *Expr) guest.Operand {
+	if e.Kind == EConst && e.Val >= 0 && e.Val <= 255 {
+		return guest.ImmOp(e.Val)
+	}
+	return guest.RegOp(g.genReg(e))
+}
+
+var guestBinOp = map[BinOp]guest.Op{
+	OpAdd: guest.ADD, OpSub: guest.SUB, OpRsb: guest.RSB, OpMul: guest.MUL,
+	OpAnd: guest.AND, OpOr: guest.ORR, OpXor: guest.EOR, OpBic: guest.BIC,
+	OpShl: guest.LSL, OpShr: guest.LSR, OpSar: guest.ASR, OpRor: guest.ROR,
+}
+
+// genValue evaluates a non-leaf expression into dst (or a fresh temp
+// when dst == 0xff) and returns the result register.
+func (g *gg) genValue(e *Expr, dst guest.Reg) guest.Reg {
+	target := func() guest.Reg {
+		if dst != 0xff {
+			return dst
+		}
+		return g.allocTemp()
+	}
+	switch e.Kind {
+	case EConst:
+		d := target()
+		g.buildConst(d, e.Val)
+		return d
+	case EVar:
+		src := g.genReg(e)
+		if dst == 0xff {
+			return src
+		}
+		if src != dst {
+			g.emit(guest.NewInst(guest.MOV, guest.RegOp(dst), guest.RegOp(src)))
+			g.release(src)
+		}
+		return dst
+	case EBin:
+		op, ok := guestBinOp[e.Op]
+		if !ok {
+			g.fail("no guest op for %v", e.Op)
+			return 0
+		}
+		// MUL cannot take an immediate operand in the ISA.
+		var b guest.Operand
+		a := g.genReg(e.L)
+		if op == guest.MUL {
+			b = guest.RegOp(g.genReg(e.R))
+		} else {
+			b = g.genOperand(e.R)
+		}
+		d := target()
+		idx := g.emit(guest.NewInst(op, guest.RegOp(d), guest.RegOp(a), b))
+		if a != d {
+			g.release(a)
+		}
+		if b.Kind == guest.KindReg && b.Reg != d {
+			g.release(b.Reg)
+		}
+		g.noteALU(d, idx)
+		return d
+	case EUn:
+		d := target()
+		switch e.UOp {
+		case OpNot:
+			x := g.genOperand(e.L)
+			g.emit(guest.NewInst(guest.MVN, guest.RegOp(d), x))
+			g.releaseOp(x)
+		case OpNeg:
+			x := g.genReg(e.L)
+			g.emit(guest.NewInst(guest.RSB, guest.RegOp(d), guest.RegOp(x), guest.ImmOp(0)))
+			if x != d {
+				g.release(x)
+			}
+		case OpClz:
+			x := g.genReg(e.L)
+			g.emit(guest.NewInst(guest.CLZ, guest.RegOp(d), guest.RegOp(x)))
+			if x != d {
+				g.release(x)
+			}
+		}
+		return d
+	case ELoad:
+		m := g.genAddr(e.L)
+		d := target()
+		op := guest.LDR
+		if e.Byte {
+			op = guest.LDRB
+		}
+		g.emit(guest.NewInst(op, guest.RegOp(d), m))
+		g.releaseOp(m)
+		return d
+	}
+	g.fail("bad expression")
+	return 0
+}
+
+// genAddr lowers an address expression into a memory operand, folding
+// base+small-const into a displacement and base+reg into an indexed
+// form.
+func (g *gg) genAddr(e *Expr) guest.Operand {
+	if e.Kind == EBin && e.Op == OpAdd {
+		if e.R.Kind == EConst && e.R.Val >= 0 && e.R.Val <= 255 {
+			return guest.MemOp(g.genReg(e.L), e.R.Val)
+		}
+		base := g.genReg(e.L)
+		idx := g.genReg(e.R)
+		return guest.MemIdxOp(base, idx)
+	}
+	return guest.MemOp(g.genReg(e), 0)
+}
+
+func (g *gg) noteALU(dst guest.Reg, inst int) {
+	for v, loc := range g.locs {
+		if loc.InReg && loc.Reg == dst {
+			g.lastALUVar = v
+			g.lastALUInst = inst
+			return
+		}
+	}
+	g.lastALUVar = -1
+}
+
+var guestCmpCond = map[CmpOp]guest.Cond{
+	CmpEq: guest.EQ, CmpNe: guest.NE, CmpLt: guest.LT, CmpGe: guest.GE,
+	CmpGt: guest.GT, CmpLe: guest.LE, CmpLoU: guest.CC, CmpHsU: guest.CS,
+}
+
+// fusableCmp reports whether a condition can reuse the flags of the
+// preceding flag-settable ALU instruction (comparison against zero with
+// an N/Z-only condition).
+func fusableCmp(c Cond, lastVar int) bool {
+	if lastVar < 0 || c.L.Kind != EVar || c.L.Var != lastVar {
+		return false
+	}
+	if c.R.Kind != EConst || c.R.Val != 0 {
+		return false
+	}
+	switch c.Op {
+	case CmpEq, CmpNe, CmpLt, CmpGe:
+		return true
+	}
+	return false
+}
+
+// fusedCond maps a zero-comparison to the condition code testing the
+// flags an S-suffixed ALU leaves: the sign and zero of the result itself
+// (MI/PL rather than LT/GE, since the ALU's V reflects the operation,
+// not the comparison).
+var fusedCond = map[CmpOp]guest.Cond{
+	CmpEq: guest.EQ, CmpNe: guest.NE, CmpLt: guest.MI, CmpGe: guest.PL,
+}
+
+// condBranch evaluates the condition and branches to label when the
+// condition's truth equals whenTrue.
+func (g *gg) condBranch(c Cond, label int, whenTrue bool) {
+	if fusableCmp(c, g.lastALUVar) && g.lastALUInst == len(g.out)-1 {
+		// Set the S bit on the producing instruction; skip the compare.
+		g.out[g.lastALUInst].S = true
+		cond := fusedCond[c.Op]
+		if !whenTrue {
+			cond = cond.Invert()
+		}
+		g.branch(cond, label)
+		return
+	}
+	{
+		l := g.genReg(c.L)
+		r := g.genOperand(c.R)
+		g.emit(guest.NewInst(guest.CMP, guest.RegOp(l), r))
+		g.release(l)
+		g.releaseOp(r)
+	}
+	cond := guestCmpCond[c.Op]
+	if !whenTrue {
+		cond = cond.Invert()
+	}
+	g.branch(cond, label)
+}
+
+func (g *gg) stmt(s *Stmt) {
+	start := len(g.out)
+	switch s.Kind {
+	case SAssign:
+		loc := g.locs[s.Dst]
+		if loc.InReg {
+			res := g.genValue(s.E, loc.Reg)
+			if res != loc.Reg {
+				g.emit(guest.NewInst(guest.MOV, guest.RegOp(loc.Reg), guest.RegOp(res)))
+				g.release(res)
+			}
+		} else {
+			r := g.genReg(s.E)
+			g.emit(guest.NewInst(guest.STR, guest.RegOp(r), g.slotMem(loc.Slot)))
+			g.release(r)
+		}
+		g.record(s, start)
+
+	case SStore:
+		m := g.genAddr(s.Addr)
+		v := g.genReg(s.E)
+		op := guest.STR
+		if s.Byte {
+			op = guest.STRB
+		}
+		g.emit(guest.NewInst(op, guest.RegOp(v), m))
+		g.release(v)
+		g.releaseOp(m)
+		g.record(s, start)
+
+	case SIf:
+		elseL := g.newLabel()
+		endL := g.newLabel()
+		g.condBranch(s.Cond, elseL, false)
+		g.record(s, start)
+		for _, n := range s.Then {
+			g.stmt(n)
+		}
+		if len(s.Else) > 0 {
+			g.branch(guest.AL, endL)
+			g.bind(elseL)
+			for _, n := range s.Else {
+				g.stmt(n)
+			}
+			g.bind(endL)
+		} else {
+			g.bind(elseL)
+		}
+
+	case SWhile:
+		// Rotated loop (-O2 loop inversion): guard, body, bottom test.
+		endL := g.newLabel()
+		headL := g.newLabel()
+		g.condBranch(s.Cond, endL, false)
+		g.record(s, start)
+		g.bind(headL)
+		for _, n := range s.Body {
+			g.stmt(n)
+		}
+		bottom := len(g.out)
+		g.condBranch(s.Cond, headL, true)
+		g.entries = append(g.entries, GenEntry{Stmt: s.ID, Start: bottom, End: len(g.out)})
+		g.bind(endL)
+
+	case SCall:
+		// Marshal into r0..r3, call, collect result.
+		if len(s.Args) > 4 {
+			g.fail("too many call arguments")
+			return
+		}
+		for i, a := range s.Args {
+			r := g.genValue(a, guest.Reg(i))
+			if r != guest.Reg(i) {
+				g.emit(guest.NewInst(guest.MOV, guest.RegOp(guest.Reg(i)), guest.RegOp(r)))
+				g.release(r)
+			}
+		}
+		idx := g.emit(guest.NewInst(guest.BL, guest.ImmOp(0)))
+		g.calls[idx] = s.Callee
+		g.lastALUVar = -1
+		if s.Dst >= 0 {
+			loc := g.locs[s.Dst]
+			if loc.InReg {
+				g.emit(guest.NewInst(guest.MOV, guest.RegOp(loc.Reg), guest.RegOp(guest.R0)))
+			} else {
+				g.emit(guest.NewInst(guest.STR, guest.RegOp(guest.R0), g.slotMem(loc.Slot)))
+			}
+		}
+		g.record(s, start)
+
+	case SReturn:
+		if s.E != nil {
+			r := g.genValue(s.E, guest.R0)
+			if r != guest.R0 {
+				g.emit(guest.NewInst(guest.MOV, guest.RegOp(guest.R0), guest.RegOp(r)))
+				g.release(r)
+			}
+		}
+		g.branch(guest.AL, 0) // label 0 = epilogue
+		g.record(s, start)
+	}
+}
+
+func (g *gg) record(s *Stmt, start int) {
+	if len(g.out) > start {
+		g.entries = append(g.entries, GenEntry{Stmt: s.ID, Start: start, End: len(g.out)})
+	}
+}
+
+// GenGuest compiles one function to guest code.
+func GenGuest(f *Func) (*GuestFunc, error) {
+	g := &gg{
+		f:          f,
+		locs:       map[int]GLoc{},
+		temps:      map[guest.Reg]bool{},
+		calls:      map[int]int{},
+		labels:     map[int]int{},
+		lastALUVar: -1,
+	}
+	// Allocate variables: first to the local registers, then to slots.
+	for v := 0; v < f.NVars; v++ {
+		if v < len(guestLocalRegs) {
+			g.locs[v] = GLoc{InReg: true, Reg: guestLocalRegs[v]}
+		} else {
+			g.locs[v] = GLoc{Slot: g.frameSlots}
+			g.frameSlots++
+		}
+	}
+
+	// Prologue: save callee-saved registers and lr, carve the frame,
+	// relocate incoming arguments.
+	var saved uint16
+	for v := 0; v < f.NVars && v < len(guestLocalRegs); v++ {
+		saved |= 1 << uint(guestLocalRegs[v])
+	}
+	saved |= 1 << uint(guest.LR)
+	g.emit(guest.NewInst(guest.PUSH, guest.Operand{Kind: guest.KindRegList, List: saved}))
+	if g.frameSlots > 0 {
+		g.emit(guest.NewInst(guest.SUB, guest.RegOp(guest.SP), guest.RegOp(guest.SP), guest.ImmOp(int32(4*g.frameSlots))))
+	}
+	for a := 0; a < f.NArgs; a++ {
+		loc := g.locs[a]
+		if loc.InReg {
+			g.emit(guest.NewInst(guest.MOV, guest.RegOp(loc.Reg), guest.RegOp(guest.Reg(a))))
+		} else {
+			g.emit(guest.NewInst(guest.STR, guest.RegOp(guest.Reg(a)), g.slotMem(loc.Slot)))
+		}
+	}
+
+	for _, s := range f.Body {
+		g.stmt(s)
+	}
+
+	// Epilogue (label 0).
+	g.labels[0] = len(g.out)
+	if g.frameSlots > 0 {
+		g.emit(guest.NewInst(guest.ADD, guest.RegOp(guest.SP), guest.RegOp(guest.SP), guest.ImmOp(int32(4*g.frameSlots))))
+	}
+	g.emit(guest.NewInst(guest.POP, guest.Operand{Kind: guest.KindRegList, List: saved}))
+	g.emit(guest.NewInst(guest.BX, guest.RegOp(guest.LR)))
+
+	if g.err != nil {
+		return nil, g.err
+	}
+
+	// Resolve local branch labels.
+	for _, idx := range g.fixups {
+		label := int(g.out[idx].Ops[0].Imm)
+		target, ok := g.labels[label]
+		if !ok {
+			return nil, fmt.Errorf("minic/guest: unresolved label %d", label)
+		}
+		g.out[idx].Ops[0].Imm = int32(target - (idx + 1))
+	}
+
+	return &GuestFunc{Insts: g.out, Entries: g.entries, Locs: g.locs, CallSites: g.calls}, nil
+}

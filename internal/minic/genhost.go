@@ -1,0 +1,552 @@
+package minic
+
+import (
+	"fmt"
+
+	"paramdbt/internal/host"
+)
+
+// Host calling convention (learning-only code, never executed): arguments
+// arrive in eax/edx/ecx and are relocated to homes in ebx/esi/edi and
+// then stack slots; eax/ecx/edx are expression temporaries; return value
+// in eax. The two-address instruction set forces auxiliary moves — the
+// paper's Fig. 6 "auxiliary instructions" — and spilled variables appear
+// as memory operands, which the strict verifier then rejects against
+// register-resident guest operands, reproducing the candidate drop.
+
+// HLoc is a host variable location.
+type HLoc struct {
+	InReg bool
+	Reg   host.Reg
+	Slot  int
+}
+
+// HostFunc is the host code generator's output for one function.
+type HostFunc struct {
+	Insts   []host.Inst
+	Entries []GenEntry
+	Locs    map[int]HLoc
+}
+
+var hostArgRegs = []host.Reg{host.EAX, host.EDX, host.ECX}
+
+// hostLocalRegs includes EBP: the host compiler emits
+// frame-pointer-omitted code (ESP-relative slots), freeing EBP as a
+// variable home the way -fomit-frame-pointer does. Host binaries are
+// learning material only, so this never collides with the DBT's
+// EBP-holds-CPUState convention: rules store parameters, not registers.
+var hostLocalRegs = []host.Reg{host.EBX, host.ESI, host.EDI, host.EBP}
+var hostTempPool = []host.Reg{host.EAX, host.ECX, host.EDX}
+
+type hg struct {
+	f     *Func
+	out   []host.Inst
+	locs  map[int]HLoc
+	temps map[host.Reg]bool
+
+	entries []GenEntry
+
+	nextLabel int
+	// labels are only markers for sequence realism; host code is never
+	// executed, so branch targets stay symbolic label ids.
+
+	lastALUVar  int
+	lastALUInst int
+
+	frameSlots int
+	style      int // per-function code-style variation (lea usage etc.)
+	err        error
+}
+
+func (h *hg) fail(format string, args ...interface{}) {
+	if h.err == nil {
+		h.err = fmt.Errorf("minic/host: "+format, args...)
+	}
+}
+
+func (h *hg) emit(in host.Inst) int {
+	h.out = append(h.out, in)
+	return len(h.out) - 1
+}
+
+func (h *hg) newLabel() int { h.nextLabel++; return h.nextLabel }
+
+func (h *hg) allocTemp() host.Reg {
+	for _, r := range hostTempPool {
+		if !h.temps[r] {
+			h.temps[r] = true
+			return r
+		}
+	}
+	h.fail("out of host temporaries")
+	return host.EAX
+}
+
+func (h *hg) release(r host.Reg) {
+	for _, t := range hostTempPool {
+		if t == r {
+			delete(h.temps, r)
+		}
+	}
+}
+
+func (h *hg) releaseOp(o host.Operand) {
+	switch o.Kind {
+	case host.KindReg:
+		h.release(o.Reg)
+	case host.KindMem:
+		h.release(o.Base)
+		if o.Scale != 0 {
+			h.release(o.Index)
+		}
+	}
+}
+
+func (h *hg) slotMem(slot int) host.Operand {
+	return host.Mem(host.ESP, int32(4*slot))
+}
+
+// genOp evaluates e into any operand (register, immediate, or a
+// variable's memory slot).
+func (h *hg) genOp(e *Expr) host.Operand {
+	switch e.Kind {
+	case EConst:
+		return host.Imm(e.Val)
+	case EVar:
+		loc := h.locs[e.Var]
+		if loc.InReg {
+			return host.R(loc.Reg)
+		}
+		return h.slotMem(loc.Slot)
+	default:
+		return host.R(h.genValue(e, 0xff))
+	}
+}
+
+// genReg forces e into a register.
+func (h *hg) genReg(e *Expr) host.Reg {
+	if e.Kind == EVar {
+		loc := h.locs[e.Var]
+		if loc.InReg {
+			return loc.Reg
+		}
+	}
+	return h.genValue(e, 0xff)
+}
+
+var hostBinOp = map[BinOp]host.Op{
+	OpAdd: host.ADDL, OpSub: host.SUBL, OpMul: host.IMULL,
+	OpAnd: host.ANDL, OpOr: host.ORL, OpXor: host.XORL,
+	OpShl: host.SHLL, OpShr: host.SHRL, OpSar: host.SARL, OpRor: host.RORL,
+}
+
+func isPow2(v int32) (int32, bool) {
+	if v > 1 && v&(v-1) == 0 {
+		n := int32(0)
+		for x := v; x > 1; x >>= 1 {
+			n++
+		}
+		return n, true
+	}
+	return 0, false
+}
+
+// genValue evaluates a non-leaf expression into dst (0xff = fresh temp).
+func (h *hg) genValue(e *Expr, dst host.Reg) host.Reg {
+	target := func() host.Reg {
+		if dst != 0xff {
+			return dst
+		}
+		return h.allocTemp()
+	}
+	switch e.Kind {
+	case EConst:
+		d := target()
+		h.emit(host.I(host.MOVL, host.R(d), host.Imm(e.Val)))
+		return d
+	case EVar:
+		o := h.genOp(e)
+		if dst == 0xff && o.Kind == host.KindReg {
+			return o.Reg
+		}
+		d := target()
+		if o.Kind != host.KindReg || o.Reg != d {
+			h.emit(host.I(host.MOVL, host.R(d), o))
+		}
+		return d
+	case EBin:
+		return h.genBin(e, dst, target)
+	case EUn:
+		x := h.genOp(e.L)
+		h.releaseOp(x)
+		d := target()
+		switch e.UOp {
+		case OpNot:
+			h.emit(host.I(host.MOVL, host.R(d), x))
+			h.emit(host.I1(host.NOTL, host.R(d)))
+		case OpNeg:
+			h.emit(host.I(host.MOVL, host.R(d), x))
+			h.emit(host.I1(host.NEGL, host.R(d)))
+		case OpClz:
+			// Branchy bsr sequence: unverifiable on purpose (clz is one
+			// of the paper's seven unlearnable instructions).
+			skip := h.newLabel()
+			h.emit(host.I(host.MOVL, host.R(d), host.Imm(32)))
+			h.emit(host.I(host.BSRL, host.R(d), x))
+			h.emit(host.Jcc(host.E, skip))
+			h.emit(host.I(host.XORL, host.R(d), host.Imm(31)))
+		}
+		h.releaseOp(x)
+		// No noteALU: notl/negl do not set usable flags on the host, so
+		// conditions over unary results are never fusion-eligible here
+		// (the guest side still fuses, and the verifier rejects the
+		// mismatched branch-tail candidates).
+		return d
+	case ELoad:
+		m := h.genAddr(e.L)
+		d := target()
+		op := host.MOVL
+		if e.Byte {
+			op = host.MOVZBL
+		}
+		h.emit(host.I(op, host.R(d), m))
+		h.releaseOp(m)
+		return d
+	}
+	h.fail("bad expression")
+	return 0
+}
+
+func (h *hg) genBin(e *Expr, dst host.Reg, target func() host.Reg) host.Reg {
+	// Multiply by a power of two becomes a shift (host-only strength
+	// reduction; the guest side keeps mul, exercising the verifier's
+	// concrete cross-check).
+	if e.Op == OpMul && e.R.Kind == EConst {
+		if sh, ok := isPow2(e.R.Val); ok {
+			a := h.genOp(e.L)
+			d := target()
+			if a.Kind != host.KindReg || a.Reg != d {
+				h.emit(host.I(host.MOVL, host.R(d), a))
+			}
+			h.releaseOp(a)
+			idx := h.emit(host.I(host.SHLL, host.R(d), host.Imm(sh)))
+			h.noteALU(d, idx)
+			return d
+		}
+	}
+	// Three-operand add of two registers via lea in odd-styled
+	// functions: a second host idiom for the same guest pattern.
+	if e.Op == OpAdd && h.style%2 == 1 && e.L.Kind == EVar && e.R.Kind == EVar {
+		al, ar := h.locs[e.L.Var], h.locs[e.R.Var]
+		if al.InReg && ar.InReg {
+			d := target()
+			idx := h.emit(host.I(host.LEAL, host.R(d), host.MemIdx(al.Reg, ar.Reg, 1, 0)))
+			h.noteALU(d, idx)
+			return d
+		}
+	}
+	if e.Op == OpRsb {
+		// dst = R - L.
+		b := h.genOp(e.R)
+		a := h.genOp(e.L)
+		h.releaseOp(b)
+		d := target()
+		if b.Kind != host.KindReg || b.Reg != d {
+			h.emit(host.I(host.MOVL, host.R(d), b))
+		}
+		idx := h.emit(host.I(host.SUBL, host.R(d), a))
+		h.releaseOp(a)
+		h.noteALU(d, idx)
+		return d
+	}
+	if e.Op == OpBic {
+		// dst = L &^ R: movl R, t; notl t; andl L.
+		b := h.genOp(e.R)
+		h.releaseOp(b)
+		d := target()
+		if b.Kind != host.KindReg || b.Reg != d {
+			h.emit(host.I(host.MOVL, host.R(d), b))
+		}
+		h.emit(host.I1(host.NOTL, host.R(d)))
+		a := h.genOp(e.L)
+		idx := h.emit(host.I(host.ANDL, host.R(d), a))
+		h.releaseOp(a)
+		h.noteALU(d, idx)
+		return d
+	}
+	op, ok := hostBinOp[e.Op]
+	if !ok {
+		h.fail("no host op for %v", e.Op)
+		return 0
+	}
+	a := h.genOp(e.L)
+	b := h.genOp(e.R)
+	// Release a's temp before allocating the destination: the move
+	// below then collapses when the allocator hands the same register
+	// back (safe — nothing allocates in between).
+	h.releaseOp(a)
+	d := target()
+	if a.Kind != host.KindReg || a.Reg != d {
+		// imull cannot take a memory destination, nor can two memory
+		// operands combine; the move also frees the pattern from the
+		// dst==src constraint.
+		h.emit(host.I(host.MOVL, host.R(d), a))
+	}
+	if b.Kind == host.KindMem && op == host.IMULL {
+		h.releaseOp(b)
+		t := h.allocTemp()
+		h.emit(host.I(host.MOVL, host.R(t), b))
+		b = host.R(t)
+	}
+	idx := h.emit(host.I(op, host.R(d), b))
+	h.releaseOp(b)
+	h.noteALU(d, idx)
+	return d
+}
+
+func (h *hg) genAddr(e *Expr) host.Operand {
+	if e.Kind == EBin && e.Op == OpAdd {
+		if e.R.Kind == EConst {
+			return host.Mem(h.genReg(e.L), e.R.Val)
+		}
+		base := h.genReg(e.L)
+		idx := h.genReg(e.R)
+		return host.MemIdx(base, idx, 1, 0)
+	}
+	return host.Mem(h.genReg(e), 0)
+}
+
+func (h *hg) noteALU(dst host.Reg, inst int) {
+	for v, loc := range h.locs {
+		if loc.InReg && loc.Reg == dst {
+			h.lastALUVar = v
+			h.lastALUInst = inst
+			return
+		}
+	}
+	h.lastALUVar = -1
+}
+
+var hostCmpCond = map[CmpOp]host.Cond{
+	CmpEq: host.E, CmpNe: host.NE, CmpLt: host.L, CmpGe: host.GE,
+	CmpGt: host.G, CmpLe: host.LE, CmpLoU: host.B, CmpHsU: host.AE,
+}
+
+var hostFusedCond = map[CmpOp]host.Cond{
+	CmpEq: host.E, CmpNe: host.NE, CmpLt: host.S, CmpGe: host.NS,
+}
+
+func hostInvert(c host.Cond) host.Cond {
+	switch c {
+	case host.E:
+		return host.NE
+	case host.NE:
+		return host.E
+	case host.S:
+		return host.NS
+	case host.NS:
+		return host.S
+	case host.L:
+		return host.GE
+	case host.GE:
+		return host.L
+	case host.G:
+		return host.LE
+	case host.LE:
+		return host.G
+	case host.B:
+		return host.AE
+	case host.AE:
+		return host.B
+	case host.A:
+		return host.BE
+	case host.BE:
+		return host.A
+	case host.O:
+		return host.NO
+	case host.NO:
+		return host.O
+	}
+	return c
+}
+
+func (h *hg) condBranch(c Cond, label int, whenTrue bool) {
+	if fusableCmp(c, h.lastALUVar) && h.lastALUInst == len(h.out)-1 {
+		// Reuse the EFLAGS of the preceding ALU instruction (x86
+		// compilers elide the test the same way).
+		cond := hostFusedCond[c.Op]
+		if !whenTrue {
+			cond = hostInvert(cond)
+		}
+		h.emit(host.Jcc(cond, label))
+		h.lastALUVar = -1
+		return
+	}
+	l := h.genReg(c.L)
+	r := h.genOp(c.R)
+	h.emit(host.I(host.CMPL, host.R(l), r))
+	h.release(l)
+	h.releaseOp(r)
+	cond := hostCmpCond[c.Op]
+	if !whenTrue {
+		cond = hostInvert(cond)
+	}
+	h.emit(host.Jcc(cond, label))
+	h.lastALUVar = -1
+}
+
+func (h *hg) stmt(s *Stmt) {
+	start := len(h.out)
+	switch s.Kind {
+	case SAssign:
+		loc := h.locs[s.Dst]
+		if loc.InReg {
+			res := h.genValue(s.E, loc.Reg)
+			if res != loc.Reg {
+				h.emit(host.I(host.MOVL, host.R(loc.Reg), host.R(res)))
+				h.release(res)
+			}
+		} else {
+			r := h.genReg(s.E)
+			h.emit(host.I(host.MOVL, h.slotMem(loc.Slot), host.R(r)))
+			h.release(r)
+		}
+		h.record(s, start)
+
+	case SStore:
+		m := h.genAddr(s.Addr)
+		v := h.genReg(s.E)
+		op := host.MOVL
+		if s.Byte {
+			op = host.MOVB
+		}
+		h.emit(host.I(op, m, host.R(v)))
+		h.release(v)
+		h.releaseOp(m)
+		h.record(s, start)
+
+	case SIf:
+		elseL := h.newLabel()
+		endL := h.newLabel()
+		h.condBranch(s.Cond, elseL, false)
+		h.record(s, start)
+		for _, n := range s.Then {
+			h.stmt(n)
+		}
+		if len(s.Else) > 0 {
+			h.emit(host.Jmp(endL))
+			h.lastALUVar = -1
+			for _, n := range s.Else {
+				h.stmt(n)
+			}
+		}
+
+	case SWhile:
+		endL := h.newLabel()
+		headL := h.newLabel()
+		h.condBranch(s.Cond, endL, false)
+		h.record(s, start)
+		for _, n := range s.Body {
+			h.stmt(n)
+		}
+		bottom := len(h.out)
+		h.condBranch(s.Cond, headL, true)
+		h.entries = append(h.entries, GenEntry{Stmt: s.ID, Start: bottom, End: len(h.out)})
+
+	case SCall:
+		if len(s.Args) > len(hostArgRegs) {
+			h.fail("too many call arguments")
+			return
+		}
+		for i, a := range s.Args {
+			r := h.genValue(a, hostArgRegs[i])
+			if r != hostArgRegs[i] {
+				h.emit(host.I(host.MOVL, host.R(hostArgRegs[i]), host.R(r)))
+				h.release(r)
+			}
+		}
+		h.emit(host.Inst{Op: host.CALL, Dst: host.Label(s.Callee)})
+		h.lastALUVar = -1
+		if s.Dst >= 0 {
+			loc := h.locs[s.Dst]
+			if loc.InReg {
+				h.emit(host.I(host.MOVL, host.R(loc.Reg), host.R(host.EAX)))
+			} else {
+				h.emit(host.I(host.MOVL, h.slotMem(loc.Slot), host.R(host.EAX)))
+			}
+		}
+		h.record(s, start)
+
+	case SReturn:
+		if s.E != nil {
+			r := h.genValue(s.E, host.EAX)
+			if r != host.EAX {
+				h.emit(host.I(host.MOVL, host.R(host.EAX), host.R(r)))
+				h.release(r)
+			}
+		}
+		h.emit(host.Inst{Op: host.RET})
+		h.record(s, start)
+	}
+}
+
+func (h *hg) record(s *Stmt, start int) {
+	if len(h.out) > start {
+		h.entries = append(h.entries, GenEntry{Stmt: s.ID, Start: start, End: len(h.out)})
+	}
+}
+
+// GenHost compiles one function to host code for the learning pipeline.
+// style varies instruction selection idioms between functions.
+func GenHost(f *Func, style int) (*HostFunc, error) {
+	h := &hg{
+		f:          f,
+		locs:       map[int]HLoc{},
+		temps:      map[host.Reg]bool{},
+		lastALUVar: -1,
+		style:      style,
+	}
+	for v := 0; v < f.NVars; v++ {
+		if v < len(hostLocalRegs) {
+			h.locs[v] = HLoc{InReg: true, Reg: hostLocalRegs[v]}
+		} else {
+			h.locs[v] = HLoc{Slot: h.frameSlots}
+			h.frameSlots++
+		}
+	}
+
+	// Prologue: save callee-saved homes, carve the frame, relocate args.
+	for v := 0; v < f.NVars && v < len(hostLocalRegs); v++ {
+		h.emit(host.I1(host.PUSHL, host.R(hostLocalRegs[v])))
+	}
+	if h.frameSlots > 0 {
+		h.emit(host.I(host.SUBL, host.R(host.ESP), host.Imm(int32(4*h.frameSlots))))
+	}
+	for a := 0; a < f.NArgs; a++ {
+		loc := h.locs[a]
+		if loc.InReg {
+			h.emit(host.I(host.MOVL, host.R(loc.Reg), host.R(hostArgRegs[a])))
+		} else {
+			h.emit(host.I(host.MOVL, h.slotMem(loc.Slot), host.R(hostArgRegs[a])))
+		}
+	}
+
+	for _, s := range f.Body {
+		h.stmt(s)
+	}
+
+	if h.frameSlots > 0 {
+		h.emit(host.I(host.ADDL, host.R(host.ESP), host.Imm(int32(4*h.frameSlots))))
+	}
+	for v := len(hostLocalRegs) - 1; v >= 0; v-- {
+		if v < f.NVars {
+			h.emit(host.I1(host.POPL, host.R(hostLocalRegs[v])))
+		}
+	}
+	h.emit(host.Inst{Op: host.RET})
+
+	if h.err != nil {
+		return nil, h.err
+	}
+	return &HostFunc{Insts: h.out, Entries: h.entries, Locs: h.locs}, nil
+}

@@ -1,0 +1,294 @@
+package minic
+
+// The optimizer runs at the AST level before code generation, the way a
+// compiler's middle end runs before instruction selection. Besides
+// improving the code it degrades the statement-to-instruction mapping:
+// eliminated statements generate no instructions, and merged statements
+// attribute two source statements to one instruction range. Both effects
+// reduce the learning pipeline's candidate yield, reproducing the paper's
+// observation that only ~54% of statements produce rule candidates.
+
+// OptStats reports what the optimizer did, for the learning statistics.
+type OptStats struct {
+	Folded     int // constant-folded expressions
+	Eliminated int // dead statements removed
+	Merged     int // statement pairs merged
+}
+
+// Optimize runs constant folding, forward substitution (statement
+// merging) and dead-store elimination over every function. Statements
+// that vanish are recorded in the returned map (stmt ID -> true) so the
+// line table can mark them.
+func Optimize(p *Program) (OptStats, map[int]bool) {
+	var st OptStats
+	gone := map[int]bool{}
+	for _, f := range p.Funcs {
+		f.Body = optBlock(f, f.Body, &st, gone, true)
+	}
+	return st, gone
+}
+
+// readsInFunc counts every read of variable v in the function.
+func readsInFunc(f *Func, v int) int {
+	n := 0
+	var walk func(ss []*Stmt)
+	walk = func(ss []*Stmt) {
+		for _, s := range ss {
+			n += countVarReads(s.E, v) + countVarReads(s.Addr, v)
+			if s.Kind == SIf || s.Kind == SWhile {
+				n += countVarReads(s.Cond.L, v) + countVarReads(s.Cond.R, v)
+			}
+			for _, a := range s.Args {
+				n += countVarReads(a, v)
+			}
+			walk(s.Then)
+			walk(s.Else)
+			walk(s.Body)
+		}
+	}
+	walk(f.Body)
+	return n
+}
+
+// optBlock optimizes one statement list. topLevel is true only for the
+// function body itself: dead-store elimination is unsound inside loop
+// and branch bodies (the surrounding control flow re-reads variables),
+// so it only runs at the top level over a straight-line tail.
+func optBlock(f *Func, ss []*Stmt, st *OptStats, gone map[int]bool, topLevel bool) []*Stmt {
+	// Fold expressions everywhere first.
+	for _, s := range ss {
+		foldStmt(s, st)
+	}
+
+	// Forward substitution: v = e; w = f(v) merges into w = f(e) when
+	// the next-statement read is v's only read in the whole function
+	// (so loop back-edges cannot observe the missing assignment) and e
+	// has no loads (loads may not move past stores).
+	out := make([]*Stmt, 0, len(ss))
+	for i := 0; i < len(ss); i++ {
+		s := ss[i]
+		if s.Kind == SAssign && i+1 < len(ss) && ss[i+1].Kind == SAssign &&
+			s.Dst != ss[i+1].Dst &&
+			!hasLoad(s.E) && exprSize(s.E) <= 3 &&
+			countVarReads(ss[i+1].E, s.Dst) == 1 &&
+			readsInFunc(f, s.Dst) == 1 &&
+			!escapes(f, s.Dst) {
+			next := ss[i+1]
+			next.E = substVar(next.E, s.Dst, s.E)
+			foldStmt(next, st)
+			gone[s.ID] = true
+			st.Merged++
+			continue // drop s; next processed in following iteration
+		}
+		// Recurse into nested blocks.
+		s.Then = optBlock(f, s.Then, st, gone, false)
+		s.Else = optBlock(f, s.Else, st, gone, false)
+		s.Body = optBlock(f, s.Body, st, gone, false)
+		out = append(out, s)
+	}
+
+	if !topLevel {
+		return out
+	}
+
+	// Dead-store elimination over the straight-line tail of the
+	// function: an assignment to a non-escaping variable that is never
+	// read afterwards dies.
+	res := make([]*Stmt, 0, len(out))
+	for i, s := range out {
+		if s.Kind == SAssign && !hasLoad(s.E) &&
+			!readLater(out[i+1:], s.Dst, 0) && !escapes(f, s.Dst) &&
+			isStraightLine(out[i+1:]) {
+			gone[s.ID] = true
+			st.Eliminated++
+			continue
+		}
+		res = append(res, s)
+	}
+	return res
+}
+
+// escapes reports whether the variable may be observed after the block
+// (arguments and v0 — the conventional return-value variable — escape).
+func escapes(f *Func, v int) bool { return v < f.NArgs || v == 0 }
+
+func isStraightLine(ss []*Stmt) bool {
+	for _, s := range ss {
+		switch s.Kind {
+		case SIf, SWhile, SCall:
+			return false
+		}
+	}
+	return true
+}
+
+func foldStmt(s *Stmt, st *OptStats) {
+	if s.E != nil {
+		s.E = foldExpr(s.E, st)
+	}
+	if s.Addr != nil {
+		s.Addr = foldExpr(s.Addr, st)
+	}
+	if s.Kind == SIf || s.Kind == SWhile {
+		s.Cond.L = foldExpr(s.Cond.L, st)
+		s.Cond.R = foldExpr(s.Cond.R, st)
+	}
+	for i, a := range s.Args {
+		s.Args[i] = foldExpr(a, st)
+	}
+}
+
+func foldExpr(e *Expr, st *OptStats) *Expr {
+	if e == nil {
+		return nil
+	}
+	switch e.Kind {
+	case EConst, EVar:
+		return e
+	case EBin:
+		e.L = foldExpr(e.L, st)
+		e.R = foldExpr(e.R, st)
+		if e.L.Kind == EConst && e.R.Kind == EConst {
+			st.Folded++
+			return C(evalBin(e.Op, e.L.Val, e.R.Val))
+		}
+		// x+0, x|0, x^0, x<<0 ...
+		if e.R.Kind == EConst && e.R.Val == 0 {
+			switch e.Op {
+			case OpAdd, OpSub, OpOr, OpXor, OpShl, OpShr, OpSar, OpBic, OpRor:
+				st.Folded++
+				return e.L
+			}
+		}
+		if e.R.Kind == EConst && e.R.Val == 1 && e.Op == OpMul {
+			st.Folded++
+			return e.L
+		}
+		return e
+	case EUn:
+		e.L = foldExpr(e.L, st)
+		if e.L.Kind == EConst {
+			st.Folded++
+			switch e.UOp {
+			case OpNot:
+				return C(^e.L.Val)
+			case OpNeg:
+				return C(-e.L.Val)
+			}
+		}
+		return e
+	case ELoad:
+		e.L = foldExpr(e.L, st)
+		return e
+	}
+	return e
+}
+
+// evalBin is the language's reference semantics for binary operators.
+func evalBin(op BinOp, l, r int32) int32 {
+	a, b := uint32(l), uint32(r)
+	switch op {
+	case OpAdd:
+		return int32(a + b)
+	case OpSub:
+		return int32(a - b)
+	case OpRsb:
+		return int32(b - a)
+	case OpMul:
+		return int32(a * b)
+	case OpAnd:
+		return int32(a & b)
+	case OpOr:
+		return int32(a | b)
+	case OpXor:
+		return int32(a ^ b)
+	case OpBic:
+		return int32(a &^ b)
+	case OpShl:
+		return int32(a << (b & 31))
+	case OpShr:
+		return int32(a >> (b & 31))
+	case OpSar:
+		return l >> (b & 31)
+	case OpRor:
+		return int32(a>>(b&31) | a<<((32-b)&31))
+	}
+	return 0
+}
+
+func hasLoad(e *Expr) bool {
+	if e == nil {
+		return false
+	}
+	if e.Kind == ELoad {
+		return true
+	}
+	return hasLoad(e.L) || hasLoad(e.R)
+}
+
+func exprSize(e *Expr) int {
+	if e == nil {
+		return 0
+	}
+	return 1 + exprSize(e.L) + exprSize(e.R)
+}
+
+func countVarReads(e *Expr, v int) int {
+	if e == nil {
+		return 0
+	}
+	n := 0
+	if e.Kind == EVar && e.Var == v {
+		n++
+	}
+	return n + countVarReads(e.L, v) + countVarReads(e.R, v)
+}
+
+// readLater reports whether variable v is read in statements ss[skip:],
+// including nested blocks and conditions.
+func readLater(ss []*Stmt, v, skip int) bool {
+	for i := skip; i < len(ss); i++ {
+		s := ss[i]
+		if stmtReads(s, v) {
+			return true
+		}
+	}
+	return false
+}
+
+func stmtReads(s *Stmt, v int) bool {
+	if countVarReads(s.E, v) > 0 || countVarReads(s.Addr, v) > 0 {
+		return true
+	}
+	if s.Kind == SIf || s.Kind == SWhile {
+		if countVarReads(s.Cond.L, v) > 0 || countVarReads(s.Cond.R, v) > 0 {
+			return true
+		}
+	}
+	for _, a := range s.Args {
+		if countVarReads(a, v) > 0 {
+			return true
+		}
+	}
+	for _, blk := range [][]*Stmt{s.Then, s.Else, s.Body} {
+		for _, n := range blk {
+			if stmtReads(n, v) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func substVar(e *Expr, v int, repl *Expr) *Expr {
+	if e == nil {
+		return nil
+	}
+	if e.Kind == EVar && e.Var == v {
+		return repl
+	}
+	c := *e
+	c.L = substVar(e.L, v, repl)
+	c.R = substVar(e.R, v, repl)
+	return &c
+}

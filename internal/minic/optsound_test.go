@@ -1,0 +1,188 @@
+package minic
+
+import (
+	"testing"
+
+	"paramdbt/internal/env"
+	"paramdbt/internal/guest"
+)
+
+// Optimizer soundness: the optimized and unoptimized builds of the same
+// program must compute the same caller-visible result. Programs are
+// built structurally here (the workload package cannot be imported —
+// it sits above minic), covering the transformations the optimizer
+// performs: folding, merging, dead-store elimination, inside and
+// outside loops.
+
+func optCase(name string, f func() *Program) struct {
+	name string
+	gen  func() *Program
+} {
+	return struct {
+		name string
+		gen  func() *Program
+	}{name, f}
+}
+
+func runBoth(t *testing.T, gen func() *Program) (optR, rawR *guest.State) {
+	t.Helper()
+	opt, err := Compile(gen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := CompileWith(gen(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optR, err = opt.RunInterp(50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawR, err = raw.RunInterp(50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return optR, rawR
+}
+
+func TestOptimizerSoundness(t *testing.T) {
+	cases := []struct {
+		name string
+		gen  func() *Program
+	}{
+		optCase("fold-chain", func() *Program {
+			return &Program{Funcs: []*Func{{
+				Name: "main", NVars: 4,
+				Body: []*Stmt{
+					Assign(1, B(OpAdd, C(3), C(4))),
+					Assign(2, B(OpMul, V(1), C(1))),
+					Assign(3, B(OpShl, V(2), C(0))),
+					Assign(0, B(OpXor, V(3), C(0))),
+					Return(V(0)),
+				},
+			}}}
+		}),
+		optCase("merge-in-loop", func() *Program {
+			return &Program{Funcs: []*Func{{
+				Name: "main", NVars: 5,
+				Body: []*Stmt{
+					Assign(0, C(0)),
+					Assign(1, C(30)),
+					While(Cond{Op: CmpNe, L: V(1), R: C(0)}, []*Stmt{
+						Assign(3, B(OpAdd, V(0), C(7))),
+						Assign(0, B(OpXor, V(3), V(1))),
+						Assign(1, B(OpSub, V(1), C(1))),
+					}),
+					Return(V(0)),
+				},
+			}}}
+		}),
+		optCase("dead-tail", func() *Program {
+			return &Program{Funcs: []*Func{{
+				Name: "main", NVars: 5,
+				Body: []*Stmt{
+					Assign(0, C(5)),
+					Assign(3, C(111)), // dead unless kept correctly
+					Assign(0, B(OpAdd, V(0), C(2))),
+					Assign(4, B(OpMul, V(0), C(2))), // dead
+					Return(V(0)),
+				},
+			}}}
+		}),
+		optCase("loop-carried", func() *Program {
+			// v3 written each iteration, read the NEXT iteration: the
+			// merge and DSE must both leave it alone.
+			return &Program{Funcs: []*Func{{
+				Name: "main", NVars: 5,
+				Body: []*Stmt{
+					Assign(0, C(0)),
+					Assign(3, C(9)),
+					Assign(1, C(12)),
+					While(Cond{Op: CmpNe, L: V(1), R: C(0)}, []*Stmt{
+						Assign(0, B(OpAdd, V(0), V(3))),
+						Assign(3, B(OpAdd, V(3), C(1))),
+						Assign(1, B(OpSub, V(1), C(1))),
+					}),
+					Return(V(0)),
+				},
+			}}}
+		}),
+		optCase("stores-not-moved", func() *Program {
+			return &Program{Funcs: []*Func{{
+				Name: "main", NVars: 4,
+				Body: []*Stmt{
+					Assign(1, C(int32(env.DataBase))),
+					Assign(2, C(17)),
+					Store(B(OpAdd, V(1), C(4)), V(2)),
+					Assign(3, LoadE(B(OpAdd, V(1), C(4)))),
+					Store(B(OpAdd, V(1), C(4)), C(99)),
+					Assign(0, B(OpAdd, V(3), LoadE(B(OpAdd, V(1), C(4))))),
+					Return(V(0)),
+				},
+			}}}
+		}),
+		optCase("calls-keep-args", func() *Program {
+			f := &Func{
+				Name: "f", NArgs: 2, NVars: 3,
+				Body: []*Stmt{
+					Assign(2, B(OpSub, V(0), V(1))),
+					Return(V(2)),
+				},
+			}
+			return &Program{Funcs: []*Func{{
+				Name: "main", NVars: 4,
+				Body: []*Stmt{
+					Assign(1, C(40)),
+					Assign(2, B(OpAdd, V(1), C(2))),
+					Call(0, 1, V(2), V(1)),
+					Return(V(0)),
+				},
+			}, f}}
+		}),
+	}
+
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			o, r := runBoth(t, c.gen)
+			if o.R[guest.R0] != r.R[guest.R0] {
+				t.Fatalf("optimized r0=%#x, unoptimized r0=%#x", o.R[guest.R0], r.R[guest.R0])
+			}
+			for i := 0; i < 32; i++ {
+				addr := env.DataBase + uint32(i*4)
+				if o.Mem.Read32(addr) != r.Mem.Read32(addr) {
+					t.Fatalf("data[%#x]: optimized %#x vs unoptimized %#x",
+						addr, o.Mem.Read32(addr), r.Mem.Read32(addr))
+				}
+			}
+		})
+	}
+}
+
+// TestOptimizerShrinksCode sanity-checks that -O2 actually removes
+// instructions relative to -O0 on a foldable program.
+func TestOptimizerShrinksCode(t *testing.T) {
+	gen := func() *Program {
+		return &Program{Funcs: []*Func{{
+			Name: "main", NVars: 4,
+			Body: []*Stmt{
+				Assign(1, B(OpAdd, C(3), C(4))),
+				Assign(2, B(OpMul, V(1), C(1))),
+				Assign(3, C(12345)), // dead
+				Assign(0, V(2)),
+				Return(V(0)),
+			},
+		}}}
+	}
+	opt, err := Compile(gen())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := CompileWith(gen(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opt.GuestInsts) >= len(raw.GuestInsts) {
+		t.Fatalf("optimized (%d insts) not smaller than unoptimized (%d)",
+			len(opt.GuestInsts), len(raw.GuestInsts))
+	}
+}

@@ -1,0 +1,156 @@
+package rule
+
+import (
+	"paramdbt/internal/guest"
+)
+
+// Binding is the result of matching a template against concrete guest
+// instructions: values for register and immediate parameters.
+type Binding struct {
+	Regs []guest.Reg // indexed by param id (valid for PReg params)
+	Imms []int32     // indexed by param id (valid for PImm params)
+}
+
+// matchCtx tracks partial bindings during matching. Distinct register
+// params must bind distinct guest registers (injectivity) and a repeated
+// param must see the same register — together these enforce that the
+// guest code's data-dependence pattern equals the template's (paper
+// Fig. 8).
+type matchCtx struct {
+	t     *Template
+	regs  []guest.Reg
+	rset  [guest.NumRegs]bool // registers already claimed
+	bound []bool
+	imms  []int32
+	iset  []bool
+}
+
+func newMatchCtx(t *Template) *matchCtx {
+	n := len(t.Params)
+	return &matchCtx{
+		t:     t,
+		regs:  make([]guest.Reg, n),
+		bound: make([]bool, n),
+		imms:  make([]int32, n),
+		iset:  make([]bool, n),
+	}
+}
+
+func (c *matchCtx) bindReg(p int, r guest.Reg) bool {
+	if p < 0 || p >= len(c.t.Params) || c.t.Params[p] != PReg {
+		return false
+	}
+	// The PC register may never instantiate a register parameter: rules
+	// are verified over ordinary values, and PC reads are
+	// position-dependent (the paper's Fig. 9 constraint).
+	if r == guest.PC {
+		return false
+	}
+	if c.bound[p] {
+		return c.regs[p] == r
+	}
+	if c.rset[r] {
+		return false // injectivity: some other param owns r
+	}
+	c.bound[p] = true
+	c.regs[p] = r
+	c.rset[r] = true
+	return true
+}
+
+func (c *matchCtx) bindImm(p int, v int32) bool {
+	if p < 0 || p >= len(c.t.Params) || c.t.Params[p] != PImm {
+		return false
+	}
+	if c.iset[p] {
+		return c.imms[p] == v
+	}
+	c.iset[p] = true
+	c.imms[p] = v
+	return true
+}
+
+func (c *matchCtx) matchArg(a Arg, o guest.Operand) bool {
+	if a.Kind != o.Kind {
+		return false
+	}
+	switch a.Kind {
+	case guest.KindNone:
+		return true
+	case guest.KindReg:
+		return c.bindReg(a.Param, o.Reg)
+	case guest.KindImm:
+		if a.Param >= 0 {
+			return c.bindImm(a.Param, o.Imm)
+		}
+		return o.Imm == a.Fixed
+	case guest.KindMem:
+		if !c.bindReg(a.BaseParam, o.Base) {
+			return false
+		}
+		if a.HasIdx != o.HasIdx {
+			return false
+		}
+		if a.HasIdx {
+			return c.bindReg(a.IdxParam, o.Idx)
+		}
+		if a.DispParam >= 0 {
+			return c.bindImm(a.DispParam, o.Disp)
+		}
+		return o.Disp == a.Disp
+	}
+	return false
+}
+
+// Match attempts to bind the template against the guest instructions.
+// seq must have exactly GuestLen instructions. Conditional instructions
+// never match (rules are unconditional); the S bit must agree. For a
+// branch-tail rule the final instruction must be a conditional branch
+// with the template's condition (the target stays free).
+func Match(t *Template, seq []guest.Inst) (Binding, bool) {
+	if len(seq) != t.GuestLen() {
+		return Binding{}, false
+	}
+	if t.BranchTail {
+		tail := seq[len(seq)-1]
+		if tail.Op != guest.B || tail.Cond != t.GCond {
+			return Binding{}, false
+		}
+		seq = seq[:len(seq)-1]
+	}
+	c := newMatchCtx(t)
+	for i, p := range t.Guest {
+		in := seq[i]
+		if in.Op != p.Op || in.Cond != guest.AL || in.S != p.S {
+			return Binding{}, false
+		}
+		if in.N != len(p.Args) {
+			return Binding{}, false
+		}
+		for j, a := range p.Args {
+			if !c.matchArg(a, in.Ops[j]) {
+				return Binding{}, false
+			}
+		}
+	}
+	// All parameters must be bound: a rule with dangling parameters
+	// cannot be instantiated.
+	for p, k := range t.Params {
+		switch k {
+		case PReg:
+			if !c.bound[p] {
+				return Binding{}, false
+			}
+		case PImm:
+			if !c.iset[p] {
+				return Binding{}, false
+			}
+		}
+	}
+	for _, p := range t.NonZeroImms {
+		if c.imms[p] == 0 {
+			return Binding{}, false
+		}
+	}
+	return Binding{Regs: c.regs, Imms: c.imms}, true
+}

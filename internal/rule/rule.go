@@ -1,0 +1,260 @@
+// Package rule implements translation-rule templates: patterns over one
+// or more guest instructions paired with the host instruction sequence
+// that implements them, abstracted over register and immediate
+// parameters. It provides matching (with the dependence-pattern and
+// PC-use constraints of the paper's §IV-C2), instantiation into concrete
+// host code, verification glue to the symbolic executor, and a hashed
+// rule store with merging.
+package rule
+
+import (
+	"fmt"
+	"strings"
+
+	"paramdbt/internal/guest"
+	"paramdbt/internal/host"
+	"paramdbt/internal/symexec"
+)
+
+// ParamKind types a template parameter.
+type ParamKind uint8
+
+// Parameter kinds.
+const (
+	PReg ParamKind = iota // carries a 32-bit value in a register
+	PImm                  // an immediate constant
+)
+
+// Arg is one operand slot of a pattern. Exactly one of the operand
+// shapes is active, selected by Kind (guest operand kinds are reused on
+// the host side, with KindReg slots resolving to host registers at
+// instantiation).
+type Arg struct {
+	Kind guest.OperandKind
+
+	// Param indexes Params for KindReg (value) and KindImm when >= 0.
+	// A KindImm slot with Param < 0 is the fixed immediate Fixed.
+	Param int
+	Fixed int32
+
+	// Memory shape: base is always a register param; the offset is
+	// either a register param (HasIdx), an immediate param (DispParam
+	// >= 0), or the fixed displacement Disp.
+	BaseParam int
+	HasIdx    bool
+	IdxParam  int
+	DispParam int
+	Disp      int32
+
+	// Scratch >= 0 marks a host-side scratch register slot instead of a
+	// parameter reference (host patterns only).
+	Scratch int
+}
+
+// RegArg returns a register slot bound to param p.
+func RegArg(p int) Arg { return Arg{Kind: guest.KindReg, Param: p, DispParam: -1, Scratch: -1} }
+
+// ImmArg returns a parametric immediate slot.
+func ImmArg(p int) Arg { return Arg{Kind: guest.KindImm, Param: p, DispParam: -1, Scratch: -1} }
+
+// FixedImmArg returns a fixed immediate slot.
+func FixedImmArg(v int32) Arg {
+	return Arg{Kind: guest.KindImm, Param: -1, Fixed: v, DispParam: -1, Scratch: -1}
+}
+
+// MemArg returns a base+fixed-displacement memory slot.
+func MemArg(base int, disp int32) Arg {
+	return Arg{Kind: guest.KindMem, Param: -1, BaseParam: base, Disp: disp, DispParam: -1, Scratch: -1}
+}
+
+// MemDispArg returns a base+parametric-displacement memory slot.
+func MemDispArg(base, dispParam int) Arg {
+	return Arg{Kind: guest.KindMem, Param: -1, BaseParam: base, DispParam: dispParam, Scratch: -1}
+}
+
+// MemIdxArg returns a base+index memory slot.
+func MemIdxArg(base, idx int) Arg {
+	return Arg{Kind: guest.KindMem, Param: -1, BaseParam: base, HasIdx: true, IdxParam: idx, DispParam: -1, Scratch: -1}
+}
+
+// ScratchArg returns a host scratch-register slot.
+func ScratchArg(i int) Arg { return Arg{Kind: guest.KindReg, Param: -1, DispParam: -1, Scratch: i} }
+
+// NoArg is the absent slot.
+func NoArg() Arg { return Arg{Kind: guest.KindNone, Param: -1, DispParam: -1, Scratch: -1} }
+
+// GPat is one guest instruction pattern.
+type GPat struct {
+	Op   guest.Op
+	S    bool
+	Args []Arg
+}
+
+// HPat is one host instruction pattern.
+type HPat struct {
+	Op   host.Op
+	Cond host.Cond
+	Dst  Arg
+	Src  Arg
+}
+
+// FlagFam classifies how a flag-setting rule produces NZCV, selecting
+// the delegation condition-mapping table.
+type FlagFam uint8
+
+// Flag families.
+const (
+	FamNone  FlagFam = iota
+	FamAdd           // add/adc/cmn
+	FamSub           // sub/sbc/rsb/rsc/cmp
+	FamLogic         // and/orr/eor/bic/tst/teq/mov/mvn and friends
+)
+
+// Origin records how a template came to exist, for the paper's rule
+// accounting.
+type Origin uint8
+
+// Origins.
+const (
+	OriginLearned Origin = iota
+	OriginOpcodeParam
+	OriginModeParam
+	OriginManual
+)
+
+// String names the origin.
+func (o Origin) String() string {
+	switch o {
+	case OriginLearned:
+		return "learned"
+	case OriginOpcodeParam:
+		return "opcode-param"
+	case OriginModeParam:
+		return "mode-param"
+	case OriginManual:
+		return "manual"
+	}
+	return "?"
+}
+
+// Template is one translation rule.
+type Template struct {
+	Guest  []GPat
+	Host   []HPat
+	Params []ParamKind
+	// NScratch is the number of host scratch registers the host pattern
+	// uses.
+	NScratch int
+
+	// SetsFlags mirrors the guest pattern's NZCV side effect; Flags and
+	// FlagSrc describe how the host pattern's EFLAGS relate (valid after
+	// verification).
+	SetsFlags bool
+	Flags     symexec.FlagCorrespondence
+	FlagSrc   FlagFam
+
+	Origin Origin
+
+	// GroupKey links the template to the parameterized rule it was
+	// derived from (used for the paper's Table III counting).
+	GroupKey string
+
+	// NonZeroImms lists immediate parameters constrained to nonzero
+	// values: the rule applies only when the instruction's immediate is
+	// not zero (the paper's "constrained semantic equivalence", used by
+	// flag-setting shifts whose host flags are undefined for zero
+	// counts).
+	NonZeroImms []int
+
+	// BranchTail marks a rule whose guest pattern ends with a
+	// conditional branch consuming the flags the body sets (learned from
+	// compare-and-branch statements). GCond is the guest branch
+	// condition; the host realization ends in a jcc with HCond whose
+	// target the translator fills in. Branch-tail rules are not
+	// parameterized (paper §V-D).
+	BranchTail bool
+	GCond      guest.Cond
+	HCond      host.Cond
+}
+
+// GuestLen reports the number of guest instructions the rule covers
+// (including the trailing branch of a branch-tail rule).
+func (t *Template) GuestLen() int {
+	n := len(t.Guest)
+	if t.BranchTail {
+		n++
+	}
+	return n
+}
+
+// ---- rendering ----
+
+func (a Arg) render(prefix string) string {
+	switch a.Kind {
+	case guest.KindNone:
+		return ""
+	case guest.KindReg:
+		if a.Scratch >= 0 {
+			return fmt.Sprintf("s%d", a.Scratch)
+		}
+		return fmt.Sprintf("%s%d", prefix, a.Param)
+	case guest.KindImm:
+		if a.Param >= 0 {
+			return fmt.Sprintf("#i%d", a.Param)
+		}
+		return fmt.Sprintf("#%d", a.Fixed)
+	case guest.KindMem:
+		if a.HasIdx {
+			return fmt.Sprintf("[%s%d, %s%d]", prefix, a.BaseParam, prefix, a.IdxParam)
+		}
+		if a.DispParam >= 0 {
+			return fmt.Sprintf("[%s%d, #i%d]", prefix, a.BaseParam, a.DispParam)
+		}
+		return fmt.Sprintf("[%s%d, #%d]", prefix, a.BaseParam, a.Disp)
+	}
+	return "?"
+}
+
+// String renders the template compactly, e.g.
+// "add p0, p1, #i0 => addl $i0, p0".
+func (t *Template) String() string {
+	var g, h []string
+	for _, p := range t.Guest {
+		s := p.Op.String()
+		if p.S {
+			s += "s"
+		}
+		var args []string
+		for _, a := range p.Args {
+			args = append(args, a.render("p"))
+		}
+		g = append(g, s+" "+strings.Join(args, ", "))
+	}
+	for _, p := range t.Host {
+		s := p.Op.String()
+		if p.Op == host.JCC || p.Op == host.SETCC {
+			s += p.Cond.String()
+		}
+		var args []string
+		if p.Src.Kind != guest.KindNone {
+			args = append(args, p.Src.render("p"))
+		}
+		if p.Dst.Kind != guest.KindNone {
+			args = append(args, p.Dst.render("p"))
+		}
+		h = append(h, s+" "+strings.Join(args, ", "))
+	}
+	gs := strings.Join(g, "; ")
+	hs := strings.Join(h, "; ")
+	if t.BranchTail {
+		gs += "; b" + t.GCond.String() + " @"
+		hs += "; j" + t.HCond.String() + " @"
+	}
+	return gs + " => " + hs
+}
+
+// Fingerprint is a canonical identity string used by the merging stage:
+// two templates with the same fingerprint are duplicates.
+func (t *Template) Fingerprint() string {
+	return t.String() + fmt.Sprintf("|f%v|s%d|nz%v", t.SetsFlags, t.NScratch, t.NonZeroImms)
+}

@@ -1,0 +1,206 @@
+package rule
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"paramdbt/internal/guest"
+	"paramdbt/internal/host"
+)
+
+// Rule tables are persisted as JSON Lines: one template per line, a
+// format that diffs well and streams. The rule-generation phase is
+// offline in the paper's system, so the DBT loads a previously saved
+// table at startup.
+
+// serialized mirrors Template for encoding (kept separate so the wire
+// format is explicit and stable even if Template grows fields).
+type serialized struct {
+	Guest       []GPat  `json:"guest"`
+	Host        []HPat  `json:"host"`
+	Params      []uint8 `json:"params"`
+	NScratch    int     `json:"nscratch,omitempty"`
+	SetsFlags   bool    `json:"setsFlags,omitempty"`
+	NZMatch     bool    `json:"nzMatch,omitempty"`
+	CMatch      bool    `json:"cMatch,omitempty"`
+	CInverted   bool    `json:"cInverted,omitempty"`
+	VMatch      bool    `json:"vMatch,omitempty"`
+	FlagSrc     uint8   `json:"flagSrc,omitempty"`
+	Origin      uint8   `json:"origin"`
+	GroupKey    string  `json:"groupKey,omitempty"`
+	NonZeroImms []int   `json:"nonZeroImms,omitempty"`
+	BranchTail  bool    `json:"branchTail,omitempty"`
+	GCond       uint8   `json:"gcond,omitempty"`
+	HCond       uint8   `json:"hcond,omitempty"`
+}
+
+func toSerialized(t *Template) serialized {
+	s := serialized{
+		Guest:       t.Guest,
+		Host:        t.Host,
+		NScratch:    t.NScratch,
+		SetsFlags:   t.SetsFlags,
+		NZMatch:     t.Flags.NZMatch,
+		CMatch:      t.Flags.CMatch,
+		CInverted:   t.Flags.CInverted,
+		VMatch:      t.Flags.VMatch,
+		FlagSrc:     uint8(t.FlagSrc),
+		Origin:      uint8(t.Origin),
+		GroupKey:    t.GroupKey,
+		NonZeroImms: t.NonZeroImms,
+		BranchTail:  t.BranchTail,
+		GCond:       uint8(t.GCond),
+		HCond:       uint8(t.HCond),
+	}
+	for _, p := range t.Params {
+		s.Params = append(s.Params, uint8(p))
+	}
+	return s
+}
+
+func fromSerialized(s serialized) *Template {
+	t := &Template{
+		Guest:       s.Guest,
+		Host:        s.Host,
+		NScratch:    s.NScratch,
+		SetsFlags:   s.SetsFlags,
+		FlagSrc:     FlagFam(s.FlagSrc),
+		Origin:      Origin(s.Origin),
+		GroupKey:    s.GroupKey,
+		NonZeroImms: s.NonZeroImms,
+		BranchTail:  s.BranchTail,
+	}
+	t.Flags.NZMatch = s.NZMatch
+	t.Flags.CMatch = s.CMatch
+	t.Flags.CInverted = s.CInverted
+	t.Flags.VMatch = s.VMatch
+	t.GCond = guestCond(s.GCond)
+	t.HCond = hostCond(s.HCond)
+	for _, p := range s.Params {
+		t.Params = append(t.Params, ParamKind(p))
+	}
+	return t
+}
+
+// Save writes the store as JSON Lines in deterministic order.
+func (s *Store) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, t := range s.All() {
+		if err := enc.Encode(toSerialized(t)); err != nil {
+			return fmt.Errorf("rule: encoding %q: %w", t, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a JSON Lines rule table into a fresh store. When reverify
+// is set, every template is re-checked with the symbolic executor and
+// unsound entries are rejected — the defensive path for tables from
+// untrusted sources.
+func Load(r io.Reader, reverify bool) (*Store, error) {
+	out := NewStore()
+	dec := json.NewDecoder(r)
+	line := 0
+	for {
+		var s serialized
+		err := dec.Decode(&s)
+		if err == io.EOF {
+			break
+		}
+		line++
+		if err != nil {
+			return nil, fmt.Errorf("rule: entry %d: %w", line, err)
+		}
+		t := fromSerialized(s)
+		if err := validate(t); err != nil {
+			return nil, fmt.Errorf("rule: entry %d (%q): %w", line, t, err)
+		}
+		if reverify {
+			if res, ok := Verify(t); !ok {
+				return nil, fmt.Errorf("rule: entry %d (%q) fails verification: %s", line, t, res.Reason)
+			}
+		}
+		out.Add(t)
+	}
+	return out, nil
+}
+
+// guestCond clamps a deserialized guest condition code.
+func guestCond(v uint8) guest.Cond {
+	if v >= uint8(guest.NumConds) {
+		return guest.AL
+	}
+	return guest.Cond(v)
+}
+
+// hostCond clamps a deserialized host condition code.
+func hostCond(v uint8) host.Cond {
+	if v >= uint8(host.NumConds) {
+		return host.CondNone
+	}
+	return host.Cond(v)
+}
+
+// validate performs structural checks on a deserialized template so a
+// corrupted table cannot index out of range at match time.
+func validate(t *Template) error {
+	if len(t.Guest) == 0 || len(t.Host) == 0 {
+		return fmt.Errorf("empty pattern")
+	}
+	checkArg := func(a Arg) error {
+		check := func(p int) error {
+			if p >= len(t.Params) {
+				return fmt.Errorf("param %d out of range (%d params)", p, len(t.Params))
+			}
+			return nil
+		}
+		if a.Param >= 0 {
+			if err := check(a.Param); err != nil {
+				return err
+			}
+		}
+		if a.Kind == guest.KindMem {
+			if err := check(a.BaseParam); err != nil {
+				return err
+			}
+			if a.HasIdx {
+				if err := check(a.IdxParam); err != nil {
+					return err
+				}
+			}
+			if a.DispParam >= 0 {
+				if err := check(a.DispParam); err != nil {
+					return err
+				}
+			}
+		}
+		if a.Scratch >= t.NScratch {
+			return fmt.Errorf("scratch %d out of range (%d)", a.Scratch, t.NScratch)
+		}
+		return nil
+	}
+	for _, g := range t.Guest {
+		for _, a := range g.Args {
+			if err := checkArg(a); err != nil {
+				return err
+			}
+		}
+	}
+	for _, h := range t.Host {
+		if err := checkArg(h.Dst); err != nil {
+			return err
+		}
+		if err := checkArg(h.Src); err != nil {
+			return err
+		}
+	}
+	for _, p := range t.NonZeroImms {
+		if p < 0 || p >= len(t.Params) || t.Params[p] != PImm {
+			return fmt.Errorf("nonzero constraint on bad param %d", p)
+		}
+	}
+	return nil
+}

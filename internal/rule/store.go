@@ -1,0 +1,193 @@
+package rule
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"paramdbt/internal/guest"
+)
+
+// Key computes the hash-table key of a guest instruction window: opcode,
+// S bit and operand kinds (including the memory sub-mode) per
+// instruction. This is the "guest instruction parameterization" step of
+// rule retrieval (paper §IV-D): the key abstracts register identities
+// and immediate values but keeps everything the matcher needs to narrow
+// candidates.
+func Key(seq []guest.Inst) string {
+	var b strings.Builder
+	for i, in := range seq {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		fmt.Fprintf(&b, "%s", in.Op)
+		if in.Op == guest.B {
+			b.WriteString(in.Cond.String())
+		}
+		if in.S {
+			b.WriteByte('!')
+		}
+		for j := 0; j < in.N; j++ {
+			o := in.Ops[j]
+			b.WriteByte(',')
+			switch o.Kind {
+			case guest.KindReg:
+				b.WriteByte('r')
+			case guest.KindImm:
+				b.WriteByte('i')
+			case guest.KindMem:
+				if o.HasIdx {
+					b.WriteString("mx")
+				} else {
+					b.WriteString("md")
+				}
+			case guest.KindFReg:
+				b.WriteByte('f')
+			case guest.KindRegList:
+				b.WriteByte('l')
+			}
+		}
+	}
+	return b.String()
+}
+
+// patKey computes the same key from the template's guest pattern, so a
+// template is stored under exactly the keys of the instructions it can
+// match.
+func patKey(t *Template) string {
+	pats := t.Guest
+	var b strings.Builder
+	for i, p := range pats {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		fmt.Fprintf(&b, "%s", p.Op)
+		if p.S {
+			b.WriteByte('!')
+		}
+		for _, a := range p.Args {
+			b.WriteByte(',')
+			switch a.Kind {
+			case guest.KindReg:
+				b.WriteByte('r')
+			case guest.KindImm:
+				b.WriteByte('i')
+			case guest.KindMem:
+				if a.HasIdx {
+					b.WriteString("mx")
+				} else {
+					b.WriteString("md")
+				}
+			}
+		}
+	}
+	if t.BranchTail {
+		// Must render exactly like Key does for the concrete branch:
+		// mnemonic+condition plus its immediate-target operand.
+		fmt.Fprintf(&b, ";b%s,i", t.GCond)
+	}
+	return b.String()
+}
+
+// Store is the rule table: a hash map from guest-window keys to
+// candidate templates, with duplicate merging.
+type Store struct {
+	byKey  map[string][]*Template
+	byFp   map[string]*Template
+	maxLen int
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{byKey: map[string][]*Template{}, byFp: map[string]*Template{}}
+}
+
+// Add inserts a template unless an identical one exists (the merging
+// stage of the paper's workflow). It reports whether the template was
+// new.
+func (s *Store) Add(t *Template) bool {
+	fp := t.Fingerprint()
+	if _, dup := s.byFp[fp]; dup {
+		return false
+	}
+	s.byFp[fp] = t
+	k := patKey(t)
+	s.byKey[k] = append(s.byKey[k], t)
+	if t.GuestLen() > s.maxLen {
+		s.maxLen = t.GuestLen()
+	}
+	return true
+}
+
+// Len reports the number of (unique) templates.
+func (s *Store) Len() int { return len(s.byFp) }
+
+// MaxLen reports the longest guest window any rule covers.
+func (s *Store) MaxLen() int { return s.maxLen }
+
+// All returns the templates in a deterministic order.
+func (s *Store) All() []*Template {
+	out := make([]*Template, 0, len(s.byFp))
+	fps := make([]string, 0, len(s.byFp))
+	for fp := range s.byFp {
+		fps = append(fps, fp)
+	}
+	sort.Strings(fps)
+	for _, fp := range fps {
+		out = append(out, s.byFp[fp])
+	}
+	return out
+}
+
+// Lookup finds the longest template matching a prefix of seq, preferring
+// longer windows (more context means better host code). It returns the
+// template, its binding and the number of guest instructions consumed.
+func (s *Store) Lookup(seq []guest.Inst) (*Template, Binding, int) {
+	max := s.maxLen
+	if max > len(seq) {
+		max = len(seq)
+	}
+	for l := max; l >= 1; l-- {
+		window := seq[:l]
+		cands := s.byKey[Key(window)]
+		for _, t := range cands {
+			if b, ok := Match(t, window); ok {
+				return t, b, l
+			}
+		}
+	}
+	return nil, Binding{}, 0
+}
+
+// CountByOrigin tallies templates per origin, for the experiment
+// harness.
+func (s *Store) CountByOrigin() map[Origin]int {
+	out := map[Origin]int{}
+	for _, t := range s.byFp {
+		out[t.Origin]++
+	}
+	return out
+}
+
+// GroupCount tallies the number of distinct GroupKeys among templates
+// with one, approximating the paper's "parameterized rule" count (each
+// group is one parameterized rule; its members are the instantiable
+// derived rules).
+func (s *Store) GroupCount() int {
+	set := map[string]bool{}
+	for _, t := range s.byFp {
+		if t.GroupKey != "" {
+			set[t.GroupKey] = true
+		}
+	}
+	return len(set)
+}
+
+// Dump renders every rule, one per line.
+func (s *Store) Dump() string {
+	var b strings.Builder
+	for _, t := range s.All() {
+		fmt.Fprintf(&b, "%-10s %s\n", t.Origin, t)
+	}
+	return b.String()
+}

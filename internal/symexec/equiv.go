@@ -1,0 +1,353 @@
+package symexec
+
+import (
+	"fmt"
+	"math/rand"
+
+	"paramdbt/internal/guest"
+	"paramdbt/internal/host"
+)
+
+// Binding pairs a guest register with the host register that carries the
+// same value at rule entry (and must carry the corresponding result at
+// rule exit if the guest register is written). The one-to-one operand
+// mapping the paper's verifier insists on is exactly this list.
+type Binding struct {
+	Guest guest.Reg
+	Host  host.Reg
+}
+
+// Method records how equivalence was established.
+type Method uint8
+
+// Equivalence methods.
+const (
+	MethodNone Method = iota
+	// MethodStructural: both sides normalized to identical expressions.
+	MethodStructural
+	// MethodConcrete: structural comparison was inconclusive but the
+	// expressions agreed on every randomized concrete vector.
+	MethodConcrete
+)
+
+// FlagCorrespondence describes how the host's final EFLAGS relate to the
+// guest's final NZCV for a flag-setting rule; the condition-flag
+// delegation machinery consumes this.
+type FlagCorrespondence struct {
+	// NZMatch: host SF==guest N and host ZF==guest Z.
+	NZMatch bool
+	// CMatch: host CF==guest C. CInverted: host CF==NOT guest C (the
+	// subtraction borrow asymmetry).
+	CMatch    bool
+	CInverted bool
+	// VMatch: host OF==guest V.
+	VMatch bool
+}
+
+// Result is the verifier's verdict on a guest/host pair.
+type Result struct {
+	Equivalent bool
+	Method     Method
+	Reason     string // why verification failed, for diagnostics
+
+	// GuestSetsFlags reports whether the guest sequence writes NZCV.
+	GuestSetsFlags bool
+	// Flags is valid when GuestSetsFlags and Equivalent.
+	Flags FlagCorrespondence
+}
+
+// checkTrials is the number of randomized vectors used by the concrete
+// cross-check. With 32-bit values and ~8 symbols, 48 agreeing trials
+// make a false accept vanishingly unlikely for the expression families
+// rules produce.
+const checkTrials = 48
+
+// exprEquiv decides semantic equality of two expressions.
+func exprEquiv(a, b *Expr, rng *rand.Rand) (bool, Method) {
+	na, nb := Normalize(a), Normalize(b)
+	if HasUnknown(na) || HasUnknown(nb) {
+		return false, MethodNone
+	}
+	if StructEqual(na, nb) {
+		return true, MethodStructural
+	}
+	return concreteEquiv(na, nb, rng, nil, nil)
+}
+
+// concreteEquiv compares by randomized evaluation. Store traces provide
+// the load context for each side.
+func concreteEquiv(a, b *Expr, rng *rand.Rand, aStores, bStores []SymStore) (bool, Method) {
+	syms := SortedSymbols(a, b)
+	for trial := 0; trial < checkTrials; trial++ {
+		as := &Assignment{Vals: map[string]uint32{}, Seed: rng.Uint64()}
+		for _, s := range syms {
+			as.Vals[s] = interestingValue(rng, trial)
+		}
+		bs := &Assignment{Vals: as.Vals, Seed: as.Seed}
+		if err := materializeStores(as, aStores); err != nil {
+			return false, MethodNone
+		}
+		if err := materializeStores(bs, bStores); err != nil {
+			return false, MethodNone
+		}
+		va, erra := as.Eval(a)
+		vb, errb := bs.Eval(b)
+		if erra != nil || errb != nil {
+			return false, MethodNone
+		}
+		if va != vb {
+			return false, MethodNone
+		}
+	}
+	return true, MethodConcrete
+}
+
+// interestingValue biases early trials toward boundary values that
+// expose carry/overflow/shift corner cases.
+func interestingValue(rng *rand.Rand, trial int) uint32 {
+	boundary := []uint32{0, 1, 2, 0x7fffffff, 0x80000000, 0xffffffff, 31, 32, 0xff, 0x100}
+	if trial < 4 {
+		return boundary[rng.Intn(len(boundary))]
+	}
+	if rng.Intn(4) == 0 {
+		return boundary[rng.Intn(len(boundary))]
+	}
+	return rng.Uint32()
+}
+
+// materializeStores evaluates the symbolic store trace into concrete
+// stores so that loads can be resolved.
+func materializeStores(as *Assignment, stores []SymStore) error {
+	as.stores = as.stores[:0]
+	for _, st := range stores {
+		a, err := as.Eval(st.Addr)
+		if err != nil {
+			return err
+		}
+		v, err := as.Eval(st.Val)
+		if err != nil {
+			return err
+		}
+		as.stores = append(as.stores, concreteStore{addr: a, val: v, size: st.Size})
+	}
+	return nil
+}
+
+// GuestCondExpr evaluates a guest condition symbolically over the final
+// NZCV of a guest state, yielding a 0/1 predicate expression.
+func GuestCondExpr(gs *GState, c guest.Cond) *Expr {
+	not := func(e *Expr) *Expr { return Bin(XXor, e, Const(1)) }
+	and := func(a, b *Expr) *Expr { return Bin(XAnd, a, b) }
+	or := func(a, b *Expr) *Expr { return Bin(XOr, a, b) }
+	switch c {
+	case guest.AL:
+		return Const(1)
+	case guest.EQ:
+		return gs.Z
+	case guest.NE:
+		return not(gs.Z)
+	case guest.CS:
+		return gs.C
+	case guest.CC:
+		return not(gs.C)
+	case guest.MI:
+		return gs.N
+	case guest.PL:
+		return not(gs.N)
+	case guest.VS:
+		return gs.V
+	case guest.VC:
+		return not(gs.V)
+	case guest.HI:
+		return and(gs.C, not(gs.Z))
+	case guest.LS:
+		return or(not(gs.C), gs.Z)
+	case guest.GE:
+		return Bin(XEq, gs.N, gs.V)
+	case guest.LT:
+		return Bin(XNe, gs.N, gs.V)
+	case guest.GT:
+		return and(not(gs.Z), Bin(XEq, gs.N, gs.V))
+	case guest.LE:
+		return or(gs.Z, Bin(XNe, gs.N, gs.V))
+	}
+	return Unknown("gcond")
+}
+
+// CheckEquivBranch verifies a branch-tailed rule: the straight-line
+// bodies must be equivalent as in CheckEquiv, and additionally the guest
+// condition over the final NZCV must equal the host condition over the
+// final EFLAGS — the branch outcomes coincide on every input.
+func CheckEquivBranch(gseq []guest.Inst, hseq []host.Inst, binds []Binding, scratch []host.Reg, gc guest.Cond, hc host.Cond) Result {
+	res := CheckEquiv(gseq, hseq, binds, scratch)
+	if !res.Equivalent {
+		return res
+	}
+	gs, err := EvalGuest(gseq)
+	if err != nil {
+		return Result{Reason: err.Error()}
+	}
+	init := map[host.Reg]*Expr{}
+	for _, b := range binds {
+		init[b.Host] = Sym(fmt.Sprintf("g%d", b.Guest))
+	}
+	hs, err := EvalHost(hseq, init)
+	if err != nil {
+		return Result{Reason: err.Error()}
+	}
+	rng := rand.New(rand.NewSource(0xb4a9c4))
+	gp := GuestCondExpr(gs, gc)
+	hp := hs.hostCondExpr(hc)
+	if ok, _ := valueEquiv(gp, hp, gs.Stores, hs.Stores, rng); !ok {
+		res.Equivalent = false
+		res.Reason = fmt.Sprintf("branch predicates differ: guest %v=%v vs host %v=%v",
+			gc, Normalize(gp), hc, Normalize(hp))
+		return res
+	}
+	return res
+}
+
+// CheckEquiv verifies that a host sequence implements a guest sequence
+// under the given register bindings. scratch lists host registers the
+// rule may clobber freely (the instantiator allocates them); writing any
+// other unbound host register is rejected.
+func CheckEquiv(gseq []guest.Inst, hseq []host.Inst, binds []Binding, scratch []host.Reg) Result {
+	gs, err := EvalGuest(gseq)
+	if err != nil {
+		return Result{Reason: err.Error()}
+	}
+	// Bind host initial registers to guest symbols.
+	init := map[host.Reg]*Expr{}
+	g2h := map[guest.Reg]host.Reg{}
+	seenH := map[host.Reg]bool{}
+	for _, b := range binds {
+		if seenH[b.Host] {
+			return Result{Reason: fmt.Sprintf("host %v bound twice", b.Host)}
+		}
+		seenH[b.Host] = true
+		if _, dup := g2h[b.Guest]; dup {
+			return Result{Reason: fmt.Sprintf("guest %v bound twice", b.Guest)}
+		}
+		init[b.Host] = Sym(fmt.Sprintf("g%d", b.Guest))
+		g2h[b.Guest] = b.Host
+	}
+	hs, err := EvalHost(hseq, init)
+	if err != nil {
+		return Result{Reason: err.Error()}
+	}
+
+	rng := rand.New(rand.NewSource(0x5eed))
+	res := Result{GuestSetsFlags: gs.FlagsSet}
+
+	// Every written guest register must appear, equal, in its bound host
+	// register.
+	method := MethodStructural
+	for r := guest.Reg(0); r < guest.NumRegs; r++ {
+		if !gs.Written[r] {
+			continue
+		}
+		h, ok := g2h[r]
+		if !ok {
+			return Result{Reason: fmt.Sprintf("guest %v written but unbound", r), GuestSetsFlags: gs.FlagsSet}
+		}
+		ok2, m := valueEquiv(gs.R[r], hs.R[h], gs.Stores, hs.Stores, rng)
+		if !ok2 {
+			return Result{
+				Reason:         fmt.Sprintf("guest %v: %v != host %v: %v", r, Normalize(gs.R[r]), h, Normalize(hs.R[h])),
+				GuestSetsFlags: gs.FlagsSet,
+			}
+		}
+		if m == MethodConcrete {
+			method = MethodConcrete
+		}
+	}
+
+	// Bound host registers whose guest register is NOT written must be
+	// preserved (still hold the original symbol).
+	for _, b := range binds {
+		if gs.Written[b.Guest] {
+			continue
+		}
+		want := Sym(fmt.Sprintf("g%d", b.Guest))
+		if !StructEqual(Normalize(hs.R[b.Host]), want) {
+			return Result{
+				Reason:         fmt.Sprintf("host %v clobbered live guest %v", b.Host, b.Guest),
+				GuestSetsFlags: gs.FlagsSet,
+			}
+		}
+	}
+
+	// Unbound, non-scratch host registers must be untouched.
+	isScratch := map[host.Reg]bool{}
+	for _, r := range scratch {
+		isScratch[r] = true
+	}
+	for r := host.Reg(0); r < host.NumRegs; r++ {
+		if hs.Written[r] && !seenH[r] && !isScratch[r] {
+			return Result{
+				Reason:         fmt.Sprintf("host %v written but neither bound nor scratch", r),
+				GuestSetsFlags: gs.FlagsSet,
+			}
+		}
+	}
+
+	// Memory effects must match store-for-store, in order.
+	if len(gs.Stores) != len(hs.Stores) {
+		return Result{
+			Reason:         fmt.Sprintf("store count mismatch: guest %d, host %d", len(gs.Stores), len(hs.Stores)),
+			GuestSetsFlags: gs.FlagsSet,
+		}
+	}
+	for i := range gs.Stores {
+		g, h := gs.Stores[i], hs.Stores[i]
+		if g.Size != h.Size {
+			return Result{Reason: fmt.Sprintf("store %d size mismatch", i), GuestSetsFlags: gs.FlagsSet}
+		}
+		if ok, m := valueEquiv(g.Addr, h.Addr, gs.Stores[:i], hs.Stores[:i], rng); !ok {
+			return Result{Reason: fmt.Sprintf("store %d address mismatch", i), GuestSetsFlags: gs.FlagsSet}
+		} else if m == MethodConcrete {
+			method = MethodConcrete
+		}
+		if ok, m := valueEquiv(g.Val, h.Val, gs.Stores[:i], hs.Stores[:i], rng); !ok {
+			return Result{Reason: fmt.Sprintf("store %d value mismatch", i), GuestSetsFlags: gs.FlagsSet}
+		} else if m == MethodConcrete {
+			method = MethodConcrete
+		}
+	}
+
+	res.Equivalent = true
+	res.Method = method
+
+	// Flag correspondence (informative; failure here does not reject the
+	// rule, it only disables delegation).
+	if gs.FlagsSet && hs.FlagsSet {
+		res.Flags = flagCorrespondence(gs, hs, rng)
+	}
+	return res
+}
+
+func valueEquiv(a, b *Expr, aStores, bStores []SymStore, rng *rand.Rand) (bool, Method) {
+	na, nb := Normalize(a), Normalize(b)
+	if HasUnknown(na) || HasUnknown(nb) {
+		return false, MethodNone
+	}
+	if StructEqual(na, nb) {
+		return true, MethodStructural
+	}
+	return concreteEquiv(na, nb, rng, aStores, bStores)
+}
+
+func flagCorrespondence(gs *GState, hs *HState, rng *rand.Rand) FlagCorrespondence {
+	var fc FlagCorrespondence
+	eq := func(a, b *Expr) bool {
+		ok, _ := valueEquiv(a, b, gs.Stores, hs.Stores, rng)
+		return ok
+	}
+	fc.NZMatch = eq(gs.N, hs.SF) && eq(gs.Z, hs.ZF)
+	fc.CMatch = eq(gs.C, hs.CF)
+	if !fc.CMatch {
+		fc.CInverted = eq(Bin(XXor, gs.C, Const(1)), hs.CF)
+	}
+	fc.VMatch = eq(gs.V, hs.OF)
+	return fc
+}

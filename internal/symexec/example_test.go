@@ -1,0 +1,57 @@
+package symexec_test
+
+import (
+	"fmt"
+
+	"paramdbt/internal/guest"
+	"paramdbt/internal/host"
+	"paramdbt/internal/symexec"
+)
+
+// ExampleCheckEquiv verifies a correct translation rule and rejects a
+// broken one (the commutativity trap of the paper's §IV-C1).
+func ExampleCheckEquiv() {
+	gseq := guest.MustAssemble("sub r0, r0, r1")
+	binds := []symexec.Binding{
+		{Guest: guest.R0, Host: host.EAX},
+		{Guest: guest.R1, Host: host.ECX},
+	}
+
+	good := []host.Inst{host.I(host.SUBL, host.R(host.EAX), host.R(host.ECX))}
+	fmt.Println("correct sub rule    ->", symexec.CheckEquiv(gseq, good, binds, nil).Equivalent)
+
+	swapped := []host.Inst{
+		host.I(host.MOVL, host.R(host.EDX), host.R(host.ECX)),
+		host.I(host.SUBL, host.R(host.EDX), host.R(host.EAX)),
+		host.I(host.MOVL, host.R(host.EAX), host.R(host.EDX)),
+	}
+	res := symexec.CheckEquiv(gseq, swapped, binds, []host.Reg{host.EDX})
+	fmt.Println("operands swapped    ->", res.Equivalent)
+	// Output:
+	// correct sub rule    -> true
+	// operands swapped    -> false
+}
+
+// ExampleCheckEquiv_flags shows the ARM-C/x86-CF borrow inversion being
+// detected and recorded in the flag correspondence.
+func ExampleCheckEquiv_flags() {
+	gseq := guest.MustAssemble("subs r0, r0, r1")
+	hseq := []host.Inst{host.I(host.SUBL, host.R(host.EAX), host.R(host.ECX))}
+	res := symexec.CheckEquiv(gseq, hseq, []symexec.Binding{
+		{Guest: guest.R0, Host: host.EAX},
+		{Guest: guest.R1, Host: host.ECX},
+	}, nil)
+	fmt.Printf("equivalent=%v NZ=%v C-match=%v C-inverted=%v V=%v\n",
+		res.Equivalent, res.Flags.NZMatch, res.Flags.CMatch, res.Flags.CInverted, res.Flags.VMatch)
+	// Output: equivalent=true NZ=true C-match=false C-inverted=true V=true
+}
+
+// ExampleNormalize shows the canonicalizer at work.
+func ExampleNormalize() {
+	x := symexec.Sym("x")
+	e := symexec.Bin(symexec.XAdd,
+		symexec.Bin(symexec.XXor, x, x),
+		symexec.Bin(symexec.XMul, x, symexec.Const(1)))
+	fmt.Println(symexec.Normalize(e))
+	// Output: x
+}

@@ -1,0 +1,269 @@
+package symexec
+
+import (
+	"fmt"
+
+	"paramdbt/internal/guest"
+)
+
+// SymStore is one symbolic memory write.
+type SymStore struct {
+	Addr *Expr
+	Val  *Expr
+	Size int // 8 or 32
+}
+
+// GState is the symbolic guest machine state after evaluating a sequence.
+type GState struct {
+	R          [guest.NumRegs]*Expr
+	Written    [guest.NumRegs]bool
+	N, Z, C, V *Expr
+	FlagsSet   bool // whether the sequence wrote NZCV
+	Stores     []SymStore
+}
+
+// NewGState returns the initial symbolic state: register i holds the
+// symbol "g<i>"; flags hold "fn","fz","fc","fv".
+func NewGState() *GState {
+	s := &GState{
+		N: Sym("fn"), Z: Sym("fz"), C: Sym("fc"), V: Sym("fv"),
+	}
+	for i := range s.R {
+		s.R[i] = Sym(fmt.Sprintf("g%d", i))
+	}
+	return s
+}
+
+func (s *GState) loadExpr(size int, addr *Expr) *Expr {
+	// Store-to-load forwarding for syntactically identical addresses.
+	a := Normalize(addr)
+	for i := len(s.Stores) - 1; i >= 0; i-- {
+		st := s.Stores[i]
+		if st.Size == size && StructEqual(Normalize(st.Addr), a) {
+			if size == 8 {
+				return Bin(XAnd, st.Val, Const(0xff))
+			}
+			return st.Val
+		}
+		// A non-matching intervening store may alias; stop forwarding.
+		break
+	}
+	return Load(size, addr, len(s.Stores))
+}
+
+func (s *GState) operand(o guest.Operand) (*Expr, error) {
+	switch o.Kind {
+	case guest.KindReg:
+		return s.R[o.Reg], nil
+	case guest.KindImm:
+		return Const(uint32(o.Imm)), nil
+	case guest.KindMem:
+		base := s.R[o.Base]
+		if o.HasIdx {
+			return Bin(XAdd, base, s.R[o.Idx]), nil
+		}
+		return Bin(XAdd, base, Const(uint32(o.Disp))), nil
+	}
+	return nil, fmt.Errorf("symexec: unsupported guest operand kind %v", o.Kind)
+}
+
+func (s *GState) setReg(r guest.Reg, e *Expr) {
+	s.R[r] = e
+	s.Written[r] = true
+}
+
+// aluFlags returns the NZCV expressions for a data-processing result,
+// matching guest.EvalALU exactly.
+func aluFlags(op guest.Op, a, b, res, oldC *Expr) (n, z, c, v *Expr) {
+	n = Bin(XShr, res, Const(31))
+	z = Bin(XEq, res, Const(0))
+	switch op {
+	case guest.ADD, guest.CMN:
+		c = Tern(XCarryAdd, a, b, Const(0))
+		v = Tern(XOvfAdd, a, b, Const(0))
+	case guest.ADC:
+		c = Tern(XCarryAdd, a, b, oldC)
+		v = Tern(XOvfAdd, a, b, oldC)
+	case guest.SUB, guest.CMP:
+		c = Tern(XCarrySub, a, b, Const(1))
+		v = Tern(XOvfSub, a, b, Const(1))
+	case guest.SBC:
+		c = Tern(XCarrySub, a, b, oldC)
+		v = Tern(XOvfSub, a, b, oldC)
+	case guest.RSB:
+		c = Tern(XCarrySub, b, a, Const(1))
+		v = Tern(XOvfSub, b, a, Const(1))
+	case guest.RSC:
+		c = Tern(XCarrySub, b, a, oldC)
+		v = Tern(XOvfSub, b, a, oldC)
+	default:
+		// Logic family: C unchanged, V cleared (see guest.EvalALU).
+		c = oldC
+		v = Const(0)
+	}
+	return
+}
+
+// EvalGuest symbolically evaluates a straight-line guest sequence.
+// Branches, conditional execution, PC/SP-relative stack ops and float
+// instructions are rejected — rules over them are not learnable, which
+// mirrors the paper's seven unlearnable instructions.
+func EvalGuest(seq []guest.Inst) (*GState, error) {
+	s := NewGState()
+	for _, in := range seq {
+		if in.Cond != guest.AL {
+			return nil, fmt.Errorf("symexec: conditional guest instruction %q", in)
+		}
+		switch in.Op {
+		case guest.ADD, guest.ADC, guest.SUB, guest.SBC, guest.RSB, guest.RSC,
+			guest.AND, guest.ORR, guest.EOR, guest.BIC,
+			guest.LSL, guest.LSR, guest.ASR, guest.ROR, guest.MUL:
+			a, err := s.operand(in.Ops[1])
+			if err != nil {
+				return nil, err
+			}
+			b, err := s.operand(in.Ops[2])
+			if err != nil {
+				return nil, err
+			}
+			var res *Expr
+			switch in.Op {
+			case guest.ADD:
+				res = Bin(XAdd, a, b)
+			case guest.ADC:
+				res = Bin(XAdd, Bin(XAdd, a, b), s.C)
+			case guest.SUB:
+				res = Bin(XSub, a, b)
+			case guest.SBC:
+				res = Bin(XSub, Bin(XSub, a, b), Bin(XXor, s.C, Const(1)))
+			case guest.RSB:
+				res = Bin(XSub, b, a)
+			case guest.RSC:
+				res = Bin(XSub, Bin(XSub, b, a), Bin(XXor, s.C, Const(1)))
+			case guest.AND:
+				res = Bin(XAnd, a, b)
+			case guest.ORR:
+				res = Bin(XOr, a, b)
+			case guest.EOR:
+				res = Bin(XXor, a, b)
+			case guest.BIC:
+				res = Bin(XAnd, a, Un(XNot, b))
+			case guest.LSL:
+				res = Bin(XShl, a, Bin(XAnd, b, Const(31)))
+			case guest.LSR:
+				res = Bin(XShr, a, Bin(XAnd, b, Const(31)))
+			case guest.ASR:
+				res = Bin(XSar, a, Bin(XAnd, b, Const(31)))
+			case guest.ROR:
+				res = Bin(XRor, a, b)
+			case guest.MUL:
+				res = Bin(XMul, a, b)
+			}
+			if in.S {
+				if in.Op == guest.LSL || in.Op == guest.LSR || in.Op == guest.ASR || in.Op == guest.ROR {
+					// Shifter carry is data-dependent; model N/Z exactly
+					// and C as unknown so that S-shift rules only verify
+					// when the host reproduces... it cannot, so they are
+					// rejected (strictness).
+					s.N = Bin(XShr, res, Const(31))
+					s.Z = Bin(XEq, res, Const(0))
+					s.C = Unknown("shiftC")
+					s.V = Const(0)
+				} else {
+					s.N, s.Z, s.C, s.V = aluFlags(in.Op, a, b, res, s.C)
+				}
+				s.FlagsSet = true
+			}
+			s.setReg(in.Ops[0].Reg, res)
+
+		case guest.MOV, guest.MVN, guest.CLZ:
+			b, err := s.operand(in.Ops[1])
+			if err != nil {
+				return nil, err
+			}
+			var res *Expr
+			switch in.Op {
+			case guest.MOV:
+				res = b
+			case guest.MVN:
+				res = Un(XNot, b)
+			case guest.CLZ:
+				res = Un(XClz, b)
+			}
+			if in.S {
+				s.N = Bin(XShr, res, Const(31))
+				s.Z = Bin(XEq, res, Const(0))
+				s.V = Const(0)
+				s.FlagsSet = true
+			}
+			s.setReg(in.Ops[0].Reg, res)
+
+		case guest.MLA, guest.UMLA:
+			a, _ := s.operand(in.Ops[1])
+			b, _ := s.operand(in.Ops[2])
+			acc, _ := s.operand(in.Ops[3])
+			if in.Op == guest.UMLA {
+				a = Bin(XAnd, a, Const(0xffff))
+				b = Bin(XAnd, b, Const(0xffff))
+			}
+			res := Bin(XAdd, Bin(XMul, a, b), acc)
+			if in.S {
+				s.N = Bin(XShr, res, Const(31))
+				s.Z = Bin(XEq, res, Const(0))
+				s.V = Const(0)
+				s.FlagsSet = true
+			}
+			s.setReg(in.Ops[0].Reg, res)
+
+		case guest.CMP, guest.CMN, guest.TST, guest.TEQ:
+			a, err := s.operand(in.Ops[0])
+			if err != nil {
+				return nil, err
+			}
+			b, err := s.operand(in.Ops[1])
+			if err != nil {
+				return nil, err
+			}
+			var res *Expr
+			switch in.Op {
+			case guest.CMP:
+				res = Bin(XSub, a, b)
+			case guest.CMN:
+				res = Bin(XAdd, a, b)
+			case guest.TST:
+				res = Bin(XAnd, a, b)
+			case guest.TEQ:
+				res = Bin(XXor, a, b)
+			}
+			op := in.Op
+			s.N, s.Z, s.C, s.V = aluFlags(op, a, b, res, s.C)
+			s.FlagsSet = true
+
+		case guest.LDR, guest.LDRB:
+			addr, err := s.operand(in.Ops[1])
+			if err != nil {
+				return nil, err
+			}
+			size := 32
+			if in.Op == guest.LDRB {
+				size = 8
+			}
+			s.setReg(in.Ops[0].Reg, s.loadExpr(size, addr))
+
+		case guest.STR, guest.STRB:
+			addr, err := s.operand(in.Ops[1])
+			if err != nil {
+				return nil, err
+			}
+			size := 32
+			if in.Op == guest.STRB {
+				size = 8
+			}
+			s.Stores = append(s.Stores, SymStore{Addr: addr, Val: s.R[in.Ops[0].Reg], Size: size})
+
+		default:
+			return nil, fmt.Errorf("symexec: guest instruction %q not verifiable", in)
+		}
+	}
+	return s, nil
+}

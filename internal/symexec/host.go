@@ -1,0 +1,344 @@
+package symexec
+
+import (
+	"fmt"
+
+	"paramdbt/internal/host"
+)
+
+// HState is the symbolic host machine state.
+type HState struct {
+	R              [host.NumRegs]*Expr
+	Written        [host.NumRegs]bool
+	ZF, SF, CF, OF *Expr
+	FlagsSet       bool
+	Stores         []SymStore
+}
+
+// NewHState returns the initial symbolic host state with registers bound
+// to the given expressions (nil entries become fresh "h<i>" symbols).
+func NewHState(init map[host.Reg]*Expr) *HState {
+	s := &HState{
+		ZF: Sym("hz"), SF: Sym("hs"), CF: Sym("hc"), OF: Sym("ho"),
+	}
+	for i := range s.R {
+		if e, ok := init[host.Reg(i)]; ok {
+			s.R[i] = e
+		} else {
+			s.R[i] = Sym(fmt.Sprintf("h%d", i))
+		}
+	}
+	return s
+}
+
+func (s *HState) addrExpr(o host.Operand) *Expr {
+	a := s.R[o.Base]
+	if o.Scale != 0 {
+		a = Bin(XAdd, a, Bin(XMul, s.R[o.Index], Const(uint32(o.Scale))))
+	}
+	if o.Disp != 0 {
+		a = Bin(XAdd, a, Const(uint32(o.Disp)))
+	}
+	return a
+}
+
+func (s *HState) read(o host.Operand) (*Expr, error) {
+	switch o.Kind {
+	case host.KindReg:
+		return s.R[o.Reg], nil
+	case host.KindImm:
+		return Const(uint32(o.Imm)), nil
+	case host.KindMem:
+		return s.loadExpr(32, s.addrExpr(o)), nil
+	}
+	return nil, fmt.Errorf("symexec: unsupported host operand %v", o)
+}
+
+func (s *HState) loadExpr(size int, addr *Expr) *Expr {
+	a := Normalize(addr)
+	for i := len(s.Stores) - 1; i >= 0; i-- {
+		st := s.Stores[i]
+		if st.Size == size && StructEqual(Normalize(st.Addr), a) {
+			if size == 8 {
+				return Bin(XAnd, st.Val, Const(0xff))
+			}
+			return st.Val
+		}
+		break
+	}
+	return Load(size, addr, len(s.Stores))
+}
+
+func (s *HState) write(o host.Operand, e *Expr) error {
+	switch o.Kind {
+	case host.KindReg:
+		s.R[o.Reg] = e
+		s.Written[o.Reg] = true
+		return nil
+	case host.KindMem:
+		s.Stores = append(s.Stores, SymStore{Addr: s.addrExpr(o), Val: e, Size: 32})
+		return nil
+	}
+	return fmt.Errorf("symexec: cannot write host operand %v", o)
+}
+
+func (s *HState) setAddFlags(a, b, res *Expr) {
+	s.ZF = Bin(XEq, res, Const(0))
+	s.SF = Bin(XShr, res, Const(31))
+	s.CF = Tern(XCarryAdd, a, b, Const(0))
+	s.OF = Tern(XOvfAdd, a, b, Const(0))
+	s.FlagsSet = true
+}
+
+func (s *HState) setSubFlags(a, b, res *Expr) {
+	s.ZF = Bin(XEq, res, Const(0))
+	s.SF = Bin(XShr, res, Const(31))
+	// x86 CF is the borrow flag: a < b.
+	s.CF = Bin(XLtU, a, b)
+	s.OF = Tern(XOvfSub, a, b, Const(1))
+	s.FlagsSet = true
+}
+
+func (s *HState) setLogicFlags(res *Expr) {
+	s.ZF = Bin(XEq, res, Const(0))
+	s.SF = Bin(XShr, res, Const(31))
+	s.CF = Const(0)
+	s.OF = Const(0)
+	s.FlagsSet = true
+}
+
+// hostCondExpr evaluates a host condition to a 0/1 expression.
+func (s *HState) hostCondExpr(c host.Cond) *Expr {
+	not := func(e *Expr) *Expr { return Bin(XXor, e, Const(1)) }
+	and := func(a, b *Expr) *Expr { return Bin(XAnd, a, b) }
+	or := func(a, b *Expr) *Expr { return Bin(XOr, a, b) }
+	switch c {
+	case host.E:
+		return s.ZF
+	case host.NE:
+		return not(s.ZF)
+	case host.S:
+		return s.SF
+	case host.NS:
+		return not(s.SF)
+	case host.O:
+		return s.OF
+	case host.NO:
+		return not(s.OF)
+	case host.B:
+		return s.CF
+	case host.AE:
+		return not(s.CF)
+	case host.BE:
+		return or(s.CF, s.ZF)
+	case host.A:
+		return and(not(s.CF), not(s.ZF))
+	case host.L:
+		return Bin(XNe, s.SF, s.OF)
+	case host.GE:
+		return Bin(XEq, s.SF, s.OF)
+	case host.LE:
+		return or(s.ZF, Bin(XNe, s.SF, s.OF))
+	case host.G:
+		return and(not(s.ZF), Bin(XEq, s.SF, s.OF))
+	}
+	return Unknown("cond")
+}
+
+// EvalHost symbolically evaluates a straight-line host sequence. Control
+// flow (jumps, calls, exit stubs) is rejected: translation rules are
+// straight-line by construction, and the verifier's strictness rejects
+// anything else.
+func EvalHost(seq []host.Inst, init map[host.Reg]*Expr) (*HState, error) {
+	s := NewHState(init)
+	for _, in := range seq {
+		switch in.Op {
+		case host.MOVL:
+			v, err := s.read(in.Src)
+			if err != nil {
+				return nil, err
+			}
+			if err := s.write(in.Dst, v); err != nil {
+				return nil, err
+			}
+		case host.LEAL:
+			if in.Src.Kind != host.KindMem {
+				return nil, fmt.Errorf("symexec: lea needs memory operand")
+			}
+			if err := s.write(in.Dst, s.addrExpr(in.Src)); err != nil {
+				return nil, err
+			}
+		case host.ADDL, host.SUBL, host.ANDL, host.ORL, host.XORL, host.IMULL,
+			host.SHLL, host.SHRL, host.SARL, host.RORL:
+			a, err := s.read(in.Dst)
+			if err != nil {
+				return nil, err
+			}
+			b, err := s.read(in.Src)
+			if err != nil {
+				return nil, err
+			}
+			var res *Expr
+			switch in.Op {
+			case host.ADDL:
+				res = Bin(XAdd, a, b)
+				s.setAddFlags(a, b, res)
+			case host.SUBL:
+				res = Bin(XSub, a, b)
+				s.setSubFlags(a, b, res)
+			case host.ANDL:
+				res = Bin(XAnd, a, b)
+				s.setLogicFlags(res)
+			case host.ORL:
+				res = Bin(XOr, a, b)
+				s.setLogicFlags(res)
+			case host.XORL:
+				res = Bin(XXor, a, b)
+				s.setLogicFlags(res)
+			case host.IMULL:
+				res = Bin(XMul, a, b)
+				// imull leaves most flags undefined; strictness demands
+				// we never rely on them.
+				s.ZF, s.SF, s.CF, s.OF = Unknown("mulZ"), Unknown("mulS"), Unknown("mulC"), Unknown("mulO")
+				s.FlagsSet = true
+			case host.SHLL:
+				res = Bin(XShl, a, Bin(XAnd, b, Const(31)))
+				s.shiftFlags(res, b)
+			case host.SHRL:
+				res = Bin(XShr, a, Bin(XAnd, b, Const(31)))
+				s.shiftFlags(res, b)
+			case host.SARL:
+				res = Bin(XSar, a, Bin(XAnd, b, Const(31)))
+				s.shiftFlags(res, b)
+			case host.RORL:
+				res = Bin(XRor, a, b)
+			}
+			if err := s.write(in.Dst, res); err != nil {
+				return nil, err
+			}
+		case host.ADCL, host.SBBL:
+			a, _ := s.read(in.Dst)
+			b, err := s.read(in.Src)
+			if err != nil {
+				return nil, err
+			}
+			var res *Expr
+			if in.Op == host.ADCL {
+				res = Bin(XAdd, Bin(XAdd, a, b), s.CF)
+				s.ZF = Bin(XEq, res, Const(0))
+				s.SF = Bin(XShr, res, Const(31))
+				s.CF = Tern(XCarryAdd, a, b, s.CF)
+				s.OF = Tern(XOvfAdd, a, b, s.CF)
+			} else {
+				res = Bin(XSub, Bin(XSub, a, b), s.CF)
+				s.ZF = Bin(XEq, res, Const(0))
+				s.SF = Bin(XShr, res, Const(31))
+				s.CF = Unknown("sbbC")
+				s.OF = Unknown("sbbO")
+			}
+			s.FlagsSet = true
+			if err := s.write(in.Dst, res); err != nil {
+				return nil, err
+			}
+		case host.NOTL:
+			a, err := s.read(in.Dst)
+			if err != nil {
+				return nil, err
+			}
+			if err := s.write(in.Dst, Un(XNot, a)); err != nil {
+				return nil, err
+			}
+		case host.NEGL:
+			a, err := s.read(in.Dst)
+			if err != nil {
+				return nil, err
+			}
+			res := Un(XNeg, a)
+			s.ZF = Bin(XEq, res, Const(0))
+			s.SF = Bin(XShr, res, Const(31))
+			s.CF = Bin(XNe, a, Const(0))
+			s.OF = Tern(XOvfSub, Const(0), a, Const(1))
+			s.FlagsSet = true
+			if err := s.write(in.Dst, res); err != nil {
+				return nil, err
+			}
+		case host.CMPL:
+			a, err := s.read(in.Dst)
+			if err != nil {
+				return nil, err
+			}
+			b, err := s.read(in.Src)
+			if err != nil {
+				return nil, err
+			}
+			s.setSubFlags(a, b, Bin(XSub, a, b))
+		case host.TESTL:
+			a, _ := s.read(in.Dst)
+			b, err := s.read(in.Src)
+			if err != nil {
+				return nil, err
+			}
+			s.setLogicFlags(Bin(XAnd, a, b))
+		case host.MOVZBL:
+			var v *Expr
+			if in.Src.Kind == host.KindMem {
+				v = s.loadExpr(8, s.addrExpr(in.Src))
+			} else {
+				e, err := s.read(in.Src)
+				if err != nil {
+					return nil, err
+				}
+				v = Bin(XAnd, e, Const(0xff))
+			}
+			if err := s.write(in.Dst, v); err != nil {
+				return nil, err
+			}
+		case host.MOVB:
+			if in.Dst.Kind != host.KindMem {
+				return nil, fmt.Errorf("symexec: movb to non-memory")
+			}
+			v, err := s.read(in.Src)
+			if err != nil {
+				return nil, err
+			}
+			s.Stores = append(s.Stores, SymStore{Addr: s.addrExpr(in.Dst), Val: v, Size: 8})
+		case host.BSRL:
+			v, err := s.read(in.Src)
+			if err != nil {
+				return nil, err
+			}
+			// 31-clz(v) when v!=0; undefined otherwise — model as unknown
+			// unless wrapped by the clz adapter, which the verifier
+			// cannot see; so rules needing bsr never verify. This is why
+			// clz is one of the paper's unlearnable instructions.
+			_ = v
+			if err := s.write(in.Dst, Unknown("bsr")); err != nil {
+				return nil, err
+			}
+			s.ZF, s.SF, s.CF, s.OF = Unknown("bsrZ"), Unknown("bsrS"), Unknown("bsrC"), Unknown("bsrO")
+			s.FlagsSet = true
+		case host.SETCC:
+			if err := s.write(in.Dst, s.hostCondExpr(in.Cond)); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("symexec: host instruction %q not verifiable", in)
+		}
+	}
+	return s, nil
+}
+
+func (s *HState) shiftFlags(res, amount *Expr) {
+	// Host shift flags are valid only for nonzero shift counts; with a
+	// symbolic count they are conditionally unchanged. Model as the
+	// result flags for constant nonzero counts, unknown otherwise.
+	if isConst(amount) && amount.C&31 != 0 {
+		s.ZF = Bin(XEq, res, Const(0))
+		s.SF = Bin(XShr, res, Const(31))
+		s.CF = Unknown("shlC")
+		s.OF = Unknown("shlO")
+	} else {
+		s.ZF, s.SF, s.CF, s.OF = Unknown("shZ"), Unknown("shS"), Unknown("shC"), Unknown("shO")
+	}
+	s.FlagsSet = true
+}

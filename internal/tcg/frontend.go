@@ -1,0 +1,427 @@
+package tcg
+
+import (
+	"fmt"
+
+	"paramdbt/internal/guest"
+)
+
+// The frontend expands one guest instruction into IR. Branch-like guest
+// instructions (b/bl/bx, hlt, PC writes, pop-with-pc) are block
+// terminators handled by the DBT engine, not here; the frontend covers
+// every other instruction so the TCG path can emulate anything the
+// learning-based rules do not cover.
+
+// ErrTerminator is returned for instructions the DBT must treat as block
+// terminators.
+var ErrTerminator = fmt.Errorf("tcg: instruction terminates a block")
+
+// operandVal loads a source operand into an IR value. For KindMem the
+// returned value is the effective address.
+func (g *Gen) operandVal(o guest.Operand, pc uint32) Val {
+	switch o.Kind {
+	case guest.KindReg:
+		if o.Reg == guest.PC {
+			return CV(int32(pc))
+		}
+		t := g.Temp()
+		g.emit(Inst{Op: GetReg, Dst: t, GReg: o.Reg})
+		return TV(t)
+	case guest.KindImm:
+		return CV(o.Imm)
+	case guest.KindMem:
+		base := g.operandVal(guest.RegOp(o.Base), pc)
+		t := g.Temp()
+		if o.HasIdx {
+			idx := g.operandVal(guest.RegOp(o.Idx), pc)
+			g.op3(Add, t, base, idx)
+		} else {
+			g.op3(Add, t, base, CV(o.Disp))
+		}
+		return TV(t)
+	}
+	return CV(0)
+}
+
+// EvalCond computes a guest condition over the CPUState flag words into
+// a 0/1 temp.
+func (g *Gen) EvalCond(c guest.Cond) Val {
+	getf := func(f Flag) Val {
+		t := g.Temp()
+		g.emit(Inst{Op: GetF, Dst: t, Flag: f})
+		return TV(t)
+	}
+	not := func(v Val) Val {
+		t := g.Temp()
+		g.op3(Xor, t, v, CV(1))
+		return TV(t)
+	}
+	and := func(a, b Val) Val {
+		t := g.Temp()
+		g.op3(And, t, a, b)
+		return TV(t)
+	}
+	or := func(a, b Val) Val {
+		t := g.Temp()
+		g.op3(Or, t, a, b)
+		return TV(t)
+	}
+	xor := func(a, b Val) Val {
+		t := g.Temp()
+		g.op3(Xor, t, a, b)
+		return TV(t)
+	}
+	switch c {
+	case guest.AL:
+		return CV(1)
+	case guest.EQ:
+		return getf(FlagZ)
+	case guest.NE:
+		return not(getf(FlagZ))
+	case guest.CS:
+		return getf(FlagC)
+	case guest.CC:
+		return not(getf(FlagC))
+	case guest.MI:
+		return getf(FlagN)
+	case guest.PL:
+		return not(getf(FlagN))
+	case guest.VS:
+		return getf(FlagV)
+	case guest.VC:
+		return not(getf(FlagV))
+	case guest.HI:
+		return and(getf(FlagC), not(getf(FlagZ)))
+	case guest.LS:
+		return or(not(getf(FlagC)), getf(FlagZ))
+	case guest.GE:
+		return not(xor(getf(FlagN), getf(FlagV)))
+	case guest.LT:
+		return xor(getf(FlagN), getf(FlagV))
+	case guest.GT:
+		return and(not(getf(FlagZ)), not(xor(getf(FlagN), getf(FlagV))))
+	case guest.LE:
+		return or(getf(FlagZ), xor(getf(FlagN), getf(FlagV)))
+	}
+	return CV(0)
+}
+
+// Translate expands one non-terminator guest instruction at address pc.
+// The IR is appended to the generator. It returns ErrTerminator for
+// block-terminating instructions and an error for uncodegenable ones.
+func (g *Gen) Translate(in guest.Inst, pc uint32) error {
+	if in.IsBranch() {
+		return ErrTerminator
+	}
+	if in.Op == guest.POP && in.Ops[0].List&(1<<uint(guest.PC)) != 0 {
+		return ErrTerminator
+	}
+
+	// Conditional execution: skip the body when the condition fails.
+	skip := -1
+	if in.Cond != guest.AL {
+		cv := g.EvalCond(in.Cond)
+		skip = g.NewLabel()
+		g.emit(Inst{Op: Brz, A: cv, Label: skip})
+	}
+
+	if err := g.body(in, pc); err != nil {
+		return err
+	}
+
+	if skip >= 0 {
+		g.emit(Inst{Op: Nop, Label: skip, Dst: -1}) // label carrier
+	}
+	return nil
+}
+
+// setReg writes a value to a guest register.
+func (g *Gen) setReg(r guest.Reg, v Val) {
+	g.emit(Inst{Op: SetReg, GReg: r, A: v})
+}
+
+func (g *Gen) saveAddSubFlags(fam Fam) {
+	g.emit(Inst{Op: SaveFlags, Fam: fam, A: None, C: None})
+}
+
+func (g *Gen) saveTestFlags(res Val) {
+	g.emit(Inst{Op: SaveFlags, Fam: FamTest, A: res, C: None})
+}
+
+// aluResult computes the result temp of a 3-operand ALU op, emitting
+// SaveFlags right after the computing op when setFlags is requested.
+func (g *Gen) body(in guest.Inst, pc uint32) error {
+	switch in.Op {
+	case guest.ADD, guest.SUB, guest.AND, guest.ORR, guest.EOR, guest.BIC,
+		guest.MUL:
+		a := g.operandVal(in.Ops[1], pc)
+		b := g.operandVal(in.Ops[2], pc)
+		t := g.Temp()
+		var op Op
+		var fam Fam
+		switch in.Op {
+		case guest.ADD:
+			op, fam = Add, FamAdd
+		case guest.SUB:
+			op, fam = Sub, FamSub
+		case guest.AND:
+			op, fam = And, FamLogic
+		case guest.ORR:
+			op, fam = Or, FamLogic
+		case guest.EOR:
+			op, fam = Xor, FamLogic
+		case guest.BIC:
+			op, fam = AndNot, FamLogic
+		case guest.MUL:
+			op, fam = Mul, FamTest
+		}
+		g.op3(op, t, a, b)
+		if in.S {
+			if fam == FamTest {
+				g.saveTestFlags(TV(t))
+			} else {
+				g.saveAddSubFlags(fam)
+			}
+		}
+		g.setReg(in.Ops[0].Reg, TV(t))
+
+	case guest.RSB:
+		a := g.operandVal(in.Ops[1], pc)
+		b := g.operandVal(in.Ops[2], pc)
+		t := g.Temp()
+		g.op3(Sub, t, b, a)
+		if in.S {
+			g.saveAddSubFlags(FamSub)
+		}
+		g.setReg(in.Ops[0].Reg, TV(t))
+
+	case guest.ADC, guest.SBC, guest.RSC:
+		a := g.operandVal(in.Ops[1], pc)
+		b := g.operandVal(in.Ops[2], pc)
+		if in.Op == guest.RSC {
+			a, b = b, a
+		}
+		ct := g.Temp()
+		g.emit(Inst{Op: GetF, Dst: ct, Flag: FlagC})
+		t := g.Temp()
+		if in.Op == guest.ADC {
+			g.emit(Inst{Op: Adc, Dst: t, A: a, B: b, C: TV(ct)})
+			if in.S {
+				g.saveAddSubFlags(FamAdd)
+			}
+		} else {
+			g.emit(Inst{Op: Sbb, Dst: t, A: a, B: b, C: TV(ct)})
+			if in.S {
+				g.saveAddSubFlags(FamSub)
+			}
+		}
+		g.setReg(in.Ops[0].Reg, TV(t))
+
+	case guest.LSL, guest.LSR, guest.ASR, guest.ROR:
+		a := g.operandVal(in.Ops[1], pc)
+		b := g.operandVal(in.Ops[2], pc)
+		t := g.Temp()
+		var op Op
+		switch in.Op {
+		case guest.LSL:
+			op = Shl
+		case guest.LSR:
+			op = Shr
+		case guest.ASR:
+			op = Sar
+		case guest.ROR:
+			op = Ror
+		}
+		if in.S && in.Op != guest.ROR {
+			// Carry-out of the shifter, branch-free:
+			//   sh = b & 31
+			//   nz = (sh != 0)
+			//   bit = LSL ? a >> ((32-sh)&31) & 1 : a >> ((sh-1)&31) & 1
+			//   C  = nz ? bit : C_old
+			sh := g.Temp()
+			g.op3(And, sh, b, CV(31))
+			nz := g.Temp()
+			g.emit(Inst{Op: SetCC, Dst: nz, A: TV(sh), B: CV(0), CC: CCNe})
+			idx := g.Temp()
+			if in.Op == guest.LSL {
+				g.op3(Sub, idx, CV(32), TV(sh))
+				g.op3(And, idx, TV(idx), CV(31))
+			} else {
+				g.op3(Sub, idx, TV(sh), CV(1))
+				g.op3(And, idx, TV(idx), CV(31))
+			}
+			bit := g.Temp()
+			g.op3(Shr, bit, a, TV(idx))
+			g.op3(And, bit, TV(bit), CV(1))
+			oldC := g.Temp()
+			g.emit(Inst{Op: GetF, Dst: oldC, Flag: FlagC})
+			// C = (bit & nz) | (oldC & ^nz)
+			nzc := g.Temp()
+			g.op3(And, nzc, TV(bit), TV(nz))
+			inv := g.Temp()
+			g.op3(Xor, inv, TV(nz), CV(1))
+			keep := g.Temp()
+			g.op3(And, keep, TV(oldC), TV(inv))
+			cres := g.Temp()
+			g.op3(Or, cres, TV(nzc), TV(keep))
+			g.op3(op, t, a, b)
+			g.emit(Inst{Op: SaveFlags, Fam: FamShift, A: TV(t), C: TV(cres)})
+		} else {
+			g.op3(op, t, a, b)
+			if in.S { // ROR with S: N/Z from result, C = bit 31
+				c := g.Temp()
+				g.op3(Shr, c, TV(t), CV(31))
+				g.emit(Inst{Op: SaveFlags, Fam: FamShift, A: TV(t), C: TV(c)})
+			}
+		}
+		g.setReg(in.Ops[0].Reg, TV(t))
+
+	case guest.MOV, guest.MVN, guest.CLZ:
+		b := g.operandVal(in.Ops[1], pc)
+		t := g.Temp()
+		switch in.Op {
+		case guest.MOV:
+			g.emit(Inst{Op: Mov, Dst: t, A: b})
+		case guest.MVN:
+			g.emit(Inst{Op: Not, Dst: t, A: b})
+		case guest.CLZ:
+			g.emit(Inst{Op: Clz, Dst: t, A: b})
+		}
+		if in.S {
+			g.saveTestFlags(TV(t))
+		}
+		g.setReg(in.Ops[0].Reg, TV(t))
+
+	case guest.MLA, guest.UMLA:
+		a := g.operandVal(in.Ops[1], pc)
+		b := g.operandVal(in.Ops[2], pc)
+		acc := g.operandVal(in.Ops[3], pc)
+		if in.Op == guest.UMLA {
+			ta := g.Temp()
+			g.op3(And, ta, a, CV(0xffff))
+			tb := g.Temp()
+			g.op3(And, tb, b, CV(0xffff))
+			a, b = TV(ta), TV(tb)
+		}
+		m := g.Temp()
+		g.op3(Mul, m, a, b)
+		t := g.Temp()
+		g.op3(Add, t, TV(m), acc)
+		if in.S {
+			g.saveTestFlags(TV(t))
+		}
+		g.setReg(in.Ops[0].Reg, TV(t))
+
+	case guest.CMP, guest.CMN, guest.TST, guest.TEQ:
+		a := g.operandVal(in.Ops[0], pc)
+		b := g.operandVal(in.Ops[1], pc)
+		t := g.Temp()
+		switch in.Op {
+		case guest.CMP:
+			g.op3(Sub, t, a, b)
+			g.saveAddSubFlags(FamSub)
+		case guest.CMN:
+			g.op3(Add, t, a, b)
+			g.saveAddSubFlags(FamAdd)
+		case guest.TST:
+			g.op3(And, t, a, b)
+			g.saveAddSubFlags(FamLogic)
+		case guest.TEQ:
+			g.op3(Xor, t, a, b)
+			g.saveAddSubFlags(FamLogic)
+		}
+
+	case guest.LDR, guest.LDRB:
+		addr := g.operandVal(in.Ops[1], pc)
+		t := g.Temp()
+		op := Ld32
+		if in.Op == guest.LDRB {
+			op = Ld8
+		}
+		g.emit(Inst{Op: op, Dst: t, A: addr})
+		g.setReg(in.Ops[0].Reg, TV(t))
+
+	case guest.STR, guest.STRB:
+		addr := g.operandVal(in.Ops[1], pc)
+		val := g.operandVal(guest.RegOp(in.Ops[0].Reg), pc)
+		op := St32
+		if in.Op == guest.STRB {
+			op = St8
+		}
+		g.emit(Inst{Op: op, A: val, B: addr, Dst: -1})
+
+	case guest.PUSH:
+		list := in.Ops[0].List
+		n := int32(0)
+		for r := guest.Reg(0); r < guest.NumRegs; r++ {
+			if list&(1<<uint(r)) != 0 {
+				n++
+			}
+		}
+		sp := g.operandVal(guest.RegOp(guest.SP), pc)
+		nsp := g.Temp()
+		g.op3(Sub, nsp, sp, CV(4*n))
+		g.setReg(guest.SP, TV(nsp))
+		off := int32(0)
+		for r := guest.Reg(0); r < guest.NumRegs; r++ {
+			if list&(1<<uint(r)) != 0 {
+				v := g.operandVal(guest.RegOp(r), pc)
+				at := g.Temp()
+				g.op3(Add, at, TV(nsp), CV(off))
+				g.emit(Inst{Op: St32, A: v, B: TV(at), Dst: -1})
+				off += 4
+			}
+		}
+
+	case guest.POP:
+		list := in.Ops[0].List
+		sp := g.operandVal(guest.RegOp(guest.SP), pc)
+		off := int32(0)
+		for r := guest.Reg(0); r < guest.NumRegs; r++ {
+			if list&(1<<uint(r)) != 0 {
+				at := g.Temp()
+				g.op3(Add, at, sp, CV(off))
+				t := g.Temp()
+				g.emit(Inst{Op: Ld32, Dst: t, A: TV(at)})
+				g.setReg(r, TV(t))
+				off += 4
+			}
+		}
+		nsp := g.Temp()
+		g.op3(Add, nsp, sp, CV(off))
+		g.setReg(guest.SP, TV(nsp))
+
+	case guest.FADD, guest.FSUB, guest.FMUL, guest.FDIV:
+		var op Op
+		switch in.Op {
+		case guest.FADD:
+			op = FAdd
+		case guest.FSUB:
+			op = FSub
+		case guest.FMUL:
+			op = FMul
+		case guest.FDIV:
+			op = FDiv
+		}
+		g.emit(Inst{Op: op, FRegD: in.Ops[0].FReg, FRegN: in.Ops[1].FReg,
+			A: CV(int32(in.Ops[2].FReg)), Dst: -1})
+
+	case guest.FMOV:
+		g.emit(Inst{Op: FMovF, FRegD: in.Ops[0].FReg, FRegN: in.Ops[1].FReg, Dst: -1})
+
+	case guest.FCMP:
+		g.emit(Inst{Op: FCmp, FRegD: in.Ops[0].FReg, FRegN: in.Ops[1].FReg, Dst: -1})
+
+	case guest.FLDR:
+		addr := g.operandVal(in.Ops[1], pc)
+		g.emit(Inst{Op: FLd, FRegD: in.Ops[0].FReg, A: addr, Dst: -1})
+
+	case guest.FSTR:
+		addr := g.operandVal(in.Ops[1], pc)
+		g.emit(Inst{Op: FSt, FRegN: in.Ops[0].FReg, A: addr, Dst: -1})
+
+	default:
+		return fmt.Errorf("tcg: no expansion for %q", in)
+	}
+	return nil
+}

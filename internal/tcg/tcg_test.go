@@ -1,0 +1,398 @@
+package tcg
+
+import (
+	"math/rand"
+	"testing"
+
+	"paramdbt/internal/env"
+	"paramdbt/internal/guest"
+	"paramdbt/internal/host"
+	"paramdbt/internal/mem"
+)
+
+// syncToEnv writes the guest architectural state into the CPUState block.
+func syncToEnv(st *guest.State, m *mem.Memory) {
+	for i := 0; i < guest.NumRegs; i++ {
+		m.Write32(env.StateBase+uint32(env.OffReg(i)), st.R[i])
+	}
+	b2w := func(b bool) uint32 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	m.Write32(env.StateBase+env.OffN, b2w(st.Flags.N))
+	m.Write32(env.StateBase+env.OffZ, b2w(st.Flags.Z))
+	m.Write32(env.StateBase+env.OffC, b2w(st.Flags.C))
+	m.Write32(env.StateBase+env.OffV, b2w(st.Flags.V))
+	for i := 0; i < guest.NumFRegs; i++ {
+		m.Write32(env.StateBase+uint32(env.OffFReg(i)), st.F[i])
+	}
+}
+
+// readEnv extracts guest state from the CPUState block.
+func readEnv(m *mem.Memory) *guest.State {
+	st := &guest.State{Mem: m}
+	for i := 0; i < guest.NumRegs; i++ {
+		st.R[i] = m.Read32(env.StateBase + uint32(env.OffReg(i)))
+	}
+	st.Flags.N = m.Read32(env.StateBase+env.OffN) != 0
+	st.Flags.Z = m.Read32(env.StateBase+env.OffZ) != 0
+	st.Flags.C = m.Read32(env.StateBase+env.OffC) != 0
+	st.Flags.V = m.Read32(env.StateBase+env.OffV) != 0
+	for i := 0; i < guest.NumFRegs; i++ {
+		st.F[i] = m.Read32(env.StateBase + uint32(env.OffFReg(i)))
+	}
+	return st
+}
+
+// envMap places every guest register in its CPUState slot.
+func envMap(r guest.Reg) host.Operand {
+	return host.Mem(host.EBP, env.OffReg(int(r)))
+}
+
+var fullPool = []host.Reg{host.EAX, host.ECX, host.EDX, host.EBX, host.ESI, host.EDI}
+
+// lowerOne translates a single guest instruction to a host block.
+func lowerOne(t *testing.T, in guest.Inst, pc uint32, mapf func(guest.Reg) host.Operand, pool []host.Reg) *host.Block {
+	t.Helper()
+	a := host.NewAsm()
+	g := NewGen(a.NewLabel)
+	if err := g.Translate(in, pc); err != nil {
+		t.Fatalf("Translate(%q): %v", in, err)
+	}
+	if err := Lower(a, g, mapf, pool); err != nil {
+		t.Fatalf("Lower(%q): %v", in, err)
+	}
+	a.SetCat(host.CatControl)
+	a.Emit(host.Exit(host.Imm(int32(pc + guest.InstBytes))))
+	return a.Block()
+}
+
+// randState builds a random but interpreter-safe guest state. Registers
+// point into a data window so loads/stores hit mapped memory.
+func randState(r *rand.Rand) *guest.State {
+	st := guest.NewState()
+	for i := 0; i < guest.NumRegs; i++ {
+		if r.Intn(2) == 0 {
+			st.R[i] = env.DataBase + uint32(r.Intn(4096))*4
+		} else {
+			st.R[i] = r.Uint32()
+		}
+	}
+	st.R[guest.SP] = env.StackTop - uint32(r.Intn(64))*4
+	st.R[guest.PC] = env.CodeBase
+	st.Flags = guest.Flags{N: r.Intn(2) == 0, Z: r.Intn(2) == 0, C: r.Intn(2) == 0, V: r.Intn(2) == 0}
+	for i := 0; i < guest.NumFRegs; i++ {
+		st.F[i] = uint32(r.Intn(1000)) << 16 // tame float bit patterns
+	}
+	// Seed some data memory.
+	for i := 0; i < 64; i++ {
+		st.Mem.Write32(env.DataBase+uint32(i)*4, r.Uint32())
+	}
+	return st
+}
+
+// randEmulatableInst produces a random non-terminator instruction whose
+// memory operands stay within mapped data memory.
+func randEmulatableInst(r *rand.Rand) guest.Inst {
+	ops := []guest.Op{
+		guest.ADD, guest.ADC, guest.SUB, guest.SBC, guest.RSB, guest.RSC,
+		guest.AND, guest.ORR, guest.EOR, guest.BIC,
+		guest.LSL, guest.LSR, guest.ASR, guest.ROR,
+		guest.MOV, guest.MVN, guest.CLZ, guest.MUL, guest.MLA, guest.UMLA,
+		guest.CMP, guest.CMN, guest.TST, guest.TEQ,
+		guest.LDR, guest.LDRB, guest.STR, guest.STRB,
+		guest.PUSH, guest.POP,
+		guest.FADD, guest.FSUB, guest.FMUL, guest.FMOV,
+	}
+	op := ops[r.Intn(len(ops))]
+	// Avoid PC and SP as data registers so semantics stay block-local.
+	reg := func() guest.Operand { return guest.RegOp(guest.Reg(r.Intn(12))) }
+	imm := func() guest.Operand { return guest.ImmOp(int32(r.Intn(256))) }
+	regOrImm := func() guest.Operand {
+		if r.Intn(2) == 0 {
+			return imm()
+		}
+		return reg()
+	}
+	in := guest.Inst{Op: op, Cond: guest.AL}
+	if r.Intn(4) == 0 {
+		in.Cond = guest.Cond(1 + r.Intn(int(guest.NumConds)-1))
+	}
+	set := func(os ...guest.Operand) {
+		for i, o := range os {
+			in.Ops[i] = o
+		}
+		in.N = len(os)
+	}
+	switch op {
+	case guest.ADD, guest.ADC, guest.SUB, guest.SBC, guest.RSB, guest.RSC,
+		guest.AND, guest.ORR, guest.EOR, guest.BIC,
+		guest.LSL, guest.LSR, guest.ASR, guest.ROR:
+		set(reg(), reg(), regOrImm())
+		in.S = r.Intn(2) == 0
+	case guest.MOV, guest.MVN:
+		set(reg(), regOrImm())
+		in.S = r.Intn(2) == 0
+	case guest.CLZ:
+		set(reg(), reg())
+	case guest.MUL:
+		set(reg(), reg(), reg())
+		in.S = r.Intn(2) == 0
+	case guest.MLA, guest.UMLA:
+		set(reg(), reg(), reg(), reg())
+	case guest.CMP, guest.CMN, guest.TST, guest.TEQ:
+		set(reg(), regOrImm())
+	case guest.LDR, guest.LDRB, guest.STR, guest.STRB:
+		// Base must point into data memory: force a fixed base register
+		// that randState aims at DataBase.
+		set(reg(), guest.MemOp(guest.R8, int32(r.Intn(64))*4))
+	case guest.PUSH, guest.POP:
+		var list uint16
+		for list == 0 {
+			list = uint16(r.Intn(256)) // r0..r7 only
+		}
+		set(guest.Operand{Kind: guest.KindRegList, List: list})
+	case guest.FADD, guest.FSUB, guest.FMUL:
+		set(guest.FRegOp(guest.FReg(r.Intn(8))), guest.FRegOp(guest.FReg(r.Intn(8))), guest.FRegOp(guest.FReg(r.Intn(8))))
+	case guest.FMOV:
+		set(guest.FRegOp(guest.FReg(r.Intn(8))), guest.FRegOp(guest.FReg(r.Intn(8))))
+	}
+	return in
+}
+
+func statesEqual(a, b *guest.State) bool {
+	if a.R != b.R || a.Flags != b.Flags || a.F != b.F {
+		return false
+	}
+	return true
+}
+
+// TestDifferentialInterpreterVsTCG is the core correctness test of the
+// emulation path: for thousands of random instructions and states, the
+// interpreter and the TCG-translated host code must agree on the entire
+// architectural state and on data memory.
+func TestDifferentialInterpreterVsTCG(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 4000; trial++ {
+		in := randEmulatableInst(r)
+		st := randState(r)
+		// Force r8 to point at data memory for loads/stores.
+		st.R[guest.R8] = env.DataBase + uint32(r.Intn(32))*4
+
+		ref := st.Clone()
+		if err := ref.Step(in); err != nil {
+			t.Fatalf("interp %q: %v", in, err)
+		}
+
+		dut := st.Clone()
+		syncToEnv(dut, dut.Mem)
+		cpu := host.NewCPU(dut.Mem)
+		cpu.R[host.EBP] = env.StateBase
+		blk := lowerOne(t, in, env.CodeBase, envMap, fullPool)
+		if _, err := cpu.Exec(blk, 10000); err != nil {
+			t.Fatalf("trial %d: exec %q: %v\n%s", trial, in, err, blk.Listing())
+		}
+		got := readEnv(dut.Mem)
+		got.R[guest.PC] = ref.R[guest.PC] // PC is tracked by the dispatcher
+
+		if !statesEqual(ref, got) {
+			t.Fatalf("trial %d: %q diverged\ninterp:\n%shost:\n%s\nblock:\n%s",
+				trial, in, ref.Snapshot(), got.Snapshot(), blk.Listing())
+		}
+		// Compare the data window.
+		for i := 0; i < 64; i++ {
+			addr := env.DataBase + uint32(i)*4
+			if ref.Mem.Read32(addr) != dut.Mem.Read32(addr) {
+				t.Fatalf("trial %d: %q memory diverged at %#x", trial, in, addr)
+			}
+		}
+		// And the guest stack window (push/pop).
+		for i := 0; i < 80; i++ {
+			addr := env.StackTop - uint32(i)*4
+			if ref.Mem.Read32(addr) != dut.Mem.Read32(addr) {
+				t.Fatalf("trial %d: %q stack diverged at %#x", trial, in, addr)
+			}
+		}
+	}
+}
+
+// TestDifferentialWithMappedRegs repeats the differential test with some
+// guest registers block-allocated to host registers, as the DBT does.
+func TestDifferentialWithMappedRegs(t *testing.T) {
+	mapped := map[guest.Reg]host.Reg{
+		guest.R0: host.EBX,
+		guest.R1: host.ESI,
+		guest.R2: host.EDI,
+	}
+	mapf := func(r guest.Reg) host.Operand {
+		if h, ok := mapped[r]; ok {
+			return host.R(h)
+		}
+		return envMap(r)
+	}
+	pool := []host.Reg{host.EAX, host.ECX, host.EDX}
+
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 3000; trial++ {
+		in := randEmulatableInst(r)
+		st := randState(r)
+		st.R[guest.R8] = env.DataBase + uint32(r.Intn(32))*4
+
+		ref := st.Clone()
+		if err := ref.Step(in); err != nil {
+			t.Fatalf("interp %q: %v", in, err)
+		}
+
+		dut := st.Clone()
+		syncToEnv(dut, dut.Mem)
+		cpu := host.NewCPU(dut.Mem)
+		cpu.R[host.EBP] = env.StateBase
+		// Load mapped guest regs into their host registers.
+		for g, h := range mapped {
+			cpu.R[h] = dut.R[g]
+		}
+		blk := lowerOne(t, in, env.CodeBase, mapf, pool)
+		if _, err := cpu.Exec(blk, 10000); err != nil {
+			t.Fatalf("trial %d: exec %q: %v\n%s", trial, in, err, blk.Listing())
+		}
+		got := readEnv(dut.Mem)
+		for g, h := range mapped {
+			got.R[g] = cpu.R[h]
+		}
+		got.R[guest.PC] = ref.R[guest.PC]
+
+		if !statesEqual(ref, got) {
+			t.Fatalf("trial %d: %q diverged (mapped regs)\ninterp:\n%shost:\n%s\nblock:\n%s",
+				trial, in, ref.Snapshot(), got.Snapshot(), blk.Listing())
+		}
+	}
+}
+
+// TestEvalCondMatchesFlags checks the IR condition evaluator against the
+// guest Flags.Eval oracle for all conditions and flag combinations.
+func TestEvalCondMatchesFlags(t *testing.T) {
+	for c := guest.Cond(0); c < guest.NumConds; c++ {
+		for bit := 0; bit < 16; bit++ {
+			f := guest.Flags{N: bit&1 != 0, Z: bit&2 != 0, C: bit&4 != 0, V: bit&8 != 0}
+			m := mem.New()
+			st := &guest.State{Mem: m, Flags: f}
+			syncToEnv(st, m)
+			cpu := host.NewCPU(m)
+			cpu.R[host.EBP] = env.StateBase
+
+			a := host.NewAsm()
+			g := NewGen(a.NewLabel)
+			v := g.EvalCond(c)
+			// Store the condition value into scratch slot 0.
+			g.emit(Inst{Op: SetF, Flag: FlagN, A: v}) // reuse N slot as output
+			if err := Lower(a, g, envMap, fullPool); err != nil {
+				t.Fatal(err)
+			}
+			a.Emit(host.Exit(host.Imm(0)))
+			if _, err := cpu.Exec(a.Block(), 1000); err != nil {
+				t.Fatal(err)
+			}
+			got := m.Read32(env.StateBase+env.OffN) != 0
+			if got != f.Eval(c) {
+				t.Fatalf("cond %v under %v: got %v, want %v", c, f, got, f.Eval(c))
+			}
+		}
+	}
+}
+
+// TestExpansionFactor documents the multiplying effect: the TCG path
+// needs several host instructions per guest ALU instruction.
+func TestExpansionFactor(t *testing.T) {
+	in := guest.MustAssemble("adds r0, r1, r2")[0]
+	blk := lowerOne(t, in, env.CodeBase, envMap, fullPool)
+	if n := len(blk.Insts); n < 6 {
+		t.Fatalf("expected >=6 host insts for adds via TCG, got %d:\n%s", n, blk.Listing())
+	}
+}
+
+// TestTerminatorRejected ensures branches are left to the DBT.
+func TestTerminatorRejected(t *testing.T) {
+	for _, src := range []string{"b #1", "bl #1", "bx lr", "hlt"} {
+		in := guest.MustAssemble(src)[0]
+		g := NewGen(func() int { return 0 })
+		if err := g.Translate(in, 0); err != ErrTerminator {
+			t.Errorf("Translate(%q) = %v, want ErrTerminator", src, err)
+		}
+	}
+	// pop including pc is a terminator too.
+	in := guest.NewInst(guest.POP, guest.ListOp(guest.R0, guest.PC))
+	g := NewGen(func() int { return 0 })
+	if err := g.Translate(in, 0); err != ErrTerminator {
+		t.Errorf("pop{r0,pc} = %v, want ErrTerminator", err)
+	}
+}
+
+// TestDataTransferTagging checks that guest register maintenance is
+// tagged as data transfer, not compute.
+func TestDataTransferTagging(t *testing.T) {
+	in := guest.MustAssemble("add r0, r1, r2")[0]
+	blk := lowerOne(t, in, env.CodeBase, envMap, fullPool)
+	var data, compute int
+	for _, hi := range blk.Insts {
+		switch hi.Cat {
+		case host.CatDataTransfer:
+			data++
+		case host.CatCompute:
+			compute++
+		}
+	}
+	if data < 3 { // two reg reads + one write
+		t.Fatalf("data transfer insts = %d, want >=3:\n%s", data, blk.Listing())
+	}
+	if compute < 1 {
+		t.Fatalf("compute insts = %d, want >=1", compute)
+	}
+}
+
+// TestDifferentialUnderSpillPressure repeats the differential test with
+// the minimum legal temp pool (one assignable register + staging),
+// forcing the backend through its spill-slot and borrow-register paths.
+func TestDifferentialUnderSpillPressure(t *testing.T) {
+	pool := []host.Reg{host.EAX, host.EDX}
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 1500; trial++ {
+		in := randEmulatableInst(r)
+		st := randState(r)
+		st.R[guest.R8] = env.DataBase + uint32(r.Intn(32))*4
+
+		ref := st.Clone()
+		if err := ref.Step(in); err != nil {
+			t.Fatalf("interp %q: %v", in, err)
+		}
+
+		dut := st.Clone()
+		syncToEnv(dut, dut.Mem)
+		cpu := host.NewCPU(dut.Mem)
+		cpu.R[host.EBP] = env.StateBase
+		blk := lowerOne(t, in, env.CodeBase, envMap, pool)
+		if _, err := cpu.Exec(blk, 10000); err != nil {
+			t.Fatalf("trial %d: exec %q: %v\n%s", trial, in, err, blk.Listing())
+		}
+		got := readEnv(dut.Mem)
+		got.R[guest.PC] = ref.R[guest.PC]
+		if !statesEqual(ref, got) {
+			t.Fatalf("trial %d: %q diverged under spill pressure\ninterp:\n%shost:\n%s\nblock:\n%s",
+				trial, in, ref.Snapshot(), got.Snapshot(), blk.Listing())
+		}
+	}
+}
+
+// TestLowerRejectsTinyPool ensures the backend refuses a pool it cannot
+// stage in rather than emitting wrong code.
+func TestLowerRejectsTinyPool(t *testing.T) {
+	a := host.NewAsm()
+	g := NewGen(a.NewLabel)
+	if err := g.Translate(guest.MustAssemble("add r0, r1, r2")[0], 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := Lower(a, g, envMap, []host.Reg{host.EAX}); err == nil {
+		t.Fatal("single-register pool accepted")
+	}
+}

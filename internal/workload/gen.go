@@ -1,0 +1,250 @@
+package workload
+
+import (
+	"paramdbt/internal/env"
+	"paramdbt/internal/minic"
+)
+
+// Worker layout: v0 = base pointer (arg), v1 = x (arg), v2 = loop
+// counter, v3 = accumulator, v4.. = scratch variables (some of which
+// spill on the host side, exercising the verifier's type-mismatch
+// rejection).
+const (
+	vBase = 0
+	vX    = 1
+	vCnt  = 2
+	vAcc  = 3
+)
+
+// buildWorker fills in one worker function. Hot workers get a counted
+// loop around the statement mix; cold workers are straight-line (they
+// exist for the static statement count only).
+func buildWorker(f *minic.Func, p Profile, r rng, hot bool, leafBase, nLeaves int) {
+	f.NArgs = 2
+	nScratch := 3 + r.Intn(3) // v4..v6(+)
+	f.NVars = 4 + nScratch
+
+	g := &stmtGen{p: p, r: r, f: f, leafBase: leafBase, nLeaves: nLeaves}
+
+	var body []*minic.Stmt
+	body = append(body, minic.Assign(vAcc, minic.V(vX)))
+	for v := 4; v < f.NVars; v++ {
+		body = append(body, minic.Assign(v, minic.C(int32(r.Intn(200)+1))))
+	}
+
+	if hot {
+		loopBody := g.stmts(p.LoopBody)
+		// Ensure the counter decrement is the loop's final statement so
+		// the compilers fuse it with the bottom test (subs+bne).
+		loopBody = append(loopBody, minic.Assign(vCnt, minic.B(minic.OpSub, minic.V(vCnt), minic.C(1))))
+		body = append(body,
+			minic.Assign(vCnt, minic.C(int32(p.InnerIter))),
+			minic.While(minic.Cond{Op: minic.CmpNe, L: minic.V(vCnt), R: minic.C(0)}, loopBody),
+		)
+		// Statically pad hot workers up to the profile size.
+		if extra := p.StmtsPerFunc - len(body) - p.LoopBody; extra > 0 {
+			body = append(body, g.stmts(extra)...)
+		}
+	} else {
+		body = append(body, g.stmts(p.StmtsPerFunc)...)
+	}
+	body = append(body, minic.Return(minic.V(vAcc)))
+	f.Body = body
+}
+
+// sigOps returns the benchmark's signature operators (its palette minus
+// the universal add/sub), used for the fused flag-setting conditions.
+func sigOps(p Profile) []minic.BinOp {
+	var out []minic.BinOp
+	for _, op := range p.Ops {
+		if op != minic.OpAdd && op != minic.OpSub {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// stmtGen draws statements from the profile's mix.
+type stmtGen struct {
+	p        Profile
+	r        rng
+	f        *minic.Func
+	leafBase int
+	nLeaves  int
+}
+
+// anyVar picks a variable to read (biased toward the accumulator and
+// scratch vars; never the base pointer, which must stay a pointer).
+func (g *stmtGen) anyVar() int {
+	choices := []int{vX, vAcc}
+	for v := 4; v < g.f.NVars; v++ {
+		choices = append(choices, v)
+	}
+	return choices[g.r.Intn(len(choices))]
+}
+
+// dstVar picks an assignment destination.
+func (g *stmtGen) dstVar() int {
+	if g.r.Intn(3) == 0 {
+		return vAcc
+	}
+	return 4 + g.r.Intn(g.f.NVars-4)
+}
+
+// leaf yields a variable or small constant.
+func (g *stmtGen) leaf() *minic.Expr {
+	if g.r.Intn(4) == 0 {
+		return minic.C(int32(g.r.Intn(250) + 1))
+	}
+	return minic.V(g.anyVar())
+}
+
+// expr builds a random expression as a left-leaning chain (right
+// operands are leaves), which bounds the compilers' temporary pressure
+// the way expression-tree linearization does in a real code generator.
+func (g *stmtGen) expr(depth int) *minic.Expr {
+	if depth <= 0 || g.r.Intn(3) == 0 {
+		if len(g.p.UnOps) > 0 && g.r.Intn(8) == 0 {
+			return minic.U(g.p.UnOps[g.r.Intn(len(g.p.UnOps))], g.leaf())
+		}
+		return g.leaf()
+	}
+	op := g.r.pick(g.p.Ops)
+	l := g.expr(depth - 1)
+	var rexpr *minic.Expr
+	switch op {
+	case minic.OpShl, minic.OpShr, minic.OpSar, minic.OpRor:
+		// Shift counts: constants keep results lively.
+		rexpr = minic.C(int32(g.r.Intn(7) + 1))
+	case minic.OpMul:
+		if g.r.Intn(2) == 0 {
+			rexpr = minic.C(int32(1 << uint(g.r.Intn(4)+1))) // power of two
+		} else {
+			rexpr = minic.V(g.anyVar())
+		}
+	default:
+		rexpr = g.leaf()
+	}
+	return minic.B(op, l, rexpr)
+}
+
+// addr builds a data-segment address off the base pointer.
+func (g *stmtGen) addr() *minic.Expr {
+	off := int32(g.r.Intn(60)) * 4
+	if g.r.Intn(3) == 0 {
+		// Indexed form: base + (var & mask)*4 exercises the
+		// register-offset addressing mode.
+		idx := minic.B(minic.OpShl, minic.B(minic.OpAnd, minic.V(g.anyVar()), minic.C(31)), minic.C(2))
+		return minic.B(minic.OpAdd, minic.V(vBase), idx)
+	}
+	return minic.B(minic.OpAdd, minic.V(vBase), minic.C(off))
+}
+
+// stmts draws n statements from the mix.
+func (g *stmtGen) stmts(n int) []*minic.Stmt {
+	var out []*minic.Stmt
+	for len(out) < n {
+		roll := g.r.Intn(1000)
+		switch {
+		case roll < g.p.MemFrac:
+			if g.r.Intn(2) == 0 {
+				out = append(out, minic.Store(g.addr(), minic.V(g.anyVar())))
+			} else {
+				out = append(out, minic.Assign(g.dstVar(), minic.LoadE(g.addr())))
+			}
+		case roll < g.p.MemFrac+g.p.IfFrac && n-len(out) >= 3:
+			// A conditional whose test reads a value computed just
+			// before. Most use a palette binop compared against zero,
+			// which both compilers fuse into a flag-setting ALU — the
+			// pattern condition-flag delegation exists for.
+			tv := g.dstVar()
+			var cmp minic.CmpOp
+			rhs := minic.C(0)
+			if g.r.Intn(4) != 0 {
+				// The tested value must live in a register on the guest
+				// side or the compilers cannot fuse the compare away
+				// (spilled variables reload through memory).
+				if g.r.Intn(2) == 0 {
+					tv = vAcc
+				} else {
+					tv = 4
+				}
+				// Fused conditions use the benchmark's signature
+				// operators: their S-variants appear in no other
+				// benchmark, so only condition-flag delegation can
+				// cover them — the libquantum effect of Fig. 14.
+				if len(g.p.FusedUn) > 0 && (len(g.p.FusedOps) == 0 || g.r.Intn(2) == 0) {
+					un := g.p.FusedUn[g.r.Intn(len(g.p.FusedUn))]
+					out = append(out, minic.Assign(tv, minic.U(un, g.leaf())))
+				} else {
+					ops := g.p.FusedOps
+					if len(ops) == 0 {
+						ops = sigOps(g.p)
+					}
+					if len(ops) == 0 {
+						ops = g.p.Ops
+					}
+					out = append(out, minic.Assign(tv, minic.B(ops[g.r.Intn(len(ops))], g.leaf(), g.leaf())))
+				}
+				cmp = []minic.CmpOp{minic.CmpNe, minic.CmpEq, minic.CmpLt, minic.CmpGe}[g.r.Intn(4)]
+			} else {
+				out = append(out, minic.Assign(tv, g.expr(1)))
+				cmp = []minic.CmpOp{minic.CmpNe, minic.CmpGt, minic.CmpLe, minic.CmpLoU, minic.CmpHsU}[g.r.Intn(5)]
+				rhs = minic.C(int32(g.r.Intn(100)))
+			}
+			var els []*minic.Stmt
+			if g.r.Intn(2) == 0 {
+				// Else-less conditionals avoid the unconditional
+				// skip-over jump, like most real branches.
+				els = nil
+			} else {
+				els = []*minic.Stmt{minic.Assign(g.dstVar(), g.expr(1))}
+			}
+			out = append(out, minic.If(minic.Cond{Op: cmp, L: minic.V(tv), R: rhs},
+				[]*minic.Stmt{minic.Assign(g.dstVar(), g.expr(1))},
+				els))
+		case roll < g.p.MemFrac+g.p.IfFrac+g.p.CallFrac && g.nLeaves > 0:
+			leaf := g.leafBase + g.r.Intn(g.nLeaves)
+			out = append(out, minic.Call(g.dstVar(), leaf, minic.V(g.anyVar()), minic.V(g.anyVar())))
+		default:
+			out = append(out, minic.Assign(g.dstVar(), g.expr(2)))
+		}
+	}
+	return out
+}
+
+// buildMain writes the driver: initialize the data segment, then the hot
+// loop over the hot workers, accumulating into v0.
+func buildMain(main *minic.Func, p Profile, scale int) {
+	// v0 = result, v1 = base, v2 = outer counter, v3 = init counter,
+	// v4 = call result, v5 = init value.
+	var body []*minic.Stmt
+	body = append(body,
+		minic.Assign(1, minic.C(int32(env.DataBase))),
+		minic.Assign(0, minic.C(1)),
+	)
+	// Data init loop: data[i] = i*2654435761 (golden-ratio hash).
+	body = append(body,
+		minic.Assign(3, minic.C(64)),
+		minic.Assign(5, minic.C(0)),
+		minic.While(minic.Cond{Op: minic.CmpNe, L: minic.V(3), R: minic.C(0)}, []*minic.Stmt{
+			minic.Store(minic.B(minic.OpAdd, minic.V(1), minic.B(minic.OpShl, minic.V(3), minic.C(2))), minic.V(5)),
+			minic.Assign(5, minic.B(minic.OpAdd, minic.V(5), minic.C(97))),
+			minic.Assign(3, minic.B(minic.OpSub, minic.V(3), minic.C(1))),
+		}),
+	)
+	var calls []*minic.Stmt
+	for i := 0; i < p.HotFuncs; i++ {
+		calls = append(calls,
+			minic.Call(4, 1+i, minic.V(1), minic.V(0)),
+			minic.Assign(0, minic.B(minic.OpAdd, minic.V(0), minic.V(4))),
+		)
+	}
+	calls = append(calls, minic.Assign(2, minic.B(minic.OpSub, minic.V(2), minic.C(1))))
+	body = append(body,
+		minic.Assign(2, minic.C(int32(p.HotIters*scale))),
+		minic.While(minic.Cond{Op: minic.CmpNe, L: minic.V(2), R: minic.C(0)}, calls),
+		minic.Return(minic.V(0)),
+	)
+	main.Body = body
+}

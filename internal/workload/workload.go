@@ -1,0 +1,251 @@
+// Package workload provides the twelve synthetic benchmarks standing in
+// for SPEC CINT 2006. Each benchmark is a deterministic, seeded mini-C
+// program whose static size, operator palette, memory intensity and
+// control structure mirror the character the paper ascribes to its
+// namesake: gcc is huge and operator-diverse, mcf is tiny and
+// memory-bound, h264ref uses few instruction types (so opcode
+// parameterization helps it least), and libquantum's hot loop is
+// dominated by an xor feeding a condition (so condition-flag delegation
+// helps it most).
+//
+// Every benchmark also serves as training material for the learning
+// pipeline; the experiments use leave-one-out and random-k training
+// sets, exactly like the paper.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"paramdbt/internal/minic"
+)
+
+// Profile parameterizes a synthetic benchmark.
+type Profile struct {
+	Name string
+	Seed int64
+
+	// Static shape.
+	Funcs        int // worker functions
+	StmtsPerFunc int // statements per worker body
+
+	// Operator palette (weighted by repetition) — the opcode-richness
+	// knob.
+	Ops   []minic.BinOp
+	UnOps []minic.UnOp
+
+	// FusedOps/FusedUn override the operators used in fused flag-setting
+	// conditions (default: the palette's signature operators). They give
+	// each benchmark S-variant shapes no other benchmark trains.
+	FusedOps []minic.BinOp
+	FusedUn  []minic.UnOp
+
+	// Statement mix (per mille).
+	MemFrac  int // loads+stores
+	IfFrac   int // conditionals
+	CallFrac int // calls to leaf helpers
+
+	// Dynamic shape.
+	HotFuncs  int // how many workers main's hot loop calls
+	HotIters  int // outer loop trip count at scale 1
+	InnerIter int // inner loop trip count
+	LoopBody  int // statements per hot inner-loop body
+}
+
+// allOps is the full integer operator palette.
+var allOps = []minic.BinOp{
+	minic.OpAdd, minic.OpSub, minic.OpRsb, minic.OpMul, minic.OpAnd,
+	minic.OpOr, minic.OpXor, minic.OpBic, minic.OpShl, minic.OpShr,
+	minic.OpSar, minic.OpRor,
+}
+
+// Profiles lists the twelve benchmarks. Static sizes are the paper's
+// Table I statement counts scaled by ~1/40; palettes give each
+// benchmark signature opcodes so that leave-one-out training misses
+// them (the coverage gap parameterization closes).
+var Profiles = []Profile{
+	{
+		Name: "perlbench", Seed: 101, Funcs: 36, StmtsPerFunc: 32,
+		Ops:     []minic.BinOp{minic.OpAdd, minic.OpSub, minic.OpOr, minic.OpOr},
+		UnOps:   []minic.UnOp{minic.OpNot},
+		MemFrac: 180, IfFrac: 110, CallFrac: 18,
+		HotFuncs: 4, HotIters: 10, InnerIter: 60, LoopBody: 22,
+	},
+	{
+		Name: "bzip2", Seed: 102, Funcs: 6, StmtsPerFunc: 20,
+		Ops:     []minic.BinOp{minic.OpAdd, minic.OpSub, minic.OpShr, minic.OpShr},
+		MemFrac: 320, IfFrac: 80, CallFrac: 8,
+		HotFuncs: 3, HotIters: 14, InnerIter: 80, LoopBody: 20,
+	},
+	{
+		Name: "gcc", Seed: 103, Funcs: 90, StmtsPerFunc: 38,
+		Ops:     allOps,
+		UnOps:   []minic.UnOp{minic.OpNot, minic.OpNeg},
+		FusedUn: []minic.UnOp{minic.OpNot},
+		MemFrac: 200, IfFrac: 130, CallFrac: 25,
+		HotFuncs: 6, HotIters: 8, InnerIter: 40, LoopBody: 26,
+	},
+	{
+		Name: "mcf", Seed: 104, Funcs: 2, StmtsPerFunc: 14,
+		Ops:     []minic.BinOp{minic.OpAdd, minic.OpSub, minic.OpSar},
+		MemFrac: 420, IfFrac: 110, CallFrac: 0,
+		HotFuncs: 2, HotIters: 20, InnerIter: 90, LoopBody: 18,
+	},
+	{
+		Name: "gobmk", Seed: 105, Funcs: 22, StmtsPerFunc: 30,
+		Ops:     []minic.BinOp{minic.OpAdd, minic.OpSub, minic.OpBic, minic.OpBic},
+		UnOps:   []minic.UnOp{minic.OpNot},
+		MemFrac: 220, IfFrac: 160, CallFrac: 15,
+		HotFuncs: 4, HotIters: 10, InnerIter: 55, LoopBody: 24,
+	},
+	{
+		Name: "hmmer", Seed: 106, Funcs: 9, StmtsPerFunc: 28,
+		Ops:      []minic.BinOp{minic.OpAdd, minic.OpSub, minic.OpMul, minic.OpSar},
+		FusedOps: []minic.BinOp{minic.OpSar},
+		MemFrac:  300, IfFrac: 70, CallFrac: 5,
+		HotFuncs: 2, HotIters: 16, InnerIter: 85, LoopBody: 25,
+	},
+	{
+		Name: "sjeng", Seed: 107, Funcs: 6, StmtsPerFunc: 24,
+		Ops:     []minic.BinOp{minic.OpAdd, minic.OpSub, minic.OpRor, minic.OpRor},
+		UnOps:   []minic.UnOp{minic.OpNot},
+		MemFrac: 180, IfFrac: 180, CallFrac: 12,
+		HotFuncs: 3, HotIters: 12, InnerIter: 60, LoopBody: 21,
+	},
+	{
+		Name: "libquantum", Seed: 108, Funcs: 2, StmtsPerFunc: 14,
+		Ops:     []minic.BinOp{minic.OpXor, minic.OpXor, minic.OpXor, minic.OpAdd},
+		MemFrac: 260, IfFrac: 200, CallFrac: 0,
+		HotFuncs: 1, HotIters: 24, InnerIter: 110, LoopBody: 16,
+	},
+	{
+		Name: "h264ref", Seed: 109, Funcs: 14, StmtsPerFunc: 34,
+		// Few instruction types: adds, subtractions and memory only.
+		Ops:     []minic.BinOp{minic.OpAdd, minic.OpSub, minic.OpAdd, minic.OpSub},
+		MemFrac: 340, IfFrac: 60, CallFrac: 10,
+		HotFuncs: 3, HotIters: 14, InnerIter: 75, LoopBody: 24,
+	},
+	{
+		Name: "omnetpp", Seed: 110, Funcs: 11, StmtsPerFunc: 30,
+		Ops:     []minic.BinOp{minic.OpAdd, minic.OpSub, minic.OpRsb, minic.OpMul, minic.OpRsb},
+		UnOps:   []minic.UnOp{minic.OpNeg},
+		MemFrac: 240, IfFrac: 130, CallFrac: 28,
+		HotFuncs: 3, HotIters: 10, InnerIter: 55, LoopBody: 20,
+	},
+	{
+		Name: "astar", Seed: 111, Funcs: 3, StmtsPerFunc: 18,
+		Ops:     []minic.BinOp{minic.OpAdd, minic.OpSub, minic.OpSar, minic.OpAnd},
+		MemFrac: 300, IfFrac: 190, CallFrac: 5,
+		HotFuncs: 2, HotIters: 16, InnerIter: 70, LoopBody: 17,
+	},
+	{
+		Name: "xalancbmk", Seed: 112, Funcs: 54, StmtsPerFunc: 34,
+		Ops:     []minic.BinOp{minic.OpAdd, minic.OpSub, minic.OpShl, minic.OpShl},
+		UnOps:   []minic.UnOp{minic.OpNot},
+		MemFrac: 210, IfFrac: 140, CallFrac: 20,
+		HotFuncs: 5, HotIters: 9, InnerIter: 50, LoopBody: 23,
+	},
+}
+
+// Benchmark is a generated workload.
+type Benchmark struct {
+	Name string
+	Prog *minic.Program
+}
+
+// Names lists the benchmark names in order.
+func Names() []string {
+	out := make([]string, len(Profiles))
+	for i, p := range Profiles {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// Get generates one benchmark by name. scale multiplies the hot
+// iteration counts (1 = the "reference input"); scale 0 is clamped to 1.
+func Get(name string, scale int) (Benchmark, error) {
+	for _, p := range Profiles {
+		if p.Name == name {
+			return Benchmark{Name: p.Name, Prog: Generate(p, scale)}, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// All generates the full suite.
+func All(scale int) []Benchmark {
+	out := make([]Benchmark, len(Profiles))
+	for i, p := range Profiles {
+		out[i] = Benchmark{Name: p.Name, Prog: Generate(p, scale)}
+	}
+	return out
+}
+
+// rng wraps the deterministic random source.
+type rng struct{ *rand.Rand }
+
+func (r rng) pick(ops []minic.BinOp) minic.BinOp { return ops[r.Intn(len(ops))] }
+
+// generate builds the benchmark program:
+//
+//	main: seeds the data segment, then runs the hot loop calling the
+//	      first HotFuncs workers.
+//	worker_i(base, x): a big loop whose body draws statements from the
+//	      profile's mix; returns an accumulator.
+//	leaf_j(a, b): tiny helpers reached from workers via CallFrac.
+//
+// Cold workers beyond HotFuncs exist only statically — the paper's
+// observation that <5% of statements execute at runtime. Generate is
+// exported so callers can fuzz with custom profiles.
+func Generate(p Profile, scale int) *minic.Program {
+	if scale < 1 {
+		scale = 1
+	}
+	r := rng{rand.New(rand.NewSource(p.Seed))}
+
+	prog := &minic.Program{}
+	// Function indices: 0 = main, 1..Funcs = workers, then leaves.
+	nWorkers := p.Funcs
+	leafBase := 1 + nWorkers
+	nLeaves := 3
+
+	main := &minic.Func{Name: "main", NVars: 6}
+	prog.Funcs = append(prog.Funcs, main)
+	for i := 0; i < nWorkers; i++ {
+		prog.Funcs = append(prog.Funcs, &minic.Func{Name: fmt.Sprintf("w%d", i)})
+	}
+	for j := 0; j < nLeaves; j++ {
+		prog.Funcs = append(prog.Funcs, leafFunc(j))
+	}
+
+	for i := 0; i < nWorkers; i++ {
+		hot := i < p.HotFuncs
+		buildWorker(prog.Funcs[1+i], p, r, hot, leafBase, nLeaves)
+	}
+
+	buildMain(main, p, scale)
+	return prog
+}
+
+// leafFunc builds a helper with enough body that the call-ABI
+// instructions (bl/push/pop/bx — never rule-covered) stay a small
+// fraction of a call's dynamic cost, as in real programs.
+func leafFunc(j int) *minic.Func {
+	ops := []minic.BinOp{minic.OpAdd, minic.OpSub, minic.OpAnd}
+	op := ops[j%len(ops)]
+	body := []*minic.Stmt{
+		minic.Assign(2, minic.B(op, minic.V(0), minic.V(1))),
+		minic.Assign(3, minic.B(minic.OpAdd, minic.V(0), minic.C(int32(3*j+1)))),
+		minic.Assign(2, minic.B(minic.OpAdd, minic.V(2), minic.V(3))),
+		minic.Assign(3, minic.B(op, minic.V(3), minic.C(int32(j+7)))),
+		minic.Assign(2, minic.B(minic.OpSub, minic.V(2), minic.V(3))),
+		minic.Assign(3, minic.B(minic.OpAdd, minic.V(2), minic.V(0))),
+		minic.Assign(2, minic.B(op, minic.V(2), minic.V(3))),
+		minic.Return(minic.B(minic.OpAdd, minic.V(2), minic.C(int32(j+1)))),
+	}
+	return &minic.Func{
+		Name: fmt.Sprintf("leaf%d", j), NArgs: 2, NVars: 4,
+		Body: body,
+	}
+}

@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"testing"
+
+	"paramdbt/internal/guest"
+	"paramdbt/internal/minic"
+)
+
+func TestAllBenchmarksCompile(t *testing.T) {
+	for _, b := range All(1) {
+		c, err := minic.Compile(b.Prog)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if c.StmtCount == 0 || len(c.GuestInsts) == 0 {
+			t.Fatalf("%s: empty compilation", b.Name)
+		}
+	}
+}
+
+func TestAllBenchmarksTerminate(t *testing.T) {
+	for _, b := range All(1) {
+		c, err := minic.Compile(b.Prog)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		st, err := c.RunInterp(80_000_000)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if !st.Halted {
+			t.Fatalf("%s: did not halt", b.Name)
+		}
+		if st.InstCount == 0 {
+			t.Fatalf("%s: executed nothing", b.Name)
+		}
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a := All(1)
+	b := All(1)
+	for i := range a {
+		ca, err := minic.Compile(a[i].Prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cb, err := minic.Compile(b[i].Prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if guest.Disassemble(0, ca.GuestInsts) != guest.Disassemble(0, cb.GuestInsts) {
+			t.Fatalf("%s: nondeterministic generation", a[i].Name)
+		}
+	}
+}
+
+func TestRelativeSizesMatchPaper(t *testing.T) {
+	// gcc must be the largest benchmark and mcf among the smallest,
+	// echoing Table I.
+	sizes := map[string]int{}
+	for _, b := range All(1) {
+		c, err := minic.Compile(b.Prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes[b.Name] = c.StmtCount
+	}
+	if sizes["gcc"] <= sizes["perlbench"] || sizes["gcc"] <= sizes["xalancbmk"] {
+		t.Fatalf("gcc not largest: %v", sizes)
+	}
+	for name, n := range sizes {
+		if name == "mcf" || name == "libquantum" {
+			continue
+		}
+		if sizes["mcf"] > n {
+			t.Fatalf("mcf (%d) larger than %s (%d)", sizes["mcf"], name, n)
+		}
+	}
+}
+
+func TestScaleGrowsDynamicWork(t *testing.T) {
+	b1, err := Get("mcf", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b3, err := Get("mcf", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, _ := minic.Compile(b1.Prog)
+	c3, _ := minic.Compile(b3.Prog)
+	s1, err := c1.RunInterp(80_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3, err := c3.RunInterp(200_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.InstCount < 2*s1.InstCount {
+		t.Fatalf("scale 3 ran %d vs scale 1 %d", s3.InstCount, s1.InstCount)
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("nonesuch", 1); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestHotColdSplit(t *testing.T) {
+	// Dynamic instruction count must vastly exceed what cold functions
+	// could contribute: the paper's "<5% of statements execute" point is
+	// modeled by cold workers never being called.
+	b, err := Get("gcc", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Prog.Funcs) < 20 {
+		t.Fatalf("gcc too few functions: %d", len(b.Prog.Funcs))
+	}
+}
