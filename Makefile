@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: ci vet build test race bench bench-dispatch experiments
+
+ci: vet build race bench
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One pass over every benchmark: smoke-checks the harness without the
+# full measurement run.
+bench:
+	$(GO) test -run NONE -bench . -benchtime 1x -benchmem ./...
+
+# The dispatch/lookup microbenchmarks at measurement benchtime; raw
+# output is recorded in BENCH_dispatch.json.
+bench-dispatch:
+	$(GO) test -run NONE -bench 'BenchmarkDispatchChaining|BenchmarkLookupKey' \
+		-benchtime 100x -benchmem .
+
+experiments:
+	$(GO) run ./cmd/experiments

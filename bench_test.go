@@ -332,6 +332,112 @@ func BenchmarkRuleLookup(b *testing.B) {
 	}
 }
 
+// BenchmarkLookupKey measures the allocation-free retrieval-key paths:
+// fingerprint computation over a block-sized window, a memoized-miss
+// lookup, and a hit lookup. The key and miss paths must report
+// 0 allocs/op — retrieval runs once per window position per block.
+func BenchmarkLookupKey(b *testing.B) {
+	c := getCorpus(b)
+	full, _ := core.Parameterize(c.Union(c.Names), core.Config{Opcode: true, AddrMode: true})
+	hit := guest.MustAssemble("eor r3, r4, r5\nhlt")
+	missSeq := guest.MustAssemble("hlt")
+	if t, _, _ := full.Lookup(missSeq); t != nil {
+		b.Fatal("miss sequence unexpectedly matched a rule")
+	}
+	block := guest.MustAssemble(`
+		ldr r1, [sp, #4]
+		add r2, r1, #1
+		eor r3, r2, r1
+		str r3, [sp, #8]
+		cmp r3, r1
+		beq done
+		sub r4, r3, r2
+		orr r5, r4, r1
+		done: hlt
+	`)
+
+	b.Run("fingerprint", func(b *testing.B) {
+		b.ReportAllocs()
+		var sink uint64
+		for i := 0; i < b.N; i++ {
+			h := rule.KeyFpSeed
+			for j := range block {
+				h = rule.ExtendKeyFp(h, block[j])
+			}
+			sink ^= h
+		}
+		_ = sink
+	})
+	b.Run("hit", func(b *testing.B) {
+		b.ReportAllocs()
+		var miss rule.MissSet
+		miss.Reset()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if t, _, _ := full.LookupCached(hit, &miss); t == nil {
+				b.Fatal("lookup failed")
+			}
+		}
+	})
+	b.Run("miss-memoized", func(b *testing.B) {
+		b.ReportAllocs()
+		var miss rule.MissSet
+		miss.Reset()
+		full.LookupCached(missSeq, &miss) // pre-populate the memo
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if t, _, _ := full.LookupCached(missSeq, &miss); t != nil {
+				b.Fatal("miss sequence matched")
+			}
+		}
+	})
+}
+
+// BenchmarkDispatchChaining compares dispatcher traffic with and
+// without translation-block chaining on the largest benchmark, and
+// checks that chaining changes nothing guest-visible. The third
+// sub-bench adds background translation workers on top of chaining.
+func BenchmarkDispatchChaining(b *testing.B) {
+	c := getCorpus(b)
+	full, _ := core.Parameterize(c.Union(c.Others("gcc")), core.Config{Opcode: true, AddrMode: true})
+	base := dbt.Config{Rules: full, DelegateFlags: true}
+	ref, err := c.Run("gcc", base)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if ref.Stats.ChainedExits == 0 {
+		b.Fatal("reference run recorded no chained exits")
+	}
+	for _, bc := range []struct {
+		name string
+		cfg  dbt.Config
+	}{
+		{"chained", base},
+		{"no-chain", func() dbt.Config { c := base; c.NoChain = true; return c }()},
+		{"chained-workers4", func() dbt.Config { c := base; c.TranslateWorkers = 4; return c }()},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := c.Run("gcc", bc.cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if r.Stats.GuestExec != ref.Stats.GuestExec || r.Total != ref.Total ||
+					r.Stats.Coverage() != ref.Stats.Coverage() {
+					b.Fatalf("guest-visible results diverge from reference: %+v vs %+v",
+						r.Stats, ref.Stats)
+				}
+				if !bc.cfg.NoChain && r.Stats.ChainedExits == 0 {
+					b.Fatal("no chained exits in a chained configuration")
+				}
+				b.ReportMetric(float64(r.Stats.Dispatches), "dispatches")
+				b.ReportMetric(float64(r.Stats.ChainedExits), "chained-exits")
+				b.ReportMetric(100*r.Stats.ChainRate(), "%chained")
+			}
+		})
+	}
+}
+
 // BenchmarkVerifyRule measures one symbolic rule verification.
 func BenchmarkVerifyRule(b *testing.B) {
 	for i := 0; i < b.N; i++ {

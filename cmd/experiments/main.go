@@ -18,7 +18,7 @@ import (
 
 func main() {
 	scale := flag.Int("scale", 1, "dynamic work multiplier (1 = reference input)")
-	only := flag.String("only", "", "comma-separated subset: table1,fig2,fig11,fig12,fig13,table2,fig14,fig15,fig16,table3")
+	only := flag.String("only", "", "comma-separated subset: table1,fig2,fig11,fig12,fig13,table2,fig14,fig15,fig16,table3,dispatch")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -49,7 +49,7 @@ func main() {
 	}
 
 	needLOO := sel("fig11") || sel("fig12") || sel("fig13") || sel("table2") ||
-		sel("fig14") || sel("fig15")
+		sel("fig14") || sel("fig15") || sel("dispatch")
 	var loo []exp.ModeResults
 	if needLOO {
 		fmt.Fprintln(os.Stderr, "leave-one-out evaluation (5 configurations x 12 benchmarks)...")
@@ -86,6 +86,10 @@ func main() {
 	if needLOO {
 		section("Uncovered instruction kinds (cf. the paper's seven)")
 		fmt.Println(strings.Join(exp.UncoveredKinds(loo), ", "))
+	}
+	if sel("dispatch") {
+		section("Dispatch & block chaining (full configuration)")
+		fmt.Print(exp.RenderDispatch(loo))
 	}
 
 	if sel("fig16") {

@@ -70,6 +70,8 @@ func main() {
 	rulesPath := flag.String("rules", "", "load the rule table from this file (JSON Lines, see rulegen -o) instead of training")
 	manual := flag.Bool("manual", false, "add the manual ABI/special-instruction translations (paper §V-B2)")
 	dumpBlocks := flag.Int("dump-blocks", 0, "print the first N translated blocks (guest disassembly + host listing)")
+	workers := flag.Int("workers", 0, "background translation workers (speculative successor translation)")
+	noChain := flag.Bool("no-chain", false, "disable translation-block chaining (dispatch every block boundary)")
 	flag.Parse()
 
 	corpus, err := exp.BuildCorpus(*scale)
@@ -126,6 +128,8 @@ func main() {
 		}
 	}
 	cfg.ManualABI = *manual
+	cfg.TranslateWorkers = *workers
+	cfg.NoChain = *noChain
 
 	res, err := corpus.Run(*bench, cfg)
 	if err != nil {
@@ -150,6 +154,8 @@ func main() {
 	fmt.Printf("  control          %d\n", res.Executed[2])
 	fmt.Printf("dynamic coverage   %.1f%%\n", 100*st.Coverage())
 	fmt.Printf("translated blocks  %d\n", st.Blocks)
+	fmt.Printf("dispatches         %d\n", st.Dispatches)
+	fmt.Printf("chained exits      %d (%.1f%% of block transitions)\n", st.ChainedExits, 100*st.ChainRate())
 	if cfg.Rules != nil {
 		fmt.Printf("rule table size    %d\n", cfg.Rules.Len())
 	}

@@ -1,0 +1,84 @@
+package dbt
+
+import "sync"
+
+// The code cache is sharded so the main execution loop and the
+// speculative translation workers can hit it concurrently without a
+// global lock: a power-of-two shard count indexed by a multiplicative
+// hash of the block pc, one RWMutex per shard (QEMU's tb_jmp_cache /
+// region-tree split collapsed to the needs of a simulator).
+
+// cacheShards is the shard count; must be a power of two.
+const cacheShards = 16
+
+// cacheShardBits is log2(cacheShards).
+const cacheShardBits = 4
+
+type cacheShard struct {
+	mu sync.RWMutex
+	m  map[uint32]*tblock
+}
+
+type codeCache struct {
+	shards [cacheShards]cacheShard
+}
+
+func newCodeCache() *codeCache {
+	c := &codeCache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[uint32]*tblock)
+	}
+	return c
+}
+
+// shard picks the shard for a pc. Guest pcs are word-aligned, so the
+// two low bits carry no information and are discarded before hashing.
+func (c *codeCache) shard(pc uint32) *cacheShard {
+	h := (pc >> 2) * 2654435761 // Knuth's multiplicative hash
+	return &c.shards[h>>(32-cacheShardBits)]
+}
+
+func (c *codeCache) get(pc uint32) (*tblock, bool) {
+	s := c.shard(pc)
+	s.mu.RLock()
+	tb, ok := s.m[pc]
+	s.mu.RUnlock()
+	return tb, ok
+}
+
+// putIfAbsent installs tb unless a translation is already present and
+// returns the canonical block: first writer wins, so demand translation
+// and speculative workers racing on the same pc agree on one tblock.
+func (c *codeCache) putIfAbsent(pc uint32, tb *tblock) *tblock {
+	s := c.shard(pc)
+	s.mu.Lock()
+	if cur, ok := s.m[pc]; ok {
+		s.mu.Unlock()
+		return cur
+	}
+	s.m[pc] = tb
+	s.mu.Unlock()
+	return tb
+}
+
+// remove deletes and returns the translation at pc (nil if absent).
+func (c *codeCache) remove(pc uint32) *tblock {
+	s := c.shard(pc)
+	s.mu.Lock()
+	tb := s.m[pc]
+	delete(s.m, pc)
+	s.mu.Unlock()
+	return tb
+}
+
+// size reports the total number of cached translations.
+func (c *codeCache) size() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}

@@ -44,18 +44,49 @@ type Config struct {
 	// learning can never cover (push/pop/clz/mla/umla, and the pure-stub
 	// control terminators) — the paper's §V-B2 path to ~100% coverage.
 	ManualABI bool
+	// TranslateWorkers starts this many background translation workers
+	// for the duration of each Run; they speculatively translate direct
+	// successor blocks discovered at block-emit time (0 = off). Results
+	// are deterministic: workers only pre-warm the code cache.
+	TranslateWorkers int
+	// NoChain disables translation-block chaining, forcing every block
+	// boundary back through the dispatcher — the ablation baseline for
+	// BenchmarkDispatchChaining.
+	NoChain bool
+	// TraceBlock, when non-nil, is called with the guest pc of every
+	// block entered, in execution order (debug/test hook; the chaining
+	// correctness test reconstructs instruction traces from it).
+	TraceBlock func(pc uint32)
 }
 
 // Stats aggregates the evaluation metrics.
 type Stats struct {
 	GuestExec   uint64 // dynamic guest instructions
 	RuleCovered uint64 // of which rule-translated (dynamic coverage)
-	Blocks      int    // translated blocks
+	Blocks      int    // distinct blocks executed (first entries)
 	SeqRuleUses uint64 // dynamic guest insts covered by multi-insn rules
+
+	// Dispatches counts dispatcher round trips: block entries that went
+	// through the code-cache lookup in the Run loop. ChainedExits counts
+	// block transitions that instead followed a patched direct link from
+	// the previous block, skipping the dispatcher. Their sum is the total
+	// number of block entries.
+	Dispatches   uint64
+	ChainedExits uint64
 
 	// UncoveredOps breaks down emulated instructions by opcode — the
 	// analysis behind the paper's "seven uncoverable instructions".
 	UncoveredOps map[guest.Op]uint64
+}
+
+// ChainRate returns the fraction of block transitions that bypassed the
+// dispatcher via block chaining.
+func (s Stats) ChainRate() float64 {
+	total := s.Dispatches + s.ChainedExits
+	if total == 0 {
+		return 0
+	}
+	return float64(s.ChainedExits) / float64(total)
 }
 
 // Coverage returns the dynamic coverage fraction.
@@ -71,15 +102,59 @@ type Engine struct {
 	Cfg   Config
 	Mem   *mem.Memory
 	CPU   *host.CPU
-	cache map[uint32]*tblock
+	cache *codeCache
+	miss  rule.MissSet // per-block lookup-miss memo (Run goroutine only)
+	spec  *specPool    // live while Run executes with TranslateWorkers > 0
 }
 
+// tblock is one cached translation. The hb/insts/counter fields are
+// immutable after construction (safe to publish through the cache); the
+// link and seen fields are owned by the goroutine driving Run.
 type tblock struct {
 	hb        *host.Block
+	insts     []guest.Inst // decoded guest block, reused instead of re-decoding
 	nGuest    uint64
 	nCovered  uint64
 	nSeq      uint64
 	uncovered []guest.Op
+
+	// links are the block's direct-exit slots (branch target and/or
+	// fallthrough), patched lazily as targets get translated so chained
+	// execution skips the dispatcher. incoming records links in other
+	// blocks that point here, so Invalidate can tear them down safely.
+	// seen marks the first execution (drives Stats.Blocks).
+	links    []blockLink
+	incoming []*blockLink
+	seen     bool
+}
+
+// blockLink is one direct-exit slot: the static successor pc plus the
+// lazily patched pointer to its translation (nil until linked).
+type blockLink struct {
+	target uint32
+	to     *tblock
+}
+
+// follow returns the linked translation for next, if already patched.
+func (tb *tblock) follow(next uint32) *tblock {
+	for i := range tb.links {
+		if tb.links[i].target == next {
+			return tb.links[i].to
+		}
+	}
+	return nil
+}
+
+// patch records to as the translation of next in the matching link
+// slot(s) and registers the back-reference for safe teardown.
+func (tb *tblock) patch(next uint32, to *tblock) {
+	for i := range tb.links {
+		l := &tb.links[i]
+		if l.target == next && l.to == nil {
+			l.to = to
+			to.incoming = append(to.incoming, l)
+		}
+	}
 }
 
 // New creates an engine over the given memory. The CPUState block and
@@ -91,7 +166,7 @@ func New(m *mem.Memory, cfg Config) *Engine {
 	cpu := host.NewCPU(m)
 	cpu.R[host.EBP] = env.StateBase
 	cpu.R[host.ESP] = env.HostStackTop
-	return &Engine{Cfg: cfg, Mem: m, CPU: cpu, cache: map[uint32]*tblock{}}
+	return &Engine{Cfg: cfg, Mem: m, CPU: cpu, cache: newCodeCache()}
 }
 
 // SetGuestState writes a guest architectural state into the CPUState.
@@ -133,13 +208,47 @@ func (e *Engine) GuestState() *guest.State {
 
 // Run executes guest code from entry until HLT, collecting statistics.
 // maxHostSteps bounds total host instructions (runaway protection).
+//
+// Block transitions prefer the chain fast path: when the previous block
+// recorded a direct link to the next pc, execution continues straight
+// into the linked translation without the dispatcher's cache lookup.
+// Links are patched in lazily the first time the dispatcher resolves a
+// direct-exit target that has been translated.
 func (e *Engine) Run(entry uint32, maxHostSteps uint64) (Stats, error) {
 	stats := Stats{UncoveredOps: map[guest.Op]uint64{}}
+	if e.Cfg.TranslateWorkers > 0 {
+		e.spec = e.startSpec()
+		defer func() {
+			e.spec.shutdown()
+			e.spec = nil
+		}()
+	}
 	pc := entry
+	var prev *tblock
 	for pc != HaltPC {
-		tb, err := e.block(pc, &stats)
-		if err != nil {
-			return stats, fmt.Errorf("dbt: translating block at %#x: %w", pc, err)
+		var tb *tblock
+		if prev != nil && !e.Cfg.NoChain {
+			tb = prev.follow(pc)
+		}
+		if tb != nil {
+			stats.ChainedExits++
+		} else {
+			stats.Dispatches++
+			var err error
+			tb, err = e.block(pc)
+			if err != nil {
+				return stats, fmt.Errorf("dbt: translating block at %#x: %w", pc, err)
+			}
+			if prev != nil && !e.Cfg.NoChain {
+				prev.patch(pc, tb)
+			}
+		}
+		if !tb.seen {
+			tb.seen = true
+			stats.Blocks++
+		}
+		if e.Cfg.TraceBlock != nil {
+			e.Cfg.TraceBlock(pc)
 		}
 		if e.CPU.Total() >= maxHostSteps {
 			return stats, fmt.Errorf("dbt: host step budget exhausted at pc=%#x", pc)
@@ -154,6 +263,7 @@ func (e *Engine) Run(entry uint32, maxHostSteps uint64) (Stats, error) {
 		for _, op := range tb.uncovered {
 			stats.UncoveredOps[op]++
 		}
+		prev = tb
 		pc = res.NextPC
 	}
 	// Keep the architectural PC in the CPUState coherent.
@@ -161,45 +271,68 @@ func (e *Engine) Run(entry uint32, maxHostSteps uint64) (Stats, error) {
 	return stats, nil
 }
 
-// block returns the translated block at pc, translating on a miss.
-func (e *Engine) block(pc uint32, stats *Stats) (*tblock, error) {
-	if tb, ok := e.cache[pc]; ok {
+// block returns the translated block at pc, translating on a miss and
+// seeding the speculative queue with the block's direct successors.
+func (e *Engine) block(pc uint32) (*tblock, error) {
+	if tb, ok := e.cache.get(pc); ok {
 		return tb, nil
 	}
-	tb, err := e.translate(pc)
+	tb, err := e.translateIn(e.Mem, pc, &e.miss)
 	if err != nil {
 		return nil, err
 	}
-	e.cache[pc] = tb
-	stats.Blocks++
+	tb = e.cache.putIfAbsent(pc, tb)
+	if e.spec != nil {
+		e.spec.enqueue(tb)
+	}
 	return tb, nil
 }
 
+// Invalidate removes the translation at pc (after guest code changes)
+// and tears down chaining safely: every link pointing at the stale
+// block is unpatched, so chained execution can no longer reach it, and
+// the next dispatch to pc retranslates. It reports whether a
+// translation existed. Invalidate must not run concurrently with Run.
+func (e *Engine) Invalidate(pc uint32) bool {
+	tb := e.cache.remove(pc)
+	if tb == nil {
+		return false
+	}
+	for _, l := range tb.incoming {
+		l.to = nil
+	}
+	tb.incoming = nil
+	for i := range tb.links {
+		tb.links[i].to = nil
+	}
+	return true
+}
+
+// CachedBlocks reports the number of translations currently cached.
+func (e *Engine) CachedBlocks() int { return e.cache.size() }
+
 // BlockListing translates (or fetches from cache) the block at pc and
 // returns its annotated host listing alongside the guest disassembly —
-// the debugging view of what the translator produced.
+// the debugging view of what the translator produced. The guest
+// disassembly reuses the decode results stored in the cached block.
 func (e *Engine) BlockListing(pc uint32) (string, error) {
-	insts, err := e.fetchBlock(pc)
-	if err != nil {
-		return "", err
-	}
-	var st Stats
-	tb, err := e.block(pc, &st)
+	tb, err := e.block(pc)
 	if err != nil {
 		return "", err
 	}
 	s := fmt.Sprintf("guest block @%#x (%d insts, %d rule-covered):\n", pc, tb.nGuest, tb.nCovered)
-	s += guest.Disassemble(pc, insts)
+	s += guest.Disassemble(pc, tb.insts)
 	s += "host code:\n" + tb.hb.Listing()
 	return s, nil
 }
 
-// fetchBlock decodes guest instructions from pc up to and including the
-// terminator.
-func (e *Engine) fetchBlock(pc uint32) ([]guest.Inst, error) {
+// fetchBlockIn decodes guest instructions from pc up to and including
+// the terminator, reading code from m (the live memory on the demand
+// path, a snapshot on the speculative path).
+func fetchBlockIn(m *mem.Memory, pc uint32) ([]guest.Inst, error) {
 	var out []guest.Inst
 	for len(out) < maxBlockInsts {
-		w := e.Mem.Read32(pc + uint32(len(out)*guest.InstBytes))
+		w := m.Read32(pc + uint32(len(out)*guest.InstBytes))
 		in, err := guest.Decode(w)
 		if err != nil {
 			return nil, err

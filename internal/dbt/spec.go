@@ -1,0 +1,89 @@
+package dbt
+
+import (
+	"sync"
+
+	"paramdbt/internal/mem"
+	"paramdbt/internal/rule"
+)
+
+// specPool is the optional background translation pool
+// (Config.TranslateWorkers): whenever a block is emitted, its direct
+// successor pcs that are not yet translated are queued, and workers
+// translate them ahead of the execution front so the main loop's next
+// dispatch mostly hits a warm cache. Workers translate from a private
+// snapshot of guest memory taken when the pool starts — guest stores
+// executed by the main loop therefore never race with speculative code
+// fetches, and because translation is a pure function of the code bytes
+// and the rule store, a worker-produced block is bit-identical to the
+// one demand translation would build. Guest-visible results are
+// unaffected by who wins: the cache's first-writer-wins insert keeps a
+// single canonical translation per pc.
+type specPool struct {
+	e    *Engine
+	code *mem.Memory // read-only snapshot for speculative fetch/decode
+	jobs chan uint32
+	quit chan struct{}
+	wg   sync.WaitGroup
+}
+
+// startSpec snapshots guest memory and launches the workers.
+func (e *Engine) startSpec() *specPool {
+	p := &specPool{
+		e:    e,
+		code: e.Mem.Clone(),
+		jobs: make(chan uint32, 256),
+		quit: make(chan struct{}),
+	}
+	for i := 0; i < e.Cfg.TranslateWorkers; i++ {
+		p.wg.Add(1)
+		go p.work()
+	}
+	return p
+}
+
+// shutdown stops the workers and waits for in-flight translations.
+func (p *specPool) shutdown() {
+	close(p.quit)
+	p.wg.Wait()
+}
+
+// enqueue queues the not-yet-translated direct successors of tb.
+// Enqueueing never blocks: when the queue is full the hint is simply
+// dropped — speculation is best-effort, the demand path stays correct.
+func (p *specPool) enqueue(tb *tblock) {
+	for i := range tb.links {
+		pc := tb.links[i].target
+		if _, ok := p.e.cache.get(pc); ok {
+			continue
+		}
+		select {
+		case p.jobs <- pc:
+		default:
+		}
+	}
+}
+
+func (p *specPool) work() {
+	defer p.wg.Done()
+	var miss rule.MissSet
+	for {
+		select {
+		case <-p.quit:
+			return
+		case pc := <-p.jobs:
+			if _, ok := p.e.cache.get(pc); ok {
+				continue
+			}
+			// A speculative target can be garbage (e.g. a computed pc the
+			// program never takes); translation errors are dropped — if the
+			// pc is really executed, the demand path reports the error.
+			tb, err := p.e.translateIn(p.code, pc, &miss)
+			if err != nil {
+				continue
+			}
+			tb = p.e.cache.putIfAbsent(pc, tb)
+			p.enqueue(tb) // chase successors ahead of execution
+		}
+	}
+}

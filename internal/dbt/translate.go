@@ -8,6 +8,7 @@ import (
 	"paramdbt/internal/env"
 	"paramdbt/internal/guest"
 	"paramdbt/internal/host"
+	"paramdbt/internal/mem"
 	"paramdbt/internal/rule"
 	"paramdbt/internal/tcg"
 )
@@ -40,9 +41,14 @@ type iplan struct {
 	needsDeleg bool
 }
 
-// translate builds the host block for the guest block at pc.
-func (e *Engine) translate(pc uint32) (*tblock, error) {
-	insts, err := e.fetchBlock(pc)
+// translateIn builds the host block for the guest block at pc, fetching
+// code from m (live memory on the demand path, a snapshot for the
+// speculative workers — see specPool). miss memoizes candidate-free
+// rule-lookup windows for the duration of this one block translation.
+// Translation is a pure function of the code bytes and the engine
+// configuration, so concurrent callers produce identical blocks.
+func (e *Engine) translateIn(m *mem.Memory, pc uint32, miss *rule.MissSet) (*tblock, error) {
+	insts, err := fetchBlockIn(m, pc)
 	if err != nil {
 		return nil, err
 	}
@@ -58,6 +64,7 @@ func (e *Engine) translate(pc uint32) (*tblock, error) {
 	// (compare-and-branch) matches it.
 	var termRule *iplan
 	if e.Cfg.Rules != nil {
+		miss.Reset()
 		for i := 0; i < len(body); {
 			in := body[i]
 			if in.Cond != guest.AL {
@@ -65,7 +72,7 @@ func (e *Engine) translate(pc uint32) (*tblock, error) {
 				i++
 				continue
 			}
-			tmpl, bind, l := e.Cfg.Rules.Lookup(insts[i:])
+			tmpl, bind, l := e.Cfg.Rules.LookupCached(insts[i:], miss)
 			usable, needsDeleg := e.ruleUsable(tmpl)
 			if tmpl != nil && usable {
 				plans[i] = iplan{kind: pathRule, tmpl: tmpl, bind: bind, needsDeleg: needsDeleg}
@@ -165,7 +172,37 @@ func (e *Engine) translate(pc uint32) (*tblock, error) {
 		}
 	}
 
-	return &tblock{hb: a.Block(), nGuest: uint64(n), nCovered: covered, nSeq: seqCovered, uncovered: uncovered}, nil
+	return &tblock{
+		hb:        a.Block(),
+		insts:     insts,
+		nGuest:    uint64(n),
+		nCovered:  covered,
+		nSeq:      seqCovered,
+		uncovered: uncovered,
+		links:     directLinks(pc, insts),
+	}, nil
+}
+
+// directLinks returns the statically known successor slots of the block
+// at pc: the branch target and — for a conditional branch — the
+// fallthrough. Indirect terminators (bx, pop {pc}, mov pc) have no
+// static successors and never chain.
+func directLinks(pc uint32, insts []guest.Inst) []blockLink {
+	n := len(insts)
+	term := insts[n-1]
+	termPC := pc + uint32((n-1)*guest.InstBytes)
+	fall := termPC + guest.InstBytes
+	switch term.Op {
+	case guest.B:
+		target := fall + uint32(term.Ops[0].Imm)*guest.InstBytes
+		if term.Cond == guest.AL || target == fall {
+			return []blockLink{{target: target}}
+		}
+		return []blockLink{{target: fall}, {target: target}}
+	case guest.BL:
+		return []blockLink{{target: fall + uint32(term.Ops[0].Imm)*guest.InstBytes}}
+	}
+	return nil
 }
 
 // ruleUsable applies the static gating rules: flag-setting derived rules

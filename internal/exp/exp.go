@@ -399,6 +399,24 @@ func RenderFig15(rs []ModeResults) string {
 	return b.String()
 }
 
+// RenderDispatch formats the dispatcher/chaining breakdown of the full
+// configuration per benchmark: distinct blocks, dispatcher round trips,
+// chained block exits, and the fraction of block transitions that
+// bypassed the dispatcher via translation-block chaining.
+func RenderDispatch(rs []ModeResults) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %8s %11s %11s %9s\n", "Benchmark", "blocks", "dispatches", "chained", "%chained")
+	var rates []float64
+	for _, r := range rs {
+		st := r.Flags.Stats
+		rates = append(rates, st.ChainRate())
+		fmt.Fprintf(&b, "%-12s %8d %11d %11d %8.1f%%\n",
+			r.Name, st.Blocks, st.Dispatches, st.ChainedExits, 100*st.ChainRate())
+	}
+	fmt.Fprintf(&b, "%-12s %8s %11s %11s %8.1f%%\n", "mean", "", "", "", 100*mean(rates))
+	return b.String()
+}
+
 // ---- Fig 16: training-set size sweep ----
 
 // Fig16Point is the average coverage with k random training benchmarks.

@@ -74,12 +74,26 @@ func (f Flags) String() string {
 type Block struct {
 	Insts  []Inst
 	labels map[int]int // label id -> instruction index
+	// jt[i] is the resolved target index of the JMP/JCC at i (-1 when
+	// instruction i is not a jump or its label is unbound). Resolving
+	// labels once at block-build time keeps the Exec hot loop free of
+	// map lookups on taken branches.
+	jt []int
 }
 
 // NewBlock builds a block, resolving labels. A label with id L binds to
 // the instruction index recorded via MarkLabel during emission.
 func NewBlock(insts []Inst, labels map[int]int) *Block {
-	return &Block{Insts: insts, labels: labels}
+	b := &Block{Insts: insts, labels: labels, jt: make([]int, len(insts))}
+	for i, in := range insts {
+		b.jt[i] = -1
+		if (in.Op == JMP || in.Op == JCC) && in.Dst.Kind == KindLabel {
+			if t, ok := labels[in.Dst.Label]; ok {
+				b.jt[i] = t
+			}
+		}
+	}
+	return b
 }
 
 // CPU is the host machine simulator.
@@ -185,14 +199,15 @@ func (e *ExecError) Error() string {
 func (c *CPU) Exec(b *Block, maxSteps uint64) (ExitResult, error) {
 	var steps uint64
 	ip := 0
+	insts := b.Insts
 	for {
-		if ip < 0 || ip >= len(b.Insts) {
+		if ip < 0 || ip >= len(insts) {
 			return ExitResult{}, &ExecError{ip, Inst{}, "instruction pointer out of block"}
 		}
 		if steps >= maxSteps {
-			return ExitResult{}, &ExecError{ip, b.Insts[ip], "step budget exhausted"}
+			return ExitResult{}, &ExecError{ip, insts[ip], "step budget exhausted"}
 		}
-		in := b.Insts[ip]
+		in := insts[ip]
 		steps++
 		c.Executed[in.Cat]++
 
@@ -312,16 +327,16 @@ func (c *CPU) Exec(b *Block, maxSteps uint64) (ExitResult, error) {
 			}
 			c.write(in.Dst, v)
 		case JMP:
-			t, ok := b.labels[in.Dst.Label]
-			if !ok {
+			t := b.jt[ip]
+			if t < 0 {
 				return ExitResult{}, &ExecError{ip, in, "unresolved label"}
 			}
 			ip = t
 			continue
 		case JCC:
 			if c.Flags.Eval(in.Cond) {
-				t, ok := b.labels[in.Dst.Label]
-				if !ok {
+				t := b.jt[ip]
+				if t < 0 {
 					return ExitResult{}, &ExecError{ip, in, "unresolved label"}
 				}
 				ip = t

@@ -1,0 +1,132 @@
+package rule
+
+import "paramdbt/internal/guest"
+
+// Rule-retrieval keys. The runtime hash lookup of §IV-D abstracts a
+// guest instruction window down to opcode, S bit and operand kinds
+// (including the memory sub-mode); the original implementation built a
+// string per candidate window on every lookup, which dominated the
+// allocation profile of block translation. The hot path now uses a
+// 64-bit FNV-1a fingerprint computed without allocation; the string form
+// (Key) survives only for Dump, debugging and serialization.
+//
+// The fingerprint is prefix-extendable: hashing window [0:l] equals
+// extending the hash of window [0:l-1] with instruction l-1, so Lookup
+// derives the keys of every candidate window length in one pass over
+// the longest window.
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime64 }
+
+// kindTok is the key token of one operand shape. It distinguishes
+// exactly what the string key does: register, immediate, the two memory
+// sub-modes, float register and register list.
+func kindTok(k guest.OperandKind, hasIdx bool) byte {
+	switch k {
+	case guest.KindReg:
+		return 'r'
+	case guest.KindImm:
+		return 'i'
+	case guest.KindMem:
+		if hasIdx {
+			return 'x'
+		}
+		return 'd'
+	case guest.KindFReg:
+		return 'f'
+	case guest.KindRegList:
+		return 'l'
+	}
+	return '?'
+}
+
+// KeyFpSeed is the fingerprint of the empty window.
+const KeyFpSeed = uint64(fnvOffset64)
+
+// ExtendKeyFp extends a window fingerprint with one more instruction.
+func ExtendKeyFp(h uint64, in guest.Inst) uint64 {
+	h = fnvByte(h, byte(in.Op))
+	if in.Op == guest.B {
+		// Branch condition is part of the key (branch-tail rules are
+		// stored per condition); 0x80 keeps it disjoint from kind tokens.
+		h = fnvByte(h, 0x80|byte(in.Cond))
+	}
+	if in.S {
+		h = fnvByte(h, '!')
+	}
+	for j := 0; j < in.N; j++ {
+		h = fnvByte(h, kindTok(in.Ops[j].Kind, in.Ops[j].HasIdx))
+	}
+	return fnvByte(h, ';')
+}
+
+// KeyFp fingerprints a guest instruction window. Two windows with equal
+// string Keys have equal fingerprints; collisions between distinct keys
+// are possible in principle but benign, because Match re-validates every
+// candidate against the concrete window.
+func KeyFp(seq []guest.Inst) uint64 {
+	h := KeyFpSeed
+	for _, in := range seq {
+		h = ExtendKeyFp(h, in)
+	}
+	return h
+}
+
+// patKeyFp fingerprints a template's guest pattern with exactly the
+// token sequence KeyFp produces for the instructions it can match, so a
+// template is stored under the fingerprint of its windows.
+func patKeyFp(t *Template) uint64 {
+	h := KeyFpSeed
+	for _, p := range t.Guest {
+		h = fnvByte(h, byte(p.Op))
+		if p.S {
+			h = fnvByte(h, '!')
+		}
+		for _, a := range p.Args {
+			h = fnvByte(h, kindTok(a.Kind, a.HasIdx))
+		}
+		h = fnvByte(h, ';')
+	}
+	if t.BranchTail {
+		// The concrete tail is `b<cond> #imm`.
+		h = fnvByte(h, byte(guest.B))
+		h = fnvByte(h, 0x80|byte(t.GCond))
+		h = fnvByte(h, 'i')
+		h = fnvByte(h, ';')
+	}
+	return h
+}
+
+// MissSet memoizes window fingerprints known to have no candidate
+// templates at all. Whether a key's candidate list is empty depends only
+// on the key, so misses recorded for one window apply to every other
+// window with the same shape — the translator resets one MissSet per
+// block and skips repeated dead lookups within it. The zero value
+// memoizes nothing until Reset is called.
+type MissSet struct {
+	m map[uint64]struct{}
+}
+
+// Reset clears the set (allocating the backing map on first use).
+func (s *MissSet) Reset() {
+	if s.m == nil {
+		s.m = make(map[uint64]struct{}, 64)
+		return
+	}
+	clear(s.m)
+}
+
+func (s *MissSet) has(fp uint64) bool {
+	_, ok := s.m[fp]
+	return ok
+}
+
+func (s *MissSet) add(fp uint64) {
+	if s.m != nil {
+		s.m[fp] = struct{}{}
+	}
+}

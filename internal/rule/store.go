@@ -8,12 +8,14 @@ import (
 	"paramdbt/internal/guest"
 )
 
-// Key computes the hash-table key of a guest instruction window: opcode,
-// S bit and operand kinds (including the memory sub-mode) per
+// Key computes the human-readable key of a guest instruction window:
+// opcode, S bit and operand kinds (including the memory sub-mode) per
 // instruction. This is the "guest instruction parameterization" step of
 // rule retrieval (paper §IV-D): the key abstracts register identities
 // and immediate values but keeps everything the matcher needs to narrow
-// candidates.
+// candidates. The hot lookup path uses the allocation-free KeyFp
+// fingerprint of the same token sequence; the string form is kept for
+// Dump, debugging and serialization.
 func Key(seq []guest.Inst) string {
 	var b strings.Builder
 	for i, in := range seq {
@@ -51,9 +53,9 @@ func Key(seq []guest.Inst) string {
 	return b.String()
 }
 
-// patKey computes the same key from the template's guest pattern, so a
-// template is stored under exactly the keys of the instructions it can
-// match.
+// patKey computes the same string key from the template's guest
+// pattern; like Key it exists for debugging — storage is keyed on
+// patKeyFp.
 func patKey(t *Template) string {
 	pats := t.Guest
 	var b strings.Builder
@@ -89,29 +91,40 @@ func patKey(t *Template) string {
 	return b.String()
 }
 
-// Store is the rule table: a hash map from guest-window keys to
-// candidate templates, with duplicate merging.
+// maxKeyWindow bounds the guest-window length the incremental-key
+// lookup handles with a fixed-size (stack-allocated) prefix-hash
+// buffer. Learned rules span a few instructions at most; Add enforces
+// the bound so retrieval can never silently miss a longer rule.
+const maxKeyWindow = 16
+
+// Store is the rule table: a hash map from guest-window key
+// fingerprints to candidate templates, with duplicate merging. Once
+// populated it is safe for concurrent readers (Lookup); Add must not
+// run concurrently with lookups.
 type Store struct {
-	byKey  map[string][]*Template
+	byKey  map[uint64][]*Template
 	byFp   map[string]*Template
 	maxLen int
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store {
-	return &Store{byKey: map[string][]*Template{}, byFp: map[string]*Template{}}
+	return &Store{byKey: map[uint64][]*Template{}, byFp: map[string]*Template{}}
 }
 
 // Add inserts a template unless an identical one exists (the merging
 // stage of the paper's workflow). It reports whether the template was
 // new.
 func (s *Store) Add(t *Template) bool {
+	if t.GuestLen() > maxKeyWindow {
+		panic(fmt.Sprintf("rule: template spans %d guest instructions, retrieval window is %d", t.GuestLen(), maxKeyWindow))
+	}
 	fp := t.Fingerprint()
 	if _, dup := s.byFp[fp]; dup {
 		return false
 	}
 	s.byFp[fp] = t
-	k := patKey(t)
+	k := patKeyFp(t)
 	s.byKey[k] = append(s.byKey[k], t)
 	if t.GuestLen() > s.maxLen {
 		s.maxLen = t.GuestLen()
@@ -143,13 +156,39 @@ func (s *Store) All() []*Template {
 // longer windows (more context means better host code). It returns the
 // template, its binding and the number of guest instructions consumed.
 func (s *Store) Lookup(seq []guest.Inst) (*Template, Binding, int) {
+	return s.LookupCached(seq, nil)
+}
+
+// LookupCached is Lookup with a caller-provided miss memo: window
+// shapes recorded as candidate-free are skipped without touching the
+// table. The translator passes one MissSet per block translation; nil
+// disables memoization. Key fingerprints for every candidate window
+// length are derived in a single pass (FNV prefix extension), so the
+// whole retrieval allocates nothing until a template actually matches.
+func (s *Store) LookupCached(seq []guest.Inst, miss *MissSet) (*Template, Binding, int) {
 	max := s.maxLen
 	if max > len(seq) {
 		max = len(seq)
 	}
+	var fps [maxKeyWindow]uint64
+	h := KeyFpSeed
+	for l := 1; l <= max; l++ {
+		h = ExtendKeyFp(h, seq[l-1])
+		fps[l-1] = h
+	}
 	for l := max; l >= 1; l-- {
+		fp := fps[l-1]
+		if miss != nil && miss.has(fp) {
+			continue
+		}
+		cands := s.byKey[fp]
+		if len(cands) == 0 {
+			if miss != nil {
+				miss.add(fp)
+			}
+			continue
+		}
 		window := seq[:l]
-		cands := s.byKey[Key(window)]
 		for _, t := range cands {
 			if b, ok := Match(t, window); ok {
 				return t, b, l
