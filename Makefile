@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench bench-dispatch experiments
+.PHONY: ci vet build test race race-obs bench bench-dispatch bench-obs experiments linkcheck
 
-ci: vet build race bench
+ci: vet build race linkcheck bench
 
 vet:
 	$(GO) vet ./...
@@ -16,6 +16,16 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Focused race pass over the observability layer and its hottest
+# consumer (fast enough to run on every edit of either).
+race-obs:
+	$(GO) test -race -count=1 ./internal/obs ./internal/dbt
+
+# Dead-link check over README/docs markdown (relative links and
+# [[file:line]] source references).
+linkcheck:
+	$(GO) run ./cmd/linkcheck
+
 # One pass over every benchmark: smoke-checks the harness without the
 # full measurement run.
 bench:
@@ -26,6 +36,10 @@ bench:
 bench-dispatch:
 	$(GO) test -run NONE -bench 'BenchmarkDispatchChaining|BenchmarkLookupKey' \
 		-benchtime 100x -benchmem .
+
+# The disabled-telemetry overhead guard (must stay 0 allocs/op, ~sub-ns).
+bench-obs:
+	$(GO) test -run NONE -bench BenchmarkObsDisabledOverhead -benchmem .
 
 experiments:
 	$(GO) run ./cmd/experiments

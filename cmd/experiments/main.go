@@ -4,12 +4,19 @@
 //	go run ./cmd/experiments            # everything, scale 1
 //	go run ./cmd/experiments -scale 3   # longer "reference input"
 //	go run ./cmd/experiments -only fig14,table3
+//	go run ./cmd/experiments -json results.json
+//
+// With -json, every selected section is additionally written as one
+// machine-readable report (schema paramdbt-experiments/v1, see
+// internal/exp.Report); "-" writes to stdout and suppresses the text
+// tables.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -19,6 +26,7 @@ import (
 func main() {
 	scale := flag.Int("scale", 1, "dynamic work multiplier (1 = reference input)")
 	only := flag.String("only", "", "comma-separated subset: table1,fig2,fig11,fig12,fig13,table2,fig14,fig15,fig16,table3,dispatch")
+	jsonPath := flag.String("json", "", "also write the selected sections as a JSON report to this file (\"-\" = stdout, text tables suppressed)")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -37,15 +45,35 @@ func main() {
 		os.Exit(1)
 	}
 
-	section := func(title string) { fmt.Printf("\n==== %s ====\n", title) }
+	report := &exp.Report{
+		Schema:  exp.ReportSchema,
+		Date:    time.Now().UTC().Format(time.RFC3339),
+		Command: strings.Join(os.Args, " "),
+		GOOS:    runtime.GOOS,
+		GOARCH:  runtime.GOARCH,
+		Scale:   *scale,
+	}
+	text := *jsonPath != "-"
+	section := func(title string) {
+		if text {
+			fmt.Printf("\n==== %s ====\n", title)
+		}
+	}
+	render := func(s string) {
+		if text {
+			fmt.Print(s)
+		}
+	}
 
 	if sel("table1") {
 		section("Table I: rules learned per benchmark")
-		fmt.Print(exp.RenderTable1(exp.Table1(corpus)))
+		report.Table1 = exp.Table1(corpus)
+		render(exp.RenderTable1(report.Table1))
 	}
 	if sel("fig2") {
 		section("Fig 2: learned rules vs training benchmarks")
-		fmt.Print(exp.RenderFig2(exp.Fig2(corpus, 1)))
+		report.Fig2 = exp.Fig2(corpus, 1)
+		render(exp.RenderFig2(report.Fig2))
 	}
 
 	needLOO := sel("fig11") || sel("fig12") || sel("fig13") || sel("table2") ||
@@ -61,35 +89,45 @@ func main() {
 	}
 	if sel("fig11") {
 		section("Fig 11: speedup over QEMU")
-		fmt.Print(exp.RenderFig11(loo))
+		report.Fig11 = exp.Fig11Data(loo)
+		render(exp.RenderFig11(loo))
 	}
 	if sel("fig12") {
 		section("Fig 12: dynamic coverage")
-		fmt.Print(exp.RenderFig12(loo))
+		report.Fig12 = exp.Fig12Data(loo)
+		render(exp.RenderFig12(loo))
 	}
 	if sel("fig13") {
 		section("Fig 13: host instructions per guest instruction")
-		fmt.Print(exp.RenderFig13(loo))
+		report.Fig13 = exp.Fig13Data(loo)
+		render(exp.RenderFig13(loo))
 	}
 	if sel("table2") {
 		section("Table II: host-instruction breakdown per guest instruction")
-		fmt.Print(exp.RenderTable2(exp.Table2(loo)))
+		report.Table2 = exp.Table2(loo)
+		render(exp.RenderTable2(report.Table2))
 	}
 	if sel("fig14") {
 		section("Fig 14: coverage by parameterization factor")
-		fmt.Print(exp.RenderFig14(loo))
+		report.Fig14 = exp.Fig14Data(loo)
+		render(exp.RenderFig14(loo))
 	}
 	if sel("fig15") {
 		section("Fig 15: speedup by parameterization factor")
-		fmt.Print(exp.RenderFig15(loo))
+		report.Fig15 = exp.Fig15Data(loo)
+		render(exp.RenderFig15(loo))
 	}
 	if needLOO {
 		section("Uncovered instruction kinds (cf. the paper's seven)")
-		fmt.Println(strings.Join(exp.UncoveredKinds(loo), ", "))
+		report.Uncovered = exp.UncoveredKinds(loo)
+		if text {
+			fmt.Println(strings.Join(report.Uncovered, ", "))
+		}
 	}
 	if sel("dispatch") {
 		section("Dispatch & block chaining (full configuration)")
-		fmt.Print(exp.RenderDispatch(loo))
+		report.Dispatch = exp.DispatchData(loo)
+		render(exp.RenderDispatch(loo))
 	}
 
 	if sel("fig16") {
@@ -99,11 +137,34 @@ func main() {
 			fmt.Fprintln(os.Stderr, "fig16:", err)
 			os.Exit(1)
 		}
-		fmt.Print(exp.RenderFig16(points))
+		report.Fig16 = points
+		render(exp.RenderFig16(points))
 	}
 	if sel("table3") {
 		section("Table III: rule number comparison")
-		fmt.Print(exp.RenderTable3(exp.Table3(corpus)))
+		counts := exp.Table3(corpus)
+		report.Table3 = &counts
+		render(exp.RenderTable3(counts))
+	}
+
+	if *jsonPath != "" {
+		out := os.Stdout
+		if *jsonPath != "-" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := report.WriteJSON(out); err != nil {
+			fmt.Fprintln(os.Stderr, "json report:", err)
+			os.Exit(1)
+		}
+		if *jsonPath != "-" {
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
+		}
 	}
 
 	fmt.Fprintf(os.Stderr, "done in %s\n", time.Since(start).Round(time.Millisecond))

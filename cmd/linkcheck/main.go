@@ -1,0 +1,102 @@
+// Command linkcheck verifies documentation cross-references so the
+// Makefile ci target fails on dead links instead of shipping them:
+//
+//   - every relative markdown link [text](path) must point at an
+//     existing file or directory (http/https/mailto and pure #anchor
+//     links are skipped; #fragments on file links are stripped);
+//   - every [[path:line]] source reference must name an existing file
+//     with at least that many lines.
+//
+// Paths are resolved relative to the markdown file containing them.
+// With no arguments it checks every *.md in the repository root and in
+// docs/; explicit file arguments override the default set.
+//
+//	go run ./cmd/linkcheck
+//	go run ./cmd/linkcheck docs/ARCHITECTURE.md
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// linkRe matches inline markdown links; images ![alt](src) also match
+// (the leading ! is irrelevant for target checking).
+var linkRe = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// srcRefRe matches [[path:line]] source references.
+var srcRefRe = regexp.MustCompile(`\[\[([^\]:[]+):(\d+)\]\]`)
+
+func main() {
+	files := os.Args[1:]
+	if len(files) == 0 {
+		for _, pat := range []string{"*.md", "docs/*.md"} {
+			m, err := filepath.Glob(pat)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			files = append(files, m...)
+		}
+	}
+	if len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "linkcheck: no markdown files found")
+		os.Exit(1)
+	}
+
+	bad := 0
+	report := func(file string, line int, msg string) {
+		fmt.Fprintf(os.Stderr, "%s:%d: %s\n", file, line, msg)
+		bad++
+	}
+	checked := 0
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		dir := filepath.Dir(f)
+		for i, ln := range strings.Split(string(data), "\n") {
+			for _, m := range linkRe.FindAllStringSubmatch(ln, -1) {
+				target := m[1]
+				if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") ||
+					strings.HasPrefix(target, "#") {
+					continue
+				}
+				if i := strings.IndexByte(target, '#'); i >= 0 {
+					target = target[:i]
+				}
+				if target == "" {
+					continue
+				}
+				checked++
+				if _, err := os.Stat(filepath.Join(dir, target)); err != nil {
+					report(f, i+1, fmt.Sprintf("broken link %q", m[1]))
+				}
+			}
+			for _, m := range srcRefRe.FindAllStringSubmatch(ln, -1) {
+				target := m[1]
+				want, _ := strconv.Atoi(m[2])
+				checked++
+				src, err := os.ReadFile(filepath.Join(dir, target))
+				if err != nil {
+					report(f, i+1, fmt.Sprintf("broken source ref [[%s:%d]]: no such file", target, want))
+					continue
+				}
+				if lines := strings.Count(string(src), "\n") + 1; lines < want {
+					report(f, i+1, fmt.Sprintf("broken source ref [[%s:%d]]: file has %d lines", target, want, lines))
+				}
+			}
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "linkcheck: %d broken reference(s)\n", bad)
+		os.Exit(1)
+	}
+	fmt.Printf("linkcheck: %d reference(s) ok across %d file(s)\n", checked, len(files))
+}

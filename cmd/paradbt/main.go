@@ -13,6 +13,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"sort"
 
@@ -22,8 +25,35 @@ import (
 	"paramdbt/internal/exp"
 	"paramdbt/internal/guest"
 	"paramdbt/internal/mem"
+	"paramdbt/internal/obs"
 	"paramdbt/internal/rule"
 )
+
+// serveMetrics starts the observability endpoint: the obs.Default JSON
+// snapshot on /metrics, the trace-ring dump on /trace, and the standard
+// pprof profiles under /debug/pprof/. It returns once the listener is
+// bound so a scrape can never race the run starting.
+func serveMetrics(addr string) error {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.Default.Handler())
+	mux.Handle("/trace", obs.Default.TraceHandler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics server:", err)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "serving metrics on http://%s/metrics\n", ln.Addr())
+	return nil
+}
 
 // dump re-translates the benchmark's entry blocks and prints their
 // listings.
@@ -72,6 +102,8 @@ func main() {
 	dumpBlocks := flag.Int("dump-blocks", 0, "print the first N translated blocks (guest disassembly + host listing)")
 	workers := flag.Int("workers", 0, "background translation workers (speculative successor translation)")
 	noChain := flag.Bool("no-chain", false, "disable translation-block chaining (dispatch every block boundary)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (JSON snapshot), /trace and /debug/pprof on this address (e.g. :6060); enables telemetry")
+	traceN := flag.Int("trace", 0, "record the last N block transitions in a ring buffer, dumped to stderr after the run and on panic")
 	flag.Parse()
 
 	corpus, err := exp.BuildCorpus(*scale)
@@ -131,6 +163,20 @@ func main() {
 	cfg.TranslateWorkers = *workers
 	cfg.NoChain = *noChain
 
+	var ring *obs.TraceRing
+	if *traceN > 0 {
+		ring = obs.NewTraceRing(*traceN)
+		cfg.Trace = ring
+	}
+	if *metricsAddr != "" {
+		obs.SetEnabled(true)
+		cfg.Metrics = obs.Default
+		if err := serveMetrics(*metricsAddr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
 	res, err := corpus.Run(*bench, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -168,7 +214,12 @@ func main() {
 		for op, n := range st.UncoveredOps {
 			ops = append(ops, kv{op, n})
 		}
-		sort.Slice(ops, func(i, j int) bool { return ops[i].n > ops[j].n })
+		sort.Slice(ops, func(i, j int) bool {
+			if ops[i].n != ops[j].n {
+				return ops[i].n > ops[j].n
+			}
+			return ops[i].op < ops[j].op
+		})
 		fmt.Printf("emulated (top):   ")
 		for i, e := range ops {
 			if i == 6 {
@@ -177,5 +228,9 @@ func main() {
 			fmt.Printf(" %s=%.1f%%", e.op, 100*float64(e.n)/float64(st.GuestExec))
 		}
 		fmt.Println()
+	}
+
+	if ring != nil {
+		ring.Dump(os.Stderr)
 	}
 }

@@ -4,9 +4,11 @@
 // translator whose learned rules are parameterized along the opcode and
 // addressing-mode dimensions, with condition-flag delegation.
 //
-// The implementation lives under internal/ (see DESIGN.md for the
-// system inventory); cmd/ holds the executables and examples/ the
-// runnable demos. The root package carries the benchmark harness that
-// regenerates every table and figure of the paper's evaluation
-// (bench_test.go).
+// The implementation lives under internal/ (docs/ARCHITECTURE.md maps
+// the packages and the data flow; DESIGN.md records the system
+// inventory and rationale); cmd/ holds the executables and examples/
+// the runnable demos. The root package carries the benchmark harness
+// that regenerates every table and figure of the paper's evaluation
+// (bench_test.go). Runtime metrics and tracing are documented in
+// docs/OBSERVABILITY.md.
 package paramdbt

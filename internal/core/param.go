@@ -21,16 +21,16 @@ type Config struct {
 
 // Counts reports the rule accounting of the paper's Table III.
 type Counts struct {
-	Learned       int // unique learned rules (input)
-	OpcodeParam   int // parameterized rules after opcode abstraction
-	AddrModeParam int // parameterized rules after addressing-mode abstraction
+	Learned       int `json:"learned"`         // unique learned rules (input)
+	OpcodeParam   int `json:"opcode_param"`    // parameterized rules after opcode abstraction
+	AddrModeParam int `json:"addr_mode_param"` // parameterized rules after addressing-mode abstraction
 	// Instantiated counts the applicable rules the parameterized set
 	// represents: every verified (opcode x shape x mode) instance of
 	// every parameterized rule, plus the rules parameterization cannot
 	// touch (sequences, branch tails). The paper's 86,423.
-	Instantiated int
-	Derived      int // rules newly added to the store by parameterization
-	Rejected     int // derived candidates the verifier refused
+	Instantiated int `json:"instantiated"`
+	Derived      int `json:"derived"` // rules newly added to the store by parameterization
+	Rejected     int `json:"rejected"` // derived candidates the verifier refused
 }
 
 // shapeSig canonicalizes the dependence shape and operand modes of a

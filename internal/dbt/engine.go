@@ -1,19 +1,39 @@
 // Package dbt implements the dynamic binary translator: a block-at-a-time
-// translation engine with a code cache, per-block guest-register
-// allocation, a rule-based fast path fed by the (optionally
-// parameterized) rule store, a TCG emulation fallback for everything the
-// rules do not cover, and condition-flag delegation at rule-application
-// time. Dynamic coverage and category-tagged host instruction counts —
-// the paper's evaluation metrics — are collected while running.
+// translation engine with a sharded code cache, translation-block
+// chaining, per-block guest-register allocation, a rule-based fast path
+// fed by the (optionally parameterized) rule store, a TCG emulation
+// fallback for everything the rules do not cover, and condition-flag
+// delegation at rule-application time.
+//
+// Execution follows QEMU's dispatcher design: blocks are translated
+// once into the 16-shard code cache, and block exits with statically
+// known successors are lazily patched into direct links so chained
+// execution skips the dispatcher entirely (Config.NoChain restores the
+// dispatch-every-block ablation baseline). Optional background workers
+// (Config.TranslateWorkers) pre-translate successor blocks from a
+// memory snapshot.
+//
+// Every evaluation metric — dynamic coverage, dispatch/chain traffic,
+// category-tagged host instruction counts — is counted on atomic
+// internal/obs counters registered per engine; Run returns them as a
+// Stats delta snapshot, and LiveStats or a shared Config.Metrics
+// registry (cmd/paradbt -metrics-addr) reads them safely mid-run.
+// Translate/lookup/chain/invalidate latency histograms and the
+// execution-trace ring (Config.Trace) are recorded only while
+// obs.On(), keeping the disabled hot path at a single atomic load
+// (BenchmarkObsDisabledOverhead).
 package dbt
 
 import (
 	"fmt"
+	"os"
+	"time"
 
 	"paramdbt/internal/env"
 	"paramdbt/internal/guest"
 	"paramdbt/internal/host"
 	"paramdbt/internal/mem"
+	"paramdbt/internal/obs"
 	"paramdbt/internal/rule"
 )
 
@@ -57,9 +77,24 @@ type Config struct {
 	// block entered, in execution order (debug/test hook; the chaining
 	// correctness test reconstructs instruction traces from it).
 	TraceBlock func(pc uint32)
+	// Metrics, when non-nil, is the registry the engine registers its
+	// counters and latency histograms in; nil gives the engine a private
+	// registry (read it back via Engine.Metrics). Share a registry (e.g.
+	// obs.Default) to expose a live engine on a /metrics endpoint; do
+	// not share one across concurrently running engines whose per-run
+	// Stats deltas must stay separable.
+	Metrics *obs.Registry
+	// Trace, when non-nil, records every block transition (dispatch vs
+	// chained), demand translation and invalidation into the ring; the
+	// retained tail is dumped to stderr if Run panics, and on demand via
+	// TraceRing.Dump / the -metrics-addr /trace endpoint.
+	Trace *obs.TraceRing
 }
 
-// Stats aggregates the evaluation metrics.
+// Stats is a snapshot of the evaluation metrics. The live counts are
+// atomic obs counters owned by the engine (see metrics.go); Run returns
+// the delta accumulated during that run, and LiveStats reads the
+// engine-lifetime totals at any time, including concurrently with Run.
 type Stats struct {
 	GuestExec   uint64 // dynamic guest instructions
 	RuleCovered uint64 // of which rule-translated (dynamic coverage)
@@ -105,6 +140,7 @@ type Engine struct {
 	cache *codeCache
 	miss  rule.MissSet // per-block lookup-miss memo (Run goroutine only)
 	spec  *specPool    // live while Run executes with TranslateWorkers > 0
+	met   *engineMetrics
 }
 
 // tblock is one cached translation. The hb/insts/counter fields are
@@ -146,15 +182,19 @@ func (tb *tblock) follow(next uint32) *tblock {
 }
 
 // patch records to as the translation of next in the matching link
-// slot(s) and registers the back-reference for safe teardown.
-func (tb *tblock) patch(next uint32, to *tblock) {
+// slot(s) and registers the back-reference for safe teardown. It
+// reports how many slots it patched.
+func (tb *tblock) patch(next uint32, to *tblock) int {
+	n := 0
 	for i := range tb.links {
 		l := &tb.links[i]
 		if l.target == next && l.to == nil {
 			l.to = to
 			to.incoming = append(to.incoming, l)
+			n++
 		}
 	}
+	return n
 }
 
 // New creates an engine over the given memory. The CPUState block and
@@ -166,8 +206,25 @@ func New(m *mem.Memory, cfg Config) *Engine {
 	cpu := host.NewCPU(m)
 	cpu.R[host.EBP] = env.StateBase
 	cpu.R[host.ESP] = env.HostStackTop
-	return &Engine{Cfg: cfg, Mem: m, CPU: cpu, cache: newCodeCache()}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	if cfg.Trace != nil {
+		reg.SetTraceRing(cfg.Trace)
+	}
+	return &Engine{Cfg: cfg, Mem: m, CPU: cpu, cache: newCodeCache(), met: newEngineMetrics(reg)}
 }
+
+// Metrics returns the registry holding the engine's counters and
+// latency histograms (Config.Metrics, or the engine-private registry).
+func (e *Engine) Metrics() *obs.Registry { return e.met.reg }
+
+// LiveStats snapshots the engine-lifetime counter totals. Unlike Run's
+// return value it can be read at any time, from any goroutine — the
+// counters are atomic. UncoveredOps is not part of the live set (it is
+// accumulated per run); the returned map is nil.
+func (e *Engine) LiveStats() Stats { return e.met.delta(statsBase{}) }
 
 // SetGuestState writes a guest architectural state into the CPUState.
 func (e *Engine) SetGuestState(st *guest.State) {
@@ -215,7 +272,13 @@ func (e *Engine) GuestState() *guest.State {
 // Links are patched in lazily the first time the dispatcher resolves a
 // direct-exit target that has been translated.
 func (e *Engine) Run(entry uint32, maxHostSteps uint64) (Stats, error) {
-	stats := Stats{UncoveredOps: map[guest.Op]uint64{}}
+	base := e.met.base()
+	uncovered := map[guest.Op]uint64{}
+	snapshot := func() Stats {
+		st := e.met.delta(base)
+		st.UncoveredOps = uncovered
+		return st
+	}
 	if e.Cfg.TranslateWorkers > 0 {
 		e.spec = e.startSpec()
 		defer func() {
@@ -223,65 +286,116 @@ func (e *Engine) Run(entry uint32, maxHostSteps uint64) (Stats, error) {
 			e.spec = nil
 		}()
 	}
+	if e.Cfg.Trace != nil {
+		// A panic below (a translator or simulator bug) would lose the
+		// execution history; dump the retained tail first, then re-panic.
+		defer func() {
+			if r := recover(); r != nil {
+				fmt.Fprintf(os.Stderr, "dbt: panic in Run: %v\n", r)
+				e.Cfg.Trace.Dump(os.Stderr)
+				panic(r)
+			}
+		}()
+	}
 	pc := entry
 	var prev *tblock
 	for pc != HaltPC {
 		var tb *tblock
+		chained := false
 		if prev != nil && !e.Cfg.NoChain {
 			tb = prev.follow(pc)
 		}
 		if tb != nil {
-			stats.ChainedExits++
+			chained = true
+			e.met.chainedExits.Inc()
 		} else {
-			stats.Dispatches++
+			e.met.dispatches.Inc()
 			var err error
 			tb, err = e.block(pc)
 			if err != nil {
-				return stats, fmt.Errorf("dbt: translating block at %#x: %w", pc, err)
+				return snapshot(), fmt.Errorf("dbt: translating block at %#x: %w", pc, err)
 			}
 			if prev != nil && !e.Cfg.NoChain {
-				prev.patch(pc, tb)
+				if obs.On() {
+					t0 := time.Now()
+					n := prev.patch(pc, tb)
+					e.met.chainNs.ObserveSince(t0)
+					e.met.chainPatches.Add(uint64(n))
+				} else {
+					prev.patch(pc, tb)
+				}
 			}
 		}
 		if !tb.seen {
 			tb.seen = true
-			stats.Blocks++
+			e.met.blocks.Inc()
+		}
+		if e.Cfg.Trace != nil {
+			k := obs.EvDispatch
+			if chained {
+				k = obs.EvChained
+			}
+			e.Cfg.Trace.Record(k, pc)
 		}
 		if e.Cfg.TraceBlock != nil {
 			e.Cfg.TraceBlock(pc)
 		}
 		if e.CPU.Total() >= maxHostSteps {
-			return stats, fmt.Errorf("dbt: host step budget exhausted at pc=%#x", pc)
+			return snapshot(), fmt.Errorf("dbt: host step budget exhausted at pc=%#x", pc)
 		}
 		res, err := e.CPU.Exec(tb.hb, maxHostSteps-e.CPU.Total())
 		if err != nil {
-			return stats, fmt.Errorf("dbt: executing block at %#x: %w\n%s", pc, err, tb.hb.Listing())
+			return snapshot(), fmt.Errorf("dbt: executing block at %#x: %w\n%s", pc, err, tb.hb.Listing())
 		}
-		stats.GuestExec += tb.nGuest
-		stats.RuleCovered += tb.nCovered
-		stats.SeqRuleUses += tb.nSeq
+		e.met.guestInsts.Add(tb.nGuest)
+		e.met.ruleCovered.Add(tb.nCovered)
+		e.met.seqRuleInsts.Add(tb.nSeq)
 		for _, op := range tb.uncovered {
-			stats.UncoveredOps[op]++
+			uncovered[op]++
 		}
 		prev = tb
 		pc = res.NextPC
 	}
 	// Keep the architectural PC in the CPUState coherent.
 	e.Mem.Write32(env.StateBase+uint32(env.OffReg(int(guest.PC))), pc)
-	return stats, nil
+	return snapshot(), nil
 }
 
 // block returns the translated block at pc, translating on a miss and
 // seeding the speculative queue with the block's direct successors.
+// While obs is enabled it times the cache lookup and the demand
+// translation into the engine's histograms.
 func (e *Engine) block(pc uint32) (*tblock, error) {
-	if tb, ok := e.cache.get(pc); ok {
+	on := obs.On()
+	var t0 time.Time
+	if on {
+		t0 = time.Now()
+	}
+	tb, ok := e.cache.get(pc)
+	if on {
+		e.met.lookupNs.ObserveSince(t0)
+	}
+	if ok {
 		return tb, nil
+	}
+	if on {
+		t0 = time.Now()
 	}
 	tb, err := e.translateIn(e.Mem, pc, &e.miss)
 	if err != nil {
 		return nil, err
 	}
+	if on {
+		e.met.translateNs.ObserveSince(t0)
+		e.met.translations.Inc()
+	}
+	if e.Cfg.Trace != nil {
+		e.Cfg.Trace.Record(obs.EvTranslate, pc)
+	}
 	tb = e.cache.putIfAbsent(pc, tb)
+	if on {
+		e.met.cachedBlocks.Set(int64(e.cache.size()))
+	}
 	if e.spec != nil {
 		e.spec.enqueue(tb)
 	}
@@ -294,6 +408,11 @@ func (e *Engine) block(pc uint32) (*tblock, error) {
 // the next dispatch to pc retranslates. It reports whether a
 // translation existed. Invalidate must not run concurrently with Run.
 func (e *Engine) Invalidate(pc uint32) bool {
+	on := obs.On()
+	var t0 time.Time
+	if on {
+		t0 = time.Now()
+	}
 	tb := e.cache.remove(pc)
 	if tb == nil {
 		return false
@@ -304,6 +423,14 @@ func (e *Engine) Invalidate(pc uint32) bool {
 	tb.incoming = nil
 	for i := range tb.links {
 		tb.links[i].to = nil
+	}
+	if on {
+		e.met.invalidateNs.ObserveSince(t0)
+		e.met.invalidations.Inc()
+		e.met.cachedBlocks.Set(int64(e.cache.size()))
+	}
+	if e.Cfg.Trace != nil {
+		e.Cfg.Trace.Record(obs.EvInvalidate, pc)
 	}
 	return true
 }

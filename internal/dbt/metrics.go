@@ -1,0 +1,104 @@
+package dbt
+
+import "paramdbt/internal/obs"
+
+// Engine metric names, registered per engine (each Engine owns a
+// registry unless Config.Metrics shares one — see Config). The catalog
+// with units and semantics lives in docs/OBSERVABILITY.md.
+const (
+	// Product counters: always incremented, they back Stats.
+	MetGuestInsts   = "dbt.guest_insts"    // dynamic guest instructions retired
+	MetRuleCovered  = "dbt.rule_covered"   // of which rule-translated
+	MetSeqRuleInsts = "dbt.seq_rule_insts" // of which covered by multi-insn rules
+	MetBlocks       = "dbt.blocks"         // distinct blocks executed (first entries)
+	MetDispatches   = "dbt.dispatches"     // dispatcher round trips
+	MetChainedExits = "dbt.chained_exits"  // block transitions over patched links
+
+	// Telemetry: only recorded while obs.On().
+	MetTranslations     = "dbt.translations"      // demand translations
+	MetSpecTranslations = "dbt.spec_translations" // worker (speculative) translations
+	MetInvalidations    = "dbt.invalidations"     // Invalidate calls that removed a block
+	MetChainPatches     = "dbt.chain_patches"     // direct-link slots patched
+	MetCachedBlocks     = "dbt.cached_blocks"     // gauge: translations resident in the cache
+	MetTranslateNs      = "dbt.translate_ns"      // histogram: demand-translation latency
+	MetLookupNs         = "dbt.lookup_ns"         // histogram: dispatcher code-cache lookup latency
+	MetChainNs          = "dbt.chain_ns"          // histogram: link-patch latency
+	MetInvalidateNs     = "dbt.invalidate_ns"     // histogram: invalidation + unchain latency
+)
+
+// engineMetrics holds the resolved metric instances so the hot path
+// never takes the registry lock. The product counters double as the
+// engine's statistics: Stats is a delta snapshot over them (see
+// Engine.Run), which makes mid-run reads (LiveStats, the /metrics
+// endpoint) safe where the former plain Stats fields were not.
+type engineMetrics struct {
+	reg *obs.Registry
+
+	guestInsts   *obs.Counter
+	ruleCovered  *obs.Counter
+	seqRuleInsts *obs.Counter
+	blocks       *obs.Counter
+	dispatches   *obs.Counter
+	chainedExits *obs.Counter
+
+	translations     *obs.Counter
+	specTranslations *obs.Counter
+	invalidations    *obs.Counter
+	chainPatches     *obs.Counter
+	cachedBlocks     *obs.Gauge
+	translateNs      *obs.Histogram
+	lookupNs         *obs.Histogram
+	chainNs          *obs.Histogram
+	invalidateNs     *obs.Histogram
+}
+
+func newEngineMetrics(reg *obs.Registry) *engineMetrics {
+	return &engineMetrics{
+		reg:              reg,
+		guestInsts:       reg.Counter(MetGuestInsts),
+		ruleCovered:      reg.Counter(MetRuleCovered),
+		seqRuleInsts:     reg.Counter(MetSeqRuleInsts),
+		blocks:           reg.Counter(MetBlocks),
+		dispatches:       reg.Counter(MetDispatches),
+		chainedExits:     reg.Counter(MetChainedExits),
+		translations:     reg.Counter(MetTranslations),
+		specTranslations: reg.Counter(MetSpecTranslations),
+		invalidations:    reg.Counter(MetInvalidations),
+		chainPatches:     reg.Counter(MetChainPatches),
+		cachedBlocks:     reg.Gauge(MetCachedBlocks),
+		translateNs:      reg.Histogram(MetTranslateNs),
+		lookupNs:         reg.Histogram(MetLookupNs),
+		chainNs:          reg.Histogram(MetChainNs),
+		invalidateNs:     reg.Histogram(MetInvalidateNs),
+	}
+}
+
+// statsBase is a point-in-time copy of the product counters; Run
+// captures one at entry so its returned Stats cover exactly that run
+// even when the engine (or a shared registry) has counted before.
+type statsBase struct {
+	guest, covered, seq, blocks, disp, chained uint64
+}
+
+func (m *engineMetrics) base() statsBase {
+	return statsBase{
+		guest:   m.guestInsts.Value(),
+		covered: m.ruleCovered.Value(),
+		seq:     m.seqRuleInsts.Value(),
+		blocks:  m.blocks.Value(),
+		disp:    m.dispatches.Value(),
+		chained: m.chainedExits.Value(),
+	}
+}
+
+// delta builds a Stats snapshot of everything counted since base.
+func (m *engineMetrics) delta(base statsBase) Stats {
+	return Stats{
+		GuestExec:    m.guestInsts.Value() - base.guest,
+		RuleCovered:  m.ruleCovered.Value() - base.covered,
+		SeqRuleUses:  m.seqRuleInsts.Value() - base.seq,
+		Blocks:       int(m.blocks.Value() - base.blocks),
+		Dispatches:   m.dispatches.Value() - base.disp,
+		ChainedExits: m.chainedExits.Value() - base.chained,
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"paramdbt/internal/mem"
+	"paramdbt/internal/obs"
 	"paramdbt/internal/rule"
 )
 
@@ -81,6 +82,9 @@ func (p *specPool) work() {
 			tb, err := p.e.translateIn(p.code, pc, &miss)
 			if err != nil {
 				continue
+			}
+			if obs.On() {
+				p.e.met.specTranslations.Inc()
 			}
 			tb = p.e.cache.putIfAbsent(pc, tb)
 			p.enqueue(tb) // chase successors ahead of execution

@@ -118,11 +118,11 @@ func Geomean(vs []float64) float64 {
 
 // Table1Row mirrors the paper's Table I columns.
 type Table1Row struct {
-	Name       string
-	Statements int
-	Candidates int
-	Learned    int
-	Unique     int
+	Name       string `json:"name"`
+	Statements int    `json:"statements"`
+	Candidates int    `json:"candidates"`
+	Learned    int    `json:"learned"`
+	Unique     int    `json:"unique"`
 }
 
 // Table1 reports the learning funnel per benchmark.
@@ -160,9 +160,9 @@ func RenderTable1(rows []Table1Row) string {
 // Fig2Point is the learned-rule count after adding the k-th training
 // benchmark.
 type Fig2Point struct {
-	K     int
-	Bench string
-	Rules int
+	K     int    `json:"k"`
+	Bench string `json:"bench"`
+	Rules int    `json:"rules"`
 }
 
 // Fig2 grows the training set one benchmark at a time (perlbench first,
@@ -311,13 +311,13 @@ func RenderFig13(rs []ModeResults) string {
 // Table2Row mirrors the paper's Table II: host instructions per guest
 // instruction by category.
 type Table2Row struct {
-	Name           string
-	RuleTranslated float64 // compute insts per guest inst, para mode
-	QEMUTranslated float64 // compute insts per guest inst, qemu mode
-	DataTransfer   float64 // guest-register maintenance, para mode
-	ControlCode    float64 // block stubs, para mode
-	RuleTotal      float64
-	QEMUTotal      float64
+	Name           string  `json:"name"`
+	RuleTranslated float64 `json:"rule_translated"` // compute insts per guest inst, para mode
+	QEMUTranslated float64 `json:"qemu_translated"` // compute insts per guest inst, qemu mode
+	DataTransfer   float64 `json:"data_transfer"`   // guest-register maintenance, para mode
+	ControlCode    float64 `json:"control_code"`    // block stubs, para mode
+	RuleTotal      float64 `json:"rule_total"`
+	QEMUTotal      float64 `json:"qemu_total"`
 }
 
 // Table2 measures the per-category breakdown from the category-tagged
@@ -421,9 +421,9 @@ func RenderDispatch(rs []ModeResults) string {
 
 // Fig16Point is the average coverage with k random training benchmarks.
 type Fig16Point struct {
-	K       int
-	CovBase float64
-	CovPara float64
+	K       int     `json:"k"`
+	CovBase float64 `json:"cov_base"`
+	CovPara float64 `json:"cov_para"`
 }
 
 // Fig16 sweeps training-set sizes 1..maxK with `repeats` random draws

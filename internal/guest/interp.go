@@ -3,6 +3,8 @@ package guest
 import (
 	"fmt"
 	"math/bits"
+
+	"paramdbt/internal/obs"
 )
 
 // The interpreter is the semantic reference for the guest ISA. It is used
@@ -145,6 +147,9 @@ func (s *State) operandValue(o Operand) uint32 {
 // instructions.
 func (s *State) Step(in Inst) error {
 	s.InstCount++
+	if obs.On() {
+		metSteps.Inc()
+	}
 	nextPC := s.R[PC] + InstBytes
 	if !s.Flags.Eval(in.Cond) {
 		s.R[PC] = nextPC

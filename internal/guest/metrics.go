@@ -1,0 +1,11 @@
+package guest
+
+import "paramdbt/internal/obs"
+
+// Interpreter telemetry on obs.Default, gated by obs.On(). The per-State
+// InstCount field remains the product counter (it feeds the experiment
+// tables); this process-wide counter exists so the -metrics-addr
+// endpoint can watch interpreter progress across every State in flight.
+const MetSteps = "guest.steps" // interpreter instructions executed
+
+var metSteps = obs.Default.Counter(MetSteps)

@@ -10,13 +10,17 @@
 // merged by the optimizer yield no candidates; statements whose guest
 // and host operand shapes mismatch (register vs stack slot), whose code
 // contains calls, or whose host idiom the verifier cannot relate are
-// rejected — reproducing the funnel of the paper's Table I.
+// rejected — reproducing the funnel of the paper's Table I. FromCompiled
+// returns the per-unit funnel as Stats; the process-wide learn.*
+// counters on obs.Default accumulate the same funnel across units when
+// telemetry is enabled (docs/OBSERVABILITY.md).
 package learn
 
 import (
 	"paramdbt/internal/guest"
 	"paramdbt/internal/host"
 	"paramdbt/internal/minic"
+	"paramdbt/internal/obs"
 	"paramdbt/internal/rule"
 )
 
@@ -33,7 +37,9 @@ type Stats struct {
 // returns the funnel statistics. The store may already contain rules
 // from other programs; Unique counts only rules new to this call.
 func FromCompiled(c *minic.Compiled, store *rule.Store) Stats {
+	telemetry := obs.On()
 	st := Stats{Statements: c.StmtCount}
+	abstracted := 0
 	for _, cf := range c.Funcs {
 		for _, pair := range cf.Pairs {
 			if !pair.Reliable {
@@ -55,6 +61,7 @@ func FromCompiled(c *minic.Compiled, store *rule.Store) Stats {
 			if !ok {
 				continue
 			}
+			abstracted++
 			if tails {
 				tmpl.BranchTail = true
 				tmpl.GCond = gcond
@@ -69,6 +76,13 @@ func FromCompiled(c *minic.Compiled, store *rule.Store) Stats {
 				st.Unique++
 			}
 		}
+	}
+	if telemetry {
+		metStatements.Add(uint64(st.Statements))
+		metCandidates.Add(uint64(st.Candidates))
+		metAbstracted.Add(uint64(abstracted))
+		metVerified.Add(uint64(st.Learned))
+		metUnique.Add(uint64(st.Unique))
 	}
 	return st
 }

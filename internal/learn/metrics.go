@@ -1,0 +1,24 @@
+package learn
+
+import "paramdbt/internal/obs"
+
+// Learning-funnel telemetry on obs.Default, gated by obs.On(). The
+// counters mirror the Stats funnel FromCompiled returns per compilation
+// unit, but accumulate across every unit learned in the process — the
+// view the -metrics-addr endpoint wants. Funnel invariant:
+// statements >= candidates >= verified >= unique.
+const (
+	MetStatements = "learn.statements" // source statements scanned
+	MetCandidates = "learn.candidates" // extracted rule candidates
+	MetAbstracted = "learn.abstracted" // candidates parameterized successfully
+	MetVerified   = "learn.verified"   // candidates accepted by the verifier
+	MetUnique     = "learn.unique"     // verified rules new to the store
+)
+
+var (
+	metStatements = obs.Default.Counter(MetStatements)
+	metCandidates = obs.Default.Counter(MetCandidates)
+	metAbstracted = obs.Default.Counter(MetAbstracted)
+	metVerified   = obs.Default.Counter(MetVerified)
+	metUnique     = obs.Default.Counter(MetUnique)
+)

@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+)
+
+// WriteJSON writes the registry snapshot as indented, key-sorted JSON —
+// the expvar-style document the /metrics endpoint serves.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// Handler returns an http.Handler serving the registry snapshot as
+// JSON. Mount it wherever the host process exposes diagnostics;
+// cmd/paradbt mounts it at /metrics when -metrics-addr is given.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := r.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+// TraceHandler returns an http.Handler dumping the attached trace ring
+// as plain text (404 when no ring is attached).
+func (r *Registry) TraceHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		t := r.Trace()
+		if t == nil {
+			http.Error(w, "no trace ring attached (run with -trace N)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		t.Dump(w)
+	})
+}

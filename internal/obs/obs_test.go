@@ -1,0 +1,249 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x.count")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	if r.Counter("x.count") != c {
+		t.Fatal("Counter is not get-or-create")
+	}
+	g := r.Gauge("x.gauge")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+	if r.Gauge("x.gauge") != g {
+		t.Fatal("Gauge is not get-or-create")
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	var h Histogram
+	// 0 lands in the zero bucket; 1..8 in base-2 buckets.
+	for _, v := range []uint64{0, 1, 2, 3, 4, 5, 6, 7, 8} {
+		h.Observe(v)
+	}
+	if h.Count() != 9 {
+		t.Fatalf("count = %d, want 9", h.Count())
+	}
+	if h.Sum() != 36 {
+		t.Fatalf("sum = %d, want 36", h.Sum())
+	}
+	if m := h.Mean(); m != 4 {
+		t.Fatalf("mean = %v, want 4", m)
+	}
+	// The median observation is 4, bucket [4,8) -> upper bound 8.
+	if q := h.Quantile(0.5); q != 8 {
+		t.Fatalf("p50 = %d, want bucket upper bound 8", q)
+	}
+	// The max observation is 8, bucket [8,16) -> upper bound 16.
+	if q := h.Quantile(1.0); q != 16 {
+		t.Fatalf("p100 = %d, want bucket upper bound 16", q)
+	}
+	var zero Histogram
+	if zero.Quantile(0.99) != 0 || zero.Mean() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+}
+
+func TestHistogramObserveSince(t *testing.T) {
+	var h Histogram
+	h.ObserveSince(time.Now().Add(-time.Millisecond))
+	if h.Count() != 1 {
+		t.Fatalf("count = %d, want 1", h.Count())
+	}
+	if h.Sum() < uint64(time.Millisecond) {
+		t.Fatalf("sum = %dns, want >= 1ms", h.Sum())
+	}
+}
+
+func TestEnableGate(t *testing.T) {
+	SetEnabled(false)
+	if On() {
+		t.Fatal("On() after SetEnabled(false)")
+	}
+	SetEnabled(true)
+	if !On() {
+		t.Fatal("!On() after SetEnabled(true)")
+	}
+	SetEnabled(false)
+}
+
+// TestConcurrentMetrics exercises every metric type from many
+// goroutines under -race and checks the totals are exact.
+func TestConcurrentMetrics(t *testing.T) {
+	r := NewRegistry()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			c := r.Counter("c")
+			g := r.Gauge("g")
+			h := r.Histogram("h")
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(uint64(seed + i))
+				if i%100 == 0 {
+					_ = r.Snapshot() // concurrent reader
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if got := r.Gauge("g").Value(); got != workers*per {
+		t.Fatalf("gauge = %d, want %d", got, workers*per)
+	}
+	if got := r.Histogram("h").Count(); got != workers*per {
+		t.Fatalf("histogram count = %d, want %d", got, workers*per)
+	}
+}
+
+func TestTraceRingWrapAndDump(t *testing.T) {
+	ring := NewTraceRing(4)
+	for pc := uint32(0); pc < 6; pc++ {
+		ring.Record(EvDispatch, 0x1000+4*pc)
+	}
+	if ring.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", ring.Len())
+	}
+	if ring.Total() != 6 {
+		t.Fatalf("Total = %d, want 6", ring.Total())
+	}
+	evs := ring.Events()
+	if len(evs) != 4 {
+		t.Fatalf("Events len = %d, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if want := uint64(i + 3); e.Seq != want { // oldest retained is seq 3
+			t.Fatalf("event %d seq = %d, want %d", i, e.Seq, want)
+		}
+	}
+	dump := ring.String()
+	if !strings.Contains(dump, "4 event(s) retained, 6 recorded") {
+		t.Fatalf("dump header missing eviction accounting:\n%s", dump)
+	}
+	if !strings.Contains(dump, "dispatch") || !strings.Contains(dump, "pc=0x1014") {
+		t.Fatalf("dump missing expected line:\n%s", dump)
+	}
+}
+
+func TestTraceRingConcurrentDump(t *testing.T) {
+	ring := NewTraceRing(64)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 5000; i++ {
+			ring.Record(EvChained, uint32(i))
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		_ = ring.Events()
+		_ = ring.Len()
+	}
+	<-done
+	if ring.Total() != 5000 {
+		t.Fatalf("Total = %d, want 5000", ring.Total())
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dbt.dispatches").Add(10)
+	r.Gauge("dbt.cached_blocks").Set(3)
+	h := r.Histogram("dbt.translate_ns")
+	h.Observe(100)
+	h.Observe(100000)
+
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(b.String()), &snap); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v\n%s", err, b.String())
+	}
+	if snap.Counters["dbt.dispatches"] != 10 {
+		t.Fatalf("round-tripped counter = %d, want 10", snap.Counters["dbt.dispatches"])
+	}
+	if snap.Gauges["dbt.cached_blocks"] != 3 {
+		t.Fatalf("round-tripped gauge = %d, want 3", snap.Gauges["dbt.cached_blocks"])
+	}
+	hs := snap.Histograms["dbt.translate_ns"]
+	if hs.Count != 2 || hs.Sum != 100100 {
+		t.Fatalf("round-tripped histogram = %+v", hs)
+	}
+	if len(hs.Buckets) != 2 {
+		t.Fatalf("want 2 non-empty buckets, got %+v", hs.Buckets)
+	}
+}
+
+func TestHTTPHandlers(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x").Inc()
+
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/metrics status = %d", rec.Code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("/metrics body is not snapshot JSON: %v", err)
+	}
+	if snap.Counters["x"] != 1 {
+		t.Fatalf("served counter = %d, want 1", snap.Counters["x"])
+	}
+
+	// No ring attached: 404.
+	rec = httptest.NewRecorder()
+	r.TraceHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/trace", nil))
+	if rec.Code != 404 {
+		t.Fatalf("/trace without ring status = %d, want 404", rec.Code)
+	}
+
+	ring := NewTraceRing(8)
+	ring.Record(EvTranslate, 0x2000)
+	r.SetTraceRing(ring)
+	rec = httptest.NewRecorder()
+	r.TraceHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/trace", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "translate") {
+		t.Fatalf("/trace = %d %q", rec.Code, rec.Body.String())
+	}
+}
+
+func TestNames(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("b.h")
+	r.Counter("a.c")
+	r.Gauge("c.g")
+	got := r.Names()
+	want := []string{"a.c", "b.h", "c.g"}
+	if len(got) != len(want) {
+		t.Fatalf("Names = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names = %v, want %v", got, want)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"paramdbt/internal/guest"
 	"paramdbt/internal/host"
+	"paramdbt/internal/obs"
 	"paramdbt/internal/symexec"
 )
 
@@ -66,6 +67,9 @@ func Instantiate(t *Template, b Binding, regOf func(guest.Reg) (host.Reg, bool),
 			return nil, err
 		}
 		out = append(out, host.Inst{Op: p.Op, Cond: p.Cond, Dst: dst, Src: src})
+	}
+	if obs.On() {
+		metInstantiations.Inc()
 	}
 	return out, nil
 }

@@ -1,0 +1,87 @@
+package rule
+
+import (
+	"testing"
+
+	"paramdbt/internal/guest"
+	"paramdbt/internal/host"
+	"paramdbt/internal/obs"
+)
+
+// TestLookupTelemetry checks the gated retrieval counters: nothing moves
+// while disabled, and the hit/miss/memo deltas are exact while enabled.
+// Deltas, not absolutes — obs.Default is process-wide.
+func TestLookupTelemetry(t *testing.T) {
+	s := NewStore()
+	s.Add(addRMWTemplate())
+
+	hit := guest.MustAssemble("add r3, r3, r7")
+	missShape := guest.MustAssemble("sub r3, r3, r7")
+
+	obs.SetEnabled(false)
+	before := metLookups.Value()
+	s.Lookup(hit)
+	if metLookups.Value() != before {
+		t.Fatal("lookup counted while telemetry disabled")
+	}
+
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(false)
+	lk0, hit0, memo0, att0 := metLookups.Value(), metLookupHits.Value(),
+		metMissMemoHits.Value(), metMatchAttempts.Value()
+
+	if tm, _, n := s.Lookup(hit); tm == nil || n != 1 {
+		t.Fatal("expected a hit")
+	}
+	if tm, _, _ := s.Lookup(missShape); tm != nil {
+		t.Fatal("expected a miss")
+	}
+	var memo MissSet
+	memo.Reset()                     // zero value memoizes nothing
+	s.LookupCached(missShape, &memo) // records the miss shape
+	s.LookupCached(missShape, &memo) // must be served by the memo
+
+	if d := metLookups.Value() - lk0; d != 4 {
+		t.Fatalf("lookups delta = %d, want 4", d)
+	}
+	if d := metLookupHits.Value() - hit0; d != 1 {
+		t.Fatalf("lookup_hits delta = %d, want 1", d)
+	}
+	if d := metMissMemoHits.Value() - memo0; d != 1 {
+		t.Fatalf("miss_memo_hits delta = %d, want 1", d)
+	}
+	if d := metMatchAttempts.Value() - att0; d != 1 {
+		t.Fatalf("match_attempts delta = %d, want 1 (only the hit had candidates)", d)
+	}
+	if metFpCollisions.Value() != 0 {
+		t.Fatalf("fp_collisions = %d, want 0", metFpCollisions.Value())
+	}
+}
+
+// TestInstantiateTelemetry checks the gated instantiation counter.
+func TestInstantiateTelemetry(t *testing.T) {
+	tm := addRMWTemplate()
+	b, ok := Match(tm, guest.MustAssemble("add r3, r3, r7"))
+	if !ok {
+		t.Fatal("no match")
+	}
+	regOf := func(r guest.Reg) (host.Reg, bool) { return host.EBX, true }
+
+	obs.SetEnabled(false)
+	before := metInstantiations.Value()
+	if _, err := Instantiate(tm, b, regOf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if metInstantiations.Value() != before {
+		t.Fatal("instantiation counted while telemetry disabled")
+	}
+
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(false)
+	if _, err := Instantiate(tm, b, regOf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if d := metInstantiations.Value() - before; d != 1 {
+		t.Fatalf("instantiations delta = %d, want 1", d)
+	}
+}

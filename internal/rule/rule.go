@@ -3,8 +3,14 @@
 // that implements them, abstracted over register and immediate
 // parameters. It provides matching (with the dependence-pattern and
 // PC-use constraints of the paper's §IV-C2), instantiation into concrete
-// host code, verification glue to the symbolic executor, and a hashed
-// rule store with merging.
+// host code, verification glue to the symbolic executor, and a rule
+// store with duplicate merging, keyed by incremental FNV-1a fingerprints
+// of the guest-window parameterization so retrieval allocates nothing
+// (store.go, key.go).
+//
+// Retrieval telemetry (lookup hit/miss, miss-memo effectiveness,
+// fingerprint collisions, instantiation counts) registers on obs.Default
+// and is gated by obs.On(); see docs/OBSERVABILITY.md for the catalog.
 package rule
 
 import (

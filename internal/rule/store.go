@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"paramdbt/internal/guest"
+	"paramdbt/internal/obs"
 )
 
 // Key computes the human-readable key of a guest instruction window:
@@ -164,8 +165,14 @@ func (s *Store) Lookup(seq []guest.Inst) (*Template, Binding, int) {
 // table. The translator passes one MissSet per block translation; nil
 // disables memoization. Key fingerprints for every candidate window
 // length are derived in a single pass (FNV prefix extension), so the
-// whole retrieval allocates nothing until a template actually matches.
+// whole retrieval allocates nothing until a template actually matches
+// (or telemetry is enabled — the collision check below builds string
+// keys, but only inside the obs.On() branch).
 func (s *Store) LookupCached(seq []guest.Inst, miss *MissSet) (*Template, Binding, int) {
+	telemetry := obs.On()
+	if telemetry {
+		metLookups.Inc()
+	}
 	max := s.maxLen
 	if max > len(seq) {
 		max = len(seq)
@@ -179,6 +186,9 @@ func (s *Store) LookupCached(seq []guest.Inst, miss *MissSet) (*Template, Bindin
 	for l := max; l >= 1; l-- {
 		fp := fps[l-1]
 		if miss != nil && miss.has(fp) {
+			if telemetry {
+				metMissMemoHits.Inc()
+			}
 			continue
 		}
 		cands := s.byKey[fp]
@@ -190,7 +200,19 @@ func (s *Store) LookupCached(seq []guest.Inst, miss *MissSet) (*Template, Bindin
 		}
 		window := seq[:l]
 		for _, t := range cands {
+			if telemetry {
+				metMatchAttempts.Inc()
+				// A candidate whose string key differs from the window's
+				// is a genuine 64-bit fingerprint collision, not a
+				// constraint mismatch. Expected to stay at zero.
+				if patKey(t) != Key(window) {
+					metFpCollisions.Inc()
+				}
+			}
 			if b, ok := Match(t, window); ok {
+				if telemetry {
+					metLookupHits.Inc()
+				}
 				return t, b, l
 			}
 		}
