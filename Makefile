@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet build test race race-obs bench bench-dispatch bench-obs experiments linkcheck
+.PHONY: ci vet build test race race-obs test-faults bench bench-dispatch bench-obs experiments linkcheck
 
-ci: vet build race linkcheck bench
+ci: vet build race test-faults linkcheck bench
 
 vet:
 	$(GO) vet ./...
@@ -16,10 +16,16 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Focused race pass over the observability layer and its hottest
-# consumer (fast enough to run on every edit of either).
+# Focused race pass over the observability layer, its hottest consumer,
+# and the guard/quarantine paths that intentionally race live lookups.
 race-obs:
-	$(GO) test -race -count=1 ./internal/obs ./internal/dbt
+	$(GO) test -race -count=1 ./internal/obs ./internal/dbt ./internal/rule ./internal/guard/...
+
+# The engine suite's fault-injection scenarios, including the canned
+# plan in internal/dbt/testdata/faultplan.json (the robustness
+# acceptance run; see docs/ROBUSTNESS.md).
+test-faults:
+	$(GO) test -count=1 -run 'TestFaultPlanCanned|TestShadow|TestTranslatorPanicRecovery|TestRunPanicReturnsTypedError|TestInterpFallback|TestDropShardSurvives' ./internal/dbt
 
 # Dead-link check over README/docs markdown (relative links and
 # [[file:line]] source references).

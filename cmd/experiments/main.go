@@ -25,7 +25,8 @@ import (
 
 func main() {
 	scale := flag.Int("scale", 1, "dynamic work multiplier (1 = reference input)")
-	only := flag.String("only", "", "comma-separated subset: table1,fig2,fig11,fig12,fig13,table2,fig14,fig15,fig16,table3,dispatch")
+	only := flag.String("only", "", "comma-separated subset: table1,fig2,fig11,fig12,fig13,table2,fig14,fig15,fig16,table3,dispatch,guard")
+	guardBench := flag.String("guard-bench", "mcf", "benchmark for the guard divergence/recovery experiment")
 	jsonPath := flag.String("json", "", "also write the selected sections as a JSON report to this file (\"-\" = stdout, text tables suppressed)")
 	flag.Parse()
 
@@ -139,6 +140,16 @@ func main() {
 		}
 		report.Fig16 = points
 		render(exp.RenderFig16(points))
+	}
+	if sel("guard") {
+		section("Guard: divergence detection & recovery under a corrupted rule")
+		g, err := exp.GuardExperiment(corpus, *guardBench)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "guard:", err)
+			os.Exit(1)
+		}
+		report.Guard = g
+		render(exp.RenderGuard(g))
 	}
 	if sel("table3") {
 		section("Table III: rule number comparison")

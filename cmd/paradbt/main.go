@@ -23,11 +23,32 @@ import (
 	"paramdbt/internal/dbt"
 	"paramdbt/internal/env"
 	"paramdbt/internal/exp"
+	"paramdbt/internal/guard/faultinject"
 	"paramdbt/internal/guest"
 	"paramdbt/internal/mem"
 	"paramdbt/internal/obs"
 	"paramdbt/internal/rule"
 )
+
+// corruptUsedRules runs the benchmark once faultlessly and corrupts up
+// to n rules that run actually executed (in deterministic fingerprint
+// order). Corrupting used rules rather than arbitrary table entries
+// guarantees the fault is live — the point of a -inject campaign with
+// corruptRules is to watch shadow verification catch it.
+func corruptUsedRules(corpus *exp.Corpus, bench string, cfg dbt.Config, n int) ([]string, error) {
+	m := mem.New()
+	if _, err := corpus.Comp[bench].LoadGuest(m); err != nil {
+		return nil, err
+	}
+	e := dbt.New(m, cfg)
+	init := &guest.State{Mem: m}
+	init.R[guest.SP] = env.StackTop
+	e.SetGuestState(init)
+	if _, err := e.Run(env.CodeBase, 4_000_000_000); err != nil {
+		return nil, fmt.Errorf("warm run for rule corruption: %w", err)
+	}
+	return faultinject.CorruptTemplates(e.CachedRuleTemplates(), n), nil
+}
 
 // serveMetrics starts the observability endpoint: the obs.Default JSON
 // snapshot on /metrics, the trace-ring dump on /trace, and the standard
@@ -104,6 +125,9 @@ func main() {
 	noChain := flag.Bool("no-chain", false, "disable translation-block chaining (dispatch every block boundary)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (JSON snapshot), /trace and /debug/pprof on this address (e.g. :6060); enables telemetry")
 	traceN := flag.Int("trace", 0, "record the last N block transitions in a ring buffer, dumped to stderr after the run and on panic")
+	shadowRate := flag.Float64("shadow-rate", 0, "shadow-verify this fraction of block executions against the reference interpreter (1 = every execution)")
+	quarFile := flag.String("quarantine-file", "", "load previously quarantined rules from this file before the run and persist the quarantine set after it (JSON Lines)")
+	injectPath := flag.String("inject", "", "fault-injection plan (JSON, see docs/ROBUSTNESS.md); corruptRules entries are applied to rules the benchmark actually uses")
 	flag.Parse()
 
 	corpus, err := exp.BuildCorpus(*scale)
@@ -162,6 +186,59 @@ func main() {
 	cfg.ManualABI = *manual
 	cfg.TranslateWorkers = *workers
 	cfg.NoChain = *noChain
+	cfg.ShadowRate = *shadowRate
+
+	if *quarFile != "" {
+		if cfg.Rules == nil {
+			fmt.Fprintln(os.Stderr, "-quarantine-file requires a rule table (a non-qemu mode or -rules)")
+			os.Exit(1)
+		}
+		if f, err := os.Open(*quarFile); err == nil {
+			entries, lerr := rule.LoadQuarantine(f)
+			f.Close()
+			if lerr != nil {
+				fmt.Fprintln(os.Stderr, lerr)
+				os.Exit(1)
+			}
+			n := cfg.Rules.ApplyQuarantine(entries)
+			fmt.Fprintf(os.Stderr, "quarantine: re-demoted %d of %d persisted rules\n", n, len(entries))
+		} else if !os.IsNotExist(err) {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	var inj *faultinject.Injector
+	if *injectPath != "" {
+		plan, err := faultinject.LoadPlan(*injectPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		inj = faultinject.New(plan)
+		if plan.CorruptRules > 0 {
+			if cfg.Rules == nil {
+				fmt.Fprintln(os.Stderr, "plan corrupts rules but no rule table is loaded")
+				os.Exit(1)
+			}
+			// Warm run without faults or shadowing to find the used rules.
+			warmCfg := cfg
+			warmCfg.ShadowRate = 0
+			fps, err := corruptUsedRules(corpus, *bench, warmCfg, plan.CorruptRules)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "inject: corrupted %d used rule(s)\n", len(fps))
+			if cfg.ShadowRate == 0 {
+				// Silent corruption without shadow verification would just
+				// produce wrong results; catching it is the experiment.
+				cfg.ShadowRate = 1
+				fmt.Fprintln(os.Stderr, "inject: enabling -shadow-rate 1 to detect corrupted rules")
+			}
+		}
+		cfg.Faults = inj
+	}
 
 	var ring *obs.TraceRing
 	if *traceN > 0 {
@@ -204,6 +281,32 @@ func main() {
 	fmt.Printf("chained exits      %d (%.1f%% of block transitions)\n", st.ChainedExits, 100*st.ChainRate())
 	if cfg.Rules != nil {
 		fmt.Printf("rule table size    %d\n", cfg.Rules.Len())
+	}
+	if cfg.ShadowRate > 0 || cfg.Faults != nil {
+		fmt.Printf("shadow checks      %d\n", st.ShadowChecks)
+		fmt.Printf("divergences        %d\n", st.Divergences)
+		fmt.Printf("quarantined rules  %d\n", st.QuarantinedRules)
+		fmt.Printf("panics recovered   %d\n", st.PanicsRecovered)
+		fmt.Printf("interp fallbacks   %d\n", st.InterpFallbacks)
+		if inj != nil {
+			p, d, sh, w := inj.Counts()
+			fmt.Printf("injected faults    %d panics, %d decode errors, %d shard drops, %d worker kills\n", p, d, sh, w)
+		}
+	}
+	if *quarFile != "" && cfg.Rules != nil {
+		entries := cfg.Rules.Quarantined()
+		f, err := os.Create(*quarFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := rule.SaveQuarantine(f, entries); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "quarantine: persisted %d rule(s) to %s\n", len(entries), *quarFile)
 	}
 	if len(st.UncoveredOps) > 0 {
 		type kv struct {

@@ -71,6 +71,50 @@ func (c *codeCache) remove(pc uint32) *tblock {
 	return tb
 }
 
+// each calls f for every cached translation. Each shard is snapshotted
+// under its read lock, so f runs lock-free and may call back into the
+// cache (but sees a point-in-time view per shard).
+func (c *codeCache) each(f func(pc uint32, tb *tblock)) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		snap := make(map[uint32]*tblock, len(s.m))
+		for pc, tb := range s.m {
+			snap[pc] = tb
+		}
+		s.mu.RUnlock()
+		for pc, tb := range snap {
+			f(pc, tb)
+		}
+	}
+}
+
+// pcsWhere returns the pcs of every cached translation pred accepts —
+// the guard layer uses it to find all blocks built from a quarantined
+// rule so they can be invalidated together.
+func (c *codeCache) pcsWhere(pred func(*tblock) bool) []uint32 {
+	var out []uint32
+	c.each(func(pc uint32, tb *tblock) {
+		if pred(tb) {
+			out = append(out, pc)
+		}
+	})
+	return out
+}
+
+// pcsInShard returns the pcs currently cached in shard i (the
+// fault-injection shard-drop scenario invalidates them all).
+func (c *codeCache) pcsInShard(i int) []uint32 {
+	s := &c.shards[i&(cacheShards-1)]
+	s.mu.RLock()
+	out := make([]uint32, 0, len(s.m))
+	for pc := range s.m {
+		out = append(out, pc)
+	}
+	s.mu.RUnlock()
+	return out
+}
+
 // size reports the total number of cached translations.
 func (c *codeCache) size() int {
 	n := 0

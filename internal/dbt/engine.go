@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"paramdbt/internal/env"
+	"paramdbt/internal/guard"
 	"paramdbt/internal/guest"
 	"paramdbt/internal/host"
 	"paramdbt/internal/mem"
@@ -89,6 +90,29 @@ type Config struct {
 	// retained tail is dumped to stderr if Run panics, and on demand via
 	// TraceRing.Dump / the -metrics-addr /trace endpoint.
 	Trace *obs.TraceRing
+
+	// ShadowRate enables shadow differential verification: each block
+	// execution is, with this probability, re-executed on the reference
+	// interpreter over a pre-block snapshot and compared (see
+	// docs/ROBUSTNESS.md). 0 disables steady-state sampling; 1 verifies
+	// everything. Divergences are recovered (the interpreter result
+	// wins), blamed rules are quarantined and their blocks purged.
+	ShadowRate float64
+	// ShadowFirstN always verifies the first N executions of every
+	// block regardless of ShadowRate (defaults to 1 whenever shadow
+	// verification is on — fresh translations are the risky ones).
+	ShadowFirstN uint64
+	// ShadowSeed seeds the sampling RNG for reproducible runs.
+	ShadowSeed int64
+	// InterpFallback lets Run execute a block on the reference
+	// interpreter when translation fails persistently, instead of
+	// aborting the run. New enables it automatically whenever shadow
+	// verification or fault injection is configured.
+	InterpFallback bool
+	// Faults, when non-nil, injects faults into translation, the code
+	// cache and the speculative workers (see internal/guard/faultinject
+	// and the FaultInjector interface).
+	Faults FaultInjector
 }
 
 // Stats is a snapshot of the evaluation metrics. The live counts are
@@ -112,6 +136,19 @@ type Stats struct {
 	// UncoveredOps breaks down emulated instructions by opcode — the
 	// analysis behind the paper's "seven uncoverable instructions".
 	UncoveredOps map[guest.Op]uint64
+
+	// Guarded-execution counters (zero unless the guard layer is on;
+	// see docs/ROBUSTNESS.md). ShadowChecks counts verified block
+	// executions, Divergences the ones that disagreed with the
+	// reference interpreter. QuarantinedRules counts rules demoted
+	// during the run, PanicsRecovered translator panics converted to
+	// quarantine-and-retry, InterpFallbacks blocks executed by the
+	// reference interpreter after persistent translation failure.
+	ShadowChecks     uint64
+	Divergences      uint64
+	QuarantinedRules uint64
+	PanicsRecovered  uint64
+	InterpFallbacks  uint64
 }
 
 // ChainRate returns the fraction of block transitions that bypassed the
@@ -141,6 +178,7 @@ type Engine struct {
 	miss  rule.MissSet // per-block lookup-miss memo (Run goroutine only)
 	spec  *specPool    // live while Run executes with TranslateWorkers > 0
 	met   *engineMetrics
+	guard *guardState // non-nil when shadow verification is configured
 }
 
 // tblock is one cached translation. The hb/insts/counter fields are
@@ -153,6 +191,18 @@ type tblock struct {
 	nCovered  uint64
 	nSeq      uint64
 	uncovered []guest.Op
+
+	// rules lists the distinct rule templates whose host code this
+	// block contains — the provenance the guard layer's blame isolation
+	// walks when a shadow-verification divergence implicates the block.
+	// flagsExact reports that the block materializes every NZCV update
+	// into the CPUState words (no delegation, no branch-tail rule), so
+	// the shadow verifier may compare flags. Both are immutable after
+	// construction; execs counts executions and is owned by the
+	// goroutine driving Run, like seen.
+	rules      []*rule.Template
+	flagsExact bool
+	execs      uint64
 
 	// links are the block's direct-exit slots (branch target and/or
 	// fallthrough), patched lazily as targets get translated so chained
@@ -203,6 +253,14 @@ func New(m *mem.Memory, cfg Config) *Engine {
 	if cfg.FlagWindow == 0 {
 		cfg.FlagWindow = 3
 	}
+	shadowOn := cfg.ShadowRate > 0 || cfg.ShadowFirstN > 0
+	if shadowOn && cfg.ShadowFirstN == 0 {
+		cfg.ShadowFirstN = 1
+	}
+	if shadowOn || cfg.Faults != nil {
+		// Guarded runs degrade gracefully instead of aborting.
+		cfg.InterpFallback = true
+	}
 	cpu := host.NewCPU(m)
 	cpu.R[host.EBP] = env.StateBase
 	cpu.R[host.ESP] = env.HostStackTop
@@ -213,7 +271,15 @@ func New(m *mem.Memory, cfg Config) *Engine {
 	if cfg.Trace != nil {
 		reg.SetTraceRing(cfg.Trace)
 	}
-	return &Engine{Cfg: cfg, Mem: m, CPU: cpu, cache: newCodeCache(), met: newEngineMetrics(reg)}
+	e := &Engine{Cfg: cfg, Mem: m, CPU: cpu, cache: newCodeCache(), met: newEngineMetrics(reg)}
+	if shadowOn {
+		e.guard = &guardState{sampler: guard.NewSampler(guard.Policy{
+			Rate:   cfg.ShadowRate,
+			FirstN: cfg.ShadowFirstN,
+			Seed:   cfg.ShadowSeed,
+		})}
+	}
+	return e
 }
 
 // Metrics returns the registry holding the engine's counters and
@@ -227,41 +293,10 @@ func (e *Engine) Metrics() *obs.Registry { return e.met.reg }
 func (e *Engine) LiveStats() Stats { return e.met.delta(statsBase{}) }
 
 // SetGuestState writes a guest architectural state into the CPUState.
-func (e *Engine) SetGuestState(st *guest.State) {
-	for i := 0; i < guest.NumRegs; i++ {
-		e.Mem.Write32(env.StateBase+uint32(env.OffReg(i)), st.R[i])
-	}
-	w := func(off int32, b bool) {
-		v := uint32(0)
-		if b {
-			v = 1
-		}
-		e.Mem.Write32(env.StateBase+uint32(off), v)
-	}
-	w(env.OffN, st.Flags.N)
-	w(env.OffZ, st.Flags.Z)
-	w(env.OffC, st.Flags.C)
-	w(env.OffV, st.Flags.V)
-	for i := 0; i < guest.NumFRegs; i++ {
-		e.Mem.Write32(env.StateBase+uint32(env.OffFReg(i)), st.F[i])
-	}
-}
+func (e *Engine) SetGuestState(st *guest.State) { writeGuestState(e.Mem, st) }
 
 // GuestState reads the guest architectural state out of the CPUState.
-func (e *Engine) GuestState() *guest.State {
-	st := &guest.State{Mem: e.Mem}
-	for i := 0; i < guest.NumRegs; i++ {
-		st.R[i] = e.Mem.Read32(env.StateBase + uint32(env.OffReg(i)))
-	}
-	st.Flags.N = e.Mem.Read32(env.StateBase+env.OffN) != 0
-	st.Flags.Z = e.Mem.Read32(env.StateBase+env.OffZ) != 0
-	st.Flags.C = e.Mem.Read32(env.StateBase+env.OffC) != 0
-	st.Flags.V = e.Mem.Read32(env.StateBase+env.OffV) != 0
-	for i := 0; i < guest.NumFRegs; i++ {
-		st.F[i] = e.Mem.Read32(env.StateBase + uint32(env.OffFReg(i)))
-	}
-	return st
-}
+func (e *Engine) GuestState() *guest.State { return readGuestState(e.Mem) }
 
 // Run executes guest code from entry until HLT, collecting statistics.
 // maxHostSteps bounds total host instructions (runaway protection).
@@ -271,7 +306,7 @@ func (e *Engine) GuestState() *guest.State {
 // into the linked translation without the dispatcher's cache lookup.
 // Links are patched in lazily the first time the dispatcher resolves a
 // direct-exit target that has been translated.
-func (e *Engine) Run(entry uint32, maxHostSteps uint64) (Stats, error) {
+func (e *Engine) Run(entry uint32, maxHostSteps uint64) (stats Stats, err error) {
 	base := e.met.base()
 	uncovered := map[guest.Op]uint64{}
 	snapshot := func() Stats {
@@ -286,19 +321,34 @@ func (e *Engine) Run(entry uint32, maxHostSteps uint64) (Stats, error) {
 			e.spec = nil
 		}()
 	}
-	if e.Cfg.Trace != nil {
-		// A panic below (a translator or simulator bug) would lose the
-		// execution history; dump the retained tail first, then re-panic.
-		defer func() {
-			if r := recover(); r != nil {
-				fmt.Fprintf(os.Stderr, "dbt: panic in Run: %v\n", r)
-				e.Cfg.Trace.Dump(os.Stderr)
-				panic(r)
-			}
-		}()
-	}
 	pc := entry
 	var prev *tblock
+	var curShadow *shadowCtx // pre-block snapshot of the block in flight, if sampled
+	// A panic escaping to here (a translator or simulator bug the
+	// guarded translation path could not absorb) must not take the
+	// process down with partially-applied block effects: unwind to the
+	// pre-block snapshot when one exists, leave the architectural PC at
+	// the faulting block so the run is resumable, and surface the cause
+	// as a typed error (errors.Is(err, ErrTranslatorPanic)).
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		if e.Cfg.Trace != nil {
+			fmt.Fprintf(os.Stderr, "dbt: panic in Run: %v\n", r)
+			e.Cfg.Trace.Dump(os.Stderr)
+		}
+		e.met.panicsUnrecovered.Inc()
+		if curShadow != nil {
+			e.Mem.RestoreBelow(curShadow.preMem, env.StateBase)
+			writeGuestState(e.Mem, &curShadow.pre)
+		}
+		e.Mem.Write32(env.StateBase+uint32(env.OffReg(int(guest.PC))), pc)
+		stats = snapshot()
+		err = &PanicError{PC: pc, Cause: r}
+	}()
+	var fallbackSteps uint64 // interpreter-fallback work, counted against the budget
 	for pc != HaltPC {
 		var tb *tblock
 		chained := false
@@ -309,11 +359,30 @@ func (e *Engine) Run(entry uint32, maxHostSteps uint64) (Stats, error) {
 			chained = true
 			e.met.chainedExits.Inc()
 		} else {
+			if f := e.Cfg.Faults; f != nil {
+				if sh, ok := f.DropCacheShard(); ok {
+					e.dropShard(sh)
+				}
+			}
 			e.met.dispatches.Inc()
-			var err error
-			tb, err = e.block(pc)
-			if err != nil {
-				return snapshot(), fmt.Errorf("dbt: translating block at %#x: %w", pc, err)
+			var terr error
+			tb, terr = e.block(pc)
+			if terr != nil {
+				if e.Cfg.InterpFallback {
+					next, n, ferr := e.interpFallbackBlock(pc)
+					if ferr == nil {
+						e.met.interpFallbacks.Inc()
+						e.met.guestInsts.Add(n)
+						fallbackSteps += n
+						if e.Cfg.Trace != nil {
+							e.Cfg.Trace.Record(obs.EvFallback, pc)
+						}
+						prev = nil
+						pc = next
+						continue
+					}
+				}
+				return snapshot(), fmt.Errorf("dbt: translating block at %#x: %w", pc, terr)
 			}
 			if prev != nil && !e.Cfg.NoChain {
 				if obs.On() {
@@ -340,18 +409,35 @@ func (e *Engine) Run(entry uint32, maxHostSteps uint64) (Stats, error) {
 		if e.Cfg.TraceBlock != nil {
 			e.Cfg.TraceBlock(pc)
 		}
-		if e.CPU.Total() >= maxHostSteps {
+		if e.guard != nil {
+			tb.execs++
+			if e.guard.sampler.Select(tb.execs) {
+				curShadow = e.beginShadow(tb.execs)
+			}
+		}
+		if e.CPU.Total()+fallbackSteps >= maxHostSteps {
 			return snapshot(), fmt.Errorf("dbt: host step budget exhausted at pc=%#x", pc)
 		}
-		res, err := e.CPU.Exec(tb.hb, maxHostSteps-e.CPU.Total())
-		if err != nil {
-			return snapshot(), fmt.Errorf("dbt: executing block at %#x: %w\n%s", pc, err, tb.hb.Listing())
+		res, xerr := e.CPU.Exec(tb.hb, maxHostSteps-e.CPU.Total()-fallbackSteps)
+		if xerr != nil {
+			return snapshot(), fmt.Errorf("dbt: executing block at %#x: %w\n%s", pc, xerr, tb.hb.Listing())
 		}
 		e.met.guestInsts.Add(tb.nGuest)
 		e.met.ruleCovered.Add(tb.nCovered)
 		e.met.seqRuleInsts.Add(tb.nSeq)
 		for _, op := range tb.uncovered {
 			uncovered[op]++
+		}
+		if curShadow != nil {
+			next, diverged := e.shadowCheck(tb, curShadow, pc, res.NextPC)
+			curShadow = nil
+			if diverged {
+				// The block's translation was purged; break the chain and
+				// resume from the corrected state.
+				prev = nil
+				pc = next
+				continue
+			}
 		}
 		prev = tb
 		pc = res.NextPC
@@ -381,7 +467,12 @@ func (e *Engine) block(pc uint32) (*tblock, error) {
 	if on {
 		t0 = time.Now()
 	}
-	tb, err := e.translateIn(e.Mem, pc, &e.miss)
+	var err error
+	if e.guard != nil || e.Cfg.Faults != nil {
+		tb, err = e.translateGuarded(pc)
+	} else {
+		tb, err = e.translateIn(e.Mem, pc, &e.miss)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -14,6 +14,17 @@ const (
 	MetDispatches   = "dbt.dispatches"     // dispatcher round trips
 	MetChainedExits = "dbt.chained_exits"  // block transitions over patched links
 
+	// Guarded-execution product counters (robustness layer; see
+	// docs/ROBUSTNESS.md). Always counted — they back the Stats guard
+	// fields and the acceptance invariants ("0 unrecovered panics").
+	MetShadowChecks      = "guard.shadow_checks"      // shadow-verified block executions
+	MetDivergences       = "guard.divergences"        // shadow checks that disagreed with the reference
+	MetQuarantined       = "guard.quarantined_rules"  // rules demoted into the quarantine set
+	MetPanicsRecovered   = "guard.panics_recovered"   // translator panics absorbed by retry/quarantine
+	MetPanicsUnrecovered = "guard.panics_unrecovered" // panics that aborted Run (returned as PanicError)
+	MetTranslateRetries  = "guard.translate_retries"  // guarded-translation retry attempts
+	MetInterpFallbacks   = "guard.interp_fallbacks"   // blocks executed by the reference interpreter
+
 	// Telemetry: only recorded while obs.On().
 	MetTranslations     = "dbt.translations"      // demand translations
 	MetSpecTranslations = "dbt.spec_translations" // worker (speculative) translations
@@ -41,6 +52,14 @@ type engineMetrics struct {
 	dispatches   *obs.Counter
 	chainedExits *obs.Counter
 
+	shadowChecks      *obs.Counter
+	divergences       *obs.Counter
+	quarantined       *obs.Counter
+	panicsRecovered   *obs.Counter
+	panicsUnrecovered *obs.Counter
+	translateRetries  *obs.Counter
+	interpFallbacks   *obs.Counter
+
 	translations     *obs.Counter
 	specTranslations *obs.Counter
 	invalidations    *obs.Counter
@@ -54,22 +73,29 @@ type engineMetrics struct {
 
 func newEngineMetrics(reg *obs.Registry) *engineMetrics {
 	return &engineMetrics{
-		reg:              reg,
-		guestInsts:       reg.Counter(MetGuestInsts),
-		ruleCovered:      reg.Counter(MetRuleCovered),
-		seqRuleInsts:     reg.Counter(MetSeqRuleInsts),
-		blocks:           reg.Counter(MetBlocks),
-		dispatches:       reg.Counter(MetDispatches),
-		chainedExits:     reg.Counter(MetChainedExits),
-		translations:     reg.Counter(MetTranslations),
-		specTranslations: reg.Counter(MetSpecTranslations),
-		invalidations:    reg.Counter(MetInvalidations),
-		chainPatches:     reg.Counter(MetChainPatches),
-		cachedBlocks:     reg.Gauge(MetCachedBlocks),
-		translateNs:      reg.Histogram(MetTranslateNs),
-		lookupNs:         reg.Histogram(MetLookupNs),
-		chainNs:          reg.Histogram(MetChainNs),
-		invalidateNs:     reg.Histogram(MetInvalidateNs),
+		reg:               reg,
+		guestInsts:        reg.Counter(MetGuestInsts),
+		ruleCovered:       reg.Counter(MetRuleCovered),
+		seqRuleInsts:      reg.Counter(MetSeqRuleInsts),
+		blocks:            reg.Counter(MetBlocks),
+		dispatches:        reg.Counter(MetDispatches),
+		chainedExits:      reg.Counter(MetChainedExits),
+		shadowChecks:      reg.Counter(MetShadowChecks),
+		divergences:       reg.Counter(MetDivergences),
+		quarantined:       reg.Counter(MetQuarantined),
+		panicsRecovered:   reg.Counter(MetPanicsRecovered),
+		panicsUnrecovered: reg.Counter(MetPanicsUnrecovered),
+		translateRetries:  reg.Counter(MetTranslateRetries),
+		interpFallbacks:   reg.Counter(MetInterpFallbacks),
+		translations:      reg.Counter(MetTranslations),
+		specTranslations:  reg.Counter(MetSpecTranslations),
+		invalidations:     reg.Counter(MetInvalidations),
+		chainPatches:      reg.Counter(MetChainPatches),
+		cachedBlocks:      reg.Gauge(MetCachedBlocks),
+		translateNs:       reg.Histogram(MetTranslateNs),
+		lookupNs:          reg.Histogram(MetLookupNs),
+		chainNs:           reg.Histogram(MetChainNs),
+		invalidateNs:      reg.Histogram(MetInvalidateNs),
 	}
 }
 
@@ -78,27 +104,38 @@ func newEngineMetrics(reg *obs.Registry) *engineMetrics {
 // even when the engine (or a shared registry) has counted before.
 type statsBase struct {
 	guest, covered, seq, blocks, disp, chained uint64
+	shadow, diverged, quar, panRec, interpFB   uint64
 }
 
 func (m *engineMetrics) base() statsBase {
 	return statsBase{
-		guest:   m.guestInsts.Value(),
-		covered: m.ruleCovered.Value(),
-		seq:     m.seqRuleInsts.Value(),
-		blocks:  m.blocks.Value(),
-		disp:    m.dispatches.Value(),
-		chained: m.chainedExits.Value(),
+		guest:    m.guestInsts.Value(),
+		covered:  m.ruleCovered.Value(),
+		seq:      m.seqRuleInsts.Value(),
+		blocks:   m.blocks.Value(),
+		disp:     m.dispatches.Value(),
+		chained:  m.chainedExits.Value(),
+		shadow:   m.shadowChecks.Value(),
+		diverged: m.divergences.Value(),
+		quar:     m.quarantined.Value(),
+		panRec:   m.panicsRecovered.Value(),
+		interpFB: m.interpFallbacks.Value(),
 	}
 }
 
 // delta builds a Stats snapshot of everything counted since base.
 func (m *engineMetrics) delta(base statsBase) Stats {
 	return Stats{
-		GuestExec:    m.guestInsts.Value() - base.guest,
-		RuleCovered:  m.ruleCovered.Value() - base.covered,
-		SeqRuleUses:  m.seqRuleInsts.Value() - base.seq,
-		Blocks:       int(m.blocks.Value() - base.blocks),
-		Dispatches:   m.dispatches.Value() - base.disp,
-		ChainedExits: m.chainedExits.Value() - base.chained,
+		GuestExec:        m.guestInsts.Value() - base.guest,
+		RuleCovered:      m.ruleCovered.Value() - base.covered,
+		SeqRuleUses:      m.seqRuleInsts.Value() - base.seq,
+		Blocks:           int(m.blocks.Value() - base.blocks),
+		Dispatches:       m.dispatches.Value() - base.disp,
+		ChainedExits:     m.chainedExits.Value() - base.chained,
+		ShadowChecks:     m.shadowChecks.Value() - base.shadow,
+		Divergences:      m.divergences.Value() - base.diverged,
+		QuarantinedRules: m.quarantined.Value() - base.quar,
+		PanicsRecovered:  m.panicsRecovered.Value() - base.panRec,
+		InterpFallbacks:  m.interpFallbacks.Value() - base.interpFB,
 	}
 }

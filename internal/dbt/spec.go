@@ -73,13 +73,18 @@ func (p *specPool) work() {
 		case <-p.quit:
 			return
 		case pc := <-p.jobs:
+			// Fault injection can kill individual workers; speculation is
+			// best-effort, so the pool degrades instead of the engine.
+			if f := p.e.Cfg.Faults; f != nil && f.FailSpecWorker() {
+				return
+			}
 			if _, ok := p.e.cache.get(pc); ok {
 				continue
 			}
 			// A speculative target can be garbage (e.g. a computed pc the
 			// program never takes); translation errors are dropped — if the
 			// pc is really executed, the demand path reports the error.
-			tb, err := p.e.translateIn(p.code, pc, &miss)
+			tb, err := p.safeTranslate(pc, &miss)
 			if err != nil {
 				continue
 			}
@@ -90,4 +95,17 @@ func (p *specPool) work() {
 			p.enqueue(tb) // chase successors ahead of execution
 		}
 	}
+}
+
+// safeTranslate translates one speculative target, converting panics
+// (e.g. a corrupted rule template mid-instantiation) into errors so a
+// worker never takes the process down — the demand path owns real
+// error reporting and recovery.
+func (p *specPool) safeTranslate(pc uint32, miss *rule.MissSet) (tb *tblock, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			tb, err = nil, &PanicError{PC: pc, Cause: r}
+		}
+	}()
+	return p.e.translateIn(p.code, pc, miss)
 }

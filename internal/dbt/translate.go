@@ -48,6 +48,17 @@ type iplan struct {
 // Translation is a pure function of the code bytes and the engine
 // configuration, so concurrent callers produce identical blocks.
 func (e *Engine) translateIn(m *mem.Memory, pc uint32, miss *rule.MissSet) (*tblock, error) {
+	return e.translateWith(m, pc, miss, nil, nil)
+}
+
+// translateWith is translateIn with the guard layer's extension
+// points: skip excludes individual rule templates from retrieval (the
+// blame-isolation trials translate with one suspect excluded —
+// quarantined rules are excluded on every path by the store itself),
+// and cur, when non-nil, tracks the template currently being
+// instantiated so a panic inside rule emission can be attributed to
+// the rule that caused it.
+func (e *Engine) translateWith(m *mem.Memory, pc uint32, miss *rule.MissSet, skip func(*rule.Template) bool, cur **rule.Template) (*tblock, error) {
 	insts, err := fetchBlockIn(m, pc)
 	if err != nil {
 		return nil, err
@@ -72,7 +83,7 @@ func (e *Engine) translateIn(m *mem.Memory, pc uint32, miss *rule.MissSet) (*tbl
 				i++
 				continue
 			}
-			tmpl, bind, l := e.Cfg.Rules.LookupCached(insts[i:], miss)
+			tmpl, bind, l := e.Cfg.Rules.LookupFiltered(insts[i:], miss, skip)
 			usable, needsDeleg := e.ruleUsable(tmpl)
 			if tmpl != nil && usable {
 				plans[i] = iplan{kind: pathRule, tmpl: tmpl, bind: bind, needsDeleg: needsDeleg}
@@ -117,17 +128,44 @@ func (e *Engine) translateIn(m *mem.Memory, pc uint32, miss *rule.MissSet) (*tbl
 		}
 	}
 
-	// Pass 5: emission.
+	// Pass 5: emission. Alongside the host code, record the block's rule
+	// provenance (the distinct templates whose code it contains) and
+	// whether its NZCV state stays exact in the CPUState — both feed the
+	// guard layer's shadow verification and blame isolation.
 	a := host.NewAsm()
 	e.emitPrologue(a, mapping)
 	covered, seqCovered := uint64(0), uint64(0)
 	var uncovered []guest.Op
+	var used []*rule.Template
+	flagsExact := true
 	for i := range body {
 		p := plans[i]
+		if p.delegated {
+			flagsExact = false
+		}
 		switch p.kind {
 		case pathRule:
+			if p.tmpl.BranchTail {
+				flagsExact = false
+			}
+			seen := false
+			for _, t := range used {
+				if t == p.tmpl {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				used = append(used, p.tmpl)
+			}
+			if cur != nil {
+				*cur = p.tmpl
+			}
 			if err := e.emitRule(a, body[i], p, mapping); err != nil {
 				return nil, fmt.Errorf("inst %d %q: %w", i, body[i], err)
+			}
+			if cur != nil {
+				*cur = nil
 			}
 			l := p.tmpl.GuestLen()
 			covered += uint64(l)
@@ -173,13 +211,15 @@ func (e *Engine) translateIn(m *mem.Memory, pc uint32, miss *rule.MissSet) (*tbl
 	}
 
 	return &tblock{
-		hb:        a.Block(),
-		insts:     insts,
-		nGuest:    uint64(n),
-		nCovered:  covered,
-		nSeq:      seqCovered,
-		uncovered: uncovered,
-		links:     directLinks(pc, insts),
+		hb:         a.Block(),
+		insts:      insts,
+		nGuest:     uint64(n),
+		nCovered:   covered,
+		nSeq:       seqCovered,
+		uncovered:  uncovered,
+		links:      directLinks(pc, insts),
+		rules:      used,
+		flagsExact: flagsExact,
 	}, nil
 }
 

@@ -35,6 +35,7 @@ type Report struct {
 	Fig16     []Fig16Point     `json:"fig16,omitempty"`
 	Table3    *core.Counts     `json:"table3,omitempty"`
 	Dispatch  *DispatchSection `json:"dispatch,omitempty"`
+	Guard     *GuardSection    `json:"guard,omitempty"`
 	Uncovered []string         `json:"uncovered,omitempty"`
 }
 

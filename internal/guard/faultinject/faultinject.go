@@ -1,0 +1,239 @@
+// Package faultinject is the deterministic fault-injection harness for
+// the guarded-execution layer: a seedable Plan describes which faults
+// to inject — corrupted rule semantics, translator panics, decode
+// errors, dropped code-cache shards, killed speculative-translation
+// workers — and an Injector doles them out with atomic counters so the
+// same plan produces the same fault sequence on every run. The engine
+// consumes an Injector through the dbt.FaultInjector interface
+// (implemented structurally; this package never imports internal/dbt).
+package faultinject
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync/atomic"
+
+	"paramdbt/internal/host"
+	"paramdbt/internal/rule"
+)
+
+// Plan is the JSON description of a fault campaign. Counts are totals
+// for the run; the Every fields thin a fault to one injection per N
+// opportunities (0 and 1 both mean every opportunity). See
+// docs/ROBUSTNESS.md for the format reference.
+type Plan struct {
+	// Seed drives every pseudo-random choice the injector makes
+	// (currently the shard picked by cache-shard drops).
+	Seed int64 `json:"seed,omitempty"`
+
+	// CorruptRules asks the harness to silently corrupt the host
+	// semantics of this many learned rules before the run (exercising
+	// shadow verification and quarantine). The injector itself cannot
+	// reach the store; callers apply it via CorruptTemplates.
+	CorruptRules int `json:"corruptRules,omitempty"`
+
+	// TranslatePanics injects panics into demand translation.
+	TranslatePanics int `json:"translatePanics,omitempty"`
+	PanicEvery      int `json:"panicEvery,omitempty"`
+
+	// DecodeErrors makes demand translation fail with a decode error.
+	DecodeErrors int `json:"decodeErrors,omitempty"`
+	DecodeEvery  int `json:"decodeEvery,omitempty"`
+
+	// DropShards empties whole code-cache shards mid-run.
+	DropShards int `json:"dropShards,omitempty"`
+	DropEvery  int `json:"dropEvery,omitempty"`
+
+	// FailWorkers kills speculative-translation workers (each injection
+	// terminates one worker goroutine).
+	FailWorkers int `json:"failWorkers,omitempty"`
+}
+
+// ParsePlan decodes a plan from JSON.
+func ParsePlan(r io.Reader) (Plan, error) {
+	var p Plan
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return Plan{}, fmt.Errorf("faultinject: parsing plan: %w", err)
+	}
+	return p, nil
+}
+
+// LoadPlan reads a plan file.
+func LoadPlan(path string) (Plan, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Plan{}, err
+	}
+	defer f.Close()
+	return ParsePlan(f)
+}
+
+// Injector hands out the plan's faults. All methods are safe for
+// concurrent use (the spec-worker hooks run off the engine goroutine)
+// and deterministic given the plan: every decision comes from atomic
+// counters and a seeded multiplicative hash, never from wall-clock or
+// shared global randomness.
+type Injector struct {
+	plan Plan
+
+	panicOps  atomic.Uint64 // translation opportunities seen by TranslatePanic
+	panics    atomic.Int64  // panics injected so far
+	decodeOps atomic.Uint64
+	decodes   atomic.Int64
+	dropOps   atomic.Uint64
+	drops     atomic.Int64
+	workers   atomic.Int64
+}
+
+// New returns an injector for the plan.
+func New(plan Plan) *Injector {
+	return &Injector{plan: plan}
+}
+
+// every applies an Every thinning factor: opportunity counters are
+// 1-based, and factor n fires on every n-th opportunity.
+func every(op uint64, factor int) bool {
+	if factor <= 1 {
+		return true
+	}
+	return op%uint64(factor) == 0
+}
+
+// TranslatePanic reports whether the demand translation at pc should
+// panic (the engine's guarded translation path recovers it).
+func (i *Injector) TranslatePanic(pc uint32) bool {
+	if i.plan.TranslatePanics <= 0 {
+		return false
+	}
+	op := i.panicOps.Add(1)
+	if !every(op, i.plan.PanicEvery) {
+		return false
+	}
+	if i.panics.Add(1) > int64(i.plan.TranslatePanics) {
+		return false
+	}
+	return true
+}
+
+// DecodeError reports whether the demand translation at pc should fail
+// as if the guest code bytes did not decode.
+func (i *Injector) DecodeError(pc uint32) bool {
+	if i.plan.DecodeErrors <= 0 {
+		return false
+	}
+	op := i.decodeOps.Add(1)
+	if !every(op, i.plan.DecodeEvery) {
+		return false
+	}
+	if i.decodes.Add(1) > int64(i.plan.DecodeErrors) {
+		return false
+	}
+	return true
+}
+
+// DropCacheShard reports whether a code-cache shard should be dropped
+// at this dispatch, and which one. The shard index is derived from the
+// seed and the drop ordinal, so a plan names a reproducible sequence.
+func (i *Injector) DropCacheShard() (int, bool) {
+	if i.plan.DropShards <= 0 {
+		return 0, false
+	}
+	op := i.dropOps.Add(1)
+	if !every(op, i.plan.DropEvery) {
+		return 0, false
+	}
+	n := i.drops.Add(1)
+	if n > int64(i.plan.DropShards) {
+		return 0, false
+	}
+	h := uint64(i.plan.Seed)*2654435761 + uint64(n)*0x9e3779b97f4a7c15
+	return int(h >> 60), true // top 4 bits: shard in [0,16)
+}
+
+// FailSpecWorker reports whether one speculative-translation worker
+// should terminate (called by each worker per job).
+func (i *Injector) FailSpecWorker() bool {
+	if i.plan.FailWorkers <= 0 {
+		return false
+	}
+	return i.workers.Add(1) <= int64(i.plan.FailWorkers)
+}
+
+// Counts reports how many faults of each kind were actually injected,
+// for test assertions and run summaries.
+func (i *Injector) Counts() (panics, decodes, drops, workers int64) {
+	clamp := func(v, max int64) int64 {
+		if v > max {
+			return max
+		}
+		return v
+	}
+	return clamp(i.panics.Load(), int64(i.plan.TranslatePanics)),
+		clamp(i.decodes.Load(), int64(i.plan.DecodeErrors)),
+		clamp(i.drops.Load(), int64(i.plan.DropShards)),
+		clamp(i.workers.Load(), int64(i.plan.FailWorkers))
+}
+
+// swapOp maps a host compute op to a same-shape, different-semantics
+// replacement. Shape preservation matters: the corrupted rule must
+// still instantiate and execute, producing silently wrong values — the
+// fault shadow verification exists to catch.
+var swapOp = map[host.Op]host.Op{
+	host.ADDL: host.SUBL, host.SUBL: host.ADDL,
+	host.ANDL: host.ORL, host.ORL: host.XORL, host.XORL: host.ANDL,
+	host.SHLL: host.SHRL, host.SHRL: host.SHLL,
+}
+
+// CorruptTemplate flips one host compute op of the template to a
+// same-shape replacement, silently changing its semantics. It reports
+// whether the template had a corruptible op.
+func CorruptTemplate(t *rule.Template) bool {
+	for i := range t.Host {
+		if repl, ok := swapOp[t.Host[i].Op]; ok {
+			t.Host[i].Op = repl
+			return true
+		}
+	}
+	return false
+}
+
+// CorruptTemplates corrupts up to n of the given templates (in
+// deterministic fingerprint order, skipping uncorruptible ones) and
+// returns the post-corruption fingerprints — the identities a
+// quarantine set will record if the guard catches them.
+func CorruptTemplates(ts []*rule.Template, n int) []string {
+	sorted := append([]*rule.Template(nil), ts...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Fingerprint() < sorted[j].Fingerprint() })
+	var out []string
+	for _, t := range sorted {
+		if len(out) >= n {
+			break
+		}
+		if CorruptTemplate(t) {
+			out = append(out, t.Fingerprint())
+		}
+	}
+	return out
+}
+
+// CorruptStore corrupts up to plan.CorruptRules learned templates in
+// the store (deterministic order) and returns their post-corruption
+// fingerprints. Prefer CorruptTemplates over the templates a prior run
+// actually used when the goal is a guaranteed divergence.
+func (i *Injector) CorruptStore(s *rule.Store) []string {
+	if i.plan.CorruptRules <= 0 {
+		return nil
+	}
+	var learned []*rule.Template
+	for _, t := range s.All() {
+		if t.Origin != rule.OriginManual {
+			learned = append(learned, t)
+		}
+	}
+	return CorruptTemplates(learned, i.plan.CorruptRules)
+}

@@ -107,6 +107,15 @@ func (s *State) Clone() *State {
 	return &c
 }
 
+// WithMem returns a register/flag copy of the state bound to a
+// different memory. The shadow verifier uses it to re-execute a block's
+// instructions on a pre-block memory snapshot without cloning twice.
+func (s *State) WithMem(m *mem.Memory) *State {
+	c := *s
+	c.Mem = m
+	return &c
+}
+
 // Snapshot formats the register file for debugging.
 func (s *State) Snapshot() string {
 	out := ""

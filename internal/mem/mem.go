@@ -5,7 +5,10 @@
 // into the emulator's own address space.
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // PageBits is the log2 of the page size.
 const PageBits = 12
@@ -123,6 +126,87 @@ func (m *Memory) Clone() *Memory {
 		c.pages[k] = &cp
 	}
 	return c
+}
+
+// DiffBelow compares the two memories over all addresses below limit
+// (a page-aligned boundary separating guest-visible memory from
+// host-private regions) and returns up to max differing word-aligned
+// addresses, lowest first. Pages absent on one side compare as zero,
+// matching read semantics. Used by the shadow verifier to compare the
+// reference interpreter's stores against a translated block's.
+func (m *Memory) DiffBelow(other *Memory, limit uint32, max int) []uint32 {
+	limitKey := limit >> PageBits
+	keys := map[uint32]bool{}
+	for k := range m.pages {
+		if k < limitKey {
+			keys[k] = true
+		}
+	}
+	for k := range other.pages {
+		if k < limitKey {
+			keys[k] = true
+		}
+	}
+	sorted := make([]uint32, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var zero [PageSize]byte
+	var out []uint32
+	for _, k := range sorted {
+		pa, pb := m.pages[k], other.pages[k]
+		if pa == nil {
+			pa = &zero
+		}
+		if pb == nil {
+			pb = &zero
+		}
+		if *pa == *pb {
+			continue
+		}
+		base := k << PageBits
+		for off := 0; off < PageSize; off += 4 {
+			if pa[off] != pb[off] || pa[off+1] != pb[off+1] ||
+				pa[off+2] != pb[off+2] || pa[off+3] != pb[off+3] {
+				out = append(out, base+uint32(off))
+				if len(out) >= max {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RestoreBelow overwrites every page of m below limit with src's
+// content (missing src pages zero the destination page), leaving pages
+// at or above limit untouched. After the call the two memories read
+// identically below limit. Used by the divergence-recovery path to
+// replace a mis-executed block's stores with the reference
+// interpreter's.
+func (m *Memory) RestoreBelow(src *Memory, limit uint32) {
+	limitKey := limit >> PageBits
+	for k, p := range m.pages {
+		if k >= limitKey {
+			continue
+		}
+		if sp := src.pages[k]; sp != nil {
+			*p = *sp
+		} else {
+			*p = [PageSize]byte{}
+		}
+	}
+	for k, sp := range src.pages {
+		if k >= limitKey || m.pages[k] != nil {
+			continue
+		}
+		cp := *sp
+		if m.pages == nil {
+			m.pages = make(map[uint32]*[PageSize]byte)
+		}
+		m.pages[k] = &cp
+	}
 }
 
 // Dump formats a hex dump of n bytes at addr, for debugging.

@@ -22,6 +22,12 @@ const (
 	EvTranslate
 	// EvInvalidate is a cache invalidation at the event's pc.
 	EvInvalidate
+	// EvDiverge is a shadow-verification divergence detected at the
+	// event's pc (the entry of the mis-translated block).
+	EvDiverge
+	// EvFallback is a block executed by the reference interpreter
+	// because translation failed persistently at the event's pc.
+	EvFallback
 )
 
 // String names the kind for dumps.
@@ -35,6 +41,10 @@ func (k EventKind) String() string {
 		return "translate"
 	case EvInvalidate:
 		return "invalidate"
+	case EvDiverge:
+		return "diverge"
+	case EvFallback:
+		return "fallback"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }

@@ -7,12 +7,12 @@ import "paramdbt/internal/obs"
 // dbt counters). Everything here is gated by obs.On(): retrieval stays
 // allocation-free and pays one atomic load while telemetry is off.
 const (
-	MetLookups        = "rule.lookups"         // LookupCached calls
-	MetLookupHits     = "rule.lookup_hits"     // lookups that matched a template
-	MetMissMemoHits   = "rule.miss_memo_hits"  // windows skipped via the MissSet
-	MetMatchAttempts  = "rule.match_attempts"  // candidate templates run through Match
-	MetFpCollisions   = "rule.fp_collisions"   // candidates whose key fingerprint collided
-	MetInstantiations = "rule.instantiations"  // Instantiate calls that emitted host code
+	MetLookups        = "rule.lookups"        // LookupCached calls
+	MetLookupHits     = "rule.lookup_hits"    // lookups that matched a template
+	MetMissMemoHits   = "rule.miss_memo_hits" // windows skipped via the MissSet
+	MetMatchAttempts  = "rule.match_attempts" // candidate templates run through Match
+	MetFpCollisions   = "rule.fp_collisions"  // candidates whose key fingerprint collided
+	MetInstantiations = "rule.instantiations" // Instantiate calls that emitted host code
 )
 
 var (

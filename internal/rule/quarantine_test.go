@@ -1,0 +1,137 @@
+package rule
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"paramdbt/internal/guest"
+)
+
+func TestQuarantineFiltersLookup(t *testing.T) {
+	s := sampleStore(t)
+	seq := guest.MustAssemble("cmp r2, r5\nbne #3")
+	tm, _, n := s.Lookup(seq)
+	if tm == nil || n != 2 {
+		t.Fatalf("precondition: branch-tail rule should match (n=%d)", n)
+	}
+	if !s.Quarantine(tm, "test") {
+		t.Fatal("first quarantine should report newly quarantined")
+	}
+	if s.Quarantine(tm, "again") {
+		t.Fatal("second quarantine of the same rule should report false")
+	}
+	if !s.IsQuarantined(tm) || s.QuarantineLen() != 1 {
+		t.Fatalf("quarantine state wrong: is=%v len=%d", s.IsQuarantined(tm), s.QuarantineLen())
+	}
+	if got, _, _ := s.Lookup(seq); got == tm {
+		t.Fatal("quarantined rule still returned by Lookup")
+	}
+	if !s.Unquarantine(tm) {
+		t.Fatal("unquarantine should succeed")
+	}
+	if got, _, n := s.Lookup(seq); got != tm || n != 2 {
+		t.Fatalf("rule not restored after unquarantine (n=%d)", n)
+	}
+}
+
+func TestLookupFilteredSkip(t *testing.T) {
+	s := sampleStore(t)
+	seq := guest.MustAssemble("cmp r2, r5\nbne #3")
+	tm, _, _ := s.Lookup(seq)
+	if tm == nil {
+		t.Fatal("precondition: rule should match")
+	}
+	got, _, _ := s.LookupFiltered(seq, nil, func(x *Template) bool { return x == tm })
+	if got == tm {
+		t.Fatal("skip predicate ignored")
+	}
+}
+
+func TestQuarantinePersistRoundTrip(t *testing.T) {
+	s := sampleStore(t)
+	seq := guest.MustAssemble("cmp r2, r5\nbne #3")
+	tm, _, _ := s.Lookup(seq)
+	if tm == nil {
+		t.Fatal("precondition: rule should match")
+	}
+	s.Quarantine(tm, "shadow divergence at pc=0x10000")
+
+	entries := s.Quarantined()
+	if len(entries) != 1 || entries[0].Fingerprint != tm.Fingerprint() || entries[0].Reason == "" {
+		t.Fatalf("bad quarantine entries: %+v", entries)
+	}
+	var qbuf bytes.Buffer
+	if err := SaveQuarantine(&qbuf, entries); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadQuarantine(bytes.NewReader(qbuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A freshly loaded rule table plus the persisted quarantine file
+	// must re-demote the same rule.
+	var tbuf bytes.Buffer
+	if err := s.Save(&tbuf); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Load(bytes.NewReader(tbuf.Bytes()), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := fresh.ApplyQuarantine(loaded); n != 1 {
+		t.Fatalf("ApplyQuarantine matched %d rules, want 1", n)
+	}
+	if got, _, _ := fresh.Lookup(seq); got != nil && got.Fingerprint() == tm.Fingerprint() {
+		t.Fatal("re-quarantined rule still returned by Lookup")
+	}
+
+	// Entries for rules absent from the table are ignored.
+	if n := fresh.ApplyQuarantine([]QuarantineEntry{{Fingerprint: "no such rule"}}); n != 0 {
+		t.Fatalf("phantom entry matched %d rules", n)
+	}
+}
+
+func TestLoadQuarantineRejectsCorrupt(t *testing.T) {
+	if _, err := LoadQuarantine(bytes.NewReader([]byte("not json"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := LoadQuarantine(bytes.NewReader([]byte(`{"rule":"x"}`))); err == nil {
+		t.Fatal("entry without fingerprint accepted")
+	}
+}
+
+// TestQuarantineConcurrentWithLookups exercises the documented
+// contract that Quarantine may race live lookups (run under -race via
+// the race-obs make target).
+func TestQuarantineConcurrentWithLookups(t *testing.T) {
+	s := sampleStore(t)
+	seq := guest.MustAssemble("cmp r2, r5\nbne #3")
+	tm, _, _ := s.Lookup(seq)
+	if tm == nil {
+		t.Fatal("precondition: rule should match")
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					s.Lookup(seq)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 100; i++ {
+		s.Quarantine(tm, "flap")
+		s.Unquarantine(tm)
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -128,6 +128,55 @@ func Load(r io.Reader, reverify bool) (*Store, error) {
 	return out, nil
 }
 
+// QuarantineEntry is one persisted quarantine decision: a rule demoted
+// at run time by the guard layer (shadow-verification divergence or a
+// translator panic attributed to the rule). The fingerprint is the
+// store's canonical identity, so a reloaded table re-quarantines the
+// same rule; the rendered rule and reason are for the operator.
+type QuarantineEntry struct {
+	Fingerprint string `json:"fingerprint"`
+	Rule        string `json:"rule,omitempty"`
+	Reason      string `json:"reason,omitempty"`
+}
+
+// SaveQuarantine writes quarantine entries as JSON Lines (the same
+// diff-friendly layout as the rule table itself).
+func SaveQuarantine(w io.Writer, entries []QuarantineEntry) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range entries {
+		if err := enc.Encode(e); err != nil {
+			return fmt.Errorf("rule: encoding quarantine entry %q: %w", e.Fingerprint, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadQuarantine reads a JSON Lines quarantine file. Entries with an
+// empty fingerprint are rejected — they could never match a rule and
+// indicate a corrupted file.
+func LoadQuarantine(r io.Reader) ([]QuarantineEntry, error) {
+	dec := json.NewDecoder(r)
+	var out []QuarantineEntry
+	line := 0
+	for {
+		var e QuarantineEntry
+		err := dec.Decode(&e)
+		if err == io.EOF {
+			break
+		}
+		line++
+		if err != nil {
+			return nil, fmt.Errorf("rule: quarantine entry %d: %w", line, err)
+		}
+		if e.Fingerprint == "" {
+			return nil, fmt.Errorf("rule: quarantine entry %d: empty fingerprint", line)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
 // guestCond clamps a deserialized guest condition code.
 func guestCond(v uint8) guest.Cond {
 	if v >= uint8(guest.NumConds) {
@@ -150,9 +199,18 @@ func validate(t *Template) error {
 	if len(t.Guest) == 0 || len(t.Host) == 0 {
 		return fmt.Errorf("empty pattern")
 	}
+	// Store.Add enforces the retrieval-window bound with a panic (an
+	// internal invariant for learned rules); a deserialized table is
+	// external input, so the bound is an error here.
+	if t.GuestLen() > maxKeyWindow {
+		return fmt.Errorf("guest pattern spans %d instructions, retrieval window is %d", t.GuestLen(), maxKeyWindow)
+	}
 	checkArg := func(a Arg) error {
 		check := func(p int) error {
-			if p >= len(t.Params) {
+			// Negative indices would pass a >= len check but panic at
+			// match/instantiation time — mem-shape params (BaseParam,
+			// IdxParam) are unconditional slice indexes.
+			if p < 0 || p >= len(t.Params) {
 				return fmt.Errorf("param %d out of range (%d params)", p, len(t.Params))
 			}
 			return nil

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"paramdbt/internal/guest"
 	"paramdbt/internal/obs"
@@ -101,11 +103,18 @@ const maxKeyWindow = 16
 // Store is the rule table: a hash map from guest-window key
 // fingerprints to candidate templates, with duplicate merging. Once
 // populated it is safe for concurrent readers (Lookup); Add must not
-// run concurrently with lookups.
+// run concurrently with lookups. The quarantine set is the one mutable
+// piece of a live store: Quarantine may be called concurrently with
+// lookups (the guard layer demotes rules mid-run), so it is kept in a
+// sync.Map keyed by template pointer, with an atomic count gating the
+// hot path to a single load when the set is empty.
 type Store struct {
 	byKey  map[uint64][]*Template
 	byFp   map[string]*Template
 	maxLen int
+
+	quarN atomic.Int32
+	quar  sync.Map // *Template -> reason string
 }
 
 // NewStore returns an empty store.
@@ -153,11 +162,78 @@ func (s *Store) All() []*Template {
 	return out
 }
 
+// Quarantine demotes a template: it stays in the store (so Save and
+// the accounting still see it) but no lookup will return it until
+// Unquarantine. The reason is recorded for the persisted quarantine
+// file. Safe to call concurrently with lookups; reports whether the
+// template was newly quarantined.
+func (s *Store) Quarantine(t *Template, reason string) bool {
+	if _, loaded := s.quar.LoadOrStore(t, reason); loaded {
+		return false
+	}
+	s.quarN.Add(1)
+	return true
+}
+
+// Unquarantine restores a quarantined template to lookup eligibility.
+func (s *Store) Unquarantine(t *Template) bool {
+	if _, loaded := s.quar.LoadAndDelete(t); !loaded {
+		return false
+	}
+	s.quarN.Add(-1)
+	return true
+}
+
+// IsQuarantined reports whether t is currently quarantined.
+func (s *Store) IsQuarantined(t *Template) bool {
+	if s.quarN.Load() == 0 {
+		return false
+	}
+	_, ok := s.quar.Load(t)
+	return ok
+}
+
+// QuarantineLen reports the number of quarantined templates.
+func (s *Store) QuarantineLen() int { return int(s.quarN.Load()) }
+
+// Quarantined returns the quarantine set as persistable entries, in
+// deterministic (fingerprint) order.
+func (s *Store) Quarantined() []QuarantineEntry {
+	var out []QuarantineEntry
+	s.quar.Range(func(k, v any) bool {
+		t := k.(*Template)
+		out = append(out, QuarantineEntry{
+			Fingerprint: t.Fingerprint(),
+			Rule:        t.String(),
+			Reason:      v.(string),
+		})
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Fingerprint < out[j].Fingerprint })
+	return out
+}
+
+// ApplyQuarantine quarantines every store template whose fingerprint
+// appears in entries (a previously persisted quarantine set) and
+// reports how many matched. Entries for rules not in this store are
+// ignored — the quarantine file may outlive a retrained table.
+func (s *Store) ApplyQuarantine(entries []QuarantineEntry) int {
+	n := 0
+	for _, e := range entries {
+		if t, ok := s.byFp[e.Fingerprint]; ok {
+			if s.Quarantine(t, e.Reason) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
 // Lookup finds the longest template matching a prefix of seq, preferring
 // longer windows (more context means better host code). It returns the
 // template, its binding and the number of guest instructions consumed.
 func (s *Store) Lookup(seq []guest.Inst) (*Template, Binding, int) {
-	return s.LookupCached(seq, nil)
+	return s.LookupFiltered(seq, nil, nil)
 }
 
 // LookupCached is Lookup with a caller-provided miss memo: window
@@ -169,7 +245,19 @@ func (s *Store) Lookup(seq []guest.Inst) (*Template, Binding, int) {
 // (or telemetry is enabled — the collision check below builds string
 // keys, but only inside the obs.On() branch).
 func (s *Store) LookupCached(seq []guest.Inst, miss *MissSet) (*Template, Binding, int) {
+	return s.LookupFiltered(seq, miss, nil)
+}
+
+// LookupFiltered is LookupCached with a caller-provided exclusion
+// predicate: candidates for which skip returns true are passed over as
+// if they did not match (the guard layer's blame isolation translates
+// trial blocks with one suspect rule excluded). Quarantined templates
+// are always excluded, on every lookup path. Note the miss memo stays
+// sound under both filters: a window is recorded as a miss only when
+// its fingerprint has no candidates at all, which is filter-independent.
+func (s *Store) LookupFiltered(seq []guest.Inst, miss *MissSet, skip func(*Template) bool) (*Template, Binding, int) {
 	telemetry := obs.On()
+	quarActive := s.quarN.Load() != 0
 	if telemetry {
 		metLookups.Inc()
 	}
@@ -200,6 +288,14 @@ func (s *Store) LookupCached(seq []guest.Inst, miss *MissSet) (*Template, Bindin
 		}
 		window := seq[:l]
 		for _, t := range cands {
+			if quarActive {
+				if _, q := s.quar.Load(t); q {
+					continue
+				}
+			}
+			if skip != nil && skip(t) {
+				continue
+			}
 			if telemetry {
 				metMatchAttempts.Inc()
 				// A candidate whose string key differs from the window's
