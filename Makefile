@@ -1,11 +1,30 @@
 GO ?= go
 
-.PHONY: ci vet build test race race-obs test-faults bench bench-dispatch bench-obs experiments linkcheck
+.PHONY: ci vet lint obsgate ruleaudit build test race race-obs test-faults bench bench-dispatch bench-obs experiments linkcheck
 
-ci: vet build race test-faults linkcheck bench
+ci: lint build race test-faults linkcheck bench
 
 vet:
 	$(GO) vet ./...
+
+# Repo lint: standard vet, the obsgate telemetry-gating checker
+# (tools/lint/obsgate, run as a vettool), and staticcheck when the
+# binary is installed (it is not vendored; the gate keeps CI hermetic).
+lint: vet obsgate
+	$(GO) vet -vettool=bin/obsgate ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./... ; \
+	else \
+		echo "lint: staticcheck not installed, skipping" ; \
+	fi
+
+obsgate:
+	$(GO) build -o bin/obsgate ./tools/lint/obsgate
+
+# Static audit of the full parameterized rule store (JSON verdicts on
+# stdout; see docs/ANALYSIS.md).
+ruleaudit:
+	$(GO) run ./cmd/ruleaudit -summary
 
 build:
 	$(GO) build ./...

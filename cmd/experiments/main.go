@@ -7,9 +7,9 @@
 //	go run ./cmd/experiments -json results.json
 //
 // With -json, every selected section is additionally written as one
-// machine-readable report (schema paramdbt-experiments/v1, see
-// internal/exp.Report); "-" writes to stdout and suppresses the text
-// tables.
+// machine-readable report (schema exp.ReportSchema, currently
+// paramdbt-experiments/v2, see internal/exp.Report); "-" writes to
+// stdout and suppresses the text tables.
 package main
 
 import (
@@ -25,7 +25,7 @@ import (
 
 func main() {
 	scale := flag.Int("scale", 1, "dynamic work multiplier (1 = reference input)")
-	only := flag.String("only", "", "comma-separated subset: table1,fig2,fig11,fig12,fig13,table2,fig14,fig15,fig16,table3,dispatch,guard")
+	only := flag.String("only", "", "comma-separated subset: table1,fig2,fig11,fig12,fig13,table2,fig14,fig15,fig16,table3,dispatch,guard,analysis")
 	guardBench := flag.String("guard-bench", "mcf", "benchmark for the guard divergence/recovery experiment")
 	jsonPath := flag.String("json", "", "also write the selected sections as a JSON report to this file (\"-\" = stdout, text tables suppressed)")
 	flag.Parse()
@@ -150,6 +150,16 @@ func main() {
 		}
 		report.Guard = g
 		render(exp.RenderGuard(g))
+	}
+	if sel("analysis") {
+		section("Static audit: rule-store verdicts & seeded corruption")
+		a, err := exp.AnalysisExperiment(corpus)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "analysis:", err)
+			os.Exit(1)
+		}
+		report.Analysis = a
+		render(exp.RenderAnalysis(a))
 	}
 	if sel("table3") {
 		section("Table III: rule number comparison")

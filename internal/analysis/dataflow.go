@@ -1,0 +1,256 @@
+package analysis
+
+import (
+	"fmt"
+
+	"paramdbt/internal/guest"
+	"paramdbt/internal/host"
+	"paramdbt/internal/rule"
+	"paramdbt/internal/symexec"
+)
+
+// The dataflow layer runs classic syntactic passes over a rule's
+// materialized host sequence: def-use chains, register clobber
+// analysis, scratch-register discipline, and EFLAGS/NZCV liveness.
+// Findings explain *why* a rule is broken in machine terms; the
+// abstract/symbolic verdict engine (analysis.go) decides *whether* it
+// is broken. A structurally suspicious but semantically harmless rule
+// (say, a dead read of an undefined scratch register) yields a finding
+// without forcing an unsound verdict.
+
+// Severity grades a finding.
+type Severity string
+
+// Severities.
+const (
+	SevError = Severity("error") // expected to be observable; verdict engine should find a witness
+	SevWarn  = Severity("warn")  // suspicious; may be benign if the value never escapes
+	SevInfo  = Severity("info")  // advisory (e.g. dead code)
+)
+
+// Finding is one dataflow diagnostic about a rule.
+type Finding struct {
+	Pass     string   `json:"pass"`
+	Severity Severity `json:"severity"`
+	Inst     int      `json:"inst"` // host instruction index, -1 when rule-wide
+	Msg      string   `json:"msg"`
+}
+
+// DefUse records one definition of a host register and the instruction
+// indexes that consume it before it is redefined.
+type DefUse struct {
+	Reg  host.Reg
+	Def  int // defining instruction index
+	Uses []int
+}
+
+// regReads collects the host registers an instruction reads: the source
+// operand (register or memory base/index), memory destinations'
+// base/index, and the destination register of two-address ops.
+func regReads(in host.Inst) []host.Reg {
+	var out []host.Reg
+	addOperand := func(o host.Operand, isDst bool) {
+		switch o.Kind {
+		case host.KindReg:
+			if !isDst || hostReadsDst(in.Op) {
+				out = append(out, o.Reg)
+			}
+		case host.KindMem:
+			out = append(out, o.Base)
+			if o.Scale != 0 {
+				out = append(out, o.Index)
+			}
+		}
+	}
+	addOperand(in.Src, false)
+	addOperand(in.Dst, true)
+	// MOVB stores a register byte through a memory destination; the
+	// value register is the Src and is covered above.
+	return out
+}
+
+// regWrite returns the host register the instruction defines, if any.
+func regWrite(in host.Inst) (host.Reg, bool) {
+	if hostWritesDst(in.Op) && in.Dst.Kind == host.KindReg {
+		return in.Dst.Reg, true
+	}
+	return 0, false
+}
+
+// hostWritesDst / hostReadsDst mirror the learn pipeline's operand-role
+// classification (learn.go keeps private copies; the roles are a fixed
+// property of the host ISA subset rules use).
+func hostWritesDst(op host.Op) bool {
+	switch op {
+	case host.CMPL, host.TESTL, host.JMP, host.JCC, host.CALL, host.RET, host.PUSHL:
+		return false
+	}
+	return true
+}
+
+func hostReadsDst(op host.Op) bool {
+	switch op {
+	case host.ADDL, host.ADCL, host.SUBL, host.SBBL, host.ANDL, host.ORL,
+		host.XORL, host.NOTL, host.NEGL, host.IMULL, host.SHLL, host.SHRL,
+		host.SARL, host.RORL, host.CMPL, host.TESTL:
+		return true
+	}
+	return false
+}
+
+// guestWritesDst reports whether the guest opcode defines its first
+// operand register.
+func guestWritesDst(op guest.Op) bool {
+	switch op {
+	case guest.CMP, guest.CMN, guest.TST, guest.TEQ, guest.STR, guest.STRB:
+		return false
+	}
+	return true
+}
+
+// DefUseChains computes def-use chains over a straight-line host
+// sequence. A definition's uses end at the next redefinition of the
+// register.
+func DefUseChains(hseq []host.Inst) []DefUse {
+	var chains []DefUse
+	open := map[host.Reg]int{} // reg -> index into chains of the live def
+	for i, in := range hseq {
+		for _, r := range regReads(in) {
+			if ci, ok := open[r]; ok {
+				chains[ci].Uses = append(chains[ci].Uses, i)
+			}
+		}
+		if r, ok := regWrite(in); ok {
+			chains = append(chains, DefUse{Reg: r, Def: i})
+			open[r] = len(chains) - 1
+		}
+	}
+	return chains
+}
+
+// DataflowFindings runs all syntactic passes over a template and its
+// materialized sequences.
+func DataflowFindings(t *rule.Template, gseq []guest.Inst, hseq []host.Inst, binds []symexec.Binding, scratch []host.Reg) []Finding {
+	var out []Finding
+
+	h2g := map[host.Reg]guest.Reg{}
+	bound := map[host.Reg]bool{}
+	for _, b := range binds {
+		h2g[b.Host] = b.Guest
+		bound[b.Host] = true
+	}
+	isScratch := map[host.Reg]bool{}
+	for _, r := range scratch {
+		isScratch[r] = true
+	}
+
+	// Guest-side write set under the canonical assignment: which guest
+	// registers (hence which bound host registers) legitimately change.
+	guestWritten := map[guest.Reg]bool{}
+	for _, in := range gseq {
+		if guestWritesDst(in.Op) && in.Ops[0].Kind == guest.KindReg {
+			guestWritten[in.Ops[0].Reg] = true
+		}
+	}
+
+	// Pass: NZCV liveness on the guest side. A guest pattern reading
+	// flags no prior pattern instruction defined depends on entry NZCV;
+	// the host side carries no corresponding EFLAGS binding, so such a
+	// rule cannot verify (symexec models entry flags as distinct
+	// symbols) and the verdict engine will exhibit a witness.
+	gFlagsDefined := false
+	for i, in := range gseq {
+		if in.ReadsFlags() && !gFlagsDefined {
+			out = append(out, Finding{
+				Pass: "nzcv-liveness", Severity: SevWarn, Inst: i,
+				Msg: fmt.Sprintf("guest %v reads NZCV before the pattern defines it (depends on entry flags)", in.Op),
+			})
+		}
+		if in.SetsFlags() {
+			gFlagsDefined = true
+		}
+	}
+
+	// Pass: EFLAGS liveness on the host side, same idea.
+	hFlagsDefined := false
+	for i, in := range hseq {
+		if in.ReadsFlags() && !hFlagsDefined {
+			out = append(out, Finding{
+				Pass: "eflags-liveness", Severity: SevWarn, Inst: i,
+				Msg: fmt.Sprintf("host %v reads EFLAGS before the sequence defines it (depends on entry flags)", in.Op),
+			})
+		}
+		if in.Op.WritesFlags() {
+			hFlagsDefined = true
+		}
+	}
+	if t.BranchTail && !hFlagsDefined {
+		out = append(out, Finding{
+			Pass: "eflags-liveness", Severity: SevError, Inst: len(hseq) - 1,
+			Msg: fmt.Sprintf("branch-tail condition %v consumes EFLAGS the host body never defines", t.HCond),
+		})
+	}
+
+	// Pass: register clobber analysis. Writing a bound host register
+	// whose guest counterpart the guest pattern leaves untouched
+	// destroys live guest state; writing an unbound, non-scratch host
+	// register escapes the rule's register budget entirely.
+	for i, in := range hseq {
+		r, ok := regWrite(in)
+		if !ok {
+			continue
+		}
+		if g, isBound := h2g[r]; isBound {
+			if !guestWritten[g] {
+				out = append(out, Finding{
+					Pass: "clobber", Severity: SevError, Inst: i,
+					Msg: fmt.Sprintf("host %v writes %v, which carries live guest r%d the guest pattern does not write", in.Op, r, g),
+				})
+			}
+		} else if !isScratch[r] {
+			out = append(out, Finding{
+				Pass: "clobber", Severity: SevError, Inst: i,
+				Msg: fmt.Sprintf("host %v writes %v, which is neither bound nor scratch", in.Op, r),
+			})
+		}
+	}
+
+	// Pass: scratch discipline. A scratch register holds garbage at rule
+	// entry; reading one before the sequence writes it means the rule's
+	// output may depend on leftover translator state.
+	scratchWritten := map[host.Reg]bool{}
+	for i, in := range hseq {
+		for _, r := range regReads(in) {
+			if isScratch[r] && !scratchWritten[r] {
+				out = append(out, Finding{
+					Pass: "scratch", Severity: SevWarn, Inst: i,
+					Msg: fmt.Sprintf("host %v reads scratch %v before it is written (undefined at rule entry)", in.Op, r),
+				})
+			}
+		}
+		if r, ok := regWrite(in); ok && isScratch[r] {
+			scratchWritten[r] = true
+		}
+	}
+
+	// Pass: dead writes, from the def-use chains. A definition nothing
+	// reads whose register is not part of the rule's observable output
+	// (bound registers are outputs or must be preserved) is dead code —
+	// harmless, but a parameterization smell worth surfacing.
+	chains := DefUseChains(hseq)
+	lastDef := map[host.Reg]int{}
+	for _, c := range chains {
+		if c.Def > lastDef[c.Reg] {
+			lastDef[c.Reg] = c.Def
+		}
+	}
+	for _, c := range chains {
+		if len(c.Uses) == 0 && !bound[c.Reg] && c.Def != lastDef[c.Reg] {
+			out = append(out, Finding{
+				Pass: "dead-write", Severity: SevInfo, Inst: c.Def,
+				Msg: fmt.Sprintf("write to %v is never read before its next definition", c.Reg),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+
+	"paramdbt/internal/symexec"
+)
+
+func TestFromConstAndRange(t *testing.T) {
+	c := FromConst(0x42)
+	if v, ok := c.IsConst(); !ok || v != 0x42 {
+		t.Fatalf("FromConst not const: %+v", c)
+	}
+	r := FromRange(0, 255)
+	if r.KB.Zeros != 0xffffff00 {
+		t.Fatalf("byte range known zeros = %#x", r.KB.Zeros)
+	}
+	if _, ok := r.IsConst(); ok {
+		t.Fatal("range of 256 values reported const")
+	}
+	for _, v := range []uint32{0, 1, 128, 255} {
+		if !r.Contains(v) {
+			t.Errorf("[0,255] should contain %d", v)
+		}
+	}
+	if r.Contains(256) {
+		t.Error("[0,255] contains 256")
+	}
+	nz := FromRange(1, 255)
+	if nz.IV.Lo != 1 {
+		t.Fatalf("nonzero range lo = %d", nz.IV.Lo)
+	}
+}
+
+func TestJoin(t *testing.T) {
+	j := Join(FromConst(4), FromConst(12))
+	for _, v := range []uint32{4, 12} {
+		if !j.Contains(v) {
+			t.Errorf("join misses %d", v)
+		}
+	}
+	// 4=0b0100 and 12=0b1100 share everything except bit 3.
+	if j.KB.Zeros&0x4 != 0 || j.KB.Ones&0x4 == 0 {
+		t.Errorf("join known bits lost the shared bit 2: %+v", j.KB)
+	}
+}
+
+// TestTransferSoundness property-checks every transfer function against
+// symexec's concrete semantics: for random operand ranges and random
+// members of those ranges, the abstract result must contain the
+// concrete result.
+func TestTransferSoundness(t *testing.T) {
+	ops := []symexec.XOp{
+		symexec.XAdd, symexec.XSub, symexec.XMul, symexec.XAnd, symexec.XOr,
+		symexec.XXor, symexec.XShl, symexec.XShr, symexec.XSar, symexec.XRor,
+		symexec.XEq, symexec.XNe, symexec.XLtU, symexec.XLeU,
+		symexec.XCarryAdd, symexec.XCarrySub, symexec.XOvfAdd, symexec.XOvfSub,
+	}
+	rng := rand.New(rand.NewSource(7))
+	randRange := func() (AbsVal, uint32) {
+		lo := rng.Uint32()
+		span := uint32(rng.Intn(1 << uint(rng.Intn(20))))
+		hi := lo + span
+		if hi < lo { // wrapped
+			lo, hi = 0, span
+		}
+		v := lo + uint32(rng.Int63n(int64(hi-lo)+1))
+		return FromRange(lo, hi), v
+	}
+	for iter := 0; iter < 5000; iter++ {
+		op := ops[rng.Intn(len(ops))]
+		ax, vx := randRange()
+		ay, vy := randRange()
+		az, vz := randRange()
+		env := map[string]AbsVal{"x": ax, "y": ay, "z": az}
+		var e *symexec.Expr
+		switch op {
+		case symexec.XCarryAdd, symexec.XCarrySub, symexec.XOvfAdd, symexec.XOvfSub:
+			e = symexec.Tern(op, symexec.Sym("x"), symexec.Sym("y"), symexec.Sym("z"))
+		default:
+			e = symexec.Bin(op, symexec.Sym("x"), symexec.Sym("y"))
+		}
+		abs := AbsEval(e, env, nil)
+		as := &symexec.Assignment{Vals: map[string]uint32{"x": vx, "y": vy, "z": vz}}
+		got, err := as.Eval(e)
+		if err != nil {
+			t.Fatalf("concrete eval op %d: %v", op, err)
+		}
+		if !abs.Contains(got) {
+			t.Fatalf("op %d unsound: abs=%+v does not contain %#x (x=%#x in %+v, y=%#x in %+v, z=%#x)",
+				op, abs, got, vx, ax, vy, ay, vz)
+		}
+	}
+}
+
+func TestUnaryTransferSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 2000; iter++ {
+		lo := rng.Uint32() >> uint(rng.Intn(24))
+		hi := lo + uint32(rng.Intn(4096))
+		if hi < lo {
+			hi = lo
+		}
+		v := lo + uint32(rng.Int63n(int64(hi-lo)+1))
+		env := map[string]AbsVal{"x": FromRange(lo, hi)}
+		for _, op := range []symexec.XOp{symexec.XNot, symexec.XNeg, symexec.XClz} {
+			e := symexec.Un(op, symexec.Sym("x"))
+			abs := AbsEval(e, env, nil)
+			as := &symexec.Assignment{Vals: map[string]uint32{"x": v}}
+			got, err := as.Eval(e)
+			if err != nil {
+				t.Fatalf("eval: %v", err)
+			}
+			if !abs.Contains(got) {
+				t.Fatalf("unary op %d unsound: abs=%+v missing %#x (x=%#x in [%#x,%#x])",
+					op, abs, got, v, lo, hi)
+			}
+		}
+	}
+}
+
+func TestAbsSimplifyDropsByteMask(t *testing.T) {
+	// And(i0, 0xff) == i0 when i0 ranges over [0,255] — the identity the
+	// auditor needs to equate a host byte-masked immediate with the
+	// guest's unmasked one.
+	env := map[string]AbsVal{"i0": FromRange(0, 255)}
+	e := symexec.Bin(symexec.XAnd, symexec.Sym("i0"), symexec.Const(0xff))
+	got := AbsSimplify(symexec.Normalize(e), env, map[*symexec.Expr]AbsVal{})
+	if !symexec.StructEqual(got, symexec.Sym("i0")) {
+		t.Fatalf("And(i0, 0xff) simplified to %v, want i0", got)
+	}
+}
+
+func TestAbsSimplifyFoldsProvableConstants(t *testing.T) {
+	// Shr(i0, 8) is provably 0 for a byte-ranged immediate.
+	env := map[string]AbsVal{"i0": FromRange(0, 255)}
+	e := symexec.Bin(symexec.XShr, symexec.Sym("i0"), symexec.Const(8))
+	got := AbsSimplify(symexec.Normalize(e), env, map[*symexec.Expr]AbsVal{})
+	if !symexec.StructEqual(got, symexec.Const(0)) {
+		t.Fatalf("Shr(i0, 8) simplified to %v, want 0", got)
+	}
+	// LtU(i0, 0x100) is provably 1.
+	e = symexec.Bin(symexec.XLtU, symexec.Sym("i0"), symexec.Const(0x100))
+	got = AbsSimplify(symexec.Normalize(e), env, map[*symexec.Expr]AbsVal{})
+	if !symexec.StructEqual(got, symexec.Const(1)) {
+		t.Fatalf("LtU(i0, 0x100) simplified to %v, want 1", got)
+	}
+}
+
+func TestAbsSimplifyLeavesUnprovable(t *testing.T) {
+	env := map[string]AbsVal{"i0": FromRange(0, 255)}
+	e := symexec.Normalize(symexec.Bin(symexec.XAnd, symexec.Sym("i0"), symexec.Const(0x0f)))
+	got := AbsSimplify(e, env, map[*symexec.Expr]AbsVal{})
+	if symexec.StructEqual(got, symexec.Sym("i0")) {
+		t.Fatal("And(i0, 0x0f) must not drop the mask for [0,255]")
+	}
+}

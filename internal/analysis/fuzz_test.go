@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"testing"
+
+	"paramdbt/internal/guest"
+	"paramdbt/internal/host"
+	"paramdbt/internal/rule"
+	"paramdbt/internal/symexec"
+)
+
+// fuzzOps pairs each fuzzable guest ALU opcode with its honest host
+// realization. The fuzzer then freely mis-pairs them, flips immediate
+// shapes, and toggles flag claims — the auditor must never call a
+// mis-paired rule sound when symexec's concrete replay refutes it.
+var fuzzOps = []struct {
+	g guest.Op
+	h host.Op
+}{
+	{guest.ADD, host.ADDL},
+	{guest.SUB, host.SUBL},
+	{guest.AND, host.ANDL},
+	{guest.ORR, host.ORL},
+	{guest.EOR, host.XORL},
+	{guest.MUL, host.IMULL},
+}
+
+// fuzzTemplate decodes a parameterized rule from fuzz bytes: guest
+// opcode, host opcode (possibly mismatched), immediate vs register
+// second source, an optional S bit, and an optional corrupted flag
+// claim.
+func fuzzTemplate(data []byte) *rule.Template {
+	if len(data) < 4 {
+		return nil
+	}
+	gi := int(data[0]) % len(fuzzOps)
+	hi := int(data[1]) % len(fuzzOps)
+	useImm := data[2]&1 != 0
+	sBit := data[2]&2 != 0
+	tm := &rule.Template{}
+	src := rule.RegArg(1)
+	hsrc := rule.RegArg(1)
+	if useImm {
+		src = rule.ImmArg(1)
+		hsrc = rule.ImmArg(1)
+		tm.Params = []rule.ParamKind{rule.PReg, rule.PImm}
+	} else {
+		tm.Params = []rule.ParamKind{rule.PReg, rule.PReg}
+	}
+	tm.Guest = []rule.GPat{{Op: fuzzOps[gi].g, S: sBit, Args: []rule.Arg{rule.RegArg(0), rule.RegArg(0), src}}}
+	tm.Host = []rule.HPat{{Op: fuzzOps[hi].h, Dst: rule.RegArg(0), Src: hsrc}}
+
+	// Either take the flag metadata the verifier derives (when it
+	// accepts the pairing) or fabricate a claim from fuzz bits.
+	if _, ok := rule.Verify(tm); !ok && sBit {
+		tm.SetsFlags = true
+		tm.Flags = symexec.FlagCorrespondence{
+			NZMatch:   data[3]&1 != 0,
+			CMatch:    data[3]&2 != 0,
+			CInverted: data[3]&4 != 0,
+			VMatch:    data[3]&8 != 0,
+		}
+	}
+	return tm
+}
+
+// FuzzAuditRule feeds randomized parameterized rules through the
+// auditor and cross-checks every verdict against symexec:
+//   - "sound" must agree with concrete replay on sampled instantiations
+//     (including the flag-correspondence claim);
+//   - "unsound" must carry a witness instantiation CheckEquiv or the
+//     flag correspondence refutes.
+func FuzzAuditRule(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0})  // honest add/add, reg source
+	f.Add([]byte{0, 1, 1, 0})  // add guest, sub host, imm source
+	f.Add([]byte{1, 1, 3, 2})  // subs with verified flags
+	f.Add([]byte{1, 1, 3, 10}) // subs with fabricated flag claim
+	f.Add([]byte{4, 2, 1, 0})  // eor guest, and host
+	f.Add([]byte{5, 5, 2, 0})  // muls (host flags unmodeled)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tm := fuzzTemplate(data)
+		if tm == nil {
+			t.Skip()
+		}
+		rep := AuditRule(tm)
+		switch rep.Verdict {
+		case VerdictSound:
+			// Replay sampled instantiations concretely.
+			for _, imm := range []int32{0, 1, 5, 31, 128, 255} {
+				immOf := func(p int) int32 { return imm }
+				gseq, hseq, binds, scratch, err := rule.Concretize(tm, immOf)
+				if err != nil {
+					t.Fatalf("sound rule fails to concretize at imm %d: %v", imm, err)
+				}
+				res := symexec.CheckEquiv(gseq, hseq, binds, scratch)
+				if !res.Equivalent {
+					t.Fatalf("audited sound but symexec refutes at imm %d: %s (rule %s)", imm, res.Reason, tm)
+				}
+				if tm.SetsFlags && res.GuestSetsFlags && res.Flags != tm.Flags {
+					t.Fatalf("audited sound but claimed flags %+v vs actual %+v (rule %s)", tm.Flags, res.Flags, tm)
+				}
+			}
+		case VerdictUnsound:
+			w := rep.Witness
+			if w == nil || !w.Confirmed {
+				t.Fatalf("unsound verdict without confirmed witness (rule %s)", tm)
+			}
+		}
+	})
+}

@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"fmt"
+
+	"paramdbt/internal/guest"
+	"paramdbt/internal/host"
+	"paramdbt/internal/rule"
+	"paramdbt/internal/symexec"
+)
+
+// The lift layer turns a parameterized template into a pair of symbolic
+// machine states whose parametric immediates are shared symbols
+// ("i<p>") instead of sampled constants. It reuses symexec's evaluators
+// verbatim through the ImmHook mechanism, so the audited semantics are
+// exactly the semantics the learn-time verifier trusts — the auditor
+// adds generality, not a second interpretation of the ISAs.
+
+// immSymName is the shared symbol a parametric immediate lifts to on
+// both the guest and host side.
+func immSymName(p int) string { return fmt.Sprintf("i%d", p) }
+
+// slotKey addresses one immediate-carrying operand slot: the
+// instruction index within the sequence and the operand slot symexec
+// reports to an ImmHook (guest: operand index; host: symexec.DstSlot or
+// symexec.SrcSlot).
+type slotKey struct{ inst, slot int }
+
+// lifted is a template evaluated over symbolic immediates.
+type lifted struct {
+	t       *rule.Template
+	gs      *symexec.GState
+	hs      *symexec.HState
+	binds   []symexec.Binding
+	scratch []host.Reg
+	// immParams lists the template's PImm parameter indices.
+	immParams []int
+}
+
+// placeholderImm supplies the concrete immediates used to materialize
+// the sequences; any parametric slot is intercepted by the hook, so the
+// values only need to keep the instantiator happy (nonzero, distinct
+// per parameter so a hook bug cannot alias two parameters silently).
+func placeholderImm(p int) int32 { return int32(p) + 1 }
+
+// immSlotMaps scans the template's patterns for parametric-immediate
+// operand slots: KindImm slots bound to a parameter and KindMem slots
+// with a parametric displacement. The returned maps key the exact
+// (instruction, slot) coordinates symexec's evaluators hand to an
+// ImmHook.
+func immSlotMaps(t *rule.Template) (gmap, hmap map[slotKey]int) {
+	gmap = map[slotKey]int{}
+	hmap = map[slotKey]int{}
+	immOf := func(a rule.Arg) int {
+		switch a.Kind {
+		case guest.KindImm:
+			if a.Param >= 0 {
+				return a.Param
+			}
+		case guest.KindMem:
+			if !a.HasIdx && a.DispParam >= 0 {
+				return a.DispParam
+			}
+		}
+		return -1
+	}
+	for i, gp := range t.Guest {
+		for j, a := range gp.Args {
+			if p := immOf(a); p >= 0 {
+				gmap[slotKey{i, j}] = p
+			}
+		}
+	}
+	for i, hp := range t.Host {
+		if p := immOf(hp.Dst); p >= 0 {
+			hmap[slotKey{i, symexec.DstSlot}] = p
+		}
+		if p := immOf(hp.Src); p >= 0 {
+			hmap[slotKey{i, symexec.SrcSlot}] = p
+		}
+	}
+	return gmap, hmap
+}
+
+// liftTemplate evaluates the template under the canonical verify
+// assignment with every parametric immediate lifted to its "i<p>"
+// symbol.
+func liftTemplate(t *rule.Template) (*lifted, error) {
+	gseq, hseq, binds, scratch, err := rule.Concretize(t, placeholderImm)
+	if err != nil {
+		return nil, err
+	}
+	gmap, hmap := immSlotMaps(t)
+	hookFor := func(m map[slotKey]int) symexec.ImmHook {
+		if len(m) == 0 {
+			return nil
+		}
+		return func(inst, slot int, v int32) *symexec.Expr {
+			if p, ok := m[slotKey{inst, slot}]; ok {
+				return symexec.Sym(immSymName(p))
+			}
+			return nil
+		}
+	}
+	gs, err := symexec.EvalGuestImm(gseq, hookFor(gmap))
+	if err != nil {
+		return nil, err
+	}
+	init := map[host.Reg]*symexec.Expr{}
+	for _, b := range binds {
+		init[b.Host] = symexec.Sym(fmt.Sprintf("g%d", b.Guest))
+	}
+	hs, err := symexec.EvalHostImm(hseq, init, hookFor(hmap))
+	if err != nil {
+		return nil, err
+	}
+	var immParams []int
+	for p, k := range t.Params {
+		if k == rule.PImm {
+			immParams = append(immParams, p)
+		}
+	}
+	return &lifted{t: t, gs: gs, hs: hs, binds: binds, scratch: scratch, immParams: immParams}, nil
+}
+
+// immDomain returns the inclusive instantiation domain of parametric
+// immediate p: the encoder limits immediates to [0, 255], tightened to
+// [1, 255] for parameters the template constrains to nonzero values
+// (the paper's constrained semantic equivalence).
+func immDomain(t *rule.Template, p int) (lo, hi uint32) {
+	lo, hi = 0, 255
+	for _, nz := range t.NonZeroImms {
+		if nz == p {
+			lo = 1
+		}
+	}
+	return lo, hi
+}
+
+// immEnv builds the abstract environment for the template's immediate
+// symbols. All other symbols (register and flag entry values) are
+// unconstrained 32-bit values, exactly as symexec's concrete
+// cross-check treats them.
+func immEnv(t *rule.Template, immParams []int) map[string]AbsVal {
+	env := map[string]AbsVal{}
+	for _, p := range immParams {
+		lo, hi := immDomain(t, p)
+		env[immSymName(p)] = FromRange(lo, hi)
+	}
+	return env
+}

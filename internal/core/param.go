@@ -29,7 +29,7 @@ type Counts struct {
 	// every parameterized rule, plus the rules parameterization cannot
 	// touch (sequences, branch tails). The paper's 86,423.
 	Instantiated int `json:"instantiated"`
-	Derived      int `json:"derived"` // rules newly added to the store by parameterization
+	Derived      int `json:"derived"`  // rules newly added to the store by parameterization
 	Rejected     int `json:"rejected"` // derived candidates the verifier refused
 }
 

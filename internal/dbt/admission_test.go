@@ -1,0 +1,107 @@
+package dbt
+
+import (
+	"testing"
+
+	"paramdbt/internal/analysis"
+	"paramdbt/internal/core"
+	"paramdbt/internal/rule"
+)
+
+// TestStaticAuditBlocksCorruptRule is the admission-side acceptance
+// scenario: a rule corrupted in the store (the fault-injection
+// corruption shadow verification catches dynamically) is instead caught
+// by the static auditor before any guarded execution — the audit yields
+// a confirmed-witness unsound verdict, quarantine is applied from the
+// report, and the subsequent fully-shadowed run sees zero divergences
+// because the broken rule never runs.
+func TestStaticAuditBlocksCorruptRule(t *testing.T) {
+	c := compileT(t, testProgram())
+	want := interpret(t, c)
+	_, learned := learnRules(t, testProgram(), core.Config{Opcode: true, AddrMode: true})
+	bad := corruptUsedAddRule(t, c, learned)
+
+	// Rebuild the store from the (now corrupted) template table — the
+	// admission scenario: rules arrive from persistence with the
+	// corruption already baked in, and the audit runs before execution.
+	par := rule.NewStore()
+	for _, tm := range learned.All() {
+		par.Add(tm)
+	}
+
+	rep := analysis.AuditStore(par)
+	if rep.Unsound == 0 {
+		t.Fatal("audit found no unsound rules in a store with a corrupted template")
+	}
+	var badRep *analysis.RuleReport
+	for i := range rep.Rules {
+		if rep.Rules[i].Fingerprint == bad.Fingerprint() {
+			badRep = &rep.Rules[i]
+		}
+	}
+	if badRep == nil {
+		t.Fatalf("corrupted rule %v missing from the audit report", bad)
+	}
+	if badRep.Verdict != analysis.VerdictUnsound {
+		t.Fatalf("corrupted rule audited %s, want unsound", badRep.Verdict)
+	}
+	if badRep.Witness == nil || !badRep.Witness.Confirmed {
+		t.Fatalf("unsound verdict lacks a confirmed witness: %+v", badRep.Witness)
+	}
+
+	// Admission gating: quarantine every unsound rule from the report,
+	// before the engine executes anything.
+	if n := par.ApplyQuarantine(rep.UnsoundEntries()); n == 0 {
+		t.Fatal("ApplyQuarantine demoted nothing")
+	}
+	if !par.IsQuarantined(bad) {
+		t.Fatalf("corrupted rule %v not quarantined by the audit", bad)
+	}
+
+	// With the broken rule gated out, a fully shadow-verified run is
+	// clean: correct final state and zero divergences.
+	got, stats := runProgram(t, c, Config{Rules: par, DelegateFlags: true, ShadowRate: 1})
+	sameResult(t, want, got, "audit-gated run")
+	if stats.ShadowChecks == 0 {
+		t.Fatal("ShadowRate=1 recorded no shadow checks")
+	}
+	if stats.Divergences != 0 || stats.QuarantinedRules != 0 {
+		t.Fatalf("audit-gated run still diverged: %d divergences, %d quarantined at runtime",
+			stats.Divergences, stats.QuarantinedRules)
+	}
+}
+
+// TestShadowElevateSamplesFlaggedBlocks wires the auditor's elevation
+// hook through the engine: with steady-state sampling off (FirstN only),
+// flagging every rule at ElevatedRate 1 must verify every execution of
+// every rule-built block, a strictly larger check count than the
+// warm-up-only baseline.
+func TestShadowElevateSamplesFlaggedBlocks(t *testing.T) {
+	c := compileT(t, testProgram())
+	want := interpret(t, c)
+	_, par := learnRules(t, testProgram(), core.Config{Opcode: true, AddrMode: true})
+
+	base := Config{Rules: par, DelegateFlags: true, ShadowFirstN: 1}
+	_, baseStats := runProgram(t, c, base)
+
+	elevated := base
+	elevated.ShadowElevatedRate = 1
+	elevated.ShadowElevate = func(*rule.Template) bool { return true }
+	got, stats := runProgram(t, c, elevated)
+	sameResult(t, want, got, "elevated run")
+	if stats.ShadowChecks <= baseStats.ShadowChecks {
+		t.Fatalf("elevation did not raise the check count: %d elevated vs %d baseline",
+			stats.ShadowChecks, baseStats.ShadowChecks)
+	}
+	if stats.Divergences != 0 {
+		t.Fatalf("clean elevated run diverged %d times", stats.Divergences)
+	}
+
+	// An engine-visible sanity: the loop body re-executes far more often
+	// than once, so elevating it must multiply checks well past the
+	// distinct-block count.
+	if stats.ShadowChecks < 2*baseStats.ShadowChecks {
+		t.Fatalf("elevated checks %d suspiciously close to baseline %d",
+			stats.ShadowChecks, baseStats.ShadowChecks)
+	}
+}

@@ -104,6 +104,16 @@ type Config struct {
 	ShadowFirstN uint64
 	// ShadowSeed seeds the sampling RNG for reproducible runs.
 	ShadowSeed int64
+	// ShadowElevatedRate is the sampling probability for blocks that
+	// contain at least one rule ShadowElevate flags — typically rules the
+	// static auditor left inconclusive (internal/analysis). Zero leaves
+	// flagged blocks at ShadowRate.
+	ShadowElevatedRate float64
+	// ShadowElevate marks rule templates whose blocks should be sampled
+	// at ShadowElevatedRate instead of ShadowRate. Evaluated once per
+	// template at translation time (see analysis.StoreReport.ElevateFunc
+	// for the canonical source).
+	ShadowElevate func(*rule.Template) bool
 	// InterpFallback lets Run execute a block on the reference
 	// interpreter when translation fails persistently, instead of
 	// aborting the run. New enables it automatically whenever shadow
@@ -200,8 +210,11 @@ type tblock struct {
 	// the shadow verifier may compare flags. Both are immutable after
 	// construction; execs counts executions and is owned by the
 	// goroutine driving Run, like seen.
+	// elevated marks blocks containing a rule Config.ShadowElevate
+	// flagged; the shadow sampler verifies them at ShadowElevatedRate.
 	rules      []*rule.Template
 	flagsExact bool
+	elevated   bool
 	execs      uint64
 
 	// links are the block's direct-exit slots (branch target and/or
@@ -274,9 +287,10 @@ func New(m *mem.Memory, cfg Config) *Engine {
 	e := &Engine{Cfg: cfg, Mem: m, CPU: cpu, cache: newCodeCache(), met: newEngineMetrics(reg)}
 	if shadowOn {
 		e.guard = &guardState{sampler: guard.NewSampler(guard.Policy{
-			Rate:   cfg.ShadowRate,
-			FirstN: cfg.ShadowFirstN,
-			Seed:   cfg.ShadowSeed,
+			Rate:         cfg.ShadowRate,
+			FirstN:       cfg.ShadowFirstN,
+			Seed:         cfg.ShadowSeed,
+			ElevatedRate: cfg.ShadowElevatedRate,
 		})}
 	}
 	return e
@@ -411,7 +425,7 @@ func (e *Engine) Run(entry uint32, maxHostSteps uint64) (stats Stats, err error)
 		}
 		if e.guard != nil {
 			tb.execs++
-			if e.guard.sampler.Select(tb.execs) {
+			if e.guard.sampler.SelectWith(tb.execs, tb.elevated) {
 				curShadow = e.beginShadow(tb.execs)
 			}
 		}

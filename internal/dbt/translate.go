@@ -210,6 +210,16 @@ func (e *Engine) translateWith(m *mem.Memory, pc uint32, miss *rule.MissSet, ski
 		}
 	}
 
+	elevated := false
+	if e.Cfg.ShadowElevate != nil {
+		for _, t := range used {
+			if e.Cfg.ShadowElevate(t) {
+				elevated = true
+				break
+			}
+		}
+	}
+
 	return &tblock{
 		hb:         a.Block(),
 		insts:      insts,
@@ -220,6 +230,7 @@ func (e *Engine) translateWith(m *mem.Memory, pc uint32, miss *rule.MissSet, ski
 		links:      directLinks(pc, insts),
 		rules:      used,
 		flagsExact: flagsExact,
+		elevated:   elevated,
 	}, nil
 }
 

@@ -10,7 +10,8 @@ import (
 // ReportSchema identifies the JSON layout Report marshals to; bump it
 // when a section's shape changes so downstream consumers can detect
 // incompatibility instead of silently misreading fields.
-const ReportSchema = "paramdbt-experiments/v1"
+// v2 added the "analysis" section (static rule audit verdict counts).
+const ReportSchema = "paramdbt-experiments/v2"
 
 // Report is the machine-readable form of the experiment suite, written
 // by cmd/experiments -json in the same spirit as the checked-in
@@ -36,6 +37,7 @@ type Report struct {
 	Table3    *core.Counts     `json:"table3,omitempty"`
 	Dispatch  *DispatchSection `json:"dispatch,omitempty"`
 	Guard     *GuardSection    `json:"guard,omitempty"`
+	Analysis  *AnalysisSection `json:"analysis,omitempty"`
 	Uncovered []string         `json:"uncovered,omitempty"`
 }
 

@@ -57,6 +57,12 @@ func TestReportRoundTrip(t *testing.T) {
 		Fig15:    Fig15Data(rs),
 		Dispatch: DispatchData(rs),
 		Table3:   &counts,
+		Analysis: &AnalysisSection{
+			Rules: 310, Sound: 309, Inconclusive: 1,
+			ByProof:         map[string]int{"structural": 286, "sweep": 23},
+			CorruptedRule:   "add p0, p0, #i1 => subl #i1, p0",
+			CorruptedCaught: true, CorruptedWitness: "guest r0 result in host eax at imms map[1:1]",
+		},
 	}
 
 	var buf bytes.Buffer
@@ -84,7 +90,7 @@ func TestReportRoundTrip(t *testing.T) {
 			t.Fatalf("unset section %q serialized", absent)
 		}
 	}
-	for _, present := range []string{"schema", "fig11", "dispatch", "table3"} {
+	for _, present := range []string{"schema", "fig11", "dispatch", "table3", "analysis"} {
 		if _, ok := raw[present]; !ok {
 			t.Fatalf("section %q missing", present)
 		}

@@ -33,6 +33,11 @@ type Policy struct {
 	// Seed makes the steady-state sampling deterministic (same seed,
 	// same block-execution sequence, same sample set).
 	Seed int64
+	// ElevatedRate is the sampling probability for blocks the caller
+	// marks elevated — typically blocks built from rules the static
+	// auditor could not prove sound (verdict "inconclusive"). Zero means
+	// "no elevation": elevated blocks fall back to Rate.
+	ElevatedRate float64
 }
 
 // Sampler implements a Policy. It is not safe for concurrent use; the
@@ -50,16 +55,30 @@ func NewSampler(pol Policy) *Sampler {
 // Select reports whether the exec-th execution of a block (1-based)
 // should be shadow-verified.
 func (s *Sampler) Select(exec uint64) bool {
+	return s.SelectWith(exec, false)
+}
+
+// SelectWith is Select with an elevation bit: when elevated is true and
+// the policy carries a positive ElevatedRate, that rate replaces the
+// steady-state Rate for this decision. The FirstN warm-up applies
+// either way. One rng drives both populations, so a run's sample
+// sequence stays deterministic under a fixed seed regardless of how
+// elevated and normal blocks interleave.
+func (s *Sampler) SelectWith(exec uint64, elevated bool) bool {
 	if exec <= s.pol.FirstN {
 		return true
 	}
-	if s.pol.Rate >= 1 {
+	rate := s.pol.Rate
+	if elevated && s.pol.ElevatedRate > 0 {
+		rate = s.pol.ElevatedRate
+	}
+	if rate >= 1 {
 		return true
 	}
-	if s.pol.Rate <= 0 {
+	if rate <= 0 {
 		return false
 	}
-	return s.rng.Float64() < s.pol.Rate
+	return s.rng.Float64() < rate
 }
 
 // Mismatch kinds.

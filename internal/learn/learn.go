@@ -17,6 +17,7 @@
 package learn
 
 import (
+	"paramdbt/internal/analysis"
 	"paramdbt/internal/guest"
 	"paramdbt/internal/host"
 	"paramdbt/internal/minic"
@@ -27,11 +28,19 @@ import (
 // Stats is the learning funnel for one compilation unit (one benchmark),
 // matching the columns of the paper's Table I.
 type Stats struct {
-	Statements int // static source statements
-	Candidates int // rule candidates extracted from the line table
-	Learned    int // candidates that passed verification
-	Unique     int // after duplicate merging
+	Statements   int // static source statements
+	Candidates   int // rule candidates extracted from the line table
+	Learned      int // candidates that passed verification
+	GateRejected int // verified candidates the static audit refuted
+	Unique       int // after duplicate merging
 }
+
+// AdmissionGate is the static audit applied to every verified candidate
+// before it enters the store. It defaults to the analysis package's
+// auditor, which rejects only confirmed-unsound rules (those with a
+// concrete witness instantiation that symexec confirms diverges); sound
+// and inconclusive candidates are admitted. Tests may swap it out.
+var AdmissionGate func(*rule.Template) (ok bool, reason string) = analysis.Gate
 
 // FromCompiled learns rules from a compiled program into store and
 // returns the funnel statistics. The store may already contain rules
@@ -70,6 +79,12 @@ func FromCompiled(c *minic.Compiled, store *rule.Store) Stats {
 			if _, ok := rule.Verify(tmpl); !ok {
 				continue
 			}
+			if gate := AdmissionGate; gate != nil {
+				if ok, _ := gate(tmpl); !ok {
+					st.GateRejected++
+					continue
+				}
+			}
 			st.Learned++
 			tmpl.Origin = rule.OriginLearned
 			if store.Add(tmpl) {
@@ -82,6 +97,7 @@ func FromCompiled(c *minic.Compiled, store *rule.Store) Stats {
 		metCandidates.Add(uint64(st.Candidates))
 		metAbstracted.Add(uint64(abstracted))
 		metVerified.Add(uint64(st.Learned))
+		metGateRejected.Add(uint64(st.GateRejected))
 		metUnique.Add(uint64(st.Unique))
 	}
 	return st

@@ -219,3 +219,29 @@ func TestFunnelShrinks(t *testing.T) {
 		t.Fatalf("funnel not monotone: %+v", st)
 	}
 }
+
+// TestAdmissionGateRejects confirms the static admission gate sits
+// between the verifier and the store: a gate that refuses everything
+// keeps the store empty and accounts the rejections, while the default
+// analysis gate admits every rule this corpus verifies.
+func TestAdmissionGateRejects(t *testing.T) {
+	c := compile(t, loopProg())
+
+	store := rule.NewStore()
+	st := FromCompiled(c, store)
+	if st.GateRejected != 0 {
+		t.Fatalf("default audit gate rejected %d verified candidates: %+v", st.GateRejected, st)
+	}
+	learned := st.Learned
+
+	defer func(g func(*rule.Template) (bool, string)) { AdmissionGate = g }(AdmissionGate)
+	AdmissionGate = func(*rule.Template) (bool, string) { return false, "test: reject all" }
+	blocked := rule.NewStore()
+	st = FromCompiled(c, blocked)
+	if st.Learned != 0 || blocked.Len() != 0 {
+		t.Fatalf("rejecting gate still admitted rules: %+v, store len %d", st, blocked.Len())
+	}
+	if st.GateRejected != learned {
+		t.Fatalf("GateRejected = %d, want %d (every verified candidate)", st.GateRejected, learned)
+	}
+}

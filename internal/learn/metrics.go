@@ -8,17 +8,19 @@ import "paramdbt/internal/obs"
 // view the -metrics-addr endpoint wants. Funnel invariant:
 // statements >= candidates >= verified >= unique.
 const (
-	MetStatements = "learn.statements" // source statements scanned
-	MetCandidates = "learn.candidates" // extracted rule candidates
-	MetAbstracted = "learn.abstracted" // candidates parameterized successfully
-	MetVerified   = "learn.verified"   // candidates accepted by the verifier
-	MetUnique     = "learn.unique"     // verified rules new to the store
+	MetStatements   = "learn.statements"    // source statements scanned
+	MetCandidates   = "learn.candidates"    // extracted rule candidates
+	MetAbstracted   = "learn.abstracted"    // candidates parameterized successfully
+	MetVerified     = "learn.verified"      // candidates accepted by the verifier
+	MetGateRejected = "learn.gate_rejected" // verified candidates the static audit refuted
+	MetUnique       = "learn.unique"        // verified rules new to the store
 )
 
 var (
-	metStatements = obs.Default.Counter(MetStatements)
-	metCandidates = obs.Default.Counter(MetCandidates)
-	metAbstracted = obs.Default.Counter(MetAbstracted)
-	metVerified   = obs.Default.Counter(MetVerified)
-	metUnique     = obs.Default.Counter(MetUnique)
+	metStatements   = obs.Default.Counter(MetStatements)
+	metCandidates   = obs.Default.Counter(MetCandidates)
+	metAbstracted   = obs.Default.Counter(MetAbstracted)
+	metVerified     = obs.Default.Counter(MetVerified)
+	metGateRejected = obs.Default.Counter(MetGateRejected)
+	metUnique       = obs.Default.Counter(MetUnique)
 )

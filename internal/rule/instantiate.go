@@ -152,6 +152,51 @@ func guestInsts(t *Template, greg []guest.Reg, imm func(p int) int32) ([]guest.I
 	return out, nil
 }
 
+// Concretize materializes the template's guest and host sequences under
+// the canonical verify assignment (register param i -> guest/host
+// register i, scratch after) with the given immediate values. It
+// returns the sequences plus the register bindings and scratch set in
+// the form symexec.CheckEquiv consumes. The static rule auditor uses
+// this both to lift a template symbolically and to replay a concrete
+// witness instantiation through the symbolic verifier.
+func Concretize(t *Template, imm func(p int) int32) (gseq []guest.Inst, hseq []host.Inst, binds []symexec.Binding, scratch []host.Reg, err error) {
+	greg, hreg, scratch, ok := verifyAssignment(t)
+	if !ok {
+		return nil, nil, nil, nil, fmt.Errorf("rule: too many registers to assign")
+	}
+	gseq, err = guestInsts(t, greg, imm)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	regOf := func(r guest.Reg) (host.Reg, bool) {
+		for p, k := range t.Params {
+			if k == PReg && greg[p] == r {
+				return hreg[p], true
+			}
+		}
+		return 0, false
+	}
+	bb := Binding{Regs: make([]guest.Reg, len(t.Params)), Imms: make([]int32, len(t.Params))}
+	seen := map[int]bool{}
+	for p, k := range t.Params {
+		switch k {
+		case PReg:
+			bb.Regs[p] = greg[p]
+			if !seen[p] {
+				seen[p] = true
+				binds = append(binds, symexec.Binding{Guest: greg[p], Host: hreg[p]})
+			}
+		case PImm:
+			bb.Imms[p] = imm(p)
+		}
+	}
+	hseq, err = Instantiate(t, bb, regOf, scratch)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	return gseq, hseq, binds, scratch, nil
+}
+
 // Verify checks the template's semantic correctness with the symbolic
 // executor. Parametric immediates are checked across a sample set (the
 // paper instantiates and verifies derived rules concretely; we do the

@@ -115,6 +115,14 @@ func interestingValue(rng *rand.Rand, trial int) uint32 {
 	return rng.Uint32()
 }
 
+// Materialize evaluates a symbolic store trace into the assignment's
+// concrete store list so subsequent Eval calls can resolve loads. The
+// static rule auditor uses this to replay a candidate witness through
+// this package's concrete evaluator.
+func (as *Assignment) Materialize(stores []SymStore) error {
+	return materializeStores(as, stores)
+}
+
 // materializeStores evaluates the symbolic store trace into concrete
 // stores so that loads can be resolved.
 func materializeStores(as *Assignment, stores []SymStore) error {

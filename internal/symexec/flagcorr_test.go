@@ -1,0 +1,94 @@
+package symexec
+
+import "testing"
+
+// TestFlagFixtures drives every fixture through the full verifier and
+// checks the reported correspondence, then pins the concrete boundary
+// vectors: the guest's architectural C/V values, and the host CF
+// honoring the match-or-inverted relationship the fixture claims.
+func TestFlagFixtures(t *testing.T) {
+	for i := range FlagFixtures {
+		f := &FlagFixtures[i]
+		t.Run(f.Name, func(t *testing.T) {
+			res := CheckEquiv(f.Guest, f.Host, f.Binds, f.Scratch)
+			if !res.Equivalent {
+				t.Fatalf("CheckEquiv rejected fixture: %s", res.Reason)
+			}
+			if !res.GuestSetsFlags {
+				t.Fatalf("fixture must set flags")
+			}
+			if res.Flags != f.Want {
+				t.Fatalf("correspondence = %+v, want %+v", res.Flags, f.Want)
+			}
+			for _, v := range f.Vectors {
+				c, vf, err := f.GuestFlagValues(v)
+				if err != nil {
+					t.Fatalf("guest eval (a=%#x b=%#x): %v", v.A, v.B, err)
+				}
+				if c != v.C || vf != v.V {
+					t.Errorf("guest flags (a=%#x b=%#x): C=%d V=%d, want C=%d V=%d",
+						v.A, v.B, c, vf, v.C, v.V)
+				}
+				cf, of, err := f.HostFlagValues(v)
+				if err != nil {
+					t.Fatalf("host eval (a=%#x b=%#x): %v", v.A, v.B, err)
+				}
+				wantCF := v.C
+				if f.Want.CInverted {
+					wantCF = v.C ^ 1
+				}
+				if f.Want.CMatch || f.Want.CInverted {
+					if cf != wantCF {
+						t.Errorf("host CF (a=%#x b=%#x) = %d, want %d (CInverted=%v)",
+							v.A, v.B, cf, wantCF, f.Want.CInverted)
+					}
+				}
+				if f.Want.VMatch && of != v.V {
+					t.Errorf("host OF (a=%#x b=%#x) = %d, want %d", v.A, v.B, of, v.V)
+				}
+			}
+		})
+	}
+}
+
+// TestFlagFixtureClaimsExhaustive cross-checks the fixtures' C/V
+// expectations against direct 64-bit arithmetic, so a wrong table entry
+// cannot silently agree with a wrong evaluator.
+func TestFlagFixtureClaimsExhaustive(t *testing.T) {
+	for i := range FlagFixtures {
+		f := &FlagFixtures[i]
+		var sub bool
+		switch f.Name {
+		case "cmp-borrow-inverted", "subs-borrow-inverted":
+			sub = true
+		case "adds-carry-matches", "cmn-carry-matches":
+			sub = false
+		default:
+			continue
+		}
+		for _, v := range f.Vectors {
+			var wantC, wantV uint32
+			if sub {
+				if v.A >= v.B {
+					wantC = 1 // ARM C = NOT borrow
+				}
+				d := v.A - v.B
+				if (v.A^v.B)&0x80000000 != 0 && (v.A^d)&0x80000000 != 0 {
+					wantV = 1
+				}
+			} else {
+				if uint64(v.A)+uint64(v.B) > 0xffffffff {
+					wantC = 1
+				}
+				s := v.A + v.B
+				if (v.A^v.B)&0x80000000 == 0 && (v.A^s)&0x80000000 != 0 {
+					wantV = 1
+				}
+			}
+			if wantC != v.C || wantV != v.V {
+				t.Errorf("%s: vector a=%#x b=%#x claims C=%d V=%d; architecture says C=%d V=%d",
+					f.Name, v.A, v.B, v.C, v.V, wantC, wantV)
+			}
+		}
+	}
+}

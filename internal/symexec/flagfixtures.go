@@ -1,0 +1,167 @@
+package symexec
+
+import (
+	"fmt"
+
+	"paramdbt/internal/guest"
+	"paramdbt/internal/host"
+)
+
+// FlagVector is one concrete operand pair with the guest-architecture
+// flag values the sequence must produce. The values pin down the two
+// correspondence subtleties delegation depends on: the C flag's
+// borrow-direction asymmetry between ARM (C = NOT borrow) and x86
+// (CF = borrow), and the V/OF signed-overflow boundaries.
+type FlagVector struct {
+	A, B uint32 // guest r0, r1 at entry
+	C, V uint32 // expected guest C and V after the sequence
+}
+
+// FlagFixture pairs a flag-setting guest sequence with a host
+// realization and the correspondence the verifier must report. The
+// fixtures are shared: flagcorr_test.go checks them against
+// CheckEquiv and concrete evaluation, and the static rule auditor's
+// tests reuse them to confirm corrupted correspondence claims are
+// refuted with witnesses.
+type FlagFixture struct {
+	Name    string
+	Guest   []guest.Inst
+	Host    []host.Inst
+	Binds   []Binding
+	Scratch []host.Reg
+	Want    FlagCorrespondence
+	Vectors []FlagVector
+}
+
+// FlagFixtures covers the CMatch / CInverted asymmetry (addition carry
+// matches; subtraction borrow inverts) and the signed-overflow
+// boundaries on both sides of each operation.
+var FlagFixtures = []FlagFixture{
+	{
+		// ARM CMP computes a-b with C = NOT borrow; x86 CMPL computes
+		// the same subtraction with CF = borrow, so CF must be the
+		// inverse of C on every input.
+		Name:  "cmp-borrow-inverted",
+		Guest: []guest.Inst{guest.NewInst(guest.CMP, guest.RegOp(0), guest.RegOp(1))},
+		Host:  []host.Inst{host.I(host.CMPL, host.R(0), host.R(1))},
+		Binds: []Binding{{Guest: 0, Host: 0}, {Guest: 1, Host: 1}},
+		Want:  FlagCorrespondence{NZMatch: true, CInverted: true, VMatch: true},
+		Vectors: []FlagVector{
+			{A: 5, B: 3, C: 1, V: 0},                   // no borrow
+			{A: 3, B: 5, C: 0, V: 0},                   // borrow
+			{A: 7, B: 7, C: 1, V: 0},                   // equal: ARM C set, x86 CF clear
+			{A: 0, B: 1, C: 0, V: 0},                   // borrow across zero
+			{A: 0x80000000, B: 1, C: 1, V: 1},          // INT_MIN - 1 overflows
+			{A: 0x7fffffff, B: 0xffffffff, C: 0, V: 1}, // INT_MAX - (-1) overflows
+			{A: 0x80000000, B: 0x80000000, C: 1, V: 0}, // INT_MIN - INT_MIN is fine
+			{A: 0x7fffffff, B: 0x7fffffff, C: 1, V: 0}, // boundary without overflow
+			{A: 0xffffffff, B: 0x7fffffff, C: 1, V: 0}, // -1 - INT_MAX: no signed overflow
+			{A: 0x80000001, B: 2, C: 1, V: 1},          // just past the overflow edge
+			{A: 0x80000001, B: 1, C: 1, V: 0},          // lands exactly on INT_MIN
+		},
+	},
+	{
+		// SUBS shares CMP's flag recipe but also writes the result.
+		Name:  "subs-borrow-inverted",
+		Guest: []guest.Inst{guest.NewInst(guest.SUB, guest.RegOp(0), guest.RegOp(0), guest.RegOp(1)).WithS()},
+		Host:  []host.Inst{host.I(host.SUBL, host.R(0), host.R(1))},
+		Binds: []Binding{{Guest: 0, Host: 0}, {Guest: 1, Host: 1}},
+		Want:  FlagCorrespondence{NZMatch: true, CInverted: true, VMatch: true},
+		Vectors: []FlagVector{
+			{A: 10, B: 4, C: 1, V: 0},
+			{A: 4, B: 10, C: 0, V: 0},
+			{A: 0x80000000, B: 1, C: 1, V: 1},
+			{A: 0x7fffffff, B: 0xffffffff, C: 0, V: 1},
+		},
+	},
+	{
+		// Addition carries agree between the architectures: C and CF
+		// are both the unsigned carry out of bit 31.
+		Name:  "adds-carry-matches",
+		Guest: []guest.Inst{guest.NewInst(guest.ADD, guest.RegOp(0), guest.RegOp(0), guest.RegOp(1)).WithS()},
+		Host:  []host.Inst{host.I(host.ADDL, host.R(0), host.R(1))},
+		Binds: []Binding{{Guest: 0, Host: 0}, {Guest: 1, Host: 1}},
+		Want:  FlagCorrespondence{NZMatch: true, CMatch: true, VMatch: true},
+		Vectors: []FlagVector{
+			{A: 1, B: 2, C: 0, V: 0},
+			{A: 0xffffffff, B: 1, C: 1, V: 0},          // unsigned wrap, no signed overflow
+			{A: 0x7fffffff, B: 1, C: 0, V: 1},          // INT_MAX + 1 overflows
+			{A: 0x80000000, B: 0x80000000, C: 1, V: 1}, // INT_MIN + INT_MIN: carry and overflow
+			{A: 0x7fffffff, B: 0x80000000, C: 0, V: 0}, // mixed signs never overflow
+			{A: 0xffffffff, B: 0xffffffff, C: 1, V: 0},
+			{A: 0x40000000, B: 0x3fffffff, C: 0, V: 0}, // just below the positive edge
+			{A: 0x40000000, B: 0x40000000, C: 0, V: 1}, // exactly crosses INT_MAX
+		},
+	},
+	{
+		// CMN is the addition-family compare: carry matches, nothing is
+		// written.
+		Name:  "cmn-carry-matches",
+		Guest: []guest.Inst{guest.NewInst(guest.CMN, guest.RegOp(0), guest.RegOp(1))},
+		Host: []host.Inst{
+			host.I(host.MOVL, host.R(2), host.R(0)),
+			host.I(host.ADDL, host.R(2), host.R(1)),
+		},
+		Binds:   []Binding{{Guest: 0, Host: 0}, {Guest: 1, Host: 1}},
+		Scratch: []host.Reg{2},
+		Want:    FlagCorrespondence{NZMatch: true, CMatch: true, VMatch: true},
+		Vectors: []FlagVector{
+			{A: 0xfffffffe, B: 1, C: 0, V: 0},
+			{A: 0xfffffffe, B: 2, C: 1, V: 0},
+			{A: 0x7fffffff, B: 1, C: 0, V: 1},
+		},
+	},
+}
+
+// GuestFlagValues concretely evaluates the fixture's final guest C and
+// V flags for one vector (r0=A, r1=B; remaining state zero). Shared by
+// the symexec fixture tests and the analysis package's tests.
+func (f *FlagFixture) GuestFlagValues(v FlagVector) (c, vf uint32, err error) {
+	gs, err := EvalGuest(f.Guest)
+	if err != nil {
+		return 0, 0, err
+	}
+	as := &Assignment{Vals: map[string]uint32{"g0": v.A, "g1": v.B}}
+	for _, s := range SortedSymbols(gs.C, gs.V) {
+		if _, ok := as.Vals[s]; !ok {
+			as.Vals[s] = 0
+		}
+	}
+	if err := as.Materialize(gs.Stores); err != nil {
+		return 0, 0, err
+	}
+	c, err = as.Eval(gs.C)
+	if err != nil {
+		return 0, 0, err
+	}
+	vf, err = as.Eval(gs.V)
+	return c, vf, err
+}
+
+// HostFlagValues concretely evaluates the fixture's final host CF and
+// OF for one vector, with host registers bound per f.Binds.
+func (f *FlagFixture) HostFlagValues(v FlagVector) (cf, of uint32, err error) {
+	init := map[host.Reg]*Expr{}
+	for _, b := range f.Binds {
+		init[b.Host] = Sym(fmt.Sprintf("g%d", b.Guest))
+	}
+	hs, err := EvalHost(f.Host, init)
+	if err != nil {
+		return 0, 0, err
+	}
+	as := &Assignment{Vals: map[string]uint32{"g0": v.A, "g1": v.B}}
+	for _, s := range SortedSymbols(hs.CF, hs.OF) {
+		if _, ok := as.Vals[s]; !ok {
+			as.Vals[s] = 0
+		}
+	}
+	if err := as.Materialize(hs.Stores); err != nil {
+		return 0, 0, err
+	}
+	cf, err = as.Eval(hs.CF)
+	if err != nil {
+		return 0, 0, err
+	}
+	of, err = as.Eval(hs.OF)
+	return cf, of, err
+}

@@ -20,7 +20,30 @@ type GState struct {
 	N, Z, C, V *Expr
 	FlagsSet   bool // whether the sequence wrote NZCV
 	Stores     []SymStore
+
+	// immHook, when non-nil, intercepts immediate operand reads (see
+	// ImmHook); instIdx is the index of the instruction being evaluated,
+	// passed through to the hook.
+	immHook ImmHook
+	instIdx int
 }
+
+// ImmHook lets a caller substitute an expression for an immediate
+// operand at evaluation time. It receives the instruction index within
+// the sequence, the operand slot (the guest operand index, or
+// DstSlot/SrcSlot on the host side) and the concrete immediate the
+// instruction carries; returning nil keeps the concrete constant. The
+// static rule auditor uses this to lift a rule's parametric immediates
+// into shared symbols, so equivalence is decided over the whole
+// immediate domain instead of one sample, while reusing this package's
+// evaluation semantics unchanged.
+type ImmHook func(inst, slot int, v int32) *Expr
+
+// Host operand slots as seen by an ImmHook.
+const (
+	DstSlot = 0
+	SrcSlot = 1
+)
 
 // NewGState returns the initial symbolic state: register i holds the
 // symbol "g<i>"; flags hold "fn","fz","fc","fv".
@@ -51,18 +74,29 @@ func (s *GState) loadExpr(size int, addr *Expr) *Expr {
 	return Load(size, addr, len(s.Stores))
 }
 
-func (s *GState) operand(o guest.Operand) (*Expr, error) {
+// immExpr resolves an immediate read through the hook, defaulting to
+// the concrete constant.
+func (s *GState) immExpr(slot int, v int32) *Expr {
+	if s.immHook != nil {
+		if e := s.immHook(s.instIdx, slot, v); e != nil {
+			return e
+		}
+	}
+	return Const(uint32(v))
+}
+
+func (s *GState) operand(slot int, o guest.Operand) (*Expr, error) {
 	switch o.Kind {
 	case guest.KindReg:
 		return s.R[o.Reg], nil
 	case guest.KindImm:
-		return Const(uint32(o.Imm)), nil
+		return s.immExpr(slot, o.Imm), nil
 	case guest.KindMem:
 		base := s.R[o.Base]
 		if o.HasIdx {
 			return Bin(XAdd, base, s.R[o.Idx]), nil
 		}
-		return Bin(XAdd, base, Const(uint32(o.Disp))), nil
+		return Bin(XAdd, base, s.immExpr(slot, o.Disp)), nil
 	}
 	return nil, fmt.Errorf("symexec: unsupported guest operand kind %v", o.Kind)
 }
@@ -109,8 +143,16 @@ func aluFlags(op guest.Op, a, b, res, oldC *Expr) (n, z, c, v *Expr) {
 // instructions are rejected — rules over them are not learnable, which
 // mirrors the paper's seven unlearnable instructions.
 func EvalGuest(seq []guest.Inst) (*GState, error) {
+	return EvalGuestImm(seq, nil)
+}
+
+// EvalGuestImm is EvalGuest with an immediate-read hook (nil behaves
+// exactly like EvalGuest).
+func EvalGuestImm(seq []guest.Inst, hook ImmHook) (*GState, error) {
 	s := NewGState()
-	for _, in := range seq {
+	s.immHook = hook
+	for idx, in := range seq {
+		s.instIdx = idx
 		if in.Cond != guest.AL {
 			return nil, fmt.Errorf("symexec: conditional guest instruction %q", in)
 		}
@@ -118,11 +160,11 @@ func EvalGuest(seq []guest.Inst) (*GState, error) {
 		case guest.ADD, guest.ADC, guest.SUB, guest.SBC, guest.RSB, guest.RSC,
 			guest.AND, guest.ORR, guest.EOR, guest.BIC,
 			guest.LSL, guest.LSR, guest.ASR, guest.ROR, guest.MUL:
-			a, err := s.operand(in.Ops[1])
+			a, err := s.operand(1, in.Ops[1])
 			if err != nil {
 				return nil, err
 			}
-			b, err := s.operand(in.Ops[2])
+			b, err := s.operand(2, in.Ops[2])
 			if err != nil {
 				return nil, err
 			}
@@ -177,7 +219,7 @@ func EvalGuest(seq []guest.Inst) (*GState, error) {
 			s.setReg(in.Ops[0].Reg, res)
 
 		case guest.MOV, guest.MVN, guest.CLZ:
-			b, err := s.operand(in.Ops[1])
+			b, err := s.operand(1, in.Ops[1])
 			if err != nil {
 				return nil, err
 			}
@@ -199,9 +241,9 @@ func EvalGuest(seq []guest.Inst) (*GState, error) {
 			s.setReg(in.Ops[0].Reg, res)
 
 		case guest.MLA, guest.UMLA:
-			a, _ := s.operand(in.Ops[1])
-			b, _ := s.operand(in.Ops[2])
-			acc, _ := s.operand(in.Ops[3])
+			a, _ := s.operand(1, in.Ops[1])
+			b, _ := s.operand(2, in.Ops[2])
+			acc, _ := s.operand(3, in.Ops[3])
 			if in.Op == guest.UMLA {
 				a = Bin(XAnd, a, Const(0xffff))
 				b = Bin(XAnd, b, Const(0xffff))
@@ -216,11 +258,11 @@ func EvalGuest(seq []guest.Inst) (*GState, error) {
 			s.setReg(in.Ops[0].Reg, res)
 
 		case guest.CMP, guest.CMN, guest.TST, guest.TEQ:
-			a, err := s.operand(in.Ops[0])
+			a, err := s.operand(0, in.Ops[0])
 			if err != nil {
 				return nil, err
 			}
-			b, err := s.operand(in.Ops[1])
+			b, err := s.operand(1, in.Ops[1])
 			if err != nil {
 				return nil, err
 			}
@@ -240,7 +282,7 @@ func EvalGuest(seq []guest.Inst) (*GState, error) {
 			s.FlagsSet = true
 
 		case guest.LDR, guest.LDRB:
-			addr, err := s.operand(in.Ops[1])
+			addr, err := s.operand(1, in.Ops[1])
 			if err != nil {
 				return nil, err
 			}
@@ -251,7 +293,7 @@ func EvalGuest(seq []guest.Inst) (*GState, error) {
 			s.setReg(in.Ops[0].Reg, s.loadExpr(size, addr))
 
 		case guest.STR, guest.STRB:
-			addr, err := s.operand(in.Ops[1])
+			addr, err := s.operand(1, in.Ops[1])
 			if err != nil {
 				return nil, err
 			}

@@ -13,6 +13,11 @@ type HState struct {
 	ZF, SF, CF, OF *Expr
 	FlagsSet       bool
 	Stores         []SymStore
+
+	// immHook/instIdx: see ImmHook (guest.go). Host operand slots are
+	// DstSlot and SrcSlot.
+	immHook ImmHook
+	instIdx int
 }
 
 // NewHState returns the initial symbolic host state with registers bound
@@ -31,25 +36,38 @@ func NewHState(init map[host.Reg]*Expr) *HState {
 	return s
 }
 
-func (s *HState) addrExpr(o host.Operand) *Expr {
+// immExpr resolves an immediate read through the hook, defaulting to
+// the concrete constant.
+func (s *HState) immExpr(slot int, v int32) *Expr {
+	if s.immHook != nil {
+		if e := s.immHook(s.instIdx, slot, v); e != nil {
+			return e
+		}
+	}
+	return Const(uint32(v))
+}
+
+func (s *HState) addrExpr(slot int, o host.Operand) *Expr {
 	a := s.R[o.Base]
 	if o.Scale != 0 {
 		a = Bin(XAdd, a, Bin(XMul, s.R[o.Index], Const(uint32(o.Scale))))
 	}
-	if o.Disp != 0 {
-		a = Bin(XAdd, a, Const(uint32(o.Disp)))
+	if o.Disp != 0 || s.immHook != nil {
+		// With a hook installed the displacement may lift to a symbol
+		// even when its concrete value is 0; Normalize drops a +0.
+		a = Bin(XAdd, a, s.immExpr(slot, o.Disp))
 	}
 	return a
 }
 
-func (s *HState) read(o host.Operand) (*Expr, error) {
+func (s *HState) read(slot int, o host.Operand) (*Expr, error) {
 	switch o.Kind {
 	case host.KindReg:
 		return s.R[o.Reg], nil
 	case host.KindImm:
-		return Const(uint32(o.Imm)), nil
+		return s.immExpr(slot, o.Imm), nil
 	case host.KindMem:
-		return s.loadExpr(32, s.addrExpr(o)), nil
+		return s.loadExpr(32, s.addrExpr(slot, o)), nil
 	}
 	return nil, fmt.Errorf("symexec: unsupported host operand %v", o)
 }
@@ -76,7 +94,7 @@ func (s *HState) write(o host.Operand, e *Expr) error {
 		s.Written[o.Reg] = true
 		return nil
 	case host.KindMem:
-		s.Stores = append(s.Stores, SymStore{Addr: s.addrExpr(o), Val: e, Size: 32})
+		s.Stores = append(s.Stores, SymStore{Addr: s.addrExpr(DstSlot, o), Val: e, Size: 32})
 		return nil
 	}
 	return fmt.Errorf("symexec: cannot write host operand %v", o)
@@ -106,6 +124,11 @@ func (s *HState) setLogicFlags(res *Expr) {
 	s.OF = Const(0)
 	s.FlagsSet = true
 }
+
+// CondExpr evaluates a host condition against the state's final EFLAGS,
+// yielding a 0/1 predicate expression (the exported form the static
+// rule auditor uses for branch-tail rules).
+func (s *HState) CondExpr(c host.Cond) *Expr { return s.hostCondExpr(c) }
 
 // hostCondExpr evaluates a host condition to a 0/1 expression.
 func (s *HState) hostCondExpr(c host.Cond) *Expr {
@@ -150,11 +173,19 @@ func (s *HState) hostCondExpr(c host.Cond) *Expr {
 // straight-line by construction, and the verifier's strictness rejects
 // anything else.
 func EvalHost(seq []host.Inst, init map[host.Reg]*Expr) (*HState, error) {
+	return EvalHostImm(seq, init, nil)
+}
+
+// EvalHostImm is EvalHost with an immediate-read hook (nil behaves
+// exactly like EvalHost). Hook slots are DstSlot and SrcSlot.
+func EvalHostImm(seq []host.Inst, init map[host.Reg]*Expr, hook ImmHook) (*HState, error) {
 	s := NewHState(init)
-	for _, in := range seq {
+	s.immHook = hook
+	for idx, in := range seq {
+		s.instIdx = idx
 		switch in.Op {
 		case host.MOVL:
-			v, err := s.read(in.Src)
+			v, err := s.read(SrcSlot, in.Src)
 			if err != nil {
 				return nil, err
 			}
@@ -165,16 +196,16 @@ func EvalHost(seq []host.Inst, init map[host.Reg]*Expr) (*HState, error) {
 			if in.Src.Kind != host.KindMem {
 				return nil, fmt.Errorf("symexec: lea needs memory operand")
 			}
-			if err := s.write(in.Dst, s.addrExpr(in.Src)); err != nil {
+			if err := s.write(in.Dst, s.addrExpr(SrcSlot, in.Src)); err != nil {
 				return nil, err
 			}
 		case host.ADDL, host.SUBL, host.ANDL, host.ORL, host.XORL, host.IMULL,
 			host.SHLL, host.SHRL, host.SARL, host.RORL:
-			a, err := s.read(in.Dst)
+			a, err := s.read(DstSlot, in.Dst)
 			if err != nil {
 				return nil, err
 			}
-			b, err := s.read(in.Src)
+			b, err := s.read(SrcSlot, in.Src)
 			if err != nil {
 				return nil, err
 			}
@@ -217,8 +248,8 @@ func EvalHost(seq []host.Inst, init map[host.Reg]*Expr) (*HState, error) {
 				return nil, err
 			}
 		case host.ADCL, host.SBBL:
-			a, _ := s.read(in.Dst)
-			b, err := s.read(in.Src)
+			a, _ := s.read(DstSlot, in.Dst)
+			b, err := s.read(SrcSlot, in.Src)
 			if err != nil {
 				return nil, err
 			}
@@ -241,7 +272,7 @@ func EvalHost(seq []host.Inst, init map[host.Reg]*Expr) (*HState, error) {
 				return nil, err
 			}
 		case host.NOTL:
-			a, err := s.read(in.Dst)
+			a, err := s.read(DstSlot, in.Dst)
 			if err != nil {
 				return nil, err
 			}
@@ -249,7 +280,7 @@ func EvalHost(seq []host.Inst, init map[host.Reg]*Expr) (*HState, error) {
 				return nil, err
 			}
 		case host.NEGL:
-			a, err := s.read(in.Dst)
+			a, err := s.read(DstSlot, in.Dst)
 			if err != nil {
 				return nil, err
 			}
@@ -263,18 +294,18 @@ func EvalHost(seq []host.Inst, init map[host.Reg]*Expr) (*HState, error) {
 				return nil, err
 			}
 		case host.CMPL:
-			a, err := s.read(in.Dst)
+			a, err := s.read(DstSlot, in.Dst)
 			if err != nil {
 				return nil, err
 			}
-			b, err := s.read(in.Src)
+			b, err := s.read(SrcSlot, in.Src)
 			if err != nil {
 				return nil, err
 			}
 			s.setSubFlags(a, b, Bin(XSub, a, b))
 		case host.TESTL:
-			a, _ := s.read(in.Dst)
-			b, err := s.read(in.Src)
+			a, _ := s.read(DstSlot, in.Dst)
+			b, err := s.read(SrcSlot, in.Src)
 			if err != nil {
 				return nil, err
 			}
@@ -282,9 +313,9 @@ func EvalHost(seq []host.Inst, init map[host.Reg]*Expr) (*HState, error) {
 		case host.MOVZBL:
 			var v *Expr
 			if in.Src.Kind == host.KindMem {
-				v = s.loadExpr(8, s.addrExpr(in.Src))
+				v = s.loadExpr(8, s.addrExpr(SrcSlot, in.Src))
 			} else {
-				e, err := s.read(in.Src)
+				e, err := s.read(SrcSlot, in.Src)
 				if err != nil {
 					return nil, err
 				}
@@ -297,13 +328,13 @@ func EvalHost(seq []host.Inst, init map[host.Reg]*Expr) (*HState, error) {
 			if in.Dst.Kind != host.KindMem {
 				return nil, fmt.Errorf("symexec: movb to non-memory")
 			}
-			v, err := s.read(in.Src)
+			v, err := s.read(SrcSlot, in.Src)
 			if err != nil {
 				return nil, err
 			}
-			s.Stores = append(s.Stores, SymStore{Addr: s.addrExpr(in.Dst), Val: v, Size: 8})
+			s.Stores = append(s.Stores, SymStore{Addr: s.addrExpr(DstSlot, in.Dst), Val: v, Size: 8})
 		case host.BSRL:
-			v, err := s.read(in.Src)
+			v, err := s.read(SrcSlot, in.Src)
 			if err != nil {
 				return nil, err
 			}

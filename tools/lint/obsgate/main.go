@@ -1,0 +1,266 @@
+// Command obsgate is a `go vet -vettool` checker enforcing the repo's
+// telemetry discipline (docs/OBSERVABILITY.md): metric updates that only
+// exist for observability must be gated behind obs.On(), so the hot
+// path pays one atomic load — not counter traffic — when telemetry is
+// off. Concretely, a diagnostic is reported for any call to
+//
+//   - Observe or ObserveSince (latency histograms), or
+//   - Inc, Add or Set on a receiver whose terminal identifier starts
+//     with "met" (the package-level metric-counter naming convention)
+//
+// that is not lexically inside an if whose condition uses obs.On()
+// directly or an identifier assigned from obs.On() in the same
+// function (the `telemetry := obs.On()` idiom). Engine-owned counters
+// like e.met.dispatches are architectural statistics, not telemetry —
+// their terminal identifiers do not start with "met", so they are out
+// of scope by construction.
+//
+// The checker speaks cmd/go's vettool protocol directly (the same wire
+// format golang.org/x/tools' unitchecker implements) so it runs with
+// the standard toolchain and no third-party dependencies:
+//
+//	go build -o bin/obsgate ./tools/lint/obsgate
+//	go vet -vettool=bin/obsgate ./...
+//
+// Test files and internal/obs itself (which defines the registry and
+// must touch counters unconditionally) are exempt.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+)
+
+const version = "obsgate version v0.1.0"
+
+// vetConfig mirrors the JSON cmd/go writes to <objdir>/vet.cfg. Fields
+// this checker does not consume are retained so unknown-field decoding
+// stays strict-compatible with future toolchains (unknown fields are
+// ignored by encoding/json anyway; these document the contract).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	GoVersion                 string
+	SucceedOnTypecheckFailure bool
+}
+
+func main() {
+	for _, a := range os.Args[1:] {
+		switch a {
+		case "-V=full", "--V=full", "-V":
+			// Identity for the build cache key.
+			fmt.Println(version)
+			return
+		case "-flags", "--flags":
+			// cmd/go probes the analyzer flag set; obsgate has none.
+			fmt.Println("[]")
+			return
+		}
+	}
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: obsgate [-V=full] vet.cfg")
+		os.Exit(2)
+	}
+	cfgPath := os.Args[len(os.Args)-1]
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "obsgate:", err)
+		os.Exit(2)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "obsgate: parsing %s: %v\n", cfgPath, err)
+		os.Exit(2)
+	}
+	// cmd/go requires the facts file regardless of findings; this checker
+	// carries no cross-package facts, so it is always empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "obsgate:", err)
+			os.Exit(2)
+		}
+	}
+	if cfg.VetxOnly {
+		return
+	}
+	if strings.HasSuffix(cfg.ImportPath, "internal/obs") {
+		return
+	}
+
+	fset := token.NewFileSet()
+	bad := 0
+	for _, name := range cfg.GoFiles {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return
+			}
+			fmt.Fprintln(os.Stderr, "obsgate:", err)
+			os.Exit(2)
+		}
+		for _, d := range checkFile(fset, f) {
+			fmt.Fprintln(os.Stderr, d)
+			bad++
+		}
+	}
+	if bad > 0 {
+		os.Exit(2)
+	}
+}
+
+// checkFile reports ungated telemetry calls in one parsed file.
+func checkFile(fset *token.FileSet, f *ast.File) []string {
+	var diags []string
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		diags = append(diags, checkFunc(fset, fd.Body)...)
+	}
+	return diags
+}
+
+// checkFunc walks one function body. Function literals are checked as
+// part of their enclosing function's walk: an if obs.On() { ... }
+// around the literal still lexically guards it, and guard identifiers
+// assigned inside the literal are visible too (collection is
+// function-wide, which errs permissive — a guard name can never mean
+// anything other than the obs.On() snapshot here).
+func checkFunc(fset *token.FileSet, body *ast.BlockStmt) []string {
+	// Pass 1: identifiers assigned from obs.On() — `telemetry := obs.On()`.
+	guards := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if i < len(as.Lhs) && isObsOn(rhs) {
+				if id, ok := as.Lhs[i].(*ast.Ident); ok {
+					guards[id.Name] = true
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 2: find telemetry calls outside every guarding if-body. The
+	// stack mirrors ast.Inspect's push/pop so "inside" is lexical.
+	var diags []string
+	guardBodies := map[*ast.BlockStmt]bool{}
+	var stack []ast.Node
+	depth := 0
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if b, ok := top.(*ast.BlockStmt); ok && guardBodies[b] {
+				depth--
+			}
+			return true
+		}
+		stack = append(stack, n)
+		switch x := n.(type) {
+		case *ast.IfStmt:
+			if condGuards(x.Cond, guards) {
+				guardBodies[x.Body] = true
+			}
+		case *ast.BlockStmt:
+			if guardBodies[x] {
+				depth++
+			}
+		case *ast.CallExpr:
+			if depth == 0 {
+				if what := telemetryCall(x); what != "" {
+					pos := fset.Position(x.Pos())
+					diags = append(diags, fmt.Sprintf(
+						"%s: %s must be inside an if gated by obs.On() (see docs/OBSERVABILITY.md)",
+						pos, what))
+				}
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// isObsOn reports whether e is a call of obs.On().
+func isObsOn(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "On" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == "obs"
+}
+
+// condGuards reports whether the if condition establishes obs.On():
+// the call itself, a guard identifier, or either conjunct of a &&.
+func condGuards(e ast.Expr, guards map[string]bool) bool {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return guards[x.Name]
+	case *ast.CallExpr:
+		return isObsOn(x)
+	case *ast.ParenExpr:
+		return condGuards(x.X, guards)
+	case *ast.BinaryExpr:
+		if x.Op == token.LAND {
+			return condGuards(x.X, guards) || condGuards(x.Y, guards)
+		}
+	}
+	return false
+}
+
+// telemetryCall classifies a call as telemetry-gated-required and
+// returns a description, or "" when the call is out of scope.
+func telemetryCall(call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	switch sel.Sel.Name {
+	case "Observe", "ObserveSince":
+		return sel.Sel.Name + " (latency histogram)"
+	case "Inc", "Add", "Set":
+		// Only package-level metric counters, by naming convention:
+		// metLookups.Inc(), exp.metFoo.Add(n). Engine-owned statistics
+		// (e.met.dispatches.Inc()) end in a non-"met" identifier.
+		switch recv := sel.X.(type) {
+		case *ast.Ident:
+			if strings.HasPrefix(recv.Name, "met") && recv.Name != "met" {
+				return recv.Name + "." + sel.Sel.Name
+			}
+		case *ast.SelectorExpr:
+			if strings.HasPrefix(recv.Sel.Name, "met") && recv.Sel.Name != "met" {
+				return recv.Sel.Name + "." + sel.Sel.Name
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func run(t *testing.T, src string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", "package p\n"+src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return checkFile(fset, f)
+}
+
+func TestUngatedCounterFlagged(t *testing.T) {
+	diags := run(t, `
+func f() {
+	metLookups.Inc()
+}`)
+	if len(diags) != 1 || !strings.Contains(diags[0], "metLookups.Inc") {
+		t.Fatalf("want one metLookups diagnostic, got %v", diags)
+	}
+}
+
+func TestDirectGateAccepted(t *testing.T) {
+	diags := run(t, `
+func f() {
+	if obs.On() {
+		metLookups.Inc()
+		metHits.Add(3)
+	}
+}`)
+	if len(diags) != 0 {
+		t.Fatalf("gated counters flagged: %v", diags)
+	}
+}
+
+func TestAssignedGuardAccepted(t *testing.T) {
+	diags := run(t, `
+func f() {
+	telemetry := obs.On()
+	for i := 0; i < 10; i++ {
+		if telemetry {
+			metLookups.Inc()
+		}
+	}
+	on := obs.On()
+	if on && x > 2 {
+		metHits.Inc()
+	}
+}`)
+	if len(diags) != 0 {
+		t.Fatalf("guard-ident gated counters flagged: %v", diags)
+	}
+}
+
+func TestObserveRequiresGate(t *testing.T) {
+	diags := run(t, `
+func f() {
+	h.Observe(3)
+	q.lat.ObserveSince(t0)
+	if obs.On() {
+		h.Observe(4)
+	}
+}`)
+	if len(diags) != 2 {
+		t.Fatalf("want 2 histogram diagnostics, got %v", diags)
+	}
+}
+
+func TestEngineStatsOutOfScope(t *testing.T) {
+	// Always-on architectural statistics: terminal identifier does not
+	// start with "met", so the convention leaves them alone.
+	diags := run(t, `
+func f() {
+	e.met.dispatches.Inc()
+	e.met.guestInsts.Add(7)
+	counter.Set(2)
+}`)
+	if len(diags) != 0 {
+		t.Fatalf("out-of-scope receivers flagged: %v", diags)
+	}
+}
+
+func TestNegatedGuardStillFlagged(t *testing.T) {
+	// `if !on { metX.Inc() }` runs exactly when telemetry is off — that
+	// is a bug, not a gate.
+	diags := run(t, `
+func f() {
+	on := obs.On()
+	if !on {
+		metLookups.Inc()
+	}
+}`)
+	if len(diags) != 1 {
+		t.Fatalf("negated guard accepted: %v", diags)
+	}
+}
+
+func TestGuardDoesNotLeakPastBody(t *testing.T) {
+	diags := run(t, `
+func f() {
+	if obs.On() {
+		x := 1
+		_ = x
+	}
+	metLookups.Inc()
+}`)
+	if len(diags) != 1 {
+		t.Fatalf("counter after the gated block not flagged: %v", diags)
+	}
+}
+
+func TestFuncLitInsideGateAccepted(t *testing.T) {
+	diags := run(t, `
+func f() {
+	if obs.On() {
+		g := func() { metLookups.Inc() }
+		g()
+	}
+}`)
+	if len(diags) != 0 {
+		t.Fatalf("func literal inside gate flagged: %v", diags)
+	}
+}
