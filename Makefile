@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet lint obsgate ruleaudit build test race race-obs test-faults bench bench-dispatch bench-obs experiments linkcheck
+.PHONY: ci vet lint obsgate ruleaudit build test test-backends race race-obs test-faults bench bench-dispatch bench-obs bench-backends experiments linkcheck
 
-ci: lint build race test-faults linkcheck bench
+ci: lint build race test-backends test-faults linkcheck bench
 
 vet:
 	$(GO) vet ./...
@@ -31,6 +31,13 @@ build:
 
 test:
 	$(GO) test ./...
+
+# The tier-1 suite under every host backend: PARAMDBT_BACKEND selects
+# the backend.Default() every engine, test, and tool falls back to, so
+# one env knob re-runs the whole tree through each lowering pipeline.
+test-backends:
+	PARAMDBT_BACKEND=x86 $(GO) test ./...
+	PARAMDBT_BACKEND=risc $(GO) test ./...
 
 race:
 	$(GO) test -race ./...
@@ -65,6 +72,11 @@ bench-dispatch:
 # The disabled-telemetry overhead guard (must stay 0 allocs/op, ~sub-ns).
 bench-obs:
 	$(GO) test -run NONE -bench BenchmarkObsDisabledOverhead -benchmem .
+
+# The cross-backend dispatch/workload benchmarks; raw output is recorded
+# in BENCH_backend.json.
+bench-backends:
+	$(GO) test -run NONE -bench 'BenchmarkBackend' -benchtime 20x -benchmem .
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"paramdbt/internal/backend"
 	"paramdbt/internal/core"
 	"paramdbt/internal/dbt"
 	"paramdbt/internal/exp"
@@ -437,6 +438,60 @@ func BenchmarkDispatchChaining(b *testing.B) {
 				b.ReportMetric(100*r.Stats.ChainRate(), "%chained")
 			}
 		})
+	}
+}
+
+// BenchmarkBackendDispatch is the cross-backend twin of
+// BenchmarkDispatchChaining: the same chained gcc workload, once per
+// registered host backend, with each backend getting its own freshly
+// parameterized store (engines rekey the store's retrieval index to
+// their backend's fingerprint namespace, so sharing one store across
+// backends would measure rekeying, not execution). Raw output is
+// recorded in BENCH_backend.json.
+func BenchmarkBackendDispatch(b *testing.B) {
+	c := getCorpus(b)
+	for _, name := range backend.Names() {
+		be := backend.MustLookup(name)
+		b.Run(name, func(b *testing.B) {
+			full, _ := core.Parameterize(c.Union(c.Others("gcc")), core.Config{Opcode: true, AddrMode: true})
+			cfg := dbt.Config{Rules: full, DelegateFlags: true, Backend: be}
+			for i := 0; i < b.N; i++ {
+				r, err := c.Run("gcc", cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if r.Stats.ChainedExits == 0 {
+					b.Fatal("no chained exits")
+				}
+				b.ReportMetric(float64(r.Stats.GuestExec), "guest-insts")
+				b.ReportMetric(float64(r.Total)/float64(r.Stats.GuestExec), "host-per-guest")
+				b.ReportMetric(100*r.Stats.ChainRate(), "%chained")
+			}
+		})
+	}
+}
+
+// BenchmarkBackendWorkload runs the guest-loop workloads end to end
+// under each backend, pinning the relative cost of the RISC legalizer's
+// load/store expansion on real translated code.
+func BenchmarkBackendWorkload(b *testing.B) {
+	c := getCorpus(b)
+	for _, bench := range []string{"mcf", "bzip2"} {
+		for _, name := range backend.Names() {
+			be := backend.MustLookup(name)
+			b.Run(bench+"/"+name, func(b *testing.B) {
+				full, _ := core.Parameterize(c.Union(c.Others(bench)), core.Config{Opcode: true, AddrMode: true})
+				cfg := dbt.Config{Rules: full, DelegateFlags: true, Backend: be}
+				for i := 0; i < b.N; i++ {
+					r, err := c.Run(bench, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(float64(r.Total)/float64(r.Stats.GuestExec), "host-per-guest")
+					b.ReportMetric(100*r.Stats.Coverage(), "%coverage")
+				}
+			})
+		}
 	}
 }
 

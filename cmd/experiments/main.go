@@ -8,8 +8,12 @@
 //
 // With -json, every selected section is additionally written as one
 // machine-readable report (schema exp.ReportSchema, currently
-// paramdbt-experiments/v2, see internal/exp.Report); "-" writes to
+// paramdbt-experiments/v3, see internal/exp.Report); "-" writes to
 // stdout and suppresses the text tables.
+//
+// -backend routes every engine the suite builds through the named host
+// backend (see internal/backend); the "backends" section instead runs
+// the workload matrix under every registered backend at shadow rate 1.
 package main
 
 import (
@@ -20,15 +24,27 @@ import (
 	"strings"
 	"time"
 
+	"paramdbt/internal/backend"
 	"paramdbt/internal/exp"
 )
 
 func main() {
 	scale := flag.Int("scale", 1, "dynamic work multiplier (1 = reference input)")
-	only := flag.String("only", "", "comma-separated subset: table1,fig2,fig11,fig12,fig13,table2,fig14,fig15,fig16,table3,dispatch,guard,analysis")
+	only := flag.String("only", "", "comma-separated subset: table1,fig2,fig11,fig12,fig13,table2,fig14,fig15,fig16,table3,dispatch,guard,analysis,backends")
 	guardBench := flag.String("guard-bench", "mcf", "benchmark for the guard divergence/recovery experiment")
 	jsonPath := flag.String("json", "", "also write the selected sections as a JSON report to this file (\"-\" = stdout, text tables suppressed)")
+	beName := flag.String("backend", "", "host backend for all engine runs (default: $"+backend.EnvVar+" or x86); one of "+strings.Join(backend.Names(), ","))
 	flag.Parse()
+
+	be := backend.Default()
+	if *beName != "" {
+		var err error
+		be, err = backend.Lookup(*beName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -45,6 +61,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "corpus:", err)
 		os.Exit(1)
 	}
+	corpus.Backend = be
 
 	report := &exp.Report{
 		Schema:  exp.ReportSchema,
@@ -53,6 +70,7 @@ func main() {
 		GOOS:    runtime.GOOS,
 		GOARCH:  runtime.GOARCH,
 		Scale:   *scale,
+		Backend: be.Name(),
 	}
 	text := *jsonPath != "-"
 	section := func(title string) {
@@ -160,6 +178,16 @@ func main() {
 		}
 		report.Analysis = a
 		render(exp.RenderAnalysis(a))
+	}
+	if sel("backends") {
+		section("Backend matrix: workloads under every host backend, shadow rate 1")
+		b, err := exp.BackendsExperiment(corpus, backend.Names(), 1)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "backends:", err)
+			os.Exit(1)
+		}
+		report.Backends = b
+		render(exp.RenderBackends(b))
 	}
 	if sel("table3") {
 		section("Table III: rule number comparison")

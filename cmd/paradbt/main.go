@@ -18,7 +18,9 @@ import (
 	"net/http/pprof"
 	"os"
 	"sort"
+	"strings"
 
+	"paramdbt/internal/backend"
 	"paramdbt/internal/core"
 	"paramdbt/internal/dbt"
 	"paramdbt/internal/env"
@@ -128,7 +130,18 @@ func main() {
 	shadowRate := flag.Float64("shadow-rate", 0, "shadow-verify this fraction of block executions against the reference interpreter (1 = every execution)")
 	quarFile := flag.String("quarantine-file", "", "load previously quarantined rules from this file before the run and persist the quarantine set after it (JSON Lines)")
 	injectPath := flag.String("inject", "", "fault-injection plan (JSON, see docs/ROBUSTNESS.md); corruptRules entries are applied to rules the benchmark actually uses")
+	beName := flag.String("backend", "", "host backend to translate for (default: $"+backend.EnvVar+" or x86); one of "+strings.Join(backend.Names(), ","))
 	flag.Parse()
+
+	be := backend.Default()
+	if *beName != "" {
+		var err error
+		be, err = backend.Lookup(*beName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 
 	corpus, err := exp.BuildCorpus(*scale)
 	if err != nil {
@@ -183,6 +196,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	cfg.Backend = be
 	cfg.ManualABI = *manual
 	cfg.TranslateWorkers = *workers
 	cfg.NoChain = *noChain
@@ -268,7 +282,7 @@ func main() {
 	}
 
 	st := res.Stats
-	fmt.Printf("benchmark          %s (mode %s, scale %d)\n", *bench, *mode, *scale)
+	fmt.Printf("benchmark          %s (mode %s, scale %d, backend %s)\n", *bench, *mode, *scale, be.Name())
 	fmt.Printf("guest instructions %d\n", st.GuestExec)
 	fmt.Printf("host instructions  %d (%.2f per guest)\n", res.Total,
 		float64(res.Total)/float64(st.GuestExec))

@@ -26,6 +26,7 @@ import (
 	"os"
 
 	"paramdbt/internal/analysis"
+	"paramdbt/internal/backend"
 	"paramdbt/internal/core"
 	"paramdbt/internal/exp"
 	"paramdbt/internal/guard/faultinject"
@@ -38,7 +39,18 @@ func main() {
 	summary := flag.Bool("summary", false, "print verdict counts as text instead of the JSON report")
 	inject := flag.Int("inject", 0, "corrupt this many learned rules before auditing (fault-injection demo)")
 	failUnsound := flag.Bool("fail-unsound", false, "exit with status 2 when any rule audits unsound")
+	beName := flag.String("backend", "", "host backend to audit under (default: $"+backend.EnvVar+" or x86)")
 	flag.Parse()
+
+	be := backend.Default()
+	if *beName != "" {
+		var err error
+		be, err = backend.Lookup(*beName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ruleaudit:", err)
+			os.Exit(1)
+		}
+	}
 
 	corpus, err := exp.BuildCorpus(*scale)
 	if err != nil {
@@ -61,9 +73,9 @@ func main() {
 		store = fresh
 	}
 
-	rep := analysis.AuditStore(store)
-	fmt.Fprintf(os.Stderr, "ruleaudit: %d rules: %d sound, %d unsound, %d inconclusive\n",
-		rep.Total, rep.Sound, rep.Unsound, rep.Inconclusive)
+	rep := analysis.AuditStoreWith(store, be)
+	fmt.Fprintf(os.Stderr, "ruleaudit: backend %s: %d rules: %d sound, %d unsound, %d inconclusive\n",
+		rep.Backend, rep.Total, rep.Sound, rep.Unsound, rep.Inconclusive)
 
 	if *summary {
 		fmt.Printf("rules        %d\n", rep.Total)

@@ -68,6 +68,10 @@ type RuleReport struct {
 
 // StoreReport aggregates a whole-store audit.
 type StoreReport struct {
+	// Backend names the host evaluator the audit ran under; reports from
+	// different backends are not comparable rule-for-rule because the
+	// evaluator also gates instruction admissibility.
+	Backend      string        `json:"backend,omitempty"`
 	Total        int           `json:"total"`
 	Sound        int           `json:"sound"`
 	Unsound      int           `json:"unsound"`
@@ -106,8 +110,18 @@ type decision struct {
 }
 
 // AuditRule statically audits one template across its whole
-// instantiation domain and classifies it.
+// instantiation domain and classifies it, judging the host side under
+// the default (x86) evaluator.
 func AuditRule(t *rule.Template) *RuleReport {
+	return AuditRuleWith(t, defaultEvaluator{})
+}
+
+// AuditRuleWith is AuditRule under an explicit host evaluator — pass a
+// backend.Backend to audit the rule as the backend that will emit it
+// sees it: instructions the backend cannot encode surface as
+// inconclusive lift failures instead of silently auditing against the
+// wrong semantics.
+func AuditRuleWith(t *rule.Template, ev HostEvaluator) *RuleReport {
 	rep := &RuleReport{
 		Fingerprint: t.Fingerprint(),
 		Rule:        t.String(),
@@ -127,7 +141,7 @@ func AuditRule(t *rule.Template) *RuleReport {
 		}
 	}()
 
-	lf, err := liftTemplate(t)
+	lf, err := liftTemplateWith(t, ev)
 	if err != nil {
 		rep.Verdict = VerdictInconclusive
 		rep.Reason = "lift failed: " + err.Error()
@@ -526,13 +540,20 @@ func confirmWitness(t *rule.Template, w *Witness, p checkPair) {
 	}
 }
 
-// AuditStore audits every rule in the store.
+// AuditStore audits every rule in the store under the default (x86)
+// host evaluator.
 func AuditStore(s *rule.Store) *StoreReport {
-	rep := &StoreReport{ByProof: map[Proof]int{}}
+	return AuditStoreWith(s, defaultEvaluator{})
+}
+
+// AuditStoreWith audits every rule in the store under an explicit host
+// evaluator (see AuditRuleWith).
+func AuditStoreWith(s *rule.Store, ev HostEvaluator) *StoreReport {
+	rep := &StoreReport{Backend: ev.Name(), ByProof: map[Proof]int{}}
 	ts := s.All()
 	sort.Slice(ts, func(i, j int) bool { return ts[i].Fingerprint() < ts[j].Fingerprint() })
 	for _, t := range ts {
-		rr := AuditRule(t)
+		rr := AuditRuleWith(t, ev)
 		rep.Total++
 		switch rr.Verdict {
 		case VerdictSound:

@@ -16,6 +16,31 @@ import (
 // exactly the semantics the learn-time verifier trusts — the auditor
 // adds generality, not a second interpretation of the ISAs.
 
+// HostEvaluator is the symbolic host evaluator the auditor lifts rule
+// host sequences under. backend.Backend satisfies it structurally, so
+// an audit can be pinned to the backend whose emitter will run the
+// rules: the evaluator both checks that every instruction is admissible
+// on that backend and supplies the semantics the verdict is judged
+// against. The analysis package declares the interface consumer-side to
+// stay import-free of internal/backend.
+type HostEvaluator interface {
+	// Name identifies the backend for reports.
+	Name() string
+	// EvalHost symbolically evaluates a host sequence, applying hook to
+	// immediate operands exactly like symexec.EvalHostImm.
+	EvalHost(seq []host.Inst, init map[host.Reg]*symexec.Expr, hook symexec.ImmHook) (*symexec.HState, error)
+}
+
+// defaultEvaluator is the historical behavior: plain symexec over the
+// x86-style host ISA with no admission checking.
+type defaultEvaluator struct{}
+
+func (defaultEvaluator) Name() string { return "x86" }
+
+func (defaultEvaluator) EvalHost(seq []host.Inst, init map[host.Reg]*symexec.Expr, hook symexec.ImmHook) (*symexec.HState, error) {
+	return symexec.EvalHostImm(seq, init, hook)
+}
+
 // immSymName is the shared symbol a parametric immediate lifts to on
 // both the guest and host side.
 func immSymName(p int) string { return fmt.Sprintf("i%d", p) }
@@ -84,8 +109,13 @@ func immSlotMaps(t *rule.Template) (gmap, hmap map[slotKey]int) {
 
 // liftTemplate evaluates the template under the canonical verify
 // assignment with every parametric immediate lifted to its "i<p>"
-// symbol.
+// symbol, using the default (x86) host evaluator.
 func liftTemplate(t *rule.Template) (*lifted, error) {
+	return liftTemplateWith(t, defaultEvaluator{})
+}
+
+// liftTemplateWith is liftTemplate under an explicit host evaluator.
+func liftTemplateWith(t *rule.Template, ev HostEvaluator) (*lifted, error) {
 	gseq, hseq, binds, scratch, err := rule.Concretize(t, placeholderImm)
 	if err != nil {
 		return nil, err
@@ -110,7 +140,7 @@ func liftTemplate(t *rule.Template) (*lifted, error) {
 	for _, b := range binds {
 		init[b.Host] = symexec.Sym(fmt.Sprintf("g%d", b.Guest))
 	}
-	hs, err := symexec.EvalHostImm(hseq, init, hookFor(hmap))
+	hs, err := ev.EvalHost(hseq, init, hookFor(hmap))
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,149 @@
+// Package backend makes the host side of the translation pipeline
+// pluggable. A Backend bundles everything the engine, the rule store,
+// the differential-shadow guard and the static auditor need to know
+// about one host target: its register-file policy (which registers the
+// block allocator may pin guest registers to, and which remain
+// translator temporaries), the instruction emitter that lowers TCG IR,
+// the encoder's acceptance predicate, the finalize pass that turns an
+// assembled instruction stream into an executable block, and the
+// symbolic host evaluator the auditor runs rule bodies under.
+//
+// Both code paths — parameterized-rule instantiation and the TCG
+// fallback — feed one shared host.Asm, and the backend's Finalize pass
+// sees the complete stream. That is the seam that lets a backend with a
+// stricter instruction discipline (see the risc backend) legalize rule
+// bodies and TCG output uniformly instead of duplicating per-path
+// lowering plumbing.
+//
+// Backends register themselves by name in an init function; the engine
+// resolves one via Lookup or Default (which honors the PARAMDBT_BACKEND
+// environment knob so the whole test suite can be run under a
+// non-default backend without code changes).
+package backend
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"paramdbt/internal/guest"
+	"paramdbt/internal/host"
+	"paramdbt/internal/symexec"
+	"paramdbt/internal/tcg"
+)
+
+// Backend describes one pluggable host target.
+type Backend interface {
+	// Name is the registry key ("x86", "risc", ...).
+	Name() string
+
+	// ID is a small stable identifier mixed into rule fingerprints and
+	// the code-cache shard hash so translations never alias across
+	// backends. IDs must be unique among registered backends.
+	ID() uint8
+
+	// BlockRegs lists the host registers the per-block guest-register
+	// allocator may pin hot guest registers to.
+	BlockRegs() []host.Reg
+
+	// TempPool lists the translator temporaries handed to the lowering
+	// pipeline; the last entry doubles as the staging register.
+	TempPool() []host.Reg
+
+	// Lower routes one generated IR sequence through the backend's
+	// instruction emitter into the shared assembler.
+	Lower(a *host.Asm, g *tcg.Gen, mapf func(guest.Reg) host.Operand, pool []host.Reg) error
+
+	// CheckRuleInst vets one instantiated rule-body instruction before
+	// emission: it must be either directly encodable or legalizable by
+	// Finalize. A non-nil error fails the translation of that block.
+	CheckRuleInst(in host.Inst) error
+
+	// CheckInst is the encoder's acceptance predicate over the final
+	// (post-Finalize) instruction stream.
+	CheckInst(in host.Inst) error
+
+	// Finalize encodes the assembled stream into an executable block,
+	// applying any backend-specific legalization first.
+	Finalize(a *host.Asm) (*host.Block, error)
+
+	// EvalHost is the backend's symbolic host evaluator: the static
+	// auditor verifies rule host code under the backend whose encoder
+	// will emit it.
+	EvalHost(seq []host.Inst, init map[host.Reg]*symexec.Expr, hook symexec.ImmHook) (*symexec.HState, error)
+}
+
+var (
+	regMu    sync.Mutex
+	registry = map[string]Backend{}
+)
+
+// Register adds a backend under its Name. It panics on a duplicate name
+// or ID — registration happens in init functions, where a collision is
+// a programming error, not a runtime condition.
+func Register(b Backend) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[b.Name()]; dup {
+		panic(fmt.Sprintf("backend: duplicate name %q", b.Name()))
+	}
+	for _, o := range registry {
+		if o.ID() == b.ID() {
+			panic(fmt.Sprintf("backend: %q and %q share id %d", o.Name(), b.Name(), b.ID()))
+		}
+	}
+	registry[b.Name()] = b
+}
+
+// Lookup resolves a registered backend by name.
+func Lookup(name string) (Backend, error) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	b, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("backend: unknown backend %q (have %v)", name, namesLocked())
+	}
+	return b, nil
+}
+
+// MustLookup is Lookup for callers with a statically known name.
+func MustLookup(name string) Backend {
+	b, err := Lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Names lists the registered backend names, sorted.
+func Names() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	return namesLocked()
+}
+
+func namesLocked() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// EnvVar is the environment knob Default reads, letting `make ci` run
+// the whole test suite under a non-default backend.
+const EnvVar = "PARAMDBT_BACKEND"
+
+// Default returns the backend an engine uses when its Config names
+// none: the one selected by the PARAMDBT_BACKEND environment variable,
+// or x86. It panics on an unknown name — a misspelled knob must not
+// silently fall back to the wrong backend.
+func Default() Backend {
+	name := os.Getenv(EnvVar)
+	if name == "" {
+		name = "x86"
+	}
+	return MustLookup(name)
+}

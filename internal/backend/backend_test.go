@@ -1,0 +1,276 @@
+package backend
+
+import (
+	"fmt"
+	"testing"
+
+	"paramdbt/internal/env"
+	"paramdbt/internal/host"
+	"paramdbt/internal/mem"
+)
+
+func TestRegistry(t *testing.T) {
+	for _, name := range []string{"x86", "risc"} {
+		be, err := Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", name, err)
+		}
+		if be.Name() != name {
+			t.Fatalf("Lookup(%q).Name() = %q", name, be.Name())
+		}
+	}
+	x86, _ := Lookup("x86")
+	risc, _ := Lookup("risc")
+	if x86.ID() == risc.ID() {
+		t.Fatalf("backend ids collide: %d", x86.ID())
+	}
+	if _, err := Lookup("vax"); err == nil {
+		t.Fatal("Lookup of an unregistered backend succeeded")
+	}
+	names := Names()
+	if len(names) < 2 {
+		t.Fatalf("Names() = %v, want at least x86 and risc", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names() not sorted: %v", names)
+		}
+	}
+}
+
+func TestDefaultHonorsEnv(t *testing.T) {
+	t.Setenv(EnvVar, "")
+	if got := Default().Name(); got != "x86" {
+		t.Fatalf("Default() with empty %s = %q, want x86", EnvVar, got)
+	}
+	t.Setenv(EnvVar, "risc")
+	if got := Default().Name(); got != "risc" {
+		t.Fatalf("Default() with %s=risc = %q", EnvVar, got)
+	}
+}
+
+// envBase is where the tests park EBP (the CPUState base the
+// legalizer's save slots are relative to), with test data placed well
+// past env.Size.
+const (
+	envBase  = uint32(0x8000)
+	dataOff  = int32(env.Size) + 64
+	dataOff2 = dataOff + 4
+	stackTop = uint32(0x4000)
+)
+
+// newTestCPU builds a CPU with a fully seeded state: distinct register
+// values, CF set (so flag-transparency bugs in the legalizer show), and
+// recognizable memory words at the test data slots.
+func newTestCPU() *host.CPU {
+	c := host.NewCPU(mem.New())
+	for r := 0; r < host.NumRegs; r++ {
+		c.R[r] = 0x1111_1111 * uint32(r+1)
+	}
+	c.R[host.EBP] = envBase
+	c.R[host.ESP] = stackTop
+	for x := 0; x < host.NumXRegs; x++ {
+		c.X[x] = 0x3f80_0000 + uint32(x) // 1.0f, 1.0f+eps bit patterns...
+	}
+	c.Flags = host.Flags{CF: true, SF: true}
+	c.Mem.Write32(envBase+uint32(dataOff), 0xdead_beef)
+	c.Mem.Write32(envBase+uint32(dataOff2), 0x0000_00a5)
+	return c
+}
+
+// TestLegalizeSemanticEquivalence executes each CISC-shaped sequence
+// both raw and legalized on identically seeded CPUs and requires the
+// architectural outcomes to agree: every register (the legalizer must
+// restore its scratches), the flags (inserted moves must stay
+// flag-transparent), the exit pc, and all memory except the reserved
+// env.OffLegal save slots.
+func TestLegalizeSemanticEquivalence(t *testing.T) {
+	md := func(off int32) host.Operand { return host.Mem(host.EBP, off) }
+	cases := []struct {
+		name string
+		seq  []host.Inst
+	}{
+		{"store-imm", []host.Inst{host.I(host.MOVL, md(dataOff), host.Imm(42))}},
+		{"mem-dst-add", []host.Inst{host.I(host.ADDL, md(dataOff), host.R(host.ECX))}},
+		{"mem-src-sub", []host.Inst{host.I(host.SUBL, host.R(host.EDX), md(dataOff))}},
+		{"mem-dst-adc-cf-in", []host.Inst{host.I(host.ADCL, md(dataOff), host.Imm(1))}},
+		{"mem-dst-sbb-cf-in", []host.Inst{host.I(host.SBBL, md(dataOff), host.R(host.EBX))}},
+		{"mem-mem-chain", []host.Inst{
+			host.I(host.ADDL, md(dataOff), md(dataOff2)),
+			host.I(host.ADCL, host.R(host.EAX), md(dataOff)),
+		}},
+		{"not-mem", []host.Inst{host.I1(host.NOTL, md(dataOff))}},
+		{"neg-mem", []host.Inst{host.I1(host.NEGL, md(dataOff))}},
+		{"cmp-mem-imm", []host.Inst{host.I(host.CMPL, md(dataOff), host.Imm(5))}},
+		{"cmp-reg-mem", []host.Inst{host.I(host.CMPL, host.R(host.ESI), md(dataOff))}},
+		{"test-mem", []host.Inst{host.I(host.TESTL, md(dataOff), host.Imm(0xff))}},
+		{"movzbl-mem-dst", []host.Inst{host.I(host.MOVZBL, md(dataOff), host.R(host.ECX))}},
+		{"bsr-mem-src", []host.Inst{host.I(host.BSRL, host.R(host.EAX), md(dataOff2))}},
+		{"bsr-src-zero-keeps-dst", []host.Inst{
+			host.I(host.MOVL, md(dataOff), host.Imm(0)),
+			host.I(host.BSRL, host.R(host.EAX), md(dataOff)),
+		}},
+		{"lea-mem-dst", []host.Inst{host.I(host.LEAL, md(dataOff), host.MemIdx(host.ESI, host.EDI, 2, 12))}},
+		{"setcc-mem", []host.Inst{
+			host.I(host.CMPL, host.R(host.ECX), host.R(host.ECX)),
+			{Op: host.SETCC, Cond: host.E, Dst: md(dataOff)},
+		}},
+		{"push-imm", []host.Inst{host.I1(host.PUSHL, host.Imm(77))}},
+		{"push-mem", []host.Inst{host.I1(host.PUSHL, md(dataOff))}},
+		{"push-pop-mem", []host.Inst{
+			host.I1(host.PUSHL, host.R(host.EDX)),
+			host.I1(host.POPL, md(dataOff)),
+		}},
+		{"movss-imm", []host.Inst{host.I(host.MOVSS, md(dataOff), host.Imm(0x40490fdb))}},
+		{"movss-mem-mem", []host.Inst{host.I(host.MOVSS, md(dataOff), md(dataOff2))}},
+		{"addss-mem-src", []host.Inst{host.I(host.ADDSS, host.X(0), md(dataOff))}},
+		{"mulss-mem-dst", []host.Inst{host.I(host.MULSS, md(dataOff), host.X(1))}},
+		{"ucomiss-mem", []host.Inst{host.I(host.UCOMISS, md(dataOff), host.X(0))}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			seq := append(append([]host.Inst{}, tc.seq...), host.Exit(host.Imm(0x1234)))
+			leg, _, err := legalize(seq, nil)
+			if err != nil {
+				t.Fatalf("legalize: %v", err)
+			}
+			for i, in := range leg {
+				if _, err := Encode(in); err != nil {
+					t.Fatalf("legalized inst %d (%v) not encodable: %v", i, in, err)
+				}
+			}
+			c0, c1 := newTestCPU(), newTestCPU()
+			r0, err0 := c0.Exec(host.NewBlock(seq, nil), 1000)
+			r1, err1 := c1.Exec(host.NewBlock(leg, nil), 1000)
+			if err0 != nil || err1 != nil {
+				t.Fatalf("exec: raw %v, legalized %v", err0, err1)
+			}
+			if r0.NextPC != r1.NextPC {
+				t.Fatalf("next pc: raw %#x, legalized %#x", r0.NextPC, r1.NextPC)
+			}
+			if c0.Flags != c1.Flags {
+				t.Fatalf("flags diverge: raw %v, legalized %v", c0.Flags, c1.Flags)
+			}
+			if c0.R != c1.R {
+				t.Fatalf("registers diverge:\nraw       %v\nlegalized %v", c0.R, c1.R)
+			}
+			if c0.X != c1.X {
+				t.Fatalf("xmm registers diverge:\nraw       %v\nlegalized %v", c0.X, c1.X)
+			}
+			for off := int32(-64); off < dataOff2+64; off += 4 {
+				if off == env.OffLegal0 || off == env.OffLegal1 {
+					continue // reserved save slots; contents are scratch
+				}
+				a := envBase + uint32(off)
+				if w, g := c0.Mem.Read32(a), c1.Mem.Read32(a); w != g {
+					t.Fatalf("memory diverges at env+%d: raw %#x, legalized %#x", off, w, g)
+				}
+			}
+			for a := stackTop - 16; a < stackTop; a += 4 {
+				if w, g := c0.Mem.Read32(a), c1.Mem.Read32(a); w != g {
+					t.Fatalf("stack diverges at %#x: raw %#x, legalized %#x", a, w, g)
+				}
+			}
+		})
+	}
+}
+
+// TestExitTBMemLegalized pins the one deliberate non-restoring rewrite:
+// an ExitTB with a memory operand clobbers a scratch register without
+// saving it (the block ends, non-reserved registers are dead), but the
+// exit pc must still be the loaded value.
+func TestExitTBMemLegalized(t *testing.T) {
+	seq := []host.Inst{host.Exit(host.Mem(host.EBP, dataOff))}
+	leg, _, err := legalize(seq, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newTestCPU()
+	res, err := c.Exec(host.NewBlock(leg, nil), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NextPC != 0xdead_beef {
+		t.Fatalf("exit pc = %#x, want the loaded memory word", res.NextPC)
+	}
+}
+
+// TestRiscFinalizeLabelRemap assembles a branchy block whose body grows
+// under legalization and checks that Finalize re-binds the labels: the
+// taken branch must skip the (expanded) then-arm exactly.
+func TestRiscFinalizeLabelRemap(t *testing.T) {
+	be := MustLookup("risc")
+	a := host.NewAsm()
+	skip := a.NewLabel()
+	// CF is seeded set, so JCC(CondB) is taken and the mem-dst ADDL
+	// (which legalizes to a multi-instruction sequence) must be jumped
+	// over in the rewritten stream too.
+	a.Emit(host.Jcc(host.B, skip))
+	a.Emit(host.I(host.ADDL, host.Mem(host.EBP, dataOff), host.Imm(99)))
+	a.Bind(skip)
+	a.Emit(host.I(host.MOVL, host.R(host.EAX), host.Imm(7)))
+	a.Emit(host.Exit(host.Imm(0x40)))
+
+	hb, err := be.Finalize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hb.Insts) <= a.Len() {
+		t.Fatalf("legalization did not expand the block (%d insts)", len(hb.Insts))
+	}
+	c := newTestCPU()
+	res, err := c.Exec(hb, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NextPC != 0x40 {
+		t.Fatalf("exit pc = %#x, want 0x40", res.NextPC)
+	}
+	if c.R[host.EAX] != 7 {
+		t.Fatalf("fall-through target not reached: eax = %#x", c.R[host.EAX])
+	}
+	if got := c.Mem.Read32(envBase + uint32(dataOff)); got != 0xdead_beef {
+		t.Fatalf("skipped then-arm executed: mem = %#x", got)
+	}
+}
+
+// TestX86FinalizePassthrough checks the default backend's Finalize is
+// the plain assembler block: no rewrites, byte-identical instructions.
+func TestX86FinalizePassthrough(t *testing.T) {
+	be := MustLookup("x86")
+	a := host.NewAsm()
+	a.Emit(host.I(host.ADDL, host.Mem(host.EBP, dataOff), host.Imm(99)))
+	a.Emit(host.Exit(host.Imm(0)))
+	hb, err := be.Finalize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hb.Insts) != 2 {
+		t.Fatalf("x86 Finalize rewrote the block: %d insts", len(hb.Insts))
+	}
+	if fmt.Sprint(hb.Insts) != fmt.Sprint(a.Insts()) {
+		t.Fatalf("x86 Finalize altered instructions:\n%v\n%v", hb.Insts, a.Insts())
+	}
+}
+
+// TestCheckRuleInstRejectsUnrewritable ensures the admission check
+// refuses what the legalizer cannot express rather than deferring the
+// failure to Finalize.
+func TestCheckRuleInstRejectsUnrewritable(t *testing.T) {
+	risc := MustLookup("risc")
+	// A register-form ADDL is fine as-is.
+	if err := risc.CheckRuleInst(host.I(host.ADDL, host.R(host.EAX), host.Imm(1))); err != nil {
+		t.Fatalf("reg-form ADDL rejected: %v", err)
+	}
+	// A memory-destination ADDL is admissible via rewrite.
+	if err := risc.CheckRuleInst(host.I(host.ADDL, host.Mem(host.EBP, 4), host.Imm(1))); err != nil {
+		t.Fatalf("mem-dst ADDL (legalizable) rejected: %v", err)
+	}
+	// But the strict encoder predicate must reject it.
+	if err := risc.CheckInst(host.I(host.ADDL, host.Mem(host.EBP, 4), host.Imm(1))); err == nil {
+		t.Fatal("CheckInst accepted a memory-operand ALU instruction")
+	}
+	if err := MustLookup("x86").CheckRuleInst(host.I(host.ADDL, host.Mem(host.EBP, 4), host.Imm(1))); err != nil {
+		t.Fatalf("x86 rejected a native instruction: %v", err)
+	}
+}

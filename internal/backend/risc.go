@@ -1,0 +1,522 @@
+package backend
+
+import (
+	"fmt"
+
+	"paramdbt/internal/env"
+	"paramdbt/internal/guest"
+	"paramdbt/internal/host"
+	"paramdbt/internal/symexec"
+	"paramdbt/internal/tcg"
+)
+
+// riscBackend is the second host target: a RISC-style machine that
+// shares the host simulator's instruction vocabulary but accepts only a
+// load/store discipline — ALU, compare and conditional-set operations
+// take register/immediate operands, and memory is touched only by plain
+// loads and stores. Its encoder is the guest ISA machinery itself:
+// every accepted instruction maps onto one ARM-like guest mnemonic
+// (Encode), which is how the backend proves "this RISC host could
+// really encode that".
+//
+// Rather than duplicating the lowering pipeline, the backend legalizes
+// at Finalize time: both rule bodies and TCG-lowered code land in the
+// same assembler, and one rewrite pass replaces each CISC-shaped
+// instruction (memory-operand ALU, store-of-immediate, ...) with loads
+// and stores around a register-form core. Every inserted instruction is
+// a plain move, which the host CPU executes without touching EFLAGS, so
+// the rewrite preserves flag semantics exactly: the original operation
+// still executes once, on register operands, producing the same flags,
+// and ADCL/SBBL still consume the CF that was live before the sequence.
+// Scratch registers are saved to the reserved env.OffLegal0/OffLegal1
+// slots (never env.OffBorrow — the instruction being legalized may sit
+// inside a tcg borrow window) and restored afterwards, so register
+// state is transparent too.
+type riscBackend struct{}
+
+func init() { Register(riscBackend{}) }
+
+func (riscBackend) Name() string { return "risc" }
+
+func (riscBackend) ID() uint8 { return 1 }
+
+// BlockRegs pins fewer guest registers than x86: a RISC target spends
+// more of its file on the legalizer's load/store traffic, and the
+// narrower set exercises the memory-operand rewrite paths.
+func (riscBackend) BlockRegs() []host.Reg { return []host.Reg{host.ESI, host.EDI} }
+
+// TempPool keeps EAX/ECX first (the manual-rule recipes and block
+// terminators hard-code them as translator temporaries) and donates EBX
+// as the staging register.
+func (riscBackend) TempPool() []host.Reg {
+	return []host.Reg{host.EAX, host.ECX, host.EDX, host.EBX}
+}
+
+// Lower shares the TCG instruction emitter with x86; the RISC
+// discipline is imposed afterwards by Finalize, uniformly over rule
+// bodies and fallback code.
+func (riscBackend) Lower(a *host.Asm, g *tcg.Gen, mapf func(guest.Reg) host.Operand, pool []host.Reg) error {
+	return tcg.Lower(a, g, mapf, pool)
+}
+
+// CheckRuleInst admits an instantiated rule-body instruction iff the
+// legalizer can rewrite it into encodable form.
+func (riscBackend) CheckRuleInst(in host.Inst) error {
+	_, err := legalizeInst(in)
+	return err
+}
+
+// CheckInst is the encoder's acceptance predicate: an instruction is
+// encodable iff it maps onto a guest mnemonic.
+func (riscBackend) CheckInst(in host.Inst) error {
+	_, err := Encode(in)
+	return err
+}
+
+// Finalize legalizes the assembled stream, re-binds labels onto the
+// rewritten indices, and verifies the result against the encoder.
+func (riscBackend) Finalize(a *host.Asm) (*host.Block, error) {
+	insts, labels, err := legalize(a.Insts(), a.Labels())
+	if err != nil {
+		return nil, fmt.Errorf("risc finalize: %w", err)
+	}
+	for i, in := range insts {
+		if _, err := Encode(in); err != nil {
+			return nil, fmt.Errorf("risc finalize: post-legalize inst %d (%v): %w", i, in, err)
+		}
+	}
+	return host.NewBlock(insts, labels), nil
+}
+
+// EvalHost audits a rule body for this backend: the sequence must
+// legalize into encodable form (the proof the RISC encoder can emit
+// it), and is then evaluated pre-legalization — the rewrite is
+// semantics-preserving, and evaluating the original keeps instruction
+// indices stable for the auditor's immediate hooks.
+func (b riscBackend) EvalHost(seq []host.Inst, init map[host.Reg]*symexec.Expr, hook symexec.ImmHook) (*symexec.HState, error) {
+	leg, _, err := legalize(seq, nil)
+	if err != nil {
+		return nil, fmt.Errorf("risc: %w", err)
+	}
+	for i, in := range leg {
+		if _, err := Encode(in); err != nil {
+			return nil, fmt.Errorf("risc: legalized inst %d (%v): %w", i, in, err)
+		}
+	}
+	return symexec.EvalHostChecked(seq, init, hook, b.CheckRuleInst)
+}
+
+// Encode maps one RISC-legal host instruction onto the guest ISA
+// mnemonic the backend encodes it as (the "guest ISA as encoder"
+// seam). It is the single source of truth for what the backend
+// accepts; anything it rejects must be rewritten by the legalizer.
+func Encode(in host.Inst) (guest.Op, error) {
+	reg := func(o host.Operand) bool { return o.Kind == host.KindReg }
+	mem := func(o host.Operand) bool { return o.Kind == host.KindMem }
+	xreg := func(o host.Operand) bool { return o.Kind == host.KindXReg }
+	regimm := func(o host.Operand) bool {
+		return o.Kind == host.KindReg || o.Kind == host.KindImm
+	}
+	alu := func(op guest.Op) (guest.Op, error) {
+		if reg(in.Dst) && regimm(in.Src) {
+			return op, nil
+		}
+		return guest.BAD, fmt.Errorf("risc: %v needs reg dst and reg/imm src", in)
+	}
+	switch in.Op {
+	case host.MOVL:
+		switch {
+		case reg(in.Dst) && regimm(in.Src):
+			return guest.MOV, nil
+		case reg(in.Dst) && mem(in.Src):
+			return guest.LDR, nil
+		case mem(in.Dst) && reg(in.Src):
+			return guest.STR, nil
+		}
+	case host.MOVZBL:
+		switch {
+		case reg(in.Dst) && mem(in.Src):
+			return guest.LDRB, nil
+		case reg(in.Dst) && reg(in.Src):
+			return guest.AND, nil // zero-extend = and #0xff
+		}
+	case host.MOVB:
+		switch {
+		case mem(in.Dst) && reg(in.Src):
+			return guest.STRB, nil
+		case reg(in.Dst) && mem(in.Src):
+			return guest.LDRB, nil
+		case reg(in.Dst) && regimm(in.Src):
+			return guest.BIC, nil // byte insert: bic #0xff + orr pair
+		}
+	case host.ADDL:
+		return alu(guest.ADD)
+	case host.ADCL:
+		return alu(guest.ADC)
+	case host.SUBL:
+		return alu(guest.SUB)
+	case host.SBBL:
+		return alu(guest.SBC)
+	case host.ANDL:
+		return alu(guest.AND)
+	case host.ORL:
+		return alu(guest.ORR)
+	case host.XORL:
+		return alu(guest.EOR)
+	case host.IMULL:
+		return alu(guest.MUL)
+	case host.SHLL:
+		return alu(guest.LSL)
+	case host.SHRL:
+		return alu(guest.LSR)
+	case host.SARL:
+		return alu(guest.ASR)
+	case host.RORL:
+		return alu(guest.ROR)
+	case host.NOTL:
+		if reg(in.Dst) {
+			return guest.MVN, nil
+		}
+	case host.NEGL:
+		if reg(in.Dst) {
+			return guest.RSB, nil // neg = rsb #0
+		}
+	case host.CMPL:
+		if reg(in.Dst) && regimm(in.Src) {
+			return guest.CMP, nil
+		}
+	case host.TESTL:
+		if reg(in.Dst) && regimm(in.Src) {
+			return guest.TST, nil
+		}
+	case host.LEAL:
+		if reg(in.Dst) && mem(in.Src) {
+			return guest.ADD, nil // address arithmetic
+		}
+	case host.BSRL:
+		if reg(in.Dst) && reg(in.Src) {
+			return guest.CLZ, nil // bsr = 31 - clz
+		}
+	case host.SETCC:
+		if reg(in.Dst) {
+			return guest.MOV, nil // conditional select (mov<cc> #1 / #0)
+		}
+	case host.PUSHL:
+		if reg(in.Dst) {
+			return guest.PUSH, nil
+		}
+	case host.POPL:
+		if reg(in.Dst) {
+			return guest.POP, nil
+		}
+	case host.JMP:
+		return guest.B, nil
+	case host.JCC:
+		return guest.B, nil // b<cc>
+	case host.CALL:
+		return guest.BL, nil
+	case host.RET:
+		return guest.BX, nil
+	case host.MOVSS:
+		switch {
+		case xreg(in.Dst) && xreg(in.Src):
+			return guest.FMOV, nil
+		case xreg(in.Dst) && mem(in.Src):
+			return guest.FLDR, nil
+		case mem(in.Dst) && xreg(in.Src):
+			return guest.FSTR, nil
+		}
+	case host.ADDSS:
+		if xreg(in.Dst) && xreg(in.Src) {
+			return guest.FADD, nil
+		}
+	case host.SUBSS:
+		if xreg(in.Dst) && xreg(in.Src) {
+			return guest.FSUB, nil
+		}
+	case host.MULSS:
+		if xreg(in.Dst) && xreg(in.Src) {
+			return guest.FMUL, nil
+		}
+	case host.DIVSS:
+		if xreg(in.Dst) && xreg(in.Src) {
+			return guest.FDIV, nil
+		}
+	case host.UCOMISS:
+		if xreg(in.Dst) && xreg(in.Src) {
+			return guest.FCMP, nil
+		}
+	case host.ExitTB:
+		if regimm(in.Dst) {
+			return guest.BX, nil // control glue: indirect exit
+		}
+	}
+	return guest.BAD, fmt.Errorf("risc: cannot encode %v", in)
+}
+
+// scratchOrder is the deterministic preference order for legalizer
+// scratch registers; EBP (state base) and ESP (host stack) are never
+// candidates.
+var scratchOrder = [...]host.Reg{host.EAX, host.ECX, host.EDX, host.EBX, host.ESI, host.EDI}
+
+// refRegs marks every register an instruction references (so the
+// legalizer never borrows one of them), plus the two reserved ones.
+func refRegs(in host.Inst) (used [host.NumRegs]bool) {
+	used[host.EBP], used[host.ESP] = true, true
+	mark := func(o host.Operand) {
+		switch o.Kind {
+		case host.KindReg:
+			used[o.Reg] = true
+		case host.KindMem:
+			used[o.Base] = true
+			if o.Scale != 0 {
+				used[o.Index] = true
+			}
+		}
+	}
+	mark(in.Dst)
+	mark(in.Src)
+	return used
+}
+
+// legalSlots are the CPUState save slots the legalizer's borrows use;
+// an instruction needs at most two scratches (one per memory operand).
+var legalSlots = [2]int32{env.OffLegal0, env.OffLegal1}
+
+// legalizeInst rewrites one instruction into its RISC-legal sequence.
+// It returns (nil, nil) when the instruction is already encodable, and
+// an error when no rewrite exists. All inserted instructions inherit
+// the original's category, so the Table II expansion accounting
+// reflects the real RISC instruction counts.
+func legalizeInst(in host.Inst) ([]host.Inst, error) {
+	if _, err := Encode(in); err == nil {
+		return nil, nil
+	}
+	used := refRegs(in)
+	var usedX [host.NumXRegs]bool
+	if in.Dst.Kind == host.KindXReg {
+		usedX[in.Dst.XReg] = true
+	}
+	if in.Src.Kind == host.KindXReg {
+		usedX[in.Src.XReg] = true
+	}
+
+	var out, restores []host.Inst
+	nextSlot := 0
+	emit := func(i host.Inst) {
+		i.Cat = in.Cat
+		out = append(out, i)
+	}
+	// borrow saves a free register to a reserved slot and schedules its
+	// restore; the caller may clobber it in between.
+	borrow := func() host.Reg {
+		var scr host.Reg
+		found := false
+		for _, r := range scratchOrder {
+			if !used[r] {
+				scr, found = r, true
+				used[r] = true
+				break
+			}
+		}
+		if !found || nextSlot >= len(legalSlots) {
+			// Unreachable: an instruction references at most four of the
+			// six candidates and has at most two memory operands.
+			panic("backend: legalizer out of scratch registers")
+		}
+		slot := legalSlots[nextSlot]
+		nextSlot++
+		emit(host.I(host.MOVL, host.Mem(host.EBP, slot), host.R(scr)))
+		restores = append(restores,
+			host.I(host.MOVL, host.R(scr), host.Mem(host.EBP, slot)).WithCat(in.Cat))
+		return scr
+	}
+	borrowX := func() host.XReg {
+		var scr host.XReg
+		for r := host.NumXRegs - 1; r >= 0; r-- {
+			if !usedX[r] {
+				scr = host.XReg(r)
+				usedX[r] = true
+				break
+			}
+		}
+		if nextSlot >= len(legalSlots) {
+			panic("backend: legalizer out of save slots")
+		}
+		slot := legalSlots[nextSlot]
+		nextSlot++
+		emit(host.I(host.MOVSS, host.Mem(host.EBP, slot), host.X(scr)))
+		restores = append(restores,
+			host.I(host.MOVSS, host.X(scr), host.Mem(host.EBP, slot)).WithCat(in.Cat))
+		return scr
+	}
+	// loadSrc materializes a memory source into a borrowed register.
+	loadSrc := func(o host.Operand) host.Operand {
+		s := borrow()
+		emit(host.I(host.MOVL, host.R(s), o))
+		return host.R(s)
+	}
+
+	switch in.Op {
+	case host.MOVL, host.MOVB:
+		// Store of an immediate or memory-to-memory move: stage through
+		// a register (a 32-bit load covers MOVB's read-then-truncate).
+		scr := borrow()
+		emit(host.I(host.MOVL, host.R(scr), in.Src))
+		emit(host.I(in.Op, in.Dst, host.R(scr)))
+
+	case host.MOVZBL:
+		// Memory destination: extend into a register, then store.
+		scr := borrow()
+		emit(host.I(host.MOVZBL, host.R(scr), in.Src))
+		emit(host.I(host.MOVL, in.Dst, host.R(scr)))
+
+	case host.ADDL, host.ADCL, host.SUBL, host.SBBL, host.ANDL, host.ORL,
+		host.XORL, host.IMULL, host.SHLL, host.SHRL, host.SARL, host.RORL:
+		src := in.Src
+		if src.Kind == host.KindMem {
+			src = loadSrc(src)
+		}
+		if in.Dst.Kind == host.KindMem {
+			d := borrow()
+			emit(host.I(host.MOVL, host.R(d), in.Dst))
+			emit(host.I(in.Op, host.R(d), src))
+			emit(host.I(host.MOVL, in.Dst, host.R(d)))
+		} else {
+			emit(host.I(in.Op, in.Dst, src))
+		}
+
+	case host.NOTL, host.NEGL:
+		d := borrow()
+		emit(host.I(host.MOVL, host.R(d), in.Dst))
+		emit(host.I1(in.Op, host.R(d)))
+		emit(host.I(host.MOVL, in.Dst, host.R(d)))
+
+	case host.CMPL, host.TESTL:
+		dst, src := in.Dst, in.Src
+		if dst.Kind != host.KindReg {
+			d := borrow()
+			emit(host.I(host.MOVL, host.R(d), dst))
+			dst = host.R(d)
+		}
+		if src.Kind == host.KindMem {
+			src = loadSrc(src)
+		}
+		emit(host.I(in.Op, dst, src))
+
+	case host.BSRL:
+		src := in.Src
+		if src.Kind == host.KindMem {
+			src = loadSrc(src)
+		}
+		if in.Dst.Kind == host.KindMem {
+			d := borrow()
+			// Load the old value first: BSRL leaves dst unchanged when
+			// the source is zero.
+			emit(host.I(host.MOVL, host.R(d), in.Dst))
+			emit(host.I(host.BSRL, host.R(d), src))
+			emit(host.I(host.MOVL, in.Dst, host.R(d)))
+		} else {
+			emit(host.I(host.BSRL, in.Dst, src))
+		}
+
+	case host.LEAL:
+		d := borrow()
+		emit(host.I(host.LEAL, host.R(d), in.Src))
+		emit(host.I(host.MOVL, in.Dst, host.R(d)))
+
+	case host.SETCC:
+		d := borrow()
+		emit(host.Inst{Op: host.SETCC, Cond: in.Cond, Dst: host.R(d)})
+		emit(host.I(host.MOVL, in.Dst, host.R(d)))
+
+	case host.PUSHL:
+		d := borrow()
+		emit(host.I(host.MOVL, host.R(d), in.Dst))
+		emit(host.I1(host.PUSHL, host.R(d)))
+
+	case host.POPL:
+		d := borrow()
+		emit(host.I1(host.POPL, host.R(d)))
+		emit(host.I(host.MOVL, in.Dst, host.R(d)))
+
+	case host.ExitTB:
+		// The block ends here, so the scratch needs no save/restore:
+		// non-reserved host registers are dead across blocks.
+		for _, r := range scratchOrder {
+			if !used[r] {
+				emit(host.I(host.MOVL, host.R(r), in.Dst))
+				emit(host.Exit(host.R(r)))
+				return out, nil
+			}
+		}
+		panic("backend: legalizer out of scratch registers")
+
+	case host.MOVSS:
+		if in.Src.Kind == host.KindImm {
+			// A 32-bit integer store writes the same bit pattern.
+			d := borrow()
+			emit(host.I(host.MOVL, host.R(d), in.Src))
+			emit(host.I(host.MOVL, in.Dst, host.R(d)))
+		} else {
+			x := borrowX()
+			emit(host.I(host.MOVSS, host.X(x), in.Src))
+			emit(host.I(host.MOVSS, in.Dst, host.X(x)))
+		}
+
+	case host.ADDSS, host.SUBSS, host.MULSS, host.DIVSS, host.UCOMISS:
+		src := in.Src
+		if src.Kind == host.KindMem {
+			xs := borrowX()
+			emit(host.I(host.MOVSS, host.X(xs), src))
+			src = host.X(xs)
+		}
+		if in.Dst.Kind == host.KindMem {
+			xd := borrowX()
+			emit(host.I(host.MOVSS, host.X(xd), in.Dst))
+			emit(host.I(in.Op, host.X(xd), src))
+			if in.Op != host.UCOMISS { // compares write no destination
+				emit(host.I(host.MOVSS, in.Dst, host.X(xd)))
+			}
+		} else {
+			emit(host.I(in.Op, in.Dst, src))
+		}
+
+	default:
+		return nil, fmt.Errorf("risc: cannot legalize %v", in)
+	}
+
+	return append(out, restores...), nil
+}
+
+// legalize rewrites a full instruction stream and re-binds labels onto
+// the rewritten indices. A nil labels map is allowed (straight-line
+// rule bodies have no labels).
+func legalize(insts []host.Inst, labels map[int]int) ([]host.Inst, map[int]int, error) {
+	newStart := make([]int, len(insts)+1)
+	out := make([]host.Inst, 0, len(insts))
+	for i, in := range insts {
+		newStart[i] = len(out)
+		repl, err := legalizeInst(in)
+		if err != nil {
+			return nil, nil, fmt.Errorf("inst %d (%v): %w", i, in, err)
+		}
+		if repl == nil {
+			out = append(out, in)
+		} else {
+			out = append(out, repl...)
+		}
+	}
+	newStart[len(insts)] = len(out)
+	var newLabels map[int]int
+	if labels != nil {
+		newLabels = make(map[int]int, len(labels))
+		for id, idx := range labels {
+			if idx < 0 || idx > len(insts) {
+				return nil, nil, fmt.Errorf("label %d binds out-of-range index %d", id, idx)
+			}
+			newLabels[id] = newStart[idx]
+		}
+	}
+	return out, newLabels, nil
+}

@@ -1,0 +1,44 @@
+package backend
+
+import (
+	"paramdbt/internal/guest"
+	"paramdbt/internal/host"
+	"paramdbt/internal/symexec"
+	"paramdbt/internal/tcg"
+)
+
+// x86Backend is the original host target: the full two-operand CISC ISA
+// of internal/host, encoded verbatim. Its hooks are deliberately thin —
+// Lower is tcg.Lower, Finalize is Asm.Block — so the hot translation
+// path is byte-identical to the pre-backend pipeline.
+type x86Backend struct{}
+
+func init() { Register(x86Backend{}) }
+
+func (x86Backend) Name() string { return "x86" }
+
+// ID 0 keeps x86 fingerprints identical to the historical seed (see
+// rule.KeyFpSeedFor), so caches and BENCH baselines recorded before the
+// backend seam stay comparable.
+func (x86Backend) ID() uint8 { return 0 }
+
+func (x86Backend) BlockRegs() []host.Reg { return []host.Reg{host.EBX, host.ESI, host.EDI} }
+
+func (x86Backend) TempPool() []host.Reg { return []host.Reg{host.EAX, host.ECX, host.EDX} }
+
+func (x86Backend) Lower(a *host.Asm, g *tcg.Gen, mapf func(guest.Reg) host.Operand, pool []host.Reg) error {
+	return tcg.Lower(a, g, mapf, pool)
+}
+
+// CheckRuleInst accepts everything: learned rule bodies are drawn from
+// the same ISA the encoder implements.
+func (x86Backend) CheckRuleInst(host.Inst) error { return nil }
+
+// CheckInst accepts everything the host simulator executes.
+func (x86Backend) CheckInst(host.Inst) error { return nil }
+
+func (x86Backend) Finalize(a *host.Asm) (*host.Block, error) { return a.Block(), nil }
+
+func (x86Backend) EvalHost(seq []host.Inst, init map[host.Reg]*symexec.Expr, hook symexec.ImmHook) (*symexec.HState, error) {
+	return symexec.EvalHostChecked(seq, init, hook, nil)
+}

@@ -21,10 +21,17 @@ type cacheShard struct {
 
 type codeCache struct {
 	shards [cacheShards]cacheShard
+	// bmix folds the host backend id into the shard hash, namespacing
+	// shard placement per backend exactly like rule.KeyFpSeedFor
+	// namespaces retrieval keys — a cache warmed under one backend can
+	// never alias the shard layout of another. Zero for backend 0, so
+	// the historical x86 placement (and BENCH_dispatch.json) is
+	// unchanged.
+	bmix uint32
 }
 
-func newCodeCache() *codeCache {
-	c := &codeCache{}
+func newCodeCache(bid uint8) *codeCache {
+	c := &codeCache{bmix: uint32(bid) * 0x9e3779b9}
 	for i := range c.shards {
 		c.shards[i].m = make(map[uint32]*tblock)
 	}
@@ -34,7 +41,7 @@ func newCodeCache() *codeCache {
 // shard picks the shard for a pc. Guest pcs are word-aligned, so the
 // two low bits carry no information and are discarded before hashing.
 func (c *codeCache) shard(pc uint32) *cacheShard {
-	h := (pc >> 2) * 2654435761 // Knuth's multiplicative hash
+	h := ((pc >> 2) ^ c.bmix) * 2654435761 // Knuth's multiplicative hash
 	return &c.shards[h>>(32-cacheShardBits)]
 }
 

@@ -29,6 +29,7 @@ import (
 	"os"
 	"time"
 
+	"paramdbt/internal/backend"
 	"paramdbt/internal/env"
 	"paramdbt/internal/guard"
 	"paramdbt/internal/guest"
@@ -50,6 +51,13 @@ const maxBlockInsts = 512
 type Config struct {
 	// Rules is the rule store (nil for the pure-QEMU baseline).
 	Rules *rule.Store
+	// Backend is the host backend the engine translates for: register
+	// policy, instruction emitter, encoder and finalize pass (see
+	// internal/backend). Nil selects backend.Default(), i.e. x86 or the
+	// PARAMDBT_BACKEND environment override. New rekeys the rule store
+	// and namespaces the code cache by the backend id, so stores and
+	// caches never alias across backends.
+	Backend backend.Backend
 	// DelegateFlags enables condition-flag delegation and the use of
 	// derived flag-setting rules (the paper's "condition" factor).
 	DelegateFlags bool
@@ -189,6 +197,12 @@ type Engine struct {
 	spec  *specPool    // live while Run executes with TranslateWorkers > 0
 	met   *engineMetrics
 	guard *guardState // non-nil when shadow verification is configured
+
+	// be is the resolved host backend; blockRegs/tempPool cache its
+	// register policy so the translation hot path never re-queries it.
+	be        backend.Backend
+	blockRegs []host.Reg
+	tempPool  []host.Reg
 }
 
 // tblock is one cached translation. The hb/insts/counter fields are
@@ -274,6 +288,17 @@ func New(m *mem.Memory, cfg Config) *Engine {
 		// Guarded runs degrade gracefully instead of aborting.
 		cfg.InterpFallback = true
 	}
+	be := cfg.Backend
+	if be == nil {
+		be = backend.Default()
+		cfg.Backend = be
+	}
+	if cfg.Rules != nil {
+		// Rekey retrieval fingerprints (and hence every MissSet memo)
+		// into the backend's namespace; quarantine state is
+		// backend-neutral and survives the rekey.
+		cfg.Rules.SetBackendID(be.ID())
+	}
 	cpu := host.NewCPU(m)
 	cpu.R[host.EBP] = env.StateBase
 	cpu.R[host.ESP] = env.HostStackTop
@@ -284,7 +309,8 @@ func New(m *mem.Memory, cfg Config) *Engine {
 	if cfg.Trace != nil {
 		reg.SetTraceRing(cfg.Trace)
 	}
-	e := &Engine{Cfg: cfg, Mem: m, CPU: cpu, cache: newCodeCache(), met: newEngineMetrics(reg)}
+	e := &Engine{Cfg: cfg, Mem: m, CPU: cpu, cache: newCodeCache(be.ID()), met: newEngineMetrics(reg),
+		be: be, blockRegs: be.BlockRegs(), tempPool: be.TempPool()}
 	if shadowOn {
 		e.guard = &guardState{sampler: guard.NewSampler(guard.Policy{
 			Rate:         cfg.ShadowRate,

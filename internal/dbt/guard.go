@@ -177,7 +177,7 @@ func (e *Engine) shadowCheck(tb *tblock, sc *shadowCtx, pc, gotNext uint32) (uin
 	}
 	if len(e.guard.divergences) < maxDivergenceLog {
 		e.guard.divergences = append(e.guard.divergences, guard.Divergence{
-			PC: pc, Exec: sc.exec, Mismatches: mm, Blamed: blamed,
+			PC: pc, Exec: sc.exec, Backend: e.be.Name(), Mismatches: mm, Blamed: blamed,
 		})
 	}
 

@@ -1,9 +1,11 @@
 package dbt
 
 import (
+	"bytes"
 	"errors"
 	"testing"
 
+	"paramdbt/internal/backend"
 	"paramdbt/internal/core"
 	"paramdbt/internal/env"
 	"paramdbt/internal/guard/faultinject"
@@ -122,6 +124,76 @@ func TestShadowDetectsCorruptRule(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("corrupted fingerprint missing from quarantine entries: %+v", entries)
+	}
+}
+
+// TestQuarantinePersistsAcrossBackends is the cross-backend restart
+// scenario: a rule corrupted and quarantined while running under
+// backend A must stay quarantined when the persisted rule table and
+// quarantine file are reloaded into an engine built for backend B —
+// quarantine entries are keyed by backend-neutral rule fingerprints,
+// while only retrieval keys are backend-namespaced.
+func TestQuarantinePersistsAcrossBackends(t *testing.T) {
+	c := compileT(t, testProgram())
+	want := interpret(t, c)
+	_, par := learnRules(t, testProgram(), core.Config{Opcode: true, AddrMode: true})
+	bad := corruptUsedAddRule(t, c, par)
+
+	// Backend A (x86): shadow verification catches the corruption and
+	// quarantines the rule.
+	ea := startEngine(t, c, Config{
+		Rules: par, DelegateFlags: true, ShadowRate: 1,
+		Backend: backend.MustLookup("x86"),
+	})
+	if _, err := ea.Run(env.CodeBase, 100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !par.IsQuarantined(bad) {
+		t.Fatal("backend A run did not quarantine the corrupted rule")
+	}
+
+	// Persist both the table (still holding the corrupted host code) and
+	// the quarantine set, exactly what -quarantine-file does.
+	var tbuf, qbuf bytes.Buffer
+	if err := par.Save(&tbuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := rule.SaveQuarantine(&qbuf, par.Quarantined()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart under backend B (risc) from the persisted state.
+	loaded, err := rule.Load(bytes.NewReader(tbuf.Bytes()), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := rule.LoadQuarantine(bytes.NewReader(qbuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := loaded.ApplyQuarantine(entries); n == 0 {
+		t.Fatal("persisted quarantine matched no reloaded rules")
+	}
+	eb := startEngine(t, c, Config{
+		Rules: loaded, DelegateFlags: true, ShadowRate: 1,
+		Backend: backend.MustLookup("risc"),
+	})
+	stats, err := eb.Run(env.CodeBase, 100_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, want, eb.GuestState(), "backend B after quarantine reload")
+	if stats.Divergences != 0 {
+		t.Fatalf("backend B run diverged %d times: the quarantined corrupted rule must stay excluded", stats.Divergences)
+	}
+	reloadedBad := false
+	for _, tm := range loaded.All() {
+		if tm.Fingerprint() == bad.Fingerprint() {
+			reloadedBad = loaded.IsQuarantined(tm)
+		}
+	}
+	if !reloadedBad {
+		t.Fatal("corrupted rule not quarantined in the reloaded backend-B store")
 	}
 }
 

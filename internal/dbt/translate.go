@@ -13,11 +13,10 @@ import (
 	"paramdbt/internal/tcg"
 )
 
-// blockRegs are the host registers available for block-lifetime guest
-// register mapping; tempPool serves TCG temporaries, rule operand
-// staging and flag materialization.
-var blockRegs = []host.Reg{host.EBX, host.ESI, host.EDI}
-var tempPool = []host.Reg{host.EAX, host.ECX, host.EDX}
+// The engine's blockRegs (host registers available for block-lifetime
+// guest register mapping) and tempPool (TCG temporaries, rule operand
+// staging, flag materialization) are the backend's register policy,
+// cached on the Engine at construction.
 
 type pathKind uint8
 
@@ -114,7 +113,7 @@ func (e *Engine) translateWith(m *mem.Memory, pc uint32, miss *rule.MissSet, ski
 		if body[i].SetsFlags() {
 			need++ // flag materialization needs one free register
 		}
-		if need > len(tempPool) {
+		if need > len(e.tempPool) {
 			demote(plans, i)
 		}
 	}
@@ -220,8 +219,16 @@ func (e *Engine) translateWith(m *mem.Memory, pc uint32, miss *rule.MissSet, ski
 		}
 	}
 
+	// The backend finalizes the complete assembled stream — rule bodies
+	// and TCG-lowered code alike — applying any legalization its encoder
+	// requires before the block becomes executable.
+	hb, err := e.be.Finalize(a)
+	if err != nil {
+		return nil, err
+	}
+
 	return &tblock{
-		hb:         a.Block(),
+		hb:         hb,
 		insts:      insts,
 		nGuest:     uint64(n),
 		nCovered:   covered,
@@ -325,8 +332,8 @@ func (e *Engine) allocRegs(insts []guest.Inst) map[guest.Reg]host.Reg {
 		return list[i].r < list[j].r
 	})
 	m := map[guest.Reg]host.Reg{}
-	for i := 0; i < len(list) && i < len(blockRegs); i++ {
-		m[list[i].r] = blockRegs[i]
+	for i := 0; i < len(list) && i < len(e.blockRegs); i++ {
+		m[list[i].r] = e.blockRegs[i]
 	}
 	return m
 }
@@ -443,7 +450,7 @@ func sortedRegs(m map[guest.Reg]host.Reg) []guest.Reg {
 func (e *Engine) emitRule(a *host.Asm, head guest.Inst, p iplan, mapping map[guest.Reg]host.Reg) error {
 	t, b := p.tmpl, p.bind
 
-	free := append([]host.Reg(nil), tempPool...)
+	free := append([]host.Reg(nil), e.tempPool...)
 	take := func() (host.Reg, error) {
 		if len(free) == 0 {
 			return 0, fmt.Errorf("temp pool exhausted")
@@ -493,7 +500,7 @@ func (e *Engine) emitRule(a *host.Asm, head guest.Inst, p iplan, mapping map[gue
 		}
 		return 0, false
 	}
-	insts, err := rule.Instantiate(t, b, regOf, scratch)
+	insts, err := rule.InstantiateChecked(t, b, regOf, scratch, e.be.CheckRuleInst)
 	if err != nil {
 		return err
 	}
@@ -566,13 +573,22 @@ func writtenRegs(t *rule.Template, b rule.Binding) []guest.Reg {
 	return out
 }
 
+// lowerIR routes one generated IR sequence through the backend's
+// instruction emitter into the shared assembler — the single lowering
+// entry both the TCG fallback and the terminator's condition
+// evaluation use (they previously duplicated the NewGen/regmap/Lower
+// plumbing).
+func (e *Engine) lowerIR(a *host.Asm, g *tcg.Gen, mapping map[guest.Reg]host.Reg) error {
+	return e.be.Lower(a, g, e.regmap(mapping), e.tempPool)
+}
+
 // emitTCG lowers one guest instruction through the TCG pipeline.
 func (e *Engine) emitTCG(a *host.Asm, in guest.Inst, pc uint32, mapping map[guest.Reg]host.Reg) error {
 	g := tcg.NewGen(a.NewLabel)
 	if err := g.Translate(in, pc); err != nil {
 		return err
 	}
-	return tcg.Lower(a, g, e.regmap(mapping), tempPool)
+	return e.lowerIR(a, g, mapping)
 }
 
 func (e *Engine) regmap(mapping map[guest.Reg]host.Reg) func(guest.Reg) host.Operand {
@@ -641,7 +657,7 @@ func (e *Engine) emitTerminator(a *host.Asm, term guest.Inst, pc uint32, plans [
 			g := tcg.NewGen(a.NewLabel)
 			v := g.EvalCond(term.Cond)
 			g.Insts = append(g.Insts, tcg.Inst{Op: tcg.Brnz, A: v, Label: taken, Dst: -1})
-			if err := tcg.Lower(a, g, e.regmap(mapping), tempPool); err != nil {
+			if err := e.lowerIR(a, g, mapping); err != nil {
 				return false, err
 			}
 			retag(a, start, host.CatControl)

@@ -32,8 +32,15 @@ const (
 	// register it must temporarily borrow (never used for spills).
 	OffBorrow = OffScratch + 4*NumScratch
 
+	// OffLegal0/OffLegal1 are reserved slots for the backend legalizer's
+	// scratch registers. They must be distinct from OffBorrow: the
+	// legalizer may rewrite an instruction that sits inside a tcg borrow
+	// window, and sharing the slot would clobber the saved register.
+	OffLegal0 = OffBorrow + 4
+	OffLegal1 = OffBorrow + 8
+
 	// Size is the total CPUState size in bytes.
-	Size = OffBorrow + 4
+	Size = OffLegal1 + 4
 )
 
 // OffReg returns the CPUState offset of guest register i.

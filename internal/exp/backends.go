@@ -1,0 +1,102 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"paramdbt/internal/backend"
+	"paramdbt/internal/core"
+	"paramdbt/internal/dbt"
+)
+
+// The backend matrix experiment runs the full workload suite under each
+// registered host backend with shadow differential verification at a
+// configurable rate. It is the end-to-end proof behind the pluggable
+// lowering pipeline: the same parameterized rule corpus, instantiated
+// through each backend's emitter and legalizer, must agree with the
+// reference interpreter on every verified block execution — zero
+// divergences per backend at shadow rate 1.
+
+// BackendRow is one benchmark executed under one backend.
+type BackendRow struct {
+	Bench        string  `json:"bench"`
+	Coverage     float64 `json:"coverage"`       // dynamic rule coverage
+	HostPerGuest float64 `json:"host_per_guest"` // translation-quality ratio
+	ShadowChecks uint64  `json:"shadow_checks"`
+	Divergences  uint64  `json:"divergences"`
+}
+
+// BackendResults aggregates one backend's column of the matrix.
+type BackendResults struct {
+	Backend      string       `json:"backend"`
+	Rules        int          `json:"rules"` // parameterized rules offered
+	Rows         []BackendRow `json:"rows"`
+	ShadowChecks uint64       `json:"shadow_checks"`
+	Divergences  uint64       `json:"divergences"`
+}
+
+// BackendsSection is the full matrix plus the parameters it ran under.
+type BackendsSection struct {
+	ShadowRate float64          `json:"shadow_rate"`
+	Backends   []BackendResults `json:"backends"`
+}
+
+// BackendsExperiment runs every benchmark under each named backend
+// (union-trained rules, full parameterization) with shadow verification
+// at shadowRate. Each backend gets a freshly parameterized store, since
+// dbt.New rekeys the store's retrieval index to the backend's
+// fingerprint namespace.
+func BackendsExperiment(c *Corpus, names []string, shadowRate float64) (*BackendsSection, error) {
+	sec := &BackendsSection{ShadowRate: shadowRate}
+	for _, bn := range names {
+		be, err := backend.Lookup(bn)
+		if err != nil {
+			return nil, err
+		}
+		full, _ := core.Parameterize(c.Union(c.Names), core.Config{Opcode: true, AddrMode: true})
+		res := BackendResults{Backend: be.Name(), Rules: full.Len()}
+		cfg := dbt.Config{
+			Rules:         full,
+			DelegateFlags: true,
+			ShadowRate:    shadowRate,
+			Backend:       be,
+		}
+		for _, bench := range c.Names {
+			r, err := c.Run(bench, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("backend %s: %w", be.Name(), err)
+			}
+			row := BackendRow{
+				Bench:        bench,
+				ShadowChecks: r.Stats.ShadowChecks,
+				Divergences:  r.Stats.Divergences,
+			}
+			if r.Stats.GuestExec > 0 {
+				row.Coverage = float64(r.Stats.RuleCovered) / float64(r.Stats.GuestExec)
+				row.HostPerGuest = float64(r.Total) / float64(r.Stats.GuestExec)
+			}
+			res.ShadowChecks += row.ShadowChecks
+			res.Divergences += row.Divergences
+			res.Rows = append(res.Rows, row)
+		}
+		sec.Backends = append(sec.Backends, res)
+	}
+	return sec, nil
+}
+
+// RenderBackends formats the backend matrix.
+func RenderBackends(s *BackendsSection) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "backend matrix (shadow rate %g, union-trained rules)\n", s.ShadowRate)
+	for _, r := range s.Backends {
+		fmt.Fprintf(&b, "%-6s %d rules\n", r.Backend, r.Rules)
+		fmt.Fprintf(&b, "  %-12s %9s %14s %13s %11s\n",
+			"bench", "coverage", "host/guest", "shadow-checks", "divergences")
+		for _, row := range r.Rows {
+			fmt.Fprintf(&b, "  %-12s %8.1f%% %14.2f %13d %11d\n",
+				row.Bench, 100*row.Coverage, row.HostPerGuest, row.ShadowChecks, row.Divergences)
+		}
+		fmt.Fprintf(&b, "  total: %d shadow checks, %d divergences\n", r.ShadowChecks, r.Divergences)
+	}
+	return b.String()
+}

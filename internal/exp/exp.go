@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 
+	"paramdbt/internal/backend"
 	"paramdbt/internal/core"
 	"paramdbt/internal/dbt"
 	"paramdbt/internal/env"
@@ -31,6 +32,10 @@ type Corpus struct {
 	Stores map[string]*rule.Store
 	Learn  map[string]learn.Stats
 	Scale  int
+	// Backend, when non-nil, is the host backend every Run uses unless
+	// the per-run Config names one explicitly — it lets cmd/experiments
+	// route the whole suite through one backend with a single flag.
+	Backend backend.Backend
 }
 
 // BuildCorpus compiles and learns every benchmark once. scale sets the
@@ -89,6 +94,9 @@ type RunResult struct {
 
 // Run executes a benchmark under the given DBT configuration.
 func (c *Corpus) Run(name string, cfg dbt.Config) (RunResult, error) {
+	if cfg.Backend == nil {
+		cfg.Backend = c.Backend
+	}
 	comp := c.Comp[name]
 	m := mem.New()
 	if _, err := comp.LoadGuest(m); err != nil {

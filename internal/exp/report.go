@@ -11,7 +11,9 @@ import (
 // when a section's shape changes so downstream consumers can detect
 // incompatibility instead of silently misreading fields.
 // v2 added the "analysis" section (static rule audit verdict counts).
-const ReportSchema = "paramdbt-experiments/v2"
+// v3 added the "backends" section (per-backend workload matrix under
+// shadow verification) and the top-level "backend" provenance field.
+const ReportSchema = "paramdbt-experiments/v3"
 
 // Report is the machine-readable form of the experiment suite, written
 // by cmd/experiments -json in the same spirit as the checked-in
@@ -24,6 +26,9 @@ type Report struct {
 	GOOS    string `json:"goos,omitempty"`
 	GOARCH  string `json:"goarch,omitempty"`
 	Scale   int    `json:"scale"`
+	// Backend names the host backend the run's engines translated for
+	// (empty means the default, x86).
+	Backend string `json:"backend,omitempty"`
 
 	Table1    []Table1Row      `json:"table1,omitempty"`
 	Fig2      []Fig2Point      `json:"fig2,omitempty"`
@@ -38,6 +43,7 @@ type Report struct {
 	Dispatch  *DispatchSection `json:"dispatch,omitempty"`
 	Guard     *GuardSection    `json:"guard,omitempty"`
 	Analysis  *AnalysisSection `json:"analysis,omitempty"`
+	Backends  *BackendsSection `json:"backends,omitempty"`
 	Uncovered []string         `json:"uncovered,omitempty"`
 }
 

@@ -50,6 +50,7 @@ func TestReportRoundTrip(t *testing.T) {
 		GOOS:     "linux",
 		GOARCH:   "amd64",
 		Scale:    1,
+		Backend:  "x86",
 		Fig11:    Fig11Data(rs),
 		Fig12:    Fig12Data(rs),
 		Fig13:    Fig13Data(rs),
@@ -62,6 +63,17 @@ func TestReportRoundTrip(t *testing.T) {
 			ByProof:         map[string]int{"structural": 286, "sweep": 23},
 			CorruptedRule:   "add p0, p0, #i1 => subl #i1, p0",
 			CorruptedCaught: true, CorruptedWitness: "guest r0 result in host eax at imms map[1:1]",
+		},
+		Backends: &BackendsSection{
+			ShadowRate: 1,
+			Backends: []BackendResults{
+				{Backend: "x86", Rules: 309, ShadowChecks: 420, Divergences: 0,
+					Rows: []BackendRow{{Bench: "alpha", Coverage: 0.95, HostPerGuest: 4.0,
+						ShadowChecks: 420, Divergences: 0}}},
+				{Backend: "risc", Rules: 309, ShadowChecks: 430, Divergences: 0,
+					Rows: []BackendRow{{Bench: "alpha", Coverage: 0.95, HostPerGuest: 5.1,
+						ShadowChecks: 430, Divergences: 0}}},
+			},
 		},
 	}
 
@@ -90,7 +102,7 @@ func TestReportRoundTrip(t *testing.T) {
 			t.Fatalf("unset section %q serialized", absent)
 		}
 	}
-	for _, present := range []string{"schema", "fig11", "dispatch", "table3", "analysis"} {
+	for _, present := range []string{"schema", "backend", "fig11", "dispatch", "table3", "analysis", "backends"} {
 		if _, ok := raw[present]; !ok {
 			t.Fatalf("section %q missing", present)
 		}

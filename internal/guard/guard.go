@@ -116,8 +116,12 @@ func (m Mismatch) String() string {
 // Divergence is one detected shadow-verification failure: the block, the
 // architectural differences, and the rules the engine blamed.
 type Divergence struct {
-	PC         uint32     `json:"pc"`
-	Exec       uint64     `json:"exec"` // which execution of the block diverged (1-based)
+	PC   uint32 `json:"pc"`
+	Exec uint64 `json:"exec"` // which execution of the block diverged (1-based)
+	// Backend names the host backend the diverging translation was
+	// emitted for — divergence records from a multi-backend run stay
+	// attributable.
+	Backend    string     `json:"backend,omitempty"`
 	Mismatches []Mismatch `json:"mismatches"`
 	// Blamed lists the fingerprints of the rules the engine quarantined
 	// for this divergence (empty when the block used no rules — a

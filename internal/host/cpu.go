@@ -416,6 +416,11 @@ func (a *Asm) Len() int { return len(a.insts) }
 // Insts exposes the emitted instructions (for peephole passes).
 func (a *Asm) Insts() []Inst { return a.insts }
 
+// Labels exposes the label bindings (label id -> instruction index), for
+// backend finalize passes that rewrite the instruction stream and must
+// remap bindings onto the rewritten indices.
+func (a *Asm) Labels() map[int]int { return a.labels }
+
 // Block finalizes into an executable block.
 func (a *Asm) Block() *Block { return NewBlock(a.insts, a.labels) }
 

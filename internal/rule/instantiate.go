@@ -14,6 +14,15 @@ import (
 // currently carrying its value; scratch supplies NScratch free host
 // registers. The emitted code reads and writes only those registers.
 func Instantiate(t *Template, b Binding, regOf func(guest.Reg) (host.Reg, bool), scratch []host.Reg) ([]host.Inst, error) {
+	return InstantiateChecked(t, b, regOf, scratch, nil)
+}
+
+// InstantiateChecked is Instantiate with a per-instruction admission
+// check (the host backend's emitter predicate): a rule whose
+// instantiated body the backend cannot emit fails the translation of
+// that block instead of reaching the encoder. A nil check behaves
+// exactly like Instantiate.
+func InstantiateChecked(t *Template, b Binding, regOf func(guest.Reg) (host.Reg, bool), scratch []host.Reg, check func(host.Inst) error) ([]host.Inst, error) {
 	if len(scratch) < t.NScratch {
 		return nil, fmt.Errorf("rule: need %d scratch registers, have %d", t.NScratch, len(scratch))
 	}
@@ -66,7 +75,13 @@ func Instantiate(t *Template, b Binding, regOf func(guest.Reg) (host.Reg, bool),
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, host.Inst{Op: p.Op, Cond: p.Cond, Dst: dst, Src: src})
+		in := host.Inst{Op: p.Op, Cond: p.Cond, Dst: dst, Src: src}
+		if check != nil {
+			if err := check(in); err != nil {
+				return nil, fmt.Errorf("rule: %v: %w", t, err)
+			}
+		}
+		out = append(out, in)
 	}
 	if obs.On() {
 		metInstantiations.Inc()

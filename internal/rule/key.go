@@ -44,8 +44,22 @@ func kindTok(k guest.OperandKind, hasIdx bool) byte {
 	return '?'
 }
 
-// KeyFpSeed is the fingerprint of the empty window.
+// KeyFpSeed is the fingerprint of the empty window under the default
+// (x86, id 0) host backend.
 const KeyFpSeed = uint64(fnvOffset64)
+
+// KeyFpSeedFor returns the empty-window fingerprint seed for a host
+// backend id, namespacing every retrieval key (and the MissSet memo
+// derived from them) per backend: a table or cache warmed under one
+// backend can never alias a lookup made under another. Backend 0 keeps
+// the historical KeyFpSeed so existing fingerprints, benchmarks and
+// serialized dumps stay byte-identical.
+func KeyFpSeedFor(bid uint8) uint64 {
+	if bid == 0 {
+		return KeyFpSeed
+	}
+	return fnvByte(fnvByte(KeyFpSeed, 'B'), bid)
+}
 
 // ExtendKeyFp extends a window fingerprint with one more instruction.
 func ExtendKeyFp(h uint64, in guest.Inst) uint64 {
@@ -79,8 +93,11 @@ func KeyFp(seq []guest.Inst) uint64 {
 // patKeyFp fingerprints a template's guest pattern with exactly the
 // token sequence KeyFp produces for the instructions it can match, so a
 // template is stored under the fingerprint of its windows.
-func patKeyFp(t *Template) uint64 {
-	h := KeyFpSeed
+func patKeyFp(t *Template) uint64 { return patKeyFpSeed(t, KeyFpSeed) }
+
+// patKeyFpSeed is patKeyFp from an explicit (per-backend) seed.
+func patKeyFpSeed(t *Template, seed uint64) uint64 {
+	h := seed
 	for _, p := range t.Guest {
 		h = fnvByte(h, byte(p.Op))
 		if p.S {

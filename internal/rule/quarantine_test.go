@@ -93,6 +93,58 @@ func TestQuarantinePersistRoundTrip(t *testing.T) {
 	}
 }
 
+// TestQuarantineSurvivesBackendRekey pins the contract that quarantine
+// is keyed by backend-neutral fingerprints while retrieval keys are
+// backend-namespaced: a quarantine file written while the table served
+// backend A must still demote the same rule after the table is rekeyed
+// for backend B (the restart-under-a-different-backend scenario).
+func TestQuarantineSurvivesBackendRekey(t *testing.T) {
+	s := sampleStore(t)
+	s.SetBackendID(0) // backend A: the default x86 namespace
+	seq := guest.MustAssemble("cmp r2, r5\nbne #3")
+	tm, _, _ := s.Lookup(seq)
+	if tm == nil {
+		t.Fatal("precondition: rule should match")
+	}
+	s.Quarantine(tm, "shadow divergence under backend A")
+
+	var qbuf, tbuf bytes.Buffer
+	if err := SaveQuarantine(&qbuf, s.Quarantined()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(&tbuf); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := LoadQuarantine(bytes.NewReader(qbuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fresh, err := Load(bytes.NewReader(tbuf.Bytes()), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh.SetBackendID(1) // restart under backend B
+	if fresh.KeySeed() == KeyFpSeed {
+		t.Fatal("SetBackendID(1) did not change the retrieval key seed")
+	}
+	if got, _, _ := fresh.Lookup(seq); got == nil || got.Fingerprint() != tm.Fingerprint() {
+		t.Fatal("precondition: rule should match under the rekeyed table before quarantine")
+	}
+	if n := fresh.ApplyQuarantine(entries); n != 1 {
+		t.Fatalf("ApplyQuarantine matched %d rules under backend B, want 1", n)
+	}
+	if got, _, _ := fresh.Lookup(seq); got != nil && got.Fingerprint() == tm.Fingerprint() {
+		t.Fatal("rule quarantined under backend A still served under backend B")
+	}
+
+	// And back: rekeying again must not resurrect the rule.
+	fresh.SetBackendID(0)
+	if got, _, _ := fresh.Lookup(seq); got != nil && got.Fingerprint() == tm.Fingerprint() {
+		t.Fatal("rekeying back to backend A resurrected a quarantined rule")
+	}
+}
+
 func TestLoadQuarantineRejectsCorrupt(t *testing.T) {
 	if _, err := LoadQuarantine(bytes.NewReader([]byte("not json"))); err == nil {
 		t.Fatal("garbage accepted")

@@ -113,13 +113,60 @@ type Store struct {
 	byFp   map[string]*Template
 	maxLen int
 
+	// seed is the per-backend retrieval-key seed (see KeyFpSeedFor);
+	// zero means "unset" and behaves as the default KeyFpSeed. rekeyMu
+	// serializes SetBackendID, whose no-op path must stay write-free:
+	// engines sharing one store may be constructed concurrently.
+	seed    uint64
+	rekeyMu sync.Mutex
+
 	quarN atomic.Int32
 	quar  sync.Map // *Template -> reason string
 }
 
-// NewStore returns an empty store.
+// NewStore returns an empty store keyed for the default backend.
 func NewStore() *Store {
 	return &Store{byKey: map[uint64][]*Template{}, byFp: map[string]*Template{}}
+}
+
+// keySeed returns the store's retrieval-key seed.
+func (s *Store) keySeed() uint64 {
+	if s.seed == 0 {
+		return KeyFpSeed
+	}
+	return s.seed
+}
+
+// KeySeed exposes the store's retrieval-key seed, so callers deriving
+// window fingerprints by hand (benchmarks, diagnostics) match lookups.
+func (s *Store) KeySeed() uint64 { return s.keySeed() }
+
+// SetBackendID rekeys the store for a host backend: retrieval-key
+// fingerprints are seeded per backend id (KeyFpSeedFor), so rule
+// lookups — and every MissSet memo and code-cache key derived from
+// them — can never alias across backends. Like Add it must not run
+// concurrently with lookups; the engine calls it at construction.
+// Quarantine state is deliberately untouched: entries are keyed by
+// backend-neutral rule fingerprints, so a rule quarantined under one
+// backend stays quarantined when the engine restarts under another.
+//
+// The seed-unchanged path performs no writes, so engines sharing one
+// store may be constructed concurrently as long as they agree on the
+// backend (rekeyMu serializes the calls themselves).
+func (s *Store) SetBackendID(bid uint8) {
+	seed := KeyFpSeedFor(bid)
+	s.rekeyMu.Lock()
+	defer s.rekeyMu.Unlock()
+	if seed == s.keySeed() {
+		return
+	}
+	s.seed = seed
+	byKey := make(map[uint64][]*Template, len(s.byKey))
+	for _, t := range s.All() {
+		k := patKeyFpSeed(t, seed)
+		byKey[k] = append(byKey[k], t)
+	}
+	s.byKey = byKey
 }
 
 // Add inserts a template unless an identical one exists (the merging
@@ -134,7 +181,7 @@ func (s *Store) Add(t *Template) bool {
 		return false
 	}
 	s.byFp[fp] = t
-	k := patKeyFp(t)
+	k := patKeyFpSeed(t, s.keySeed())
 	s.byKey[k] = append(s.byKey[k], t)
 	if t.GuestLen() > s.maxLen {
 		s.maxLen = t.GuestLen()
@@ -266,7 +313,7 @@ func (s *Store) LookupFiltered(seq []guest.Inst, miss *MissSet, skip func(*Templ
 		max = len(seq)
 	}
 	var fps [maxKeyWindow]uint64
-	h := KeyFpSeed
+	h := s.keySeed()
 	for l := 1; l <= max; l++ {
 		h = ExtendKeyFp(h, seq[l-1])
 		fps[l-1] = h

@@ -176,6 +176,22 @@ func EvalHost(seq []host.Inst, init map[host.Reg]*Expr) (*HState, error) {
 	return EvalHostImm(seq, init, nil)
 }
 
+// EvalHostChecked is EvalHostImm with a per-instruction admission check
+// run before evaluation. Backends pass their encoder's acceptance
+// predicate here so a symbolic audit also proves every instruction of
+// the sequence is one the backend can actually emit; a nil check
+// behaves exactly like EvalHostImm.
+func EvalHostChecked(seq []host.Inst, init map[host.Reg]*Expr, hook ImmHook, check func(host.Inst) error) (*HState, error) {
+	if check != nil {
+		for i, in := range seq {
+			if err := check(in); err != nil {
+				return nil, fmt.Errorf("symexec: inst %d (%v): %w", i, in, err)
+			}
+		}
+	}
+	return EvalHostImm(seq, init, hook)
+}
+
 // EvalHostImm is EvalHost with an immediate-read hook (nil behaves
 // exactly like EvalHost). Hook slots are DstSlot and SrcSlot.
 func EvalHostImm(seq []host.Inst, init map[host.Reg]*Expr, hook ImmHook) (*HState, error) {
