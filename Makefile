@@ -1,8 +1,16 @@
 GO ?= go
 
-.PHONY: ci vet lint obsgate ruleaudit build test test-backends race race-obs test-faults bench bench-dispatch bench-obs bench-backends experiments linkcheck
+.PHONY: ci vet lint obsgate ruleaudit build test test-backends race race-obs test-faults bench bench-dispatch bench-obs bench-backends bench-trace bench-check experiments linkcheck
 
 ci: lint build race test-backends test-faults linkcheck bench
+
+# Opt-in wall-clock gate: `CHECK_TRACE=1 make ci` re-measures the
+# dispatch arms and fails unless the superblock engine beats both
+# recorded BENCH_dispatch.json baselines. Off by default because ns/op
+# on shared CI machines is too noisy to block every merge on.
+ifeq ($(CHECK_TRACE),1)
+ci: bench-trace bench-check
+endif
 
 vet:
 	$(GO) vet ./...
@@ -68,6 +76,19 @@ bench:
 bench-dispatch:
 	$(GO) test -run NONE -bench 'BenchmarkDispatchChaining|BenchmarkLookupKey' \
 		-benchtime 100x -benchmem .
+
+# Hot-trace superblock wall-clock measurement: runs the dispatch
+# strategy comparison and records chained vs no-chain vs superblocks
+# ns/op (plus the superblock arm's trace metrics) in BENCH_trace.json.
+bench-trace:
+	$(GO) test -run NONE -bench BenchmarkDispatchChaining -benchtime 20x . 		| tee /dev/stderr | $(GO) run ./tools/benchtrace -record BENCH_trace.json
+
+# Regression gate for the superblock result: fails unless the recorded
+# superblock ns/op beats BOTH dispatch baselines in BENCH_dispatch.json
+# (beating chained but not no-chain would mean trace translation still
+# costs more than the superblocks save).
+bench-check:
+	$(GO) run ./tools/benchtrace -check BENCH_trace.json -against BENCH_dispatch.json
 
 # The disabled-telemetry overhead guard (must stay 0 allocs/op, ~sub-ns).
 bench-obs:

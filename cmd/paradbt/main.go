@@ -125,6 +125,10 @@ func main() {
 	dumpBlocks := flag.Int("dump-blocks", 0, "print the first N translated blocks (guest disassembly + host listing)")
 	workers := flag.Int("workers", 0, "background translation workers (speculative successor translation)")
 	noChain := flag.Bool("no-chain", false, "disable translation-block chaining (dispatch every block boundary)")
+	hotThreshold := flag.Uint64("hot-threshold", 0, "form hot-trace superblocks once a block's entry count crosses this threshold (0 disables formation; needs chaining)")
+	traceMax := flag.Int("trace-max", 0, "cap trace growth at this many basic blocks (default 8 when -hot-threshold is set)")
+	traceBudget := flag.Int("trace-budget", 0, "cap how many traces the engine may form (0 = unlimited)")
+	syncTraces := flag.Bool("sync-traces", false, "translate traces on the dispatch loop instead of the background builder (deterministic, but formation latency stalls the run)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (JSON snapshot), /trace and /debug/pprof on this address (e.g. :6060); enables telemetry")
 	traceN := flag.Int("trace", 0, "record the last N block transitions in a ring buffer, dumped to stderr after the run and on panic")
 	shadowRate := flag.Float64("shadow-rate", 0, "shadow-verify this fraction of block executions against the reference interpreter (1 = every execution)")
@@ -200,6 +204,10 @@ func main() {
 	cfg.ManualABI = *manual
 	cfg.TranslateWorkers = *workers
 	cfg.NoChain = *noChain
+	cfg.HotThreshold = *hotThreshold
+	cfg.TraceMaxBlocks = *traceMax
+	cfg.TraceBudget = *traceBudget
+	cfg.SyncTraces = *syncTraces
 	cfg.ShadowRate = *shadowRate
 
 	if *quarFile != "" {
@@ -295,6 +303,11 @@ func main() {
 	fmt.Printf("chained exits      %d (%.1f%% of block transitions)\n", st.ChainedExits, 100*st.ChainRate())
 	if cfg.Rules != nil {
 		fmt.Printf("rule table size    %d\n", cfg.Rules.Len())
+	}
+	if cfg.HotThreshold > 0 {
+		fmt.Printf("traces formed      %d\n", st.TracesFormed)
+		fmt.Printf("superblock execs   %d (%.1f%% of block entries)\n", st.SuperblockExecs, 100*st.SuperblockShare())
+		fmt.Printf("side exits         %d (%.1f%% of superblock execs)\n", st.SideExits, 100*st.SideExitRate())
 	}
 	if cfg.ShadowRate > 0 || cfg.Faults != nil {
 		fmt.Printf("shadow checks      %d\n", st.ShadowChecks)

@@ -383,7 +383,7 @@ func sweep(t *rule.Template, p checkPair, ng, nh *symexec.Expr) decision {
 		trials = int(48/n) + 1
 	}
 
-	rng := rand.New(rand.NewSource(0xa0d17))
+	rng := symexec.ReplayRand(0xa0d17)
 	d := decision{}
 	for idx := uint64(0); idx < n; idx++ {
 		// Decode idx into one immediate combination (mixed-radix for the

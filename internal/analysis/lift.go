@@ -42,8 +42,17 @@ func (defaultEvaluator) EvalHost(seq []host.Inst, init map[host.Reg]*symexec.Exp
 }
 
 // immSymName is the shared symbol a parametric immediate lifts to on
-// both the guest and host side.
-func immSymName(p int) string { return fmt.Sprintf("i%d", p) }
+// both the guest and host side. The small-index table keeps the audit
+// sweep's inner loops off fmt.Sprintf (rules carry at most a handful of
+// parametric immediates).
+func immSymName(p int) string {
+	if p >= 0 && p < len(immNames) {
+		return immNames[p]
+	}
+	return fmt.Sprintf("i%d", p)
+}
+
+var immNames = [...]string{"i0", "i1", "i2", "i3", "i4", "i5", "i6", "i7"}
 
 // slotKey addresses one immediate-carrying operand slot: the
 // instruction index within the sequence and the operand slot symexec

@@ -68,6 +68,19 @@ func (c *codeCache) putIfAbsent(pc uint32, tb *tblock) *tblock {
 	return tb
 }
 
+// put installs tb at pc unconditionally, returning the displaced
+// translation (nil if none). Superblock installation uses it to replace
+// the head pc's basic-block entry; everything else must go through
+// putIfAbsent so demand and speculative translation agree on one block.
+func (c *codeCache) put(pc uint32, tb *tblock) *tblock {
+	s := c.shard(pc)
+	s.mu.Lock()
+	old := s.m[pc]
+	s.m[pc] = tb
+	s.mu.Unlock()
+	return old
+}
+
 // remove deletes and returns the translation at pc (nil if absent).
 func (c *codeCache) remove(pc uint32) *tblock {
 	s := c.shard(pc)

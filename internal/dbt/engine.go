@@ -82,6 +82,35 @@ type Config struct {
 	// boundary back through the dispatcher — the ablation baseline for
 	// BenchmarkDispatchChaining.
 	NoChain bool
+	// HotThreshold enables hot-trace superblock formation: a block whose
+	// entry count crosses the threshold is grown into a trace along its
+	// hottest recorded direct-link edges and retranslated as one
+	// superblock with trace-wide register allocation, cross-block dead
+	// flag-store elimination and side-exit stubs (see superblock.go and
+	// docs/ARCHITECTURE.md "Hot traces & superblocks"). 0 — the default —
+	// disables formation entirely; the dispatch loop then skips all hot
+	// counting, so the feature's cold cost is zero. Formation needs the
+	// chaining profile, so NoChain also disables it.
+	HotThreshold uint64
+	// TraceMaxBlocks caps trace length in basic blocks (default 8 when
+	// HotThreshold is set).
+	TraceMaxBlocks int
+	// TraceBudget caps how many traces one engine may form (0 = no
+	// cap). Trace translation is paid on the run, so a budget keeps the
+	// long tail of barely-hot heads from costing more in translation
+	// than their superblocks ever save — the same reason tiered JITs
+	// bound their compile queues. The earliest heads to cross
+	// HotThreshold claim the budget, which on loopy workloads are the
+	// hottest ones.
+	TraceBudget int
+	// SyncTraces forms superblocks synchronously on the dispatch loop
+	// instead of handing them to the background builder goroutine.
+	// Deterministic — the superblock is installed before the head
+	// executes again — but puts trace translation latency on the run's
+	// critical path, which on short workloads costs more than the
+	// superblocks save. Tests that assert on formation timing use it;
+	// production runs should leave it off.
+	SyncTraces bool
 	// TraceBlock, when non-nil, is called with the guest pc of every
 	// block entered, in execution order (debug/test hook; the chaining
 	// correctness test reconstructs instruction traces from it).
@@ -151,6 +180,15 @@ type Stats struct {
 	Dispatches   uint64
 	ChainedExits uint64
 
+	// Hot-trace superblock counters (zero unless Config.HotThreshold is
+	// set). TracesFormed counts traces promoted to superblocks,
+	// SuperblockExecs the block entries that ran a superblock (a subset
+	// of Dispatches+ChainedExits), SideExits the superblock runs that
+	// left the trace early through a side-exit stub.
+	TracesFormed    uint64
+	SuperblockExecs uint64
+	SideExits       uint64
+
 	// UncoveredOps breaks down emulated instructions by opcode — the
 	// analysis behind the paper's "seven uncoverable instructions".
 	UncoveredOps map[guest.Op]uint64
@@ -179,6 +217,26 @@ func (s Stats) ChainRate() float64 {
 	return float64(s.ChainedExits) / float64(total)
 }
 
+// SuperblockShare returns the fraction of block entries that ran a
+// hot-trace superblock.
+func (s Stats) SuperblockShare() float64 {
+	total := s.Dispatches + s.ChainedExits
+	if total == 0 {
+		return 0
+	}
+	return float64(s.SuperblockExecs) / float64(total)
+}
+
+// SideExitRate returns the fraction of superblock executions that left
+// the trace early through a side exit (high rates mean the profile that
+// formed the trace no longer matches execution).
+func (s Stats) SideExitRate() float64 {
+	if s.SuperblockExecs == 0 {
+		return 0
+	}
+	return float64(s.SideExits) / float64(s.SuperblockExecs)
+}
+
 // Coverage returns the dynamic coverage fraction.
 func (s Stats) Coverage() float64 {
 	if s.GuestExec == 0 {
@@ -193,10 +251,29 @@ type Engine struct {
 	Mem   *mem.Memory
 	CPU   *host.CPU
 	cache *codeCache
-	miss  rule.MissSet // per-block lookup-miss memo (Run goroutine only)
-	spec  *specPool    // live while Run executes with TranslateWorkers > 0
+	tx    txctx     // translation scratch (Run goroutine only)
+	spec  *specPool // live while Run executes with TranslateWorkers > 0
 	met   *engineMetrics
 	guard *guardState // non-nil when shadow verification is configured
+
+	// Superblock bookkeeping (Run goroutine only): sbIndex maps every
+	// constituent pc of an installed superblock to the superblocks
+	// covering it, so Invalidate on a mid-trace pc tears the whole trace
+	// down; sbBan marks heads whose superblock shadow-diverged —
+	// formation is never retried there (see shadowCheckSB).
+	sbIndex map[uint32][]*tblock
+	sbBan   map[uint32]bool
+	// sbb is the background superblock builder, started lazily at the
+	// first hot head (nil while no trace has gone hot, and always nil
+	// under Config.SyncTraces). cacheGen counts invalidation events
+	// (Invalidate, quarantine purges); a builder result stamped with an
+	// older generation was translated from state that no longer holds
+	// and is discarded instead of installed.
+	sbb      *sbBuilder
+	cacheGen uint64
+	// sbSpent counts traces formed plus builder jobs in flight against
+	// Config.TraceBudget (Run goroutine only).
+	sbSpent int
 
 	// be is the resolved host backend; blockRegs/tempPool cache its
 	// register policy so the translation hot path never re-queries it.
@@ -239,13 +316,25 @@ type tblock struct {
 	links    []blockLink
 	incoming []*blockLink
 	seen     bool
+
+	// Superblock state, all owned by the goroutine driving Run: hot
+	// counts entries while formation is enabled (Config.HotThreshold),
+	// sbTries backs off repeated failed formation attempts at this head
+	// geometrically, and sb — non-nil only on a superblock translation —
+	// carries the trace-level bookkeeping (see superblock.go).
+	hot     uint64
+	sbTries uint8
+	sb      *sbMeta
 }
 
 // blockLink is one direct-exit slot: the static successor pc plus the
-// lazily patched pointer to its translation (nil until linked).
+// lazily patched pointer to its translation (nil until linked). hits
+// counts how often execution followed the edge — the profile trace
+// formation grows along (recorded only while HotThreshold is set).
 type blockLink struct {
 	target uint32
 	to     *tblock
+	hits   uint64
 }
 
 // follow returns the linked translation for next, if already patched.
@@ -256,6 +345,17 @@ func (tb *tblock) follow(next uint32) *tblock {
 		}
 	}
 	return nil
+}
+
+// bumpHit records that execution followed the edge to next — the
+// profile trace formation reads. Called only while HotThreshold is set.
+func (tb *tblock) bumpHit(next uint32) {
+	for i := range tb.links {
+		if tb.links[i].target == next {
+			tb.links[i].hits++
+			return
+		}
+	}
 }
 
 // patch records to as the translation of next in the matching link
@@ -279,6 +379,9 @@ func (tb *tblock) patch(next uint32, to *tblock) int {
 func New(m *mem.Memory, cfg Config) *Engine {
 	if cfg.FlagWindow == 0 {
 		cfg.FlagWindow = 3
+	}
+	if cfg.HotThreshold > 0 && cfg.TraceMaxBlocks <= 0 {
+		cfg.TraceMaxBlocks = defaultTraceMaxBlocks
 	}
 	shadowOn := cfg.ShadowRate > 0 || cfg.ShadowFirstN > 0
 	if shadowOn && cfg.ShadowFirstN == 0 {
@@ -361,6 +464,17 @@ func (e *Engine) Run(entry uint32, maxHostSteps uint64) (stats Stats, err error)
 			e.spec = nil
 		}()
 	}
+	// The superblock builder starts lazily at the first hot head, so the
+	// shutdown hook must re-check the field at exit. Jobs still in
+	// flight are discarded with the builder and hand their TraceBudget
+	// claims back — a later Run on this engine may form those traces.
+	defer func() {
+		if e.sbb != nil {
+			e.sbSpent -= e.sbb.inFlight
+			e.sbb.shutdown()
+			e.sbb = nil
+		}
+	}()
 	pc := entry
 	var prev *tblock
 	var curShadow *shadowCtx // pre-block snapshot of the block in flight, if sampled
@@ -388,19 +502,41 @@ func (e *Engine) Run(entry uint32, maxHostSteps uint64) (stats Stats, err error)
 		stats = snapshot()
 		err = &PanicError{PC: pc, Cause: r}
 	}()
-	var fallbackSteps uint64 // interpreter-fallback work, counted against the budget
+	// The dispatch loop is the engine's hottest Go code: configuration
+	// reads are hoisted out of it, and the host step budget is tracked in
+	// a local accumulated from each block's ExitResult instead of calling
+	// CPU.Total (three counter loads) twice per iteration.
+	noChain := e.Cfg.NoChain
+	ring := e.Cfg.Trace
+	traceBlock := e.Cfg.TraceBlock
+	faults := e.Cfg.Faults
+	interpFallback := e.Cfg.InterpFallback
+	hotOn := e.Cfg.HotThreshold > 0 && !noChain
+	guarded := e.guard != nil
+	hostSteps := e.CPU.Total() // budget is engine-lifetime host work
+	var fallbackSteps uint64   // interpreter-fallback work, counted against the budget
 	for pc != HaltPC {
+		// Install any superblocks the background builder finished. Doing
+		// this before chain-follow/dispatch means a head installed here is
+		// entered through its superblock on this very iteration (installSB
+		// repoints the incoming chain links).
+		if e.sbb != nil && e.sbb.inFlight > 0 {
+			e.drainSB()
+		}
 		var tb *tblock
 		chained := false
-		if prev != nil && !e.Cfg.NoChain {
+		if prev != nil && !noChain {
+			if hotOn {
+				prev.bumpHit(pc)
+			}
 			tb = prev.follow(pc)
 		}
 		if tb != nil {
 			chained = true
 			e.met.chainedExits.Inc()
 		} else {
-			if f := e.Cfg.Faults; f != nil {
-				if sh, ok := f.DropCacheShard(); ok {
+			if faults != nil {
+				if sh, ok := faults.DropCacheShard(); ok {
 					e.dropShard(sh)
 				}
 			}
@@ -408,14 +544,14 @@ func (e *Engine) Run(entry uint32, maxHostSteps uint64) (stats Stats, err error)
 			var terr error
 			tb, terr = e.block(pc)
 			if terr != nil {
-				if e.Cfg.InterpFallback {
+				if interpFallback {
 					next, n, ferr := e.interpFallbackBlock(pc)
 					if ferr == nil {
 						e.met.interpFallbacks.Inc()
 						e.met.guestInsts.Add(n)
 						fallbackSteps += n
-						if e.Cfg.Trace != nil {
-							e.Cfg.Trace.Record(obs.EvFallback, pc)
+						if ring != nil {
+							ring.Record(obs.EvFallback, pc)
 						}
 						prev = nil
 						pc = next
@@ -424,7 +560,7 @@ func (e *Engine) Run(entry uint32, maxHostSteps uint64) (stats Stats, err error)
 				}
 				return snapshot(), fmt.Errorf("dbt: translating block at %#x: %w", pc, terr)
 			}
-			if prev != nil && !e.Cfg.NoChain {
+			if prev != nil && !noChain {
 				if obs.On() {
 					t0 := time.Now()
 					n := prev.patch(pc, tb)
@@ -435,41 +571,84 @@ func (e *Engine) Run(entry uint32, maxHostSteps uint64) (stats Stats, err error)
 				}
 			}
 		}
+		if hotOn && tb.sb == nil {
+			tb = e.maybeSuperblock(pc, tb)
+		}
 		if !tb.seen {
 			tb.seen = true
 			e.met.blocks.Inc()
 		}
-		if e.Cfg.Trace != nil {
+		sb := tb.sb
+		if ring != nil {
 			k := obs.EvDispatch
-			if chained {
+			if sb != nil {
+				k = obs.EvSuperblock
+			} else if chained {
 				k = obs.EvChained
 			}
-			e.Cfg.Trace.Record(k, pc)
+			ring.Record(k, pc)
 		}
-		if e.Cfg.TraceBlock != nil {
-			e.Cfg.TraceBlock(pc)
+		if traceBlock != nil && sb == nil {
+			traceBlock(pc)
 		}
-		if e.guard != nil {
+		if guarded {
 			tb.execs++
 			if e.guard.sampler.SelectWith(tb.execs, tb.elevated) {
 				curShadow = e.beginShadow(tb.execs)
 			}
 		}
-		if e.CPU.Total()+fallbackSteps >= maxHostSteps {
+		if hostSteps+fallbackSteps >= maxHostSteps {
 			return snapshot(), fmt.Errorf("dbt: host step budget exhausted at pc=%#x", pc)
 		}
-		res, xerr := e.CPU.Exec(tb.hb, maxHostSteps-e.CPU.Total()-fallbackSteps)
+		if sb != nil {
+			// Arm the exit slot with the full-trace marker; side-exit
+			// stubs overwrite it with their seam index (see superblock.go).
+			e.Mem.Write32(env.StateBase+env.OffSBExit, uint32(len(sb.pcs)-1))
+		}
+		res, xerr := e.CPU.Exec(tb.hb, maxHostSteps-hostSteps-fallbackSteps)
 		if xerr != nil {
 			return snapshot(), fmt.Errorf("dbt: executing block at %#x: %w\n%s", pc, xerr, tb.hb.Listing())
 		}
-		e.met.guestInsts.Add(tb.nGuest)
-		e.met.ruleCovered.Add(tb.nCovered)
-		e.met.seqRuleInsts.Add(tb.nSeq)
-		for _, op := range tb.uncovered {
-			uncovered[op]++
+		hostSteps += res.Steps
+		nexec := 0 // superblock: constituent blocks executed
+		if sb == nil {
+			e.met.guestInsts.Add(tb.nGuest)
+			e.met.ruleCovered.Add(tb.nCovered)
+			e.met.seqRuleInsts.Add(tb.nSeq)
+			for _, op := range tb.uncovered {
+				uncovered[op]++
+			}
+		} else {
+			nexec = int(e.Mem.Read32(env.StateBase+env.OffSBExit)) + 1
+			if nexec > len(sb.pcs) {
+				nexec = len(sb.pcs)
+			}
+			e.met.superblockExecs.Inc()
+			if nexec < len(sb.pcs) {
+				e.met.sideExits.Inc()
+			}
+			e.met.guestInsts.Add(sb.cumGuest[nexec])
+			e.met.ruleCovered.Add(sb.cumCovered[nexec])
+			e.met.seqRuleInsts.Add(sb.cumSeq[nexec])
+			for j := 0; j < nexec; j++ {
+				for _, op := range sb.uncovered[j] {
+					uncovered[op]++
+				}
+			}
+			if traceBlock != nil {
+				for j := 0; j < nexec; j++ {
+					traceBlock(sb.pcs[j])
+				}
+			}
 		}
 		if curShadow != nil {
-			next, diverged := e.shadowCheck(tb, curShadow, pc, res.NextPC)
+			var next uint32
+			var diverged bool
+			if sb != nil {
+				next, diverged = e.shadowCheckSB(tb, curShadow, pc, res.NextPC, nexec)
+			} else {
+				next, diverged = e.shadowCheck(tb, curShadow, pc, res.NextPC)
+			}
 			curShadow = nil
 			if diverged {
 				// The block's translation was purged; break the chain and
@@ -511,7 +690,7 @@ func (e *Engine) block(pc uint32) (*tblock, error) {
 	if e.guard != nil || e.Cfg.Faults != nil {
 		tb, err = e.translateGuarded(pc)
 	} else {
-		tb, err = e.translateIn(e.Mem, pc, &e.miss)
+		tb, err = e.translateIn(e.Mem, pc, &e.tx)
 	}
 	if err != nil {
 		return nil, err
@@ -536,7 +715,9 @@ func (e *Engine) block(pc uint32) (*tblock, error) {
 // Invalidate removes the translation at pc (after guest code changes)
 // and tears down chaining safely: every link pointing at the stale
 // block is unpatched, so chained execution can no longer reach it, and
-// the next dispatch to pc retranslates. It reports whether a
+// the next dispatch to pc retranslates. Any superblock whose trace
+// covers pc — head or mid-trace — is torn down with it: its host code
+// embeds the invalidated block's translation. It reports whether a
 // translation existed. Invalidate must not run concurrently with Run.
 func (e *Engine) Invalidate(pc uint32) bool {
 	on := obs.On()
@@ -545,15 +726,35 @@ func (e *Engine) Invalidate(pc uint32) bool {
 		t0 = time.Now()
 	}
 	tb := e.cache.remove(pc)
-	if tb == nil {
+	covering := e.sbIndex[pc]
+	if tb == nil && len(covering) == 0 {
 		return false
 	}
-	for _, l := range tb.incoming {
-		l.to = nil
+	// In-flight builder jobs were grown and translated against the
+	// pre-invalidation cache and code image: discard the builder (its
+	// code snapshot is stale) and stamp a new generation so any result
+	// already in the queue is dropped instead of installed.
+	e.cacheGen++
+	if e.sbb != nil {
+		// Discarded in-flight jobs hand their TraceBudget claims back.
+		e.sbSpent -= e.sbb.inFlight
+		e.sbb.shutdown()
+		e.sbb = nil
 	}
-	tb.incoming = nil
-	for i := range tb.links {
-		tb.links[i].to = nil
+	if len(covering) > 0 {
+		// teardownSB edits sbIndex[pc]; iterate a copy.
+		for _, s := range append([]*tblock(nil), covering...) {
+			e.teardownSB(s)
+		}
+	}
+	if tb != nil {
+		for _, l := range tb.incoming {
+			l.to = nil
+		}
+		tb.incoming = nil
+		for i := range tb.links {
+			tb.links[i].to = nil
+		}
 	}
 	if on {
 		e.met.invalidateNs.ObserveSince(t0)

@@ -190,6 +190,61 @@ func (e *Engine) shadowCheck(tb *tblock, sc *shadowCtx, pc, gotNext uint32) (uin
 	return refNext, true
 }
 
+// shadowCheckSB is shadowCheck for superblock executions. The
+// reference interpreter steps the executed constituent prefix (nexec
+// blocks, from the exit slot) block by block, stopping early if its own
+// control flow leaves the trace — a next-pc divergence the comparison
+// then reports. On divergence the superblock is torn down and its head
+// banned from re-formation rather than blamed: blame isolation
+// retranslates single basic blocks, so it cannot attribute a
+// trace-level fault, and the constituent basic blocks stay cached — if
+// one of them is individually mistranslated, its own sampled
+// executions catch and quarantine it through the normal path.
+func (e *Engine) shadowCheckSB(tb *tblock, sc *shadowCtx, pc, gotNext uint32, nexec int) (uint32, bool) {
+	sb := tb.sb
+	e.met.shadowChecks.Inc()
+	refMem := sc.preMem.Clone()
+	ref := sc.pre.WithMem(refMem)
+	refNext := pc
+	for j := 0; j < nexec && refNext == sb.pcs[j]; j++ {
+		var err error
+		refNext, err = guard.RunReference(ref, sb.pcs[j], sb.insts[j], HaltPC)
+		if err != nil {
+			return gotNext, false // unverifiable, not divergent
+		}
+		if refNext == HaltPC {
+			break
+		}
+	}
+	got := readGuestState(e.Mem)
+	mm := guard.CompareStates(ref, got, false)
+	if refNext != gotNext {
+		mm = append(mm, guard.Mismatch{Kind: guard.MismatchNextPC, Want: refNext, Got: gotNext})
+	}
+	mm = append(mm, guard.CompareMemory(refMem, e.Mem, env.StateBase, 4)...)
+	if len(mm) == 0 {
+		return gotNext, false
+	}
+
+	e.met.divergences.Inc()
+	if e.Cfg.Trace != nil {
+		e.Cfg.Trace.Record(obs.EvDiverge, pc)
+	}
+	if len(e.guard.divergences) < maxDivergenceLog {
+		e.guard.divergences = append(e.guard.divergences, guard.Divergence{
+			PC: pc, Exec: sc.exec, Backend: e.be.Name(), Mismatches: mm,
+		})
+	}
+	e.teardownSB(tb)
+	if e.sbBan == nil {
+		e.sbBan = map[uint32]bool{}
+	}
+	e.sbBan[pc] = true
+	e.Mem.RestoreBelow(refMem, env.StateBase)
+	writeGuestState(e.Mem, ref)
+	return refNext, true
+}
+
 // isolateBlame attributes a divergence to specific rules: for each
 // distinct rule the block used, the block is retranslated with that
 // rule excluded and re-executed on a copy of the pre-block snapshot —
@@ -224,8 +279,8 @@ func (e *Engine) trialExcluding(sc *shadowCtx, pc uint32, ref *guest.State, refN
 		}
 	}()
 	m := sc.preMem.Clone()
-	var miss rule.MissSet
-	ttb, err := e.translateWith(m, pc, &miss, func(x *rule.Template) bool { return x == t }, nil)
+	var tx txctx
+	ttb, err := e.translateWith(m, pc, &tx, func(x *rule.Template) bool { return x == t }, nil)
 	if err != nil {
 		return false
 	}
@@ -322,7 +377,7 @@ func (e *Engine) tryTranslate(pc uint32) (tb *tblock, culprit *rule.Template, er
 			panic(fmt.Sprintf("injected translator panic at pc=%#x", pc))
 		}
 	}
-	tb, err = e.translateWith(e.Mem, pc, &e.miss, nil, &culprit)
+	tb, err = e.translateWith(e.Mem, pc, &e.tx, nil, &culprit)
 	return tb, culprit, err
 }
 

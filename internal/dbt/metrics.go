@@ -14,6 +14,11 @@ const (
 	MetDispatches   = "dbt.dispatches"     // dispatcher round trips
 	MetChainedExits = "dbt.chained_exits"  // block transitions over patched links
 
+	// Hot-trace superblock product counters (see superblock.go).
+	MetTracesFormed    = "dbt.traces_formed"    // hot traces promoted to superblocks
+	MetSuperblockExecs = "dbt.superblock_execs" // block entries that ran a superblock
+	MetSideExits       = "dbt.side_exits"       // superblock runs that left via a side exit
+
 	// Guarded-execution product counters (robustness layer; see
 	// docs/ROBUSTNESS.md). Always counted — they back the Stats guard
 	// fields and the acceptance invariants ("0 unrecovered panics").
@@ -26,15 +31,16 @@ const (
 	MetInterpFallbacks   = "guard.interp_fallbacks"   // blocks executed by the reference interpreter
 
 	// Telemetry: only recorded while obs.On().
-	MetTranslations     = "dbt.translations"      // demand translations
-	MetSpecTranslations = "dbt.spec_translations" // worker (speculative) translations
-	MetInvalidations    = "dbt.invalidations"     // Invalidate calls that removed a block
-	MetChainPatches     = "dbt.chain_patches"     // direct-link slots patched
-	MetCachedBlocks     = "dbt.cached_blocks"     // gauge: translations resident in the cache
-	MetTranslateNs      = "dbt.translate_ns"      // histogram: demand-translation latency
-	MetLookupNs         = "dbt.lookup_ns"         // histogram: dispatcher code-cache lookup latency
-	MetChainNs          = "dbt.chain_ns"          // histogram: link-patch latency
-	MetInvalidateNs     = "dbt.invalidate_ns"     // histogram: invalidation + unchain latency
+	MetTranslations       = "dbt.translations"        // demand translations
+	MetSpecTranslations   = "dbt.spec_translations"   // worker (speculative) translations
+	MetInvalidations      = "dbt.invalidations"       // Invalidate calls that removed a block
+	MetTraceInvalidations = "dbt.trace_invalidations" // superblocks torn down
+	MetChainPatches       = "dbt.chain_patches"       // direct-link slots patched
+	MetCachedBlocks       = "dbt.cached_blocks"       // gauge: translations resident in the cache
+	MetTranslateNs        = "dbt.translate_ns"        // histogram: demand-translation latency
+	MetLookupNs           = "dbt.lookup_ns"           // histogram: dispatcher code-cache lookup latency
+	MetChainNs            = "dbt.chain_ns"            // histogram: link-patch latency
+	MetInvalidateNs       = "dbt.invalidate_ns"       // histogram: invalidation + unchain latency
 )
 
 // engineMetrics holds the resolved metric instances so the hot path
@@ -52,6 +58,10 @@ type engineMetrics struct {
 	dispatches   *obs.Counter
 	chainedExits *obs.Counter
 
+	tracesFormed    *obs.Counter
+	superblockExecs *obs.Counter
+	sideExits       *obs.Counter
+
 	shadowChecks      *obs.Counter
 	divergences       *obs.Counter
 	quarantined       *obs.Counter
@@ -60,42 +70,47 @@ type engineMetrics struct {
 	translateRetries  *obs.Counter
 	interpFallbacks   *obs.Counter
 
-	translations     *obs.Counter
-	specTranslations *obs.Counter
-	invalidations    *obs.Counter
-	chainPatches     *obs.Counter
-	cachedBlocks     *obs.Gauge
-	translateNs      *obs.Histogram
-	lookupNs         *obs.Histogram
-	chainNs          *obs.Histogram
-	invalidateNs     *obs.Histogram
+	translations       *obs.Counter
+	specTranslations   *obs.Counter
+	invalidations      *obs.Counter
+	traceInvalidations *obs.Counter
+	chainPatches       *obs.Counter
+	cachedBlocks       *obs.Gauge
+	translateNs        *obs.Histogram
+	lookupNs           *obs.Histogram
+	chainNs            *obs.Histogram
+	invalidateNs       *obs.Histogram
 }
 
 func newEngineMetrics(reg *obs.Registry) *engineMetrics {
 	return &engineMetrics{
-		reg:               reg,
-		guestInsts:        reg.Counter(MetGuestInsts),
-		ruleCovered:       reg.Counter(MetRuleCovered),
-		seqRuleInsts:      reg.Counter(MetSeqRuleInsts),
-		blocks:            reg.Counter(MetBlocks),
-		dispatches:        reg.Counter(MetDispatches),
-		chainedExits:      reg.Counter(MetChainedExits),
-		shadowChecks:      reg.Counter(MetShadowChecks),
-		divergences:       reg.Counter(MetDivergences),
-		quarantined:       reg.Counter(MetQuarantined),
-		panicsRecovered:   reg.Counter(MetPanicsRecovered),
-		panicsUnrecovered: reg.Counter(MetPanicsUnrecovered),
-		translateRetries:  reg.Counter(MetTranslateRetries),
-		interpFallbacks:   reg.Counter(MetInterpFallbacks),
-		translations:      reg.Counter(MetTranslations),
-		specTranslations:  reg.Counter(MetSpecTranslations),
-		invalidations:     reg.Counter(MetInvalidations),
-		chainPatches:      reg.Counter(MetChainPatches),
-		cachedBlocks:      reg.Gauge(MetCachedBlocks),
-		translateNs:       reg.Histogram(MetTranslateNs),
-		lookupNs:          reg.Histogram(MetLookupNs),
-		chainNs:           reg.Histogram(MetChainNs),
-		invalidateNs:      reg.Histogram(MetInvalidateNs),
+		reg:                reg,
+		guestInsts:         reg.Counter(MetGuestInsts),
+		ruleCovered:        reg.Counter(MetRuleCovered),
+		seqRuleInsts:       reg.Counter(MetSeqRuleInsts),
+		blocks:             reg.Counter(MetBlocks),
+		dispatches:         reg.Counter(MetDispatches),
+		chainedExits:       reg.Counter(MetChainedExits),
+		tracesFormed:       reg.Counter(MetTracesFormed),
+		superblockExecs:    reg.Counter(MetSuperblockExecs),
+		sideExits:          reg.Counter(MetSideExits),
+		shadowChecks:       reg.Counter(MetShadowChecks),
+		divergences:        reg.Counter(MetDivergences),
+		quarantined:        reg.Counter(MetQuarantined),
+		panicsRecovered:    reg.Counter(MetPanicsRecovered),
+		panicsUnrecovered:  reg.Counter(MetPanicsUnrecovered),
+		translateRetries:   reg.Counter(MetTranslateRetries),
+		interpFallbacks:    reg.Counter(MetInterpFallbacks),
+		translations:       reg.Counter(MetTranslations),
+		specTranslations:   reg.Counter(MetSpecTranslations),
+		invalidations:      reg.Counter(MetInvalidations),
+		traceInvalidations: reg.Counter(MetTraceInvalidations),
+		chainPatches:       reg.Counter(MetChainPatches),
+		cachedBlocks:       reg.Gauge(MetCachedBlocks),
+		translateNs:        reg.Histogram(MetTranslateNs),
+		lookupNs:           reg.Histogram(MetLookupNs),
+		chainNs:            reg.Histogram(MetChainNs),
+		invalidateNs:       reg.Histogram(MetInvalidateNs),
 	}
 }
 
@@ -104,22 +119,26 @@ func newEngineMetrics(reg *obs.Registry) *engineMetrics {
 // even when the engine (or a shared registry) has counted before.
 type statsBase struct {
 	guest, covered, seq, blocks, disp, chained uint64
+	traces, sbExecs, sideExits                 uint64
 	shadow, diverged, quar, panRec, interpFB   uint64
 }
 
 func (m *engineMetrics) base() statsBase {
 	return statsBase{
-		guest:    m.guestInsts.Value(),
-		covered:  m.ruleCovered.Value(),
-		seq:      m.seqRuleInsts.Value(),
-		blocks:   m.blocks.Value(),
-		disp:     m.dispatches.Value(),
-		chained:  m.chainedExits.Value(),
-		shadow:   m.shadowChecks.Value(),
-		diverged: m.divergences.Value(),
-		quar:     m.quarantined.Value(),
-		panRec:   m.panicsRecovered.Value(),
-		interpFB: m.interpFallbacks.Value(),
+		guest:     m.guestInsts.Value(),
+		covered:   m.ruleCovered.Value(),
+		seq:       m.seqRuleInsts.Value(),
+		blocks:    m.blocks.Value(),
+		disp:      m.dispatches.Value(),
+		chained:   m.chainedExits.Value(),
+		traces:    m.tracesFormed.Value(),
+		sbExecs:   m.superblockExecs.Value(),
+		sideExits: m.sideExits.Value(),
+		shadow:    m.shadowChecks.Value(),
+		diverged:  m.divergences.Value(),
+		quar:      m.quarantined.Value(),
+		panRec:    m.panicsRecovered.Value(),
+		interpFB:  m.interpFallbacks.Value(),
 	}
 }
 
@@ -132,6 +151,9 @@ func (m *engineMetrics) delta(base statsBase) Stats {
 		Blocks:           int(m.blocks.Value() - base.blocks),
 		Dispatches:       m.dispatches.Value() - base.disp,
 		ChainedExits:     m.chainedExits.Value() - base.chained,
+		TracesFormed:     m.tracesFormed.Value() - base.traces,
+		SuperblockExecs:  m.superblockExecs.Value() - base.sbExecs,
+		SideExits:        m.sideExits.Value() - base.sideExits,
 		ShadowChecks:     m.shadowChecks.Value() - base.shadow,
 		Divergences:      m.divergences.Value() - base.diverged,
 		QuarantinedRules: m.quarantined.Value() - base.quar,

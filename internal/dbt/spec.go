@@ -3,9 +3,9 @@ package dbt
 import (
 	"sync"
 
+	"paramdbt/internal/env"
 	"paramdbt/internal/mem"
 	"paramdbt/internal/obs"
-	"paramdbt/internal/rule"
 )
 
 // specPool is the optional background translation pool
@@ -28,11 +28,17 @@ type specPool struct {
 	wg   sync.WaitGroup
 }
 
-// startSpec snapshots guest memory and launches the workers.
+// startSpec snapshots the guest code region and launches the workers.
+// The snapshot is code-only (pages below env.DataBase): translation
+// reads nothing but code bytes, and cloning the full image — data,
+// heap, stack, CPUState — made starting the pool cost more than
+// chaining ever saved on short runs (the BENCH_dispatch.json workers4
+// regression). CloneBelow keeps pool startup proportional to code
+// size.
 func (e *Engine) startSpec() *specPool {
 	p := &specPool{
 		e:    e,
-		code: e.Mem.Clone(),
+		code: e.Mem.CloneBelow(env.DataBase),
 		jobs: make(chan uint32, 256),
 		quit: make(chan struct{}),
 	}
@@ -67,7 +73,7 @@ func (p *specPool) enqueue(tb *tblock) {
 
 func (p *specPool) work() {
 	defer p.wg.Done()
-	var miss rule.MissSet
+	var tx txctx
 	for {
 		select {
 		case <-p.quit:
@@ -84,7 +90,7 @@ func (p *specPool) work() {
 			// A speculative target can be garbage (e.g. a computed pc the
 			// program never takes); translation errors are dropped — if the
 			// pc is really executed, the demand path reports the error.
-			tb, err := p.safeTranslate(pc, &miss)
+			tb, err := p.safeTranslate(pc, &tx)
 			if err != nil {
 				continue
 			}
@@ -101,11 +107,11 @@ func (p *specPool) work() {
 // (e.g. a corrupted rule template mid-instantiation) into errors so a
 // worker never takes the process down — the demand path owns real
 // error reporting and recovery.
-func (p *specPool) safeTranslate(pc uint32, miss *rule.MissSet) (tb *tblock, err error) {
+func (p *specPool) safeTranslate(pc uint32, tx *txctx) (tb *tblock, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			tb, err = nil, &PanicError{PC: pc, Cause: r}
 		}
 	}()
-	return p.e.translateIn(p.code, pc, miss)
+	return p.e.translateIn(p.code, pc, tx)
 }

@@ -40,14 +40,51 @@ type iplan struct {
 	needsDeleg bool
 }
 
+// txctx is per-goroutine translation scratch: the candidate-free
+// lookup-window memo plus an arena of Binding slots, one per accepted
+// rule window. Lookups write into the next free slot (rule.LookupInto),
+// and the slot is kept only when the window is accepted — so a warm
+// arena makes the whole rule fast path allocation-free per block. The
+// engine owns one for the Run goroutine (Engine.tx); speculative
+// workers and blame-isolation trials carry their own.
+type txctx struct {
+	miss  rule.MissSet
+	binds []rule.Binding
+	n     int
+}
+
+// reset starts a new translation unit (one block, or one superblock).
+func (c *txctx) reset() {
+	c.miss.Reset()
+	c.n = 0
+}
+
+// slot returns the current scratch Binding (growing the arena on first
+// use); keep advances past it once the lookup's result is accepted.
+func (c *txctx) slot() *rule.Binding {
+	if c.n == len(c.binds) {
+		c.binds = append(c.binds, rule.Binding{})
+	}
+	return &c.binds[c.n]
+}
+
+func (c *txctx) keep() { c.n++ }
+
+// blockPlan is the per-instruction plan for one basic block of a
+// translation unit, produced by planBlock and refined by finishPlan.
+type blockPlan struct {
+	plans    []iplan
+	termRule *iplan
+}
+
 // translateIn builds the host block for the guest block at pc, fetching
 // code from m (live memory on the demand path, a snapshot for the
-// speculative workers — see specPool). miss memoizes candidate-free
-// rule-lookup windows for the duration of this one block translation.
-// Translation is a pure function of the code bytes and the engine
-// configuration, so concurrent callers produce identical blocks.
-func (e *Engine) translateIn(m *mem.Memory, pc uint32, miss *rule.MissSet) (*tblock, error) {
-	return e.translateWith(m, pc, miss, nil, nil)
+// speculative workers — see specPool). tx holds the per-goroutine
+// translation scratch (miss memo + binding arena). Translation is a
+// pure function of the code bytes and the engine configuration, so
+// concurrent callers produce identical blocks.
+func (e *Engine) translateIn(m *mem.Memory, pc uint32, tx *txctx) (*tblock, error) {
+	return e.translateWith(m, pc, tx, nil, nil)
 }
 
 // translateWith is translateIn with the guard layer's extension
@@ -57,75 +94,20 @@ func (e *Engine) translateIn(m *mem.Memory, pc uint32, miss *rule.MissSet) (*tbl
 // and cur, when non-nil, tracks the template currently being
 // instantiated so a panic inside rule emission can be attributed to
 // the rule that caused it.
-func (e *Engine) translateWith(m *mem.Memory, pc uint32, miss *rule.MissSet, skip func(*rule.Template) bool, cur **rule.Template) (*tblock, error) {
+func (e *Engine) translateWith(m *mem.Memory, pc uint32, tx *txctx, skip func(*rule.Template) bool, cur **rule.Template) (*tblock, error) {
 	insts, err := fetchBlockIn(m, pc)
 	if err != nil {
 		return nil, err
 	}
 	n := len(insts)
-	body := insts[:n-1]
 	term := insts[n-1]
 
-	plans := make([]iplan, n)
-	plans[n-1] = iplan{kind: pathTerm}
-
-	// Pass 1: choose rule windows greedily (longest match first). The
-	// window may extend through the terminator when a branch-tail rule
-	// (compare-and-branch) matches it.
-	var termRule *iplan
-	if e.Cfg.Rules != nil {
-		miss.Reset()
-		for i := 0; i < len(body); {
-			in := body[i]
-			if in.Cond != guest.AL {
-				plans[i] = iplan{kind: pathTCG}
-				i++
-				continue
-			}
-			tmpl, bind, l := e.Cfg.Rules.LookupFiltered(insts[i:], miss, skip)
-			usable, needsDeleg := e.ruleUsable(tmpl)
-			if tmpl != nil && usable {
-				plans[i] = iplan{kind: pathRule, tmpl: tmpl, bind: bind, needsDeleg: needsDeleg}
-				for j := 1; j < l; j++ {
-					plans[i+j] = iplan{kind: pathRuleTail}
-				}
-				if tmpl.BranchTail {
-					termRule = &plans[i]
-				}
-				i += l
-				continue
-			}
-			plans[i] = iplan{kind: pathTCG}
-			i++
-		}
-	}
-
-	// Pass 2: block register allocation by static use count.
+	// Passes 1-4: rule windows, register allocation, staging demotion,
+	// flag delegation.
+	tx.reset()
+	bp := e.planBlock(insts, tx, skip)
 	mapping := e.allocRegs(insts)
-
-	// Pass 3: demote rules whose operand staging exceeds the temp pool.
-	for i := range body {
-		p := &plans[i]
-		if p.kind != pathRule {
-			continue
-		}
-		need := e.stagingNeed(p.tmpl, p.bind, mapping)
-		if body[i].SetsFlags() {
-			need++ // flag materialization needs one free register
-		}
-		if need > len(e.tempPool) {
-			demote(plans, i)
-		}
-	}
-
-	// Pass 4: condition-flag delegation for the terminator branch; rules
-	// that required delegation but did not get it fall back to TCG.
-	e.planDelegation(insts, plans)
-	for i := range body {
-		if plans[i].kind == pathRule && plans[i].needsDeleg && !plans[i].delegated {
-			demote(plans, i)
-		}
-	}
+	e.finishPlan(&bp, insts, mapping)
 
 	// Pass 5: emission. Alongside the host code, record the block's rule
 	// provenance (the distinct templates whose code it contains) and
@@ -133,61 +115,12 @@ func (e *Engine) translateWith(m *mem.Memory, pc uint32, miss *rule.MissSet, ski
 	// guard layer's shadow verification and blame isolation.
 	a := host.NewAsm()
 	e.emitPrologue(a, mapping)
-	covered, seqCovered := uint64(0), uint64(0)
-	var uncovered []guest.Op
-	var used []*rule.Template
-	flagsExact := true
-	for i := range body {
-		p := plans[i]
-		if p.delegated {
-			flagsExact = false
-		}
-		switch p.kind {
-		case pathRule:
-			if p.tmpl.BranchTail {
-				flagsExact = false
-			}
-			seen := false
-			for _, t := range used {
-				if t == p.tmpl {
-					seen = true
-					break
-				}
-			}
-			if !seen {
-				used = append(used, p.tmpl)
-			}
-			if cur != nil {
-				*cur = p.tmpl
-			}
-			if err := e.emitRule(a, body[i], p, mapping); err != nil {
-				return nil, fmt.Errorf("inst %d %q: %w", i, body[i], err)
-			}
-			if cur != nil {
-				*cur = nil
-			}
-			l := p.tmpl.GuestLen()
-			covered += uint64(l)
-			if l > 1 {
-				seqCovered += uint64(l)
-			}
-		case pathRuleTail:
-			// emitted by the head
-		case pathTCG:
-			if e.Cfg.ManualABI && manualEmittable(body[i]) {
-				if err := e.emitManual(a, body[i], mapping); err != nil {
-					return nil, fmt.Errorf("inst %d %q: %w", i, body[i], err)
-				}
-				covered++
-				continue
-			}
-			uncovered = append(uncovered, body[i].Op)
-			if err := e.emitTCG(a, body[i], pc+uint32(i*guest.InstBytes), mapping); err != nil {
-				return nil, fmt.Errorf("inst %d %q: %w", i, body[i], err)
-			}
-		}
+	em, err := e.emitBody(a, pc, insts, bp.plans, mapping, cur)
+	if err != nil {
+		return nil, err
 	}
-	termCovered, err := e.emitTerminator(a, term, pc+uint32((n-1)*guest.InstBytes), plans, termRule, mapping)
+	covered := em.covered
+	termCovered, err := e.emitTerminator(a, term, pc+uint32((n-1)*guest.InstBytes), bp.plans, bp.termRule, mapping)
 	if err != nil {
 		return nil, fmt.Errorf("terminator %q: %w", term, err)
 	}
@@ -195,27 +128,17 @@ func (e *Engine) translateWith(m *mem.Memory, pc uint32, miss *rule.MissSet, ski
 		termCovered = true
 	}
 	if termCovered {
-		if termRule == nil {
+		if bp.termRule == nil {
 			// Covered through delegation (a branch-tail rule's window
 			// already counted its own branch).
 			covered++
 		}
 	} else {
-		uncovered = append(uncovered, term.Op)
-		if termRule != nil {
+		em.uncovered = append(em.uncovered, term.Op)
+		if bp.termRule != nil {
 			// The branch of the matched branch-tail rule could not be
 			// emitted; its body still counted itself.
 			covered--
-		}
-	}
-
-	elevated := false
-	if e.Cfg.ShadowElevate != nil {
-		for _, t := range used {
-			if e.Cfg.ShadowElevate(t) {
-				elevated = true
-				break
-			}
 		}
 	}
 
@@ -232,13 +155,164 @@ func (e *Engine) translateWith(m *mem.Memory, pc uint32, miss *rule.MissSet, ski
 		insts:      insts,
 		nGuest:     uint64(n),
 		nCovered:   covered,
-		nSeq:       seqCovered,
-		uncovered:  uncovered,
+		nSeq:       em.seq,
+		uncovered:  em.uncovered,
 		links:      directLinks(pc, insts),
-		rules:      used,
-		flagsExact: flagsExact,
-		elevated:   elevated,
+		rules:      em.used,
+		flagsExact: em.flagsExact,
+		elevated:   e.elevates(em.used),
 	}, nil
+}
+
+// planBlock is pass 1: choose rule windows greedily (longest match
+// first) over one basic block. The window may extend through the
+// terminator when a branch-tail rule (compare-and-branch) matches it.
+func (e *Engine) planBlock(insts []guest.Inst, tx *txctx, skip func(*rule.Template) bool) blockPlan {
+	n := len(insts)
+	plans := make([]iplan, n)
+	plans[n-1] = iplan{kind: pathTerm}
+	bp := blockPlan{plans: plans}
+	if e.Cfg.Rules == nil {
+		return bp
+	}
+	body := insts[:n-1]
+	for i := 0; i < len(body); {
+		in := body[i]
+		if in.Cond != guest.AL {
+			plans[i] = iplan{kind: pathTCG}
+			i++
+			continue
+		}
+		b := tx.slot()
+		tmpl, l := e.Cfg.Rules.LookupInto(insts[i:], &tx.miss, skip, b)
+		usable, needsDeleg := e.ruleUsable(tmpl)
+		if tmpl != nil && usable {
+			tx.keep()
+			plans[i] = iplan{kind: pathRule, tmpl: tmpl, bind: *b, needsDeleg: needsDeleg}
+			for j := 1; j < l; j++ {
+				plans[i+j] = iplan{kind: pathRuleTail}
+			}
+			if tmpl.BranchTail {
+				bp.termRule = &plans[i]
+			}
+			i += l
+			continue
+		}
+		plans[i] = iplan{kind: pathTCG}
+		i++
+	}
+	return bp
+}
+
+// finishPlan is passes 3-4 over one basic block, given the (block- or
+// trace-wide) register mapping: demote rules whose operand staging
+// exceeds the temp pool, then plan condition-flag delegation for the
+// block's terminator branch; rules that required delegation but did
+// not get it fall back to TCG.
+func (e *Engine) finishPlan(bp *blockPlan, insts []guest.Inst, mapping map[guest.Reg]host.Reg) {
+	body := insts[:len(insts)-1]
+	plans := bp.plans
+	for i := range body {
+		p := &plans[i]
+		if p.kind != pathRule {
+			continue
+		}
+		need := e.stagingNeed(p.tmpl, p.bind, mapping)
+		if body[i].SetsFlags() {
+			need++ // flag materialization needs one free register
+		}
+		if need > len(e.tempPool) {
+			demote(plans, i)
+		}
+	}
+	e.planDelegation(insts, plans)
+	for i := range body {
+		if plans[i].kind == pathRule && plans[i].needsDeleg && !plans[i].delegated {
+			demote(plans, i)
+		}
+	}
+}
+
+// emitted aggregates what emitBody produced for one basic block's body
+// (terminator accounting is the caller's, since seams and real
+// terminators differ).
+type emitted struct {
+	covered, seq uint64
+	uncovered    []guest.Op
+	used         []*rule.Template
+	flagsExact   bool
+}
+
+// emitBody emits the body (all but the terminator) of one basic block
+// into the shared assembler.
+func (e *Engine) emitBody(a *host.Asm, pc uint32, insts []guest.Inst, plans []iplan, mapping map[guest.Reg]host.Reg, cur **rule.Template) (emitted, error) {
+	em := emitted{flagsExact: true}
+	body := insts[:len(insts)-1]
+	for i := range body {
+		p := plans[i]
+		if p.delegated {
+			em.flagsExact = false
+		}
+		switch p.kind {
+		case pathRule:
+			if p.tmpl.BranchTail {
+				em.flagsExact = false
+			}
+			seen := false
+			for _, t := range em.used {
+				if t == p.tmpl {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				em.used = append(em.used, p.tmpl)
+			}
+			if cur != nil {
+				*cur = p.tmpl
+			}
+			if err := e.emitRule(a, body[i], p, mapping); err != nil {
+				return em, fmt.Errorf("inst %d %q: %w", i, body[i], err)
+			}
+			if cur != nil {
+				*cur = nil
+			}
+			l := p.tmpl.GuestLen()
+			em.covered += uint64(l)
+			if l > 1 {
+				em.seq += uint64(l)
+			}
+		case pathRuleTail:
+			// emitted by the head
+		case pathTCG:
+			if e.Cfg.ManualABI && manualEmittable(body[i]) {
+				if err := e.emitManual(a, body[i], mapping); err != nil {
+					return em, fmt.Errorf("inst %d %q: %w", i, body[i], err)
+				}
+				em.covered++
+				continue
+			}
+			em.uncovered = append(em.uncovered, body[i].Op)
+			if err := e.emitTCG(a, body[i], pc+uint32(i*guest.InstBytes), mapping); err != nil {
+				return em, fmt.Errorf("inst %d %q: %w", i, body[i], err)
+			}
+		}
+	}
+	return em, nil
+}
+
+// elevates reports whether any used rule is flagged for elevated-rate
+// shadow sampling.
+func (e *Engine) elevates(used []*rule.Template) bool {
+	if e.Cfg.ShadowElevate == nil {
+		return false
+	}
+	for _, t := range used {
+		if e.Cfg.ShadowElevate(t) {
+			return true
+		}
+	}
+	return false
 }
 
 // directLinks returns the statically known successor slots of the block
@@ -609,12 +683,7 @@ func (e *Engine) regmap(mapping map[guest.Reg]host.Reg) func(guest.Reg) host.Ope
 // stubs.
 func (e *Engine) emitTerminator(a *host.Asm, term guest.Inst, pc uint32, plans []iplan, termRule *iplan, mapping map[guest.Reg]host.Reg) (bool, error) {
 	fall := pc + guest.InstBytes
-	exitImm := func(target uint32) {
-		e.emitEpilogue(a, mapping)
-		a.SetCat(host.CatControl)
-		a.Emit(host.Exit(host.Imm(int32(target))))
-		a.SetCat(host.CatCompute)
-	}
+	exitImm := func(target uint32) { e.exitTo(a, target, mapping) }
 
 	switch term.Op {
 	case guest.HLT:
@@ -743,6 +812,16 @@ func (e *Engine) emitTerminator(a *host.Asm, term guest.Inst, pc uint32, plans [
 	}
 
 	return false, fmt.Errorf("dbt: unsupported terminator %q", term)
+}
+
+// exitTo emits one complete immediate exit path: epilogue (store mapped
+// guest registers) plus the exit_tb carrying the next guest pc (QEMU's
+// goto_tb stub). Shared by block terminators and superblock side exits.
+func (e *Engine) exitTo(a *host.Asm, target uint32, mapping map[guest.Reg]host.Reg) {
+	e.emitEpilogue(a, mapping)
+	a.SetCat(host.CatControl)
+	a.Emit(host.Exit(host.Imm(int32(target))))
+	a.SetCat(host.CatCompute)
 }
 
 // retag rewrites the category of instructions emitted since start.

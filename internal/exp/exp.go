@@ -90,6 +90,7 @@ type RunResult struct {
 	Stats    dbt.Stats
 	Executed [3]uint64 // host instructions per category
 	Total    uint64
+	R0       uint32 // final guest r0 (the program's result value)
 }
 
 // Run executes a benchmark under the given DBT configuration.
@@ -110,7 +111,8 @@ func (c *Corpus) Run(name string, cfg dbt.Config) (RunResult, error) {
 	if err != nil {
 		return RunResult{}, fmt.Errorf("%s: %w", name, err)
 	}
-	return RunResult{Stats: st, Executed: e.CPU.Executed, Total: e.CPU.Total()}, nil
+	return RunResult{Stats: st, Executed: e.CPU.Executed, Total: e.CPU.Total(),
+		R0: e.GuestState().R[guest.R0]}, nil
 }
 
 // Geomean computes the geometric mean of positive values.

@@ -13,7 +13,9 @@ import (
 // v2 added the "analysis" section (static rule audit verdict counts).
 // v3 added the "backends" section (per-backend workload matrix under
 // shadow verification) and the top-level "backend" provenance field.
-const ReportSchema = "paramdbt-experiments/v3"
+// v4 added the "trace" section (hot-trace superblock formation and
+// dispatch statistics).
+const ReportSchema = "paramdbt-experiments/v4"
 
 // Report is the machine-readable form of the experiment suite, written
 // by cmd/experiments -json in the same spirit as the checked-in
@@ -41,6 +43,7 @@ type Report struct {
 	Fig16     []Fig16Point     `json:"fig16,omitempty"`
 	Table3    *core.Counts     `json:"table3,omitempty"`
 	Dispatch  *DispatchSection `json:"dispatch,omitempty"`
+	Trace     *TraceSection    `json:"trace,omitempty"`
 	Guard     *GuardSection    `json:"guard,omitempty"`
 	Analysis  *AnalysisSection `json:"analysis,omitempty"`
 	Backends  *BackendsSection `json:"backends,omitempty"`

@@ -57,7 +57,20 @@ func TestReportRoundTrip(t *testing.T) {
 		Fig14:    Fig14Data(rs),
 		Fig15:    Fig15Data(rs),
 		Dispatch: DispatchData(rs),
-		Table3:   &counts,
+		Trace: &TraceSection{
+			HotThreshold: 4,
+			Rows: []TraceRow{
+				{Name: "alpha", TracesFormed: 12, SuperblockShare: 0.42,
+					SideExitRate: 0.11, HostInsts: 380, HostInstsChained: 400,
+					ResultMatch: true},
+				{Name: "beta", TracesFormed: 9, SuperblockShare: 0.36,
+					SideExitRate: 0.08, HostInsts: 390, HostInstsChained: 400,
+					ResultMatch: true},
+			},
+			MeanSuperblockShare: 0.39,
+			MeanSideExitRate:    0.095,
+		},
+		Table3: &counts,
 		Analysis: &AnalysisSection{
 			Rules: 310, Sound: 309, Inconclusive: 1,
 			ByProof:         map[string]int{"structural": 286, "sweep": 23},
@@ -102,7 +115,7 @@ func TestReportRoundTrip(t *testing.T) {
 			t.Fatalf("unset section %q serialized", absent)
 		}
 	}
-	for _, present := range []string{"schema", "backend", "fig11", "dispatch", "table3", "analysis", "backends"} {
+	for _, present := range []string{"schema", "backend", "fig11", "dispatch", "trace", "table3", "analysis", "backends"} {
 		if _, ok := raw[present]; !ok {
 			t.Fatalf("section %q missing", present)
 		}

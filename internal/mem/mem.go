@@ -128,6 +128,23 @@ func (m *Memory) Clone() *Memory {
 	return c
 }
 
+// CloneBelow deep-copies only the pages below limit (a page-aligned
+// boundary). The speculative-translation pool snapshots just the guest
+// code region this way: cloning the data, heap and stack pages of a
+// large workload dominated the cost of starting the pool, and code
+// fetch never reads them.
+func (m *Memory) CloneBelow(limit uint32) *Memory {
+	limitKey := limit >> PageBits
+	c := New()
+	for k, p := range m.pages {
+		if k < limitKey {
+			cp := *p
+			c.pages[k] = &cp
+		}
+	}
+	return c
+}
+
 // DiffBelow compares the two memories over all addresses below limit
 // (a page-aligned boundary separating guest-visible memory from
 // host-private regions) and returns up to max differing word-aligned

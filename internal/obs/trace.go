@@ -28,6 +28,10 @@ const (
 	// EvFallback is a block executed by the reference interpreter
 	// because translation failed persistently at the event's pc.
 	EvFallback
+	// EvSuperblock is an entry into a hot-trace superblock (the event's
+	// pc is the trace head); it replaces the EvDispatch/EvChained event
+	// the entry would otherwise record.
+	EvSuperblock
 )
 
 // String names the kind for dumps.
@@ -45,6 +49,8 @@ func (k EventKind) String() string {
 		return "diverge"
 	case EvFallback:
 		return "fallback"
+	case EvSuperblock:
+		return "superblock"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }

@@ -5,35 +5,34 @@ import (
 )
 
 // Binding is the result of matching a template against concrete guest
-// instructions: values for register and immediate parameters.
+// instructions: values for register and immediate parameters. MatchInto
+// reuses the slices' capacity, so a caller that keeps one Binding as
+// scratch makes the whole hit path allocation-free.
 type Binding struct {
 	Regs []guest.Reg // indexed by param id (valid for PReg params)
 	Imms []int32     // indexed by param id (valid for PImm params)
 }
 
+// maxParams bounds a template's parameter count so the matcher's
+// scratch state fits in a fixed-size, stack-allocated context (the hot
+// retrieval path formerly allocated four slices per candidate match
+// attempt). Store.Add enforces the bound; a rule over a maxKeyWindow
+// guest window carries well under four params per instruction.
+const maxParams = 64
+
 // matchCtx tracks partial bindings during matching. Distinct register
 // params must bind distinct guest registers (injectivity) and a repeated
 // param must see the same register — together these enforce that the
 // guest code's data-dependence pattern equals the template's (paper
-// Fig. 8).
+// Fig. 8). The context lives on the caller's stack: all storage is
+// fixed-size arrays.
 type matchCtx struct {
 	t     *Template
-	regs  []guest.Reg
+	regs  [maxParams]guest.Reg
 	rset  [guest.NumRegs]bool // registers already claimed
-	bound []bool
-	imms  []int32
-	iset  []bool
-}
-
-func newMatchCtx(t *Template) *matchCtx {
-	n := len(t.Params)
-	return &matchCtx{
-		t:     t,
-		regs:  make([]guest.Reg, n),
-		bound: make([]bool, n),
-		imms:  make([]int32, n),
-		iset:  make([]bool, n),
-	}
+	bound [maxParams]bool
+	imms  [maxParams]int32
+	iset  [maxParams]bool
 }
 
 func (c *matchCtx) bindReg(p int, r guest.Reg) bool {
@@ -102,34 +101,40 @@ func (c *matchCtx) matchArg(a Arg, o guest.Operand) bool {
 	return false
 }
 
-// Match attempts to bind the template against the guest instructions.
-// seq must have exactly GuestLen instructions. Conditional instructions
-// never match (rules are unconditional); the S bit must agree. For a
+// MatchInto attempts to bind the template against the guest
+// instructions, writing the binding into b (whose slices are truncated
+// and reused, so a warm scratch Binding costs no allocation). seq must
+// have exactly GuestLen instructions. Conditional instructions never
+// match (rules are unconditional); the S bit must agree. For a
 // branch-tail rule the final instruction must be a conditional branch
-// with the template's condition (the target stays free).
-func Match(t *Template, seq []guest.Inst) (Binding, bool) {
+// with the template's condition (the target stays free). On failure b
+// is left truncated but valid for reuse.
+func MatchInto(t *Template, seq []guest.Inst, b *Binding) bool {
+	b.Regs = b.Regs[:0]
+	b.Imms = b.Imms[:0]
 	if len(seq) != t.GuestLen() {
-		return Binding{}, false
+		return false
 	}
 	if t.BranchTail {
 		tail := seq[len(seq)-1]
 		if tail.Op != guest.B || tail.Cond != t.GCond {
-			return Binding{}, false
+			return false
 		}
 		seq = seq[:len(seq)-1]
 	}
-	c := newMatchCtx(t)
+	var c matchCtx
+	c.t = t
 	for i, p := range t.Guest {
 		in := seq[i]
 		if in.Op != p.Op || in.Cond != guest.AL || in.S != p.S {
-			return Binding{}, false
+			return false
 		}
 		if in.N != len(p.Args) {
-			return Binding{}, false
+			return false
 		}
 		for j, a := range p.Args {
 			if !c.matchArg(a, in.Ops[j]) {
-				return Binding{}, false
+				return false
 			}
 		}
 	}
@@ -139,18 +144,32 @@ func Match(t *Template, seq []guest.Inst) (Binding, bool) {
 		switch k {
 		case PReg:
 			if !c.bound[p] {
-				return Binding{}, false
+				return false
 			}
 		case PImm:
 			if !c.iset[p] {
-				return Binding{}, false
+				return false
 			}
 		}
 	}
 	for _, p := range t.NonZeroImms {
 		if c.imms[p] == 0 {
-			return Binding{}, false
+			return false
 		}
 	}
-	return Binding{Regs: c.regs, Imms: c.imms}, true
+	n := len(t.Params)
+	b.Regs = append(b.Regs, c.regs[:n]...)
+	b.Imms = append(b.Imms, c.imms[:n]...)
+	return true
+}
+
+// Match is MatchInto with a fresh Binding, for callers off the hot
+// path.
+func Match(t *Template, seq []guest.Inst) (Binding, bool) {
+	var b Binding
+	ok := MatchInto(t, seq, &b)
+	if !ok {
+		return Binding{}, false
+	}
+	return b, true
 }

@@ -176,6 +176,9 @@ func (s *Store) Add(t *Template) bool {
 	if t.GuestLen() > maxKeyWindow {
 		panic(fmt.Sprintf("rule: template spans %d guest instructions, retrieval window is %d", t.GuestLen(), maxKeyWindow))
 	}
+	if len(t.Params) > maxParams {
+		panic(fmt.Sprintf("rule: template has %d params, matcher scratch holds %d", len(t.Params), maxParams))
+	}
 	fp := t.Fingerprint()
 	if _, dup := s.byFp[fp]; dup {
 		return false
@@ -303,6 +306,21 @@ func (s *Store) LookupCached(seq []guest.Inst, miss *MissSet) (*Template, Bindin
 // sound under both filters: a window is recorded as a miss only when
 // its fingerprint has no candidates at all, which is filter-independent.
 func (s *Store) LookupFiltered(seq []guest.Inst, miss *MissSet, skip func(*Template) bool) (*Template, Binding, int) {
+	var b Binding
+	t, l := s.LookupInto(seq, miss, skip, &b)
+	if t == nil {
+		return nil, Binding{}, 0
+	}
+	return t, b, l
+}
+
+// LookupInto is the allocation-free core of the retrieval fast path:
+// LookupFiltered with a caller-provided Binding scratch. On a hit the
+// winning binding is left in b (whose slices are reused across calls,
+// so a warm scratch never allocates); on a miss b is truncated. The
+// translator keeps an arena of scratch Bindings — one slot per accepted
+// rule window — so block translation allocates nothing per lookup.
+func (s *Store) LookupInto(seq []guest.Inst, miss *MissSet, skip func(*Template) bool, b *Binding) (*Template, int) {
 	telemetry := obs.On()
 	quarActive := s.quarN.Load() != 0
 	if telemetry {
@@ -352,15 +370,15 @@ func (s *Store) LookupFiltered(seq []guest.Inst, miss *MissSet, skip func(*Templ
 					metFpCollisions.Inc()
 				}
 			}
-			if b, ok := Match(t, window); ok {
+			if MatchInto(t, window, b) {
 				if telemetry {
 					metLookupHits.Inc()
 				}
-				return t, b, l
+				return t, l
 			}
 		}
 	}
-	return nil, Binding{}, 0
+	return nil, 0
 }
 
 // CountByOrigin tallies templates per origin, for the experiment

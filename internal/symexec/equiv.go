@@ -197,13 +197,13 @@ func CheckEquivBranch(gseq []guest.Inst, hseq []host.Inst, binds []Binding, scra
 	}
 	init := map[host.Reg]*Expr{}
 	for _, b := range binds {
-		init[b.Host] = Sym(fmt.Sprintf("g%d", b.Guest))
+		init[b.Host] = Sym(gRegName(b.Guest))
 	}
 	hs, err := EvalHost(hseq, init)
 	if err != nil {
 		return Result{Reason: err.Error()}
 	}
-	rng := rand.New(rand.NewSource(0xb4a9c4))
+	rng := ReplayRand(0xb4a9c4)
 	gp := GuestCondExpr(gs, gc)
 	hp := hs.hostCondExpr(hc)
 	if ok, _ := valueEquiv(gp, hp, gs.Stores, hs.Stores, rng); !ok {
@@ -236,7 +236,7 @@ func CheckEquiv(gseq []guest.Inst, hseq []host.Inst, binds []Binding, scratch []
 		if _, dup := g2h[b.Guest]; dup {
 			return Result{Reason: fmt.Sprintf("guest %v bound twice", b.Guest)}
 		}
-		init[b.Host] = Sym(fmt.Sprintf("g%d", b.Guest))
+		init[b.Host] = Sym(gRegName(b.Guest))
 		g2h[b.Guest] = b.Host
 	}
 	hs, err := EvalHost(hseq, init)
@@ -244,7 +244,7 @@ func CheckEquiv(gseq []guest.Inst, hseq []host.Inst, binds []Binding, scratch []
 		return Result{Reason: err.Error()}
 	}
 
-	rng := rand.New(rand.NewSource(0x5eed))
+	rng := ReplayRand(0x5eed)
 	res := Result{GuestSetsFlags: gs.FlagsSet}
 
 	// Every written guest register must appear, equal, in its bound host
@@ -276,7 +276,7 @@ func CheckEquiv(gseq []guest.Inst, hseq []host.Inst, binds []Binding, scratch []
 		if gs.Written[b.Guest] {
 			continue
 		}
-		want := Sym(fmt.Sprintf("g%d", b.Guest))
+		want := Sym(gRegName(b.Guest))
 		if !StructEqual(Normalize(hs.R[b.Host]), want) {
 			return Result{
 				Reason:         fmt.Sprintf("host %v clobbered live guest %v", b.Host, b.Guest),

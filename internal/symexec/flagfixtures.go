@@ -1,8 +1,6 @@
 package symexec
 
 import (
-	"fmt"
-
 	"paramdbt/internal/guest"
 	"paramdbt/internal/host"
 )
@@ -143,7 +141,7 @@ func (f *FlagFixture) GuestFlagValues(v FlagVector) (c, vf uint32, err error) {
 func (f *FlagFixture) HostFlagValues(v FlagVector) (cf, of uint32, err error) {
 	init := map[host.Reg]*Expr{}
 	for _, b := range f.Binds {
-		init[b.Host] = Sym(fmt.Sprintf("g%d", b.Guest))
+		init[b.Host] = Sym(gRegName(b.Guest))
 	}
 	hs, err := EvalHost(f.Host, init)
 	if err != nil {

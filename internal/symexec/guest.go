@@ -52,7 +52,7 @@ func NewGState() *GState {
 		N: Sym("fn"), Z: Sym("fz"), C: Sym("fc"), V: Sym("fv"),
 	}
 	for i := range s.R {
-		s.R[i] = Sym(fmt.Sprintf("g%d", i))
+		s.R[i] = Sym(gRegName(guest.Reg(i)))
 	}
 	return s
 }

@@ -30,7 +30,7 @@ func NewHState(init map[host.Reg]*Expr) *HState {
 		if e, ok := init[host.Reg(i)]; ok {
 			s.R[i] = e
 		} else {
-			s.R[i] = Sym(fmt.Sprintf("h%d", i))
+			s.R[i] = Sym(hRegName(host.Reg(i)))
 		}
 	}
 	return s

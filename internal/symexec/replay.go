@@ -1,0 +1,128 @@
+package symexec
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"paramdbt/internal/guest"
+	"paramdbt/internal/host"
+)
+
+// The equivalence checkers draw their randomized concrete vectors from
+// fixed-seed generators so verification is reproducible. rand.NewSource
+// seeds a 607-entry lagged-Fibonacci table on every call, and profiling
+// showed that reseeding — not evaluation — dominated rule admission
+// once translation re-checks the same sequences thousands of times per
+// run. Because the seeds are constants, every check replays the same
+// value stream; ReplayRand generates each seed's stream once and hands
+// out cheap replaying readers instead of reseeding.
+
+// ReplayRand returns a *rand.Rand whose draws reproduce, bit for bit,
+// the stream of rand.New(rand.NewSource(seed)). The returned Rand is
+// for a single goroutine (like any *rand.Rand), but ReplayRand itself
+// is safe to call concurrently and the underlying stream is shared.
+func ReplayRand(seed int64) *rand.Rand {
+	v, ok := streams.Load(seed)
+	if !ok {
+		v, _ = streams.LoadOrStore(seed, &seedStream{
+			src: rand.NewSource(seed).(rand.Source64),
+		})
+	}
+	return rand.New(&replaySource{s: v.(*seedStream)})
+}
+
+var streams sync.Map // int64 -> *seedStream
+
+// seedStream owns the master generator for one seed and publishes an
+// immutable, append-only prefix of its Uint64 stream. Readers replay
+// the prefix with one atomic load per draw; the rare draw past the
+// published length extends it under the mutex and republishes.
+type seedStream struct {
+	mu   sync.Mutex
+	src  rand.Source64
+	vals atomic.Pointer[[]uint64]
+}
+
+const streamChunk = 1024
+
+func (s *seedStream) at(i int) uint64 {
+	if p := s.vals.Load(); p != nil && i < len(*p) {
+		return (*p)[i]
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var cur []uint64
+	if p := s.vals.Load(); p != nil {
+		cur = *p
+	}
+	if i < len(cur) {
+		return cur[i]
+	}
+	next := make([]uint64, len(cur), i+streamChunk)
+	copy(next, cur)
+	for len(next) < i+streamChunk {
+		next = append(next, s.src.Uint64())
+	}
+	s.vals.Store(&next)
+	return next[i]
+}
+
+// replaySource adapts a seedStream to rand.Source64. Int63 applies the
+// same top-bit mask math/rand's own rngSource uses, so every derived
+// draw (Intn, Uint32, ...) matches the original generator exactly.
+type replaySource struct {
+	s *seedStream
+	i int
+}
+
+func (r *replaySource) Uint64() uint64 {
+	v := r.s.at(r.i)
+	r.i++
+	return v
+}
+
+func (r *replaySource) Int63() int64 { return int64(r.Uint64() &^ (1 << 63)) }
+
+// Seed is required by rand.Source; replay streams are fixed-seed by
+// construction and never reseeded.
+func (r *replaySource) Seed(int64) { panic("symexec: replay source cannot be reseeded") }
+
+// Symbolic register names are equally repetitive: every lifted sequence
+// rebuilds the same "gN"/"hN" symbols, and fmt.Sprintf was a measurable
+// slice of translation time. The tables cover the register files; any
+// out-of-range index (there are none today) would simply miss the
+// cache in the callers' fallback path.
+var gRegNames = makeRegNames("g", guest.NumRegs)
+
+var hRegNames = makeRegNames("h", host.NumRegs)
+
+func gRegName(r guest.Reg) string {
+	if int(r) < len(gRegNames) {
+		return gRegNames[r]
+	}
+	return "g" + itoa(int(r))
+}
+
+func hRegName(r host.Reg) string {
+	if int(r) < len(hRegNames) {
+		return hRegNames[r]
+	}
+	return "h" + itoa(int(r))
+}
+
+func makeRegNames(prefix string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = prefix + itoa(i)
+	}
+	return out
+}
+
+// itoa avoids importing strconv for two-digit register indices.
+func itoa(i int) string {
+	if i < 10 {
+		return string(rune('0' + i))
+	}
+	return itoa(i/10) + string(rune('0'+i%10))
+}

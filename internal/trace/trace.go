@@ -1,0 +1,242 @@
+// Package trace implements the policy half of hot-trace superblocks:
+// profile-guided trace formation (which basic blocks a hot path visits,
+// in order) and the cross-block dead flag-store elimination pass run
+// over a superblock's merged host instruction stream before the backend
+// finalizes it. The mechanism half — counters, retranslation, cache
+// installation, side-exit accounting — lives in internal/dbt, which
+// owns the engine state; keeping the policy here makes both algorithms
+// unit-testable without an engine.
+//
+// Formation follows the NET family of trace builders (see DESIGN.md
+// "Hot traces & superblocks"): when a block's execution counter crosses
+// the hotness threshold, the trace grows greedily along the
+// most-executed recorded direct-link edge until it hits the length cap,
+// a block with no profiled direct successor (an indirect branch, or an
+// edge that was never taken), or a block already in the trace (a cycle,
+// including the canonical loop back to the head).
+package trace
+
+import "paramdbt/internal/host"
+
+// Succ is one profiled direct successor edge of a basic block: the
+// static target pc and how many times execution followed the edge.
+type Succ struct {
+	PC   uint32
+	Hits uint64
+}
+
+// Grow builds a trace starting at head: at each step the hottest
+// successor edge (ties break toward the first-listed, i.e. the
+// fallthrough/target order the translator recorded) is followed.
+// succs reports the profiled out-edges of a block, or nil when the
+// block is unknown or ends in an indirect branch. Growth stops at
+// maxBlocks, at an edge with zero recorded hits, at an unknown block,
+// and at any pc already in the trace. The returned slice always starts
+// with head; a single-element result means no trace formed beyond the
+// seed block.
+func Grow(head uint32, maxBlocks int, succs func(pc uint32) []Succ) []uint32 {
+	out := []uint32{head}
+	seen := map[uint32]bool{head: true}
+	for len(out) < maxBlocks {
+		var best Succ
+		for _, s := range succs(out[len(out)-1]) {
+			if s.Hits > best.Hits {
+				best = s
+			}
+		}
+		if best.Hits == 0 || seen[best.PC] {
+			break
+		}
+		seen[best.PC] = true
+		out = append(out, best.PC)
+	}
+	return out
+}
+
+// ElideDeadFlagStores removes provably dead stores to the CPUState
+// condition-flag words from a merged superblock stream: a
+// `movl ..., off(stateReg)` with a flag-slot offset is dead when the
+// same slot is stored again before any instruction that could observe
+// it. This is the cross-block optimization a superblock enables — block
+// i materializes NZCV only for block i+1 to overwrite it — that
+// per-block translation can never perform, because every basic block
+// must leave the architectural flag words correct at its exit.
+//
+// The pass is a single forward scan and deliberately conservative: a
+// pending (candidate-dead) store is abandoned — kept, not deleted — as
+// soon as the scan reaches
+//   - any label binding (a join point: another path may observe the
+//     slot after jumping here),
+//   - any control transfer (JMP/JCC/CALL/RET/ExitTB: the slot escapes
+//     with the architectural state),
+//   - any instruction reading or read-modify-writing that slot,
+//   - any memory operand not based on stateReg (translated guest loads
+//     and stores use guest addresses; aliasing is not disproved), or
+//   - any PUSHL/POPL (implicit host-stack memory traffic).
+//
+// A store deleted this way may itself be a jump target: that is still
+// sound, because deletion requires the overwriting store to follow it
+// with no intervening label, branch, or read — so every path through
+// the deleted store, fallthrough and jump alike, reaches the overwrite
+// before the value can be observed.
+//
+// When a deleted store's value was produced by an immediately preceding
+// SETCC into the same (otherwise dead) register, the SETCC is deleted
+// too; deadness of the register is checked by a bounded forward scan
+// that gives up conservatively at control flow.
+//
+// It returns the rewritten stream, the label bindings remapped onto it,
+// and the number of instructions removed. labels is not mutated.
+func ElideDeadFlagStores(insts []host.Inst, labels map[int]int, stateReg host.Reg, isFlagOff func(int32) bool) ([]host.Inst, map[int]int, int) {
+	bound := make(map[int]bool, len(labels))
+	for _, idx := range labels {
+		bound[idx] = true
+	}
+
+	// pending maps a flag-slot offset to the index of its latest
+	// unobserved store.
+	pending := map[int32]int{}
+	dead := map[int]bool{}
+
+	isFlagStore := func(in host.Inst) (int32, bool) {
+		if in.Op != host.MOVL || in.Dst.Kind != host.KindMem {
+			return 0, false
+		}
+		if in.Dst.Base != stateReg || in.Dst.Scale != 0 || !isFlagOff(in.Dst.Disp) {
+			return 0, false
+		}
+		return in.Dst.Disp, true
+	}
+
+	// opReads reports whether operand o could observe slot off, or is a
+	// memory access the pass cannot reason about (base other than
+	// stateReg, or scaled).
+	opObserves := func(o host.Operand, off int32) (reads, unsafe bool) {
+		if o.Kind != host.KindMem {
+			return false, false
+		}
+		if o.Base != stateReg || o.Scale != 0 {
+			return false, true
+		}
+		return o.Disp == off, false
+	}
+
+	abandon := func() { pending = map[int32]int{} }
+
+	for i, in := range insts {
+		if bound[i] {
+			abandon()
+		}
+		switch in.Op {
+		case host.JMP, host.JCC, host.CALL, host.RET, host.ExitTB, host.PUSHL, host.POPL:
+			abandon()
+			continue
+		}
+		if off, ok := isFlagStore(in); ok {
+			// The source may itself be a stateReg-based load of a pending
+			// slot (never emitted today, but stay sound).
+			if r, u := opObserves(in.Src, off); !r && !u {
+				for poff := range pending {
+					if r2, _ := opObserves(in.Src, poff); r2 {
+						delete(pending, poff)
+					}
+				}
+				if prev, live := pending[off]; live {
+					dead[prev] = true
+				}
+				pending[off] = i
+				continue
+			}
+		}
+		// Generic instruction: drop any pending store it could observe.
+		for off := range pending {
+			rd, ud := opObserves(in.Dst, off)
+			rs, us := opObserves(in.Src, off)
+			if rd || rs || ud || us {
+				delete(pending, off)
+			}
+		}
+	}
+
+	if len(dead) == 0 {
+		return insts, labels, 0
+	}
+
+	// A dead store fed by an adjacent SETCC into a register that is
+	// otherwise dead lets the SETCC go too.
+	for idx := range dead {
+		s := idx - 1
+		if s < 0 || bound[idx] || dead[s] {
+			continue
+		}
+		in := insts[s]
+		if in.Op != host.SETCC || in.Dst.Kind != host.KindReg || insts[idx].Src.Kind != host.KindReg ||
+			in.Dst.Reg != insts[idx].Src.Reg {
+			continue
+		}
+		if regDeadAfter(insts, bound, idx+1, in.Dst.Reg) {
+			dead[s] = true
+		}
+	}
+
+	out := make([]host.Inst, 0, len(insts)-len(dead))
+	remap := make([]int, len(insts)+1)
+	for i, in := range insts {
+		remap[i] = len(out)
+		if !dead[i] {
+			out = append(out, in)
+		}
+	}
+	remap[len(insts)] = len(out)
+	newLabels := make(map[int]int, len(labels))
+	for id, idx := range labels {
+		newLabels[id] = remap[idx]
+	}
+	return out, newLabels, len(dead)
+}
+
+// regDeadAfter reports whether register r is written before it can be
+// read, scanning forward from index i. The scan gives up (reports
+// live, the conservative answer) at labels, control transfers, and the
+// end of the stream.
+func regDeadAfter(insts []host.Inst, bound map[int]bool, i int, r host.Reg) bool {
+	for ; i < len(insts); i++ {
+		if bound[i] {
+			return false
+		}
+		in := insts[i]
+		switch in.Op {
+		case host.JMP, host.JCC, host.CALL, host.RET, host.ExitTB:
+			return false
+		}
+		if opReadsReg(in.Src, r) {
+			return false
+		}
+		// Dst as address (memory operand) is a read of its base/index.
+		if in.Dst.Kind == host.KindMem && opReadsReg(in.Dst, r) {
+			return false
+		}
+		if in.Dst.Kind == host.KindReg && in.Dst.Reg == r {
+			switch in.Op {
+			case host.MOVL, host.MOVZBL, host.SETCC, host.POPL, host.LEAL:
+				return true // fully redefined without reading
+			}
+			return false // read-modify-write (addl, shll, ...)
+		}
+	}
+	return false
+}
+
+// opReadsReg reports whether evaluating operand o reads register r.
+func opReadsReg(o host.Operand, r host.Reg) bool {
+	switch o.Kind {
+	case host.KindReg:
+		return o.Reg == r
+	case host.KindMem:
+		if o.Base == r {
+			return true
+		}
+		return o.Scale != 0 && o.Index == r
+	}
+	return false
+}

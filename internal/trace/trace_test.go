@@ -1,0 +1,183 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+
+	"paramdbt/internal/host"
+)
+
+func TestGrowFollowsHottestEdge(t *testing.T) {
+	edges := map[uint32][]Succ{
+		0x100: {{PC: 0x200, Hits: 3}, {PC: 0x300, Hits: 90}},
+		0x300: {{PC: 0x400, Hits: 90}},
+		0x400: {{PC: 0x100, Hits: 89}, {PC: 0x500, Hits: 1}},
+		0x500: {{PC: 0x600, Hits: 0}},
+	}
+	succs := func(pc uint32) []Succ { return edges[pc] }
+
+	got := Grow(0x100, 8, succs)
+	want := []uint32{0x100, 0x300, 0x400} // 0x100 again would cycle back to the head
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Grow = %#v, want %#v", got, want)
+	}
+}
+
+func TestGrowStops(t *testing.T) {
+	succs := func(pc uint32) []Succ {
+		switch pc {
+		case 0x100:
+			return []Succ{{PC: 0x104, Hits: 5}}
+		case 0x104:
+			return nil // indirect terminator: no profiled successors
+		}
+		return nil
+	}
+	if got := Grow(0x100, 8, succs); !reflect.DeepEqual(got, []uint32{0x100, 0x104}) {
+		t.Fatalf("indirect stop: got %#v", got)
+	}
+	// Cap.
+	loop := func(pc uint32) []Succ { return []Succ{{PC: pc + 4, Hits: 1}} }
+	if got := Grow(0, 3, loop); len(got) != 3 {
+		t.Fatalf("cap: got %d blocks, want 3", len(got))
+	}
+	// Zero-hit edge (recorded but never taken) does not extend the trace.
+	cold := func(uint32) []Succ { return []Succ{{PC: 0x900, Hits: 0}} }
+	if got := Grow(0x100, 8, cold); len(got) != 1 {
+		t.Fatalf("cold edge: got %#v", got)
+	}
+	// Self-loop.
+	self := func(pc uint32) []Succ { return []Succ{{PC: pc, Hits: 9}} }
+	if got := Grow(0x100, 8, self); len(got) != 1 {
+		t.Fatalf("self loop: got %#v", got)
+	}
+}
+
+const (
+	offN int32 = 64
+	offZ int32 = 68
+)
+
+func isFlag(d int32) bool { return d == offN || d == offZ }
+
+func flagStore(off int32, r host.Reg) host.Inst {
+	return host.I(host.MOVL, host.Mem(host.EBP, off), host.R(r))
+}
+
+func elide(t *testing.T, insts []host.Inst, labels map[int]int) ([]host.Inst, map[int]int, int) {
+	t.Helper()
+	if labels == nil {
+		labels = map[int]int{}
+	}
+	return ElideDeadFlagStores(insts, labels, host.EBP, isFlag)
+}
+
+func TestElideOverwrittenFlagStore(t *testing.T) {
+	insts := []host.Inst{
+		flagStore(offN, host.EAX),                                  // dead: overwritten below
+		host.I(host.ADDL, host.R(host.EBX), host.Imm(1)),           // does not observe the slot
+		flagStore(offN, host.ECX),                                  // survives
+		host.I(host.MOVL, host.Mem(host.EBP, 0), host.R(host.ECX)), // non-flag slot untouched
+	}
+	out, _, n := elide(t, insts, nil)
+	if n != 1 || len(out) != 3 {
+		t.Fatalf("removed %d (len %d), want 1 (3):\n%v", n, len(out), out)
+	}
+	if out[1] != insts[2] {
+		t.Fatalf("surviving store wrong: %v", out[1])
+	}
+}
+
+func TestElideKeepsObservedStores(t *testing.T) {
+	cases := map[string][]host.Inst{
+		"read": {
+			flagStore(offN, host.EAX),
+			host.I(host.MOVL, host.R(host.EBX), host.Mem(host.EBP, offN)),
+			flagStore(offN, host.ECX),
+		},
+		"branch": {
+			flagStore(offN, host.EAX),
+			host.Jcc(host.E, 1),
+			flagStore(offN, host.ECX),
+		},
+		"exit": {
+			flagStore(offN, host.EAX),
+			host.Exit(host.Imm(0x100)),
+			flagStore(offN, host.ECX),
+		},
+		"foreign-mem": {
+			flagStore(offN, host.EAX),
+			host.I(host.MOVL, host.Mem(host.EBX, 0), host.R(host.ECX)), // could alias
+			flagStore(offN, host.ECX),
+		},
+		"push": {
+			flagStore(offN, host.EAX),
+			host.I1(host.PUSHL, host.R(host.EAX)),
+			flagStore(offN, host.ECX),
+		},
+	}
+	for name, insts := range cases {
+		if _, _, n := elide(t, insts, nil); n != 0 {
+			t.Errorf("%s: removed %d stores, want 0", name, n)
+		}
+	}
+}
+
+func TestElideLabelJoinKeepsStore(t *testing.T) {
+	insts := []host.Inst{
+		flagStore(offN, host.EAX),
+		host.I(host.MOVL, host.R(host.EBX), host.Imm(0)), // label target: join point
+		flagStore(offN, host.ECX),
+	}
+	if _, _, n := elide(t, insts, map[int]int{1: 1}); n != 0 {
+		t.Fatalf("store before join removed")
+	}
+}
+
+// A dead store that is itself a jump target is removable (the
+// overwrite is reached on every path through it), and the label must
+// be remapped onto the rewritten stream.
+func TestElideRemapsLabels(t *testing.T) {
+	insts := []host.Inst{
+		host.I(host.MOVL, host.R(host.EBX), host.Imm(7)),
+		flagStore(offZ, host.EAX), // label 3 binds here; dead
+		flagStore(offZ, host.ECX),
+		host.Exit(host.Imm(0)),
+	}
+	out, labels, n := elide(t, insts, map[int]int{3: 1, 9: 3})
+	if n != 1 {
+		t.Fatalf("removed %d, want 1", n)
+	}
+	if labels[3] != 1 || labels[9] != 2 {
+		t.Fatalf("labels misremapped: %v (stream %v)", labels, out)
+	}
+	if out[labels[9]].Op != host.ExitTB {
+		t.Fatalf("label 9 no longer lands on exit_tb")
+	}
+}
+
+func TestElideDeletesFeedingSetcc(t *testing.T) {
+	insts := []host.Inst{
+		host.Inst{Op: host.SETCC, Cond: host.S, Dst: host.R(host.EAX)},
+		flagStore(offN, host.EAX),                                      // dead
+		host.Inst{Op: host.SETCC, Cond: host.S, Dst: host.R(host.EAX)}, // redefines EAX
+		flagStore(offN, host.EAX),
+		host.Exit(host.Imm(0)),
+	}
+	out, _, n := elide(t, insts, nil)
+	if n != 2 {
+		t.Fatalf("removed %d, want 2 (store + feeding setcc): %v", n, out)
+	}
+	// The register must be provably dead: if it is read before
+	// redefinition, the setcc stays.
+	insts2 := []host.Inst{
+		host.Inst{Op: host.SETCC, Cond: host.S, Dst: host.R(host.EAX)},
+		flagStore(offN, host.EAX), // dead
+		flagStore(offN, host.ECX),
+		host.I(host.ADDL, host.R(host.EBX), host.R(host.EAX)), // reads EAX
+		host.Exit(host.Imm(0)),
+	}
+	if _, _, n := elide(t, insts2, nil); n != 1 {
+		t.Fatalf("removed %d, want 1 (setcc feeds a live register)", n)
+	}
+}

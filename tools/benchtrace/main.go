@@ -1,0 +1,219 @@
+// Command benchtrace records and gates the hot-trace superblock
+// wall-clock result.
+//
+// Record mode parses `go test -bench BenchmarkDispatchChaining` output
+// from stdin and writes BENCH_trace.json with the ns/op of the three
+// dispatch strategies (chained, no-chain, superblocks) plus the
+// superblock arm's trace metrics:
+//
+//	go test -run NONE -bench BenchmarkDispatchChaining -benchtime 20x . |
+//	    go run ./tools/benchtrace -record BENCH_trace.json
+//
+// Check mode is the regression gate `make bench-check` runs: it fails
+// unless the recorded superblock ns/op beats BOTH dispatch baselines
+// recorded in BENCH_dispatch.json — the whole point of superblocks is
+// that profile-guided retranslation makes chaining win outright, so
+// merely beating the chained arm while losing to no-chain would mean
+// the optimization still does not pay for its own translation cost:
+//
+//	go run ./tools/benchtrace -check BENCH_trace.json -against BENCH_dispatch.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"time"
+)
+
+// arms are the BenchmarkDispatchChaining sub-benchmarks a record must
+// contain; recording fails loudly when one is missing rather than
+// writing a JSON the check would pass vacuously.
+var arms = []string{"chained", "no-chain", "superblocks"}
+
+type armResult struct {
+	NsPerOp float64 `json:"ns_per_op"`
+	// Superblock arm only.
+	PctSuperblock float64 `json:"pct_superblock,omitempty"`
+	PctSideExit   float64 `json:"pct_side_exit,omitempty"`
+	Traces        float64 `json:"traces,omitempty"`
+}
+
+type record struct {
+	Date       string               `json:"date"`
+	Command    string               `json:"command"`
+	CPU        string               `json:"cpu,omitempty"`
+	Benchmarks map[string]armResult `json:"benchmarks"`
+}
+
+// benchLine matches one testing.B result line; the trailing metrics are
+// parsed separately as value-unit pairs.
+var benchLine = regexp.MustCompile(`^(BenchmarkDispatchChaining/\S+)\s+\d+\s+([0-9.]+) ns/op(.*)$`)
+
+var metricPair = regexp.MustCompile(`([0-9.]+) (\S+)`)
+
+// armName strips testing's -GOMAXPROCS suffix, which is only appended
+// when procs != 1, so both "…/superblocks" and "…/superblocks-8" must
+// resolve to the same arm.
+func armName(full string) string {
+	name := full[len("BenchmarkDispatchChaining/"):]
+	for _, a := range arms {
+		if name == a {
+			return a
+		}
+		if ok, _ := regexp.MatchString("^"+regexp.QuoteMeta(a)+"-[0-9]+$", name); ok {
+			return a
+		}
+	}
+	return ""
+}
+
+func parse(r *bufio.Scanner) (map[string]armResult, string, error) {
+	out := map[string]armResult{}
+	cpu := ""
+	for r.Scan() {
+		line := r.Text()
+		if len(line) > 5 && line[:5] == "cpu: " {
+			cpu = line[5:]
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		arm := armName(m[1])
+		if arm == "" {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, "", fmt.Errorf("bad ns/op in %q: %w", line, err)
+		}
+		res := armResult{NsPerOp: ns}
+		for _, p := range metricPair.FindAllStringSubmatch(m[3], -1) {
+			v, err := strconv.ParseFloat(p[1], 64)
+			if err != nil {
+				continue
+			}
+			switch p[2] {
+			case "%superblock":
+				res.PctSuperblock = v
+			case "%side-exit":
+				res.PctSideExit = v
+			case "traces":
+				res.Traces = v
+			}
+		}
+		out[arm] = res
+	}
+	return out, cpu, r.Err()
+}
+
+func doRecord(path string) error {
+	res, cpu, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		return err
+	}
+	for _, a := range arms {
+		if _, ok := res[a]; !ok {
+			return fmt.Errorf("bench output is missing the %q arm", a)
+		}
+	}
+	if res["superblocks"].Traces == 0 {
+		return fmt.Errorf("superblock arm formed no traces")
+	}
+	rec := record{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		Command:    "make bench-trace",
+		CPU:        cpu,
+		Benchmarks: res,
+	}
+	buf, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchtrace: recorded %s (superblocks %.0f ns/op)\n",
+		path, res["superblocks"].NsPerOp)
+	return nil
+}
+
+// dispatchRecord is the slice of BENCH_dispatch.json the check needs:
+// the recorded chained and no-chain baselines.
+type dispatchRecord struct {
+	Benchmarks map[string]struct {
+		NsPerOp float64 `json:"ns_per_op"`
+	} `json:"benchmarks"`
+}
+
+func doCheck(tracePath, againstPath string) error {
+	tbuf, err := os.ReadFile(tracePath)
+	if err != nil {
+		return fmt.Errorf("%w (run `make bench-trace` first)", err)
+	}
+	var tr record
+	if err := json.Unmarshal(tbuf, &tr); err != nil {
+		return fmt.Errorf("%s: %w", tracePath, err)
+	}
+	dbuf, err := os.ReadFile(againstPath)
+	if err != nil {
+		return err
+	}
+	var dr dispatchRecord
+	if err := json.Unmarshal(dbuf, &dr); err != nil {
+		return fmt.Errorf("%s: %w", againstPath, err)
+	}
+	sb, ok := tr.Benchmarks["superblocks"]
+	if !ok || sb.NsPerOp == 0 {
+		return fmt.Errorf("%s has no superblock result", tracePath)
+	}
+	failed := false
+	for arm, key := range map[string]string{
+		"chained":  "BenchmarkDispatchChaining/chained",
+		"no-chain": "BenchmarkDispatchChaining/no-chain",
+	} {
+		base, ok := dr.Benchmarks[key]
+		if !ok || base.NsPerOp == 0 {
+			return fmt.Errorf("%s has no recorded %s baseline", againstPath, arm)
+		}
+		if sb.NsPerOp >= base.NsPerOp {
+			fmt.Fprintf(os.Stderr,
+				"benchtrace: FAIL superblocks %.0f ns/op does not beat recorded %s %.0f ns/op\n",
+				sb.NsPerOp, arm, base.NsPerOp)
+			failed = true
+		} else {
+			fmt.Printf("benchtrace: ok superblocks %.0f ns/op < recorded %s %.0f ns/op (-%.1f%%)\n",
+				sb.NsPerOp, arm, base.NsPerOp, 100*(1-sb.NsPerOp/base.NsPerOp))
+		}
+	}
+	if failed {
+		return fmt.Errorf("superblock dispatch does not beat both recorded baselines")
+	}
+	return nil
+}
+
+func main() {
+	recordPath := flag.String("record", "", "parse bench output on stdin and write this JSON record")
+	checkPath := flag.String("check", "", "gate: the BENCH_trace.json record to verify")
+	againstPath := flag.String("against", "BENCH_dispatch.json", "recorded dispatch baselines for -check")
+	flag.Parse()
+	var err error
+	switch {
+	case *recordPath != "" && *checkPath == "":
+		err = doRecord(*recordPath)
+	case *checkPath != "" && *recordPath == "":
+		err = doCheck(*checkPath, *againstPath)
+	default:
+		err = fmt.Errorf("exactly one of -record or -check is required")
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtrace:", err)
+		os.Exit(1)
+	}
+}
