@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet lint obsgate ruleaudit build test test-backends race race-obs test-faults bench bench-dispatch bench-obs bench-backends bench-trace bench-check experiments linkcheck
+.PHONY: ci vet lint obsgate ruleaudit build test test-backends race race-obs test-faults test-persistence bench bench-dispatch bench-obs bench-backends bench-trace bench-check bench-warmstart bench-warmstart-check experiments linkcheck
 
-ci: lint build race test-backends test-faults linkcheck bench
+ci: lint build race test-backends test-faults test-persistence linkcheck bench
 
 # Opt-in wall-clock gate: `CHECK_TRACE=1 make ci` re-measures the
 # dispatch arms and fails unless the superblock engine beats both
@@ -60,6 +60,25 @@ race-obs:
 # acceptance run; see docs/ROBUSTNESS.md).
 test-faults:
 	$(GO) test -count=1 -run 'TestFaultPlanCanned|TestShadow|TestTranslatorPanicRecovery|TestRunPanicReturnsTypedError|TestInterpFallback|TestDropShardSurvives' ./internal/dbt
+
+# The warm-start persistence suite: the artifact store's hardening
+# tests (corruption, key mismatches, quarantine-shard merge) plus the
+# engine round-trip tests proving a warm engine replays every workload
+# identically with zero demand translations (see docs/PERSISTENCE.md).
+test-persistence:
+	$(GO) test -count=1 ./internal/artifact
+	$(GO) test -count=1 -run 'TestWarmStart|TestWarmstartExperiment' ./internal/dbt ./internal/exp
+
+# Warm-start wall-clock and translation-count measurement: runs the
+# cold/warm artifact-store comparison and records both arms in
+# BENCH_warmstart.json.
+bench-warmstart:
+	$(GO) test -run NONE -bench BenchmarkWarmstart -benchtime 20x . 		| tee /dev/stderr | $(GO) run ./tools/benchtrace -record-warmstart BENCH_warmstart.json
+
+# Regression gate for the warm-start result: fails unless the recorded
+# warm arm demand-translates strictly fewer blocks than the cold arm.
+bench-warmstart-check:
+	$(GO) run ./tools/benchtrace -check-warmstart BENCH_warmstart.json
 
 # Dead-link check over README/docs markdown (relative links and
 # [[file:line]] source references).

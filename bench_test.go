@@ -541,6 +541,60 @@ func BenchmarkBackendWorkload(b *testing.B) {
 	}
 }
 
+// BenchmarkWarmstart measures what warm-start persistence buys: the
+// same workload run cold (a fresh artifact store each op — every block
+// demand-translated, then published) versus warm (a store populated
+// once up front — the code cache and traces restored before dispatch).
+// Both arms report their demand-translation count; `make bench-warmstart`
+// records the two arms in BENCH_warmstart.json, and the benchtrace
+// -check-warmstart gate fails unless warm stays strictly below cold.
+func BenchmarkWarmstart(b *testing.B) {
+	c := getCorpus(b)
+	const bench = "gcc"
+	full, _ := core.Parameterize(c.Union(c.Others(bench)), core.Config{Opcode: true, AddrMode: true})
+	cfg := func(dir string) dbt.Config {
+		return dbt.Config{Rules: full, DelegateFlags: true, HotThreshold: 16, SyncTraces: true, ArtifactDir: dir}
+	}
+	b.Run("cold", func(b *testing.B) {
+		var tx float64
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			dir := b.TempDir() // nothing to restore: every op pays full translation
+			b.StartTimer()
+			r, err := c.Run(bench, cfg(dir))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if r.Stats.Translations == 0 {
+				b.Fatal("cold run demand-translated nothing")
+			}
+			tx += float64(r.Stats.Translations)
+		}
+		b.ReportMetric(tx/float64(b.N), "translations")
+	})
+	b.Run("warm", func(b *testing.B) {
+		dir := b.TempDir()
+		if _, err := c.Run(bench, cfg(dir)); err != nil { // populate the store
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		var tx, restored float64
+		for i := 0; i < b.N; i++ {
+			r, err := c.Run(bench, cfg(dir))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if r.Warm.Blocks == 0 {
+				b.Fatalf("warm run restored nothing: %+v", r.Warm)
+			}
+			tx += float64(r.Stats.Translations)
+			restored += float64(r.Warm.Blocks)
+		}
+		b.ReportMetric(tx/float64(b.N), "translations")
+		b.ReportMetric(restored/float64(b.N), "restored-blocks")
+	})
+}
+
 // BenchmarkObsDisabledOverhead pins the observability layer's core
 // invariant: with telemetry disabled (the default), an instrumented hot
 // path pays one atomic load and allocates nothing. "guard" is the exact

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"net"
@@ -20,6 +21,7 @@ import (
 	"sort"
 	"strings"
 
+	"paramdbt/internal/artifact"
 	"paramdbt/internal/backend"
 	"paramdbt/internal/core"
 	"paramdbt/internal/dbt"
@@ -27,6 +29,7 @@ import (
 	"paramdbt/internal/exp"
 	"paramdbt/internal/guard/faultinject"
 	"paramdbt/internal/guest"
+	"paramdbt/internal/learn"
 	"paramdbt/internal/mem"
 	"paramdbt/internal/obs"
 	"paramdbt/internal/rule"
@@ -135,6 +138,7 @@ func main() {
 	quarFile := flag.String("quarantine-file", "", "load previously quarantined rules from this file before the run and persist the quarantine set after it (JSON Lines)")
 	injectPath := flag.String("inject", "", "fault-injection plan (JSON, see docs/ROBUSTNESS.md); corruptRules entries are applied to rules the benchmark actually uses")
 	beName := flag.String("backend", "", "host backend to translate for (default: $"+backend.EnvVar+" or x86); one of "+strings.Join(backend.Names(), ","))
+	artifactDir := flag.String("artifact-dir", "", "warm-start artifact store: reuse a previously published rule pack instead of re-deriving, restore the code cache from a prior run of the same guest, and publish both back on a clean halt (see docs/PERSISTENCE.md)")
 	flag.Parse()
 
 	be := backend.Default()
@@ -163,13 +167,30 @@ func main() {
 		os.Exit(1)
 	}
 
+	switch *mode {
+	case "qemu", "learned", "opcode", "mode", "para":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(1)
+	}
+
 	train := corpus.Others(*bench)
 	if *trainAll {
 		train = corpus.Names
 	}
-	union := corpus.Union(train)
+
+	var artStore *artifact.Store
+	if *artifactDir != "" {
+		var err error
+		artStore, err = artifact.Open(*artifactDir, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 
 	var cfg dbt.Config
+	cfg.ArtifactDir = *artifactDir
 	if *rulesPath != "" {
 		f, err := os.Open(*rulesPath)
 		if err != nil {
@@ -182,23 +203,59 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		cfg.DelegateFlags = true
-	} else {
-		switch *mode {
-		case "qemu":
-		case "learned":
-			cfg.Rules = union
-		case "opcode":
-			cfg.Rules, _ = core.Parameterize(union, core.Config{Opcode: true})
-		case "mode":
-			cfg.Rules, _ = core.Parameterize(union, core.Config{Opcode: true, AddrMode: true})
-		case "para":
-			cfg.Rules, _ = core.Parameterize(union, core.Config{Opcode: true, AddrMode: true})
-			cfg.DelegateFlags = true
-		default:
-			fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
-			os.Exit(1)
+	} else if *mode != "qemu" {
+		// The pack key names everything that determines the rule table:
+		// backend, engine version, derivation mode, and the training set
+		// (leave-one-out packs exclude the benchmark under test, so they
+		// are keyed per benchmark). Anything else is a miss and the table
+		// is re-derived from the training binaries as usual.
+		trainTag := "loo-" + *bench
+		if *trainAll {
+			trainTag = "all"
 		}
+		packKey := artifact.Key{
+			Backend: be.ID(),
+			Version: dbt.EngineVersion + "#mode=" + *mode + "#train=" + trainTag,
+		}
+		if artStore != nil {
+			if payload, res := artStore.Get(artifact.KindRulePack, packKey); res == artifact.Hit {
+				rules, istats, err := learn.ImportPack(bytes.NewReader(payload), false)
+				if err != nil {
+					artStore.MarkReject()
+					fmt.Fprintln(os.Stderr, "artifact: rule pack rejected:", err)
+				} else {
+					cfg.Rules = rules
+					fmt.Fprintf(os.Stderr, "artifact: rule pack hit (%d rules imported, %d gate-rejected)\n",
+						istats.Loaded, istats.GateRejected)
+				}
+			}
+		}
+		if cfg.Rules == nil {
+			union := corpus.Union(train)
+			switch *mode {
+			case "learned":
+				cfg.Rules = union
+			case "opcode":
+				cfg.Rules, _ = core.Parameterize(union, core.Config{Opcode: true})
+			case "mode", "para":
+				cfg.Rules, _ = core.Parameterize(union, core.Config{Opcode: true, AddrMode: true})
+			}
+			if artStore != nil {
+				var buf bytes.Buffer
+				err := cfg.Rules.Save(&buf)
+				if err == nil {
+					err = artStore.Put(artifact.KindRulePack, packKey, buf.Bytes())
+				}
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "artifact: rule pack publish failed:", err)
+				} else {
+					fmt.Fprintf(os.Stderr, "artifact: published rule pack (%d rules)\n", cfg.Rules.Len())
+				}
+			}
+		}
+	}
+	if *mode == "para" || *rulesPath != "" {
+		cfg.DelegateFlags = true
 	}
 	cfg.Backend = be
 	cfg.ManualABI = *manual
@@ -309,6 +366,15 @@ func main() {
 		fmt.Printf("superblock execs   %d (%.1f%% of block entries)\n", st.SuperblockExecs, 100*st.SuperblockShare())
 		fmt.Printf("side exits         %d (%.1f%% of superblock execs)\n", st.SideExits, 100*st.SideExitRate())
 	}
+	if *artifactDir != "" {
+		w := res.Warm
+		if w.Err != "" {
+			fmt.Fprintln(os.Stderr, "artifact:", w.Err)
+		}
+		fmt.Printf("warm start         %d blocks, %d traces restored (%d hit, %d miss, %d reject, %d quarantined)\n",
+			w.Blocks, w.Traces, w.Hits, w.Misses, w.Rejects, w.Quarantined)
+		fmt.Printf("demand translations %d\n", st.Translations)
+	}
 	if cfg.ShadowRate > 0 || cfg.Faults != nil {
 		fmt.Printf("shadow checks      %d\n", st.ShadowChecks)
 		fmt.Printf("divergences        %d\n", st.Divergences)
@@ -321,18 +387,19 @@ func main() {
 		}
 	}
 	if *quarFile != "" && cfg.Rules != nil {
+		// Serialize to memory and write-temp-then-rename: a crash mid-write
+		// must leave the previous quarantine file intact, never a torn one
+		// that silently drops demotions on the next run.
 		entries := cfg.Rules.Quarantined()
-		f, err := os.Create(*quarFile)
-		if err != nil {
+		var buf bytes.Buffer
+		if err := rule.SaveQuarantine(&buf, entries); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if err := rule.SaveQuarantine(f, entries); err != nil {
-			f.Close()
+		if err := artifact.WriteFileAtomic(*quarFile, buf.Bytes(), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		f.Close()
 		fmt.Fprintf(os.Stderr, "quarantine: persisted %d rule(s) to %s\n", len(entries), *quarFile)
 	}
 	if len(st.UncoveredOps) > 0 {

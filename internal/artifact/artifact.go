@@ -1,0 +1,271 @@
+// Package artifact implements the warm-start persistence layer: a
+// disk-backed, content-addressed store for learned rule packs and for
+// translated-block/superblock metadata, shared by every engine pointed
+// at the same directory (docs/PERSISTENCE.md).
+//
+// The layout is git-like. Payloads live in objects/ under their own
+// SHA-256; small ref files in refs/ map a lookup key to an object. The
+// key has four components — guest-code hash, host backend id,
+// rule-store fingerprint and engine version — and a ref whose recorded
+// key differs from the lookup key in ANY component is a miss, never a
+// hit: a stale or cross-backend artifact can never be applied. A ref or
+// object that is present but damaged (unparseable ref, missing object,
+// size or checksum mismatch from truncation or bit flips) is a reject:
+// the lookup fails exactly like a miss, but the dbt.artifact_rejects
+// counter records that the store held corrupt state.
+//
+// All writes go through write-temp-then-rename (atomic.go), so a crash
+// mid-publish leaves at worst an orphan temp file, never a torn ref or
+// object. The quarantine shard (quarantine.go) is the one mutable file:
+// engines merge their demotions into it so a rule quarantined by one
+// engine stays demoted for every engine sharing the store.
+package artifact
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"paramdbt/internal/obs"
+)
+
+// Artifact kinds. A kind names the payload format; it is part of the
+// ref filename, so the same key can hold one artifact of each kind.
+const (
+	// KindRulePack is a serialized rule table (rule.Store JSON Lines).
+	// Pack keys carry RuleFp 0: the pack *defines* the rule set, so its
+	// fingerprint cannot be part of its own lookup key.
+	KindRulePack = "pack"
+	// KindBlocks is a BlockManifest: the guest pcs of every translated
+	// block plus the constituent pcs of every formed superblock trace.
+	KindBlocks = "blocks"
+)
+
+// Metric names, registered on the registry passed to Open (the catalog
+// lives in docs/OBSERVABILITY.md). These are product counters — always
+// incremented — because cache efficacy is an operational result, not
+// telemetry.
+const (
+	MetHits      = "dbt.artifact_hits"      // lookups satisfied by a matching, intact artifact
+	MetMisses    = "dbt.artifact_misses"    // lookups with no ref, or a ref whose key differs
+	MetRejects   = "dbt.artifact_rejects"   // artifacts refused: corrupt ref/object, failed decode or gate
+	MetPublishes = "dbt.artifact_publishes" // artifacts written (deduplicated no-op rewrites excluded)
+)
+
+// Key identifies one artifact. Every component invalidates
+// independently: CodeHash pins the guest code image the artifact was
+// produced from (mem.Checksum over the code region), Backend the host
+// backend id the translations target, RuleFp the rule table they were
+// translated under (rule.Store.Fingerprint64, whose seed already folds
+// the backend in via rule.KeyFpSeedFor), and Version the producing
+// engine's translation-output version (dbt.EngineVersion).
+type Key struct {
+	CodeHash uint64
+	Backend  uint8
+	RuleFp   uint64
+	Version  string
+}
+
+// digest names the ref file for a key: FNV-1a over the components.
+// Collisions are harmless — the ref records the full key and Get
+// verifies it field by field.
+func (k Key) digest() uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for s := 0; s < 64; s += 8 {
+			h = (h ^ (v >> s & 0xff)) * prime
+		}
+	}
+	mix(k.CodeHash)
+	mix(uint64(k.Backend))
+	mix(k.RuleFp)
+	for i := 0; i < len(k.Version); i++ {
+		h = (h ^ uint64(k.Version[i])) * prime
+	}
+	return h
+}
+
+// Result classifies one Get: a Hit returned the payload, a Miss found
+// no artifact recorded under the key (including a ref whose key
+// differs), a Reject found one but refused it as corrupt.
+type Result int
+
+const (
+	Hit Result = iota
+	Miss
+	Reject
+)
+
+// Store is one on-disk artifact directory. Safe for concurrent use by
+// independent processes to the extent the underlying rename is atomic
+// (same-directory rename on POSIX); a torn read can at worst produce a
+// reject, never a wrong payload.
+type Store struct {
+	dir string
+
+	hits      *obs.Counter
+	misses    *obs.Counter
+	rejects   *obs.Counter
+	publishes *obs.Counter
+}
+
+// Open creates (if needed) and returns the store at dir. Counters are
+// registered on reg (nil selects obs.Default, the registry cmd/paradbt
+// serves on -metrics-addr).
+func Open(dir string, reg *obs.Registry) (*Store, error) {
+	if reg == nil {
+		reg = obs.Default
+	}
+	for _, d := range []string{dir, filepath.Join(dir, "objects"), filepath.Join(dir, "refs")} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("artifact: %w", err)
+		}
+	}
+	return &Store{
+		dir:       dir,
+		hits:      reg.Counter(MetHits),
+		misses:    reg.Counter(MetMisses),
+		rejects:   reg.Counter(MetRejects),
+		publishes: reg.Counter(MetPublishes),
+	}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// refFile is the on-disk ref: the full key (64-bit hashes as hex
+// strings — JSON numbers cannot carry them exactly) plus the object
+// digest and size the payload must match.
+type refFile struct {
+	Kind     string `json:"kind"`
+	CodeHash string `json:"code_hash"`
+	Backend  uint8  `json:"backend"`
+	RuleFp   string `json:"rule_fp"`
+	Version  string `json:"version"`
+	Object   string `json:"object"`
+	Size     int64  `json:"size"`
+}
+
+func refOf(kind string, k Key, objSHA string, size int64) refFile {
+	return refFile{
+		Kind:     kind,
+		CodeHash: fmt.Sprintf("%016x", k.CodeHash),
+		Backend:  k.Backend,
+		RuleFp:   fmt.Sprintf("%016x", k.RuleFp),
+		Version:  k.Version,
+		Object:   objSHA,
+		Size:     size,
+	}
+}
+
+// matches verifies the recorded key component by component.
+func (r refFile) matches(kind string, k Key) bool {
+	return r.Kind == kind &&
+		r.CodeHash == fmt.Sprintf("%016x", k.CodeHash) &&
+		r.Backend == k.Backend &&
+		r.RuleFp == fmt.Sprintf("%016x", k.RuleFp) &&
+		r.Version == k.Version
+}
+
+func (s *Store) refPath(kind string, k Key) string {
+	return filepath.Join(s.dir, "refs", fmt.Sprintf("%s-%016x.ref", kind, k.digest()))
+}
+
+func (s *Store) objectPath(sha string) string {
+	return filepath.Join(s.dir, "objects", sha+".obj")
+}
+
+// Get looks up the artifact of the given kind under k and returns its
+// payload. A Miss means nothing (valid) is recorded under the key; a
+// Reject means the recorded state is damaged — unparseable ref, missing
+// or truncated object, checksum mismatch — and was refused. Either way
+// the caller proceeds exactly as on a cold start.
+func (s *Store) Get(kind string, k Key) ([]byte, Result) {
+	raw, err := os.ReadFile(s.refPath(kind, k))
+	if err != nil {
+		if os.IsNotExist(err) {
+			s.misses.Inc()
+			return nil, Miss
+		}
+		s.rejects.Inc()
+		return nil, Reject
+	}
+	var ref refFile
+	if err := json.Unmarshal(raw, &ref); err != nil || ref.Object == "" {
+		s.rejects.Inc()
+		return nil, Reject
+	}
+	if !ref.matches(kind, k) {
+		// A key mismatch is a MISS, never a wrong hit: the ref filename
+		// hash collided (or the file was copied around); the artifact it
+		// points at belongs to a different code image / backend / rule
+		// table / engine version.
+		s.misses.Inc()
+		return nil, Miss
+	}
+	payload, err := os.ReadFile(s.objectPath(ref.Object))
+	if err != nil {
+		s.rejects.Inc()
+		return nil, Reject
+	}
+	if int64(len(payload)) != ref.Size || shaHex(payload) != ref.Object {
+		s.rejects.Inc()
+		return nil, Reject
+	}
+	s.hits.Inc()
+	return payload, Hit
+}
+
+// Put publishes payload as the artifact of the given kind under k: the
+// object is written content-addressed (skipped if already present —
+// identical content has one home), then the ref is atomically replaced.
+// A re-publish of byte-identical content under an unchanged key is a
+// no-op and does not count as a publish.
+func (s *Store) Put(kind string, k Key, payload []byte) error {
+	sha := shaHex(payload)
+	want := refOf(kind, k, sha, int64(len(payload)))
+	if raw, err := os.ReadFile(s.refPath(kind, k)); err == nil {
+		var cur refFile
+		if json.Unmarshal(raw, &cur) == nil && cur == want {
+			if _, err := os.Stat(s.objectPath(sha)); err == nil {
+				return nil
+			}
+		}
+	}
+	if _, err := os.Stat(s.objectPath(sha)); err != nil {
+		if err := WriteFileAtomic(s.objectPath(sha), payload, 0o644); err != nil {
+			return fmt.Errorf("artifact: writing object: %w", err)
+		}
+	}
+	buf, err := json.MarshalIndent(want, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := WriteFileAtomic(s.refPath(kind, k), append(buf, '\n'), 0o644); err != nil {
+		return fmt.Errorf("artifact: writing ref: %w", err)
+	}
+	s.publishes.Inc()
+	return nil
+}
+
+// MarkReject records a reject decided above the checksum layer: the
+// payload read back intact but its content failed semantic decoding or
+// admission (a manifest that does not parse, a rule pack the auditor
+// refuses wholesale). Consumers call it so dbt.artifact_rejects counts
+// every refused artifact, not only transport-level corruption.
+func (s *Store) MarkReject() { s.rejects.Inc() }
+
+// Counts snapshots the store's counters, in registration order: hits,
+// misses, rejects, publishes.
+func (s *Store) Counts() (hits, misses, rejects, publishes uint64) {
+	return s.hits.Value(), s.misses.Value(), s.rejects.Value(), s.publishes.Value()
+}
+
+func shaHex(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,289 @@
+package artifact
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"paramdbt/internal/obs"
+	"paramdbt/internal/rule"
+)
+
+func testStore(t *testing.T) (*Store, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	st, err := Open(t.TempDir(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, reg
+}
+
+func testKey() Key {
+	return Key{CodeHash: 0xdeadbeefcafe, Backend: 1, RuleFp: 0x1234567890ab, Version: "engine/7"}
+}
+
+// refFileFor locates the single ref file in the store (tests write one
+// artifact and then damage it).
+func refFileFor(t *testing.T, st *Store) string {
+	t.Helper()
+	refs, err := filepath.Glob(filepath.Join(st.Dir(), "refs", "*.ref"))
+	if err != nil || len(refs) != 1 {
+		t.Fatalf("want exactly one ref, got %v (%v)", refs, err)
+	}
+	return refs[0]
+}
+
+func objFileFor(t *testing.T, st *Store) string {
+	t.Helper()
+	objs, err := filepath.Glob(filepath.Join(st.Dir(), "objects", "*.obj"))
+	if err != nil || len(objs) != 1 {
+		t.Fatalf("want exactly one object, got %v (%v)", objs, err)
+	}
+	return objs[0]
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	st, reg := testStore(t)
+	k := testKey()
+	payload := []byte(`{"blocks":[65536,65560]}`)
+	if err := st.Put(KindBlocks, k, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, res := st.Get(KindBlocks, k)
+	if res != Hit {
+		t.Fatalf("Get = %v, want Hit", res)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("payload %q, want %q", got, payload)
+	}
+	if v := reg.Counter(MetHits).Value(); v != 1 {
+		t.Fatalf("%s = %d, want 1", MetHits, v)
+	}
+	if v := reg.Counter(MetPublishes).Value(); v != 1 {
+		t.Fatalf("%s = %d, want 1", MetPublishes, v)
+	}
+}
+
+func TestPutDedupsIdenticalRepublish(t *testing.T) {
+	st, reg := testStore(t)
+	k := testKey()
+	payload := []byte("same bytes")
+	for i := 0; i < 3; i++ {
+		if err := st.Put(KindBlocks, k, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v := reg.Counter(MetPublishes).Value(); v != 1 {
+		t.Fatalf("%s = %d after identical republish, want 1", MetPublishes, v)
+	}
+	// Changed content under the same key IS a publish.
+	if err := st.Put(KindBlocks, k, []byte("new bytes")); err != nil {
+		t.Fatal(err)
+	}
+	if v := reg.Counter(MetPublishes).Value(); v != 2 {
+		t.Fatalf("%s = %d after changed republish, want 2", MetPublishes, v)
+	}
+}
+
+func TestGetAbsentIsMiss(t *testing.T) {
+	st, reg := testStore(t)
+	if _, res := st.Get(KindBlocks, testKey()); res != Miss {
+		t.Fatalf("Get on empty store = %v, want Miss", res)
+	}
+	if v := reg.Counter(MetMisses).Value(); v != 1 {
+		t.Fatalf("%s = %d, want 1", MetMisses, v)
+	}
+}
+
+// TestKeyComponentMismatchIsMiss checks the invariant the whole design
+// hangs on: an artifact recorded under one key is a MISS — never a hit,
+// never a reject — under any key differing in any component.
+func TestKeyComponentMismatchIsMiss(t *testing.T) {
+	st, reg := testStore(t)
+	k := testKey()
+	if err := st.Put(KindBlocks, k, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	ref := refFileFor(t, st)
+	variants := []Key{
+		{CodeHash: k.CodeHash + 1, Backend: k.Backend, RuleFp: k.RuleFp, Version: k.Version},
+		{CodeHash: k.CodeHash, Backend: k.Backend + 1, RuleFp: k.RuleFp, Version: k.Version},
+		{CodeHash: k.CodeHash, Backend: k.Backend, RuleFp: k.RuleFp + 1, Version: k.Version},
+		{CodeHash: k.CodeHash, Backend: k.Backend, RuleFp: k.RuleFp, Version: "engine/8"},
+	}
+	for i, v := range variants {
+		// Force the mismatched key to resolve to the existing ref file, as
+		// a filename-hash collision would: field verification, not the
+		// filename, must catch it.
+		if err := os.Link(ref, st.refPath(KindBlocks, v)); err != nil {
+			t.Fatal(err)
+		}
+		if _, res := st.Get(KindBlocks, v); res != Miss {
+			t.Fatalf("variant %d: Get = %v, want Miss", i, res)
+		}
+	}
+	// Wrong kind under the same key must miss too.
+	if err := os.Link(ref, st.refPath(KindRulePack, k)); err != nil {
+		t.Fatal(err)
+	}
+	if _, res := st.Get(KindRulePack, k); res != Miss {
+		t.Fatal("kind mismatch not a Miss")
+	}
+	if v := reg.Counter(MetRejects).Value(); v != 0 {
+		t.Fatalf("%s = %d, want 0 (mismatches are misses)", MetRejects, v)
+	}
+	if v := reg.Counter(MetMisses).Value(); v != 5 {
+		t.Fatalf("%s = %d, want 5", MetMisses, v)
+	}
+}
+
+func TestTruncatedObjectIsReject(t *testing.T) {
+	st, reg := testStore(t)
+	k := testKey()
+	if err := st.Put(KindBlocks, k, []byte("a payload long enough to truncate")); err != nil {
+		t.Fatal(err)
+	}
+	obj := objFileFor(t, st)
+	if err := os.Truncate(obj, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, res := st.Get(KindBlocks, k); res != Reject {
+		t.Fatal("truncated object not a Reject")
+	}
+	if v := reg.Counter(MetRejects).Value(); v != 1 {
+		t.Fatalf("%s = %d, want 1", MetRejects, v)
+	}
+}
+
+func TestBitFlippedObjectIsReject(t *testing.T) {
+	st, reg := testStore(t)
+	k := testKey()
+	if err := st.Put(KindBlocks, k, []byte(`{"blocks":[65536]}`)); err != nil {
+		t.Fatal(err)
+	}
+	obj := objFileFor(t, st)
+	raw, err := os.ReadFile(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x40 // same length, one flipped bit
+	if err := os.WriteFile(obj, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, res := st.Get(KindBlocks, k); res != Reject {
+		t.Fatal("bit-flipped object not a Reject")
+	}
+	if v := reg.Counter(MetRejects).Value(); v != 1 {
+		t.Fatalf("%s = %d, want 1", MetRejects, v)
+	}
+}
+
+func TestMissingObjectIsReject(t *testing.T) {
+	st, _ := testStore(t)
+	k := testKey()
+	if err := st.Put(KindBlocks, k, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(objFileFor(t, st)); err != nil {
+		t.Fatal(err)
+	}
+	if _, res := st.Get(KindBlocks, k); res != Reject {
+		t.Fatal("missing object not a Reject")
+	}
+}
+
+func TestCorruptRefIsReject(t *testing.T) {
+	st, _ := testStore(t)
+	k := testKey()
+	if err := st.Put(KindBlocks, k, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(refFileFor(t, st), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, res := st.Get(KindBlocks, k); res != Reject {
+		t.Fatal("corrupt ref not a Reject")
+	}
+}
+
+func TestManifestNormalizeAndDecode(t *testing.T) {
+	m := BlockManifest{
+		Blocks: []uint32{300, 100, 200},
+		Traces: [][]uint32{{200, 300}, {100, 200}},
+	}
+	payload, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeManifest(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Blocks[0] != 100 || got.Blocks[2] != 300 {
+		t.Fatalf("blocks not sorted: %v", got.Blocks)
+	}
+	if got.Traces[0][0] != 100 {
+		t.Fatalf("traces not sorted by head: %v", got.Traces)
+	}
+	if _, err := DecodeManifest([]byte("[")); err == nil {
+		t.Fatal("malformed manifest decoded")
+	}
+	if _, err := DecodeManifest([]byte(`{"traces":[[100]]}`)); err == nil {
+		t.Fatal("single-block trace accepted")
+	}
+}
+
+func TestQuarantineShardMerge(t *testing.T) {
+	st, _ := testStore(t)
+	if got, err := st.LoadQuarantine(); err != nil || got != nil {
+		t.Fatalf("empty shard: %v, %v", got, err)
+	}
+	added, err := st.MergeQuarantine([]rule.QuarantineEntry{
+		{Fingerprint: "b", Reason: "divergence on engine 1"},
+		{Fingerprint: "a", Reason: "first"},
+	})
+	if err != nil || added != 2 {
+		t.Fatalf("merge: added %d, %v", added, err)
+	}
+	// Union semantics: re-merging b is a no-op, its original reason wins;
+	// c is new.
+	added, err = st.MergeQuarantine([]rule.QuarantineEntry{
+		{Fingerprint: "b", Reason: "later reason"},
+		{Fingerprint: "c", Reason: "third"},
+		{Fingerprint: "", Reason: "dropped"},
+	})
+	if err != nil || added != 1 {
+		t.Fatalf("re-merge: added %d, %v", added, err)
+	}
+	got, err := st.LoadQuarantine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0].Fingerprint != "a" || got[1].Fingerprint != "b" || got[2].Fingerprint != "c" {
+		t.Fatalf("shard = %+v", got)
+	}
+	if got[1].Reason != "divergence on engine 1" {
+		t.Fatalf("first reason not kept: %q", got[1].Reason)
+	}
+}
+
+func TestWriteFileAtomicReplaces(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "f")
+	if err := WriteFileAtomic(p, []byte("one"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(p, []byte("two"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(p)
+	if err != nil || string(got) != "two" {
+		t.Fatalf("read %q, %v", got, err)
+	}
+	// No temp litter left behind.
+	ents, err := os.ReadDir(dir)
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("dir entries: %v, %v", ents, err)
+	}
+}

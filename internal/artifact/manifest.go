@@ -1,0 +1,58 @@
+package artifact
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// BlockManifest is the KindBlocks payload: everything an engine needs
+// to rebuild its code cache ahead of execution. It records *where* to
+// translate, not the translated code itself — host code is cheap to
+// regenerate from the (key-pinned) rule table, and re-deriving it
+// through the normal translation path means a restored block is
+// verified by exactly the machinery a demand-translated one is.
+type BlockManifest struct {
+	// Blocks are the entry pcs of every translated basic block, sorted
+	// ascending.
+	Blocks []uint32 `json:"blocks"`
+	// Traces are the constituent block pcs of every formed superblock,
+	// in execution order within each trace, sorted by head pc across
+	// traces.
+	Traces [][]uint32 `json:"traces,omitempty"`
+}
+
+// Normalize sorts the manifest into its canonical order so that
+// byte-identical guest state publishes byte-identical payloads (which
+// the store then dedups).
+func (m *BlockManifest) Normalize() {
+	sort.Slice(m.Blocks, func(i, j int) bool { return m.Blocks[i] < m.Blocks[j] })
+	sort.Slice(m.Traces, func(i, j int) bool {
+		a, b := m.Traces[i], m.Traces[j]
+		if len(a) == 0 || len(b) == 0 {
+			return len(a) < len(b)
+		}
+		return a[0] < b[0]
+	})
+}
+
+// Encode renders the manifest as its canonical JSON payload.
+func (m *BlockManifest) Encode() ([]byte, error) {
+	m.Normalize()
+	return json.Marshal(m)
+}
+
+// DecodeManifest parses a KindBlocks payload. Structural damage is an
+// error — the caller reports it via MarkReject and warm-starts cold.
+func DecodeManifest(payload []byte) (*BlockManifest, error) {
+	var m BlockManifest
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return nil, fmt.Errorf("artifact: manifest: %w", err)
+	}
+	for _, tr := range m.Traces {
+		if len(tr) < 2 {
+			return nil, fmt.Errorf("artifact: manifest: trace with %d blocks", len(tr))
+		}
+	}
+	return &m, nil
+}

@@ -1,0 +1,82 @@
+package artifact
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"paramdbt/internal/rule"
+)
+
+// The quarantine shard is the store's one cross-key file: run-time
+// demotions are facts about *rules*, not about any particular guest
+// program, so they are not keyed. Every engine opening the store
+// applies the shard to its rule table before executing, and merges its
+// own demotions back in on publish — a rule one engine caught diverging
+// stays demoted for every engine sharing the directory. The format is
+// the same JSON Lines rule.QuarantineEntry stream that -quarantine-file
+// uses, so the shard can be inspected (or seeded) with the same tools.
+
+const quarantineShard = "quarantine.jsonl"
+
+func (s *Store) quarantinePath() string {
+	return filepath.Join(s.dir, quarantineShard)
+}
+
+// LoadQuarantine reads the store's quarantine shard. A missing shard is
+// (nil, nil) — the empty set. A corrupt shard is an error; callers
+// treat it as a reject and proceed without prior demotions rather than
+// trusting a damaged file.
+func (s *Store) LoadQuarantine() ([]rule.QuarantineEntry, error) {
+	f, err := os.Open(s.quarantinePath())
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	return rule.LoadQuarantine(f)
+}
+
+// MergeQuarantine unions entries into the shard by fingerprint, keeping
+// the first recorded reason for a rule (the original demotion evidence)
+// and writing the result sorted and atomically. Returns the number of
+// fingerprints newly added.
+func (s *Store) MergeQuarantine(entries []rule.QuarantineEntry) (int, error) {
+	existing, err := s.LoadQuarantine()
+	if err != nil {
+		// Damaged shard: rebuild it from the incoming entries rather than
+		// failing the publish — the union with unreadable state is the
+		// readable side.
+		existing = nil
+	}
+	byFp := make(map[string]rule.QuarantineEntry, len(existing)+len(entries))
+	for _, e := range existing {
+		byFp[e.Fingerprint] = e
+	}
+	added := 0
+	for _, e := range entries {
+		if e.Fingerprint == "" {
+			continue
+		}
+		if _, ok := byFp[e.Fingerprint]; !ok {
+			byFp[e.Fingerprint] = e
+			added++
+		}
+	}
+	if added == 0 && err == nil {
+		return 0, nil
+	}
+	merged := make([]rule.QuarantineEntry, 0, len(byFp))
+	for _, e := range byFp {
+		merged = append(merged, e)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].Fingerprint < merged[j].Fingerprint })
+	var buf bytes.Buffer
+	if err := rule.SaveQuarantine(&buf, merged); err != nil {
+		return added, err
+	}
+	return added, WriteFileAtomic(s.quarantinePath(), buf.Bytes(), 0o644)
+}

@@ -29,6 +29,7 @@ import (
 	"os"
 	"time"
 
+	"paramdbt/internal/artifact"
 	"paramdbt/internal/backend"
 	"paramdbt/internal/env"
 	"paramdbt/internal/guard"
@@ -151,6 +152,18 @@ type Config struct {
 	// template at translation time (see analysis.StoreReport.ElevateFunc
 	// for the canonical source).
 	ShadowElevate func(*rule.Template) bool
+	// ArtifactDir, when non-empty, points the engine at a warm-start
+	// artifact store (internal/artifact; docs/PERSISTENCE.md). New
+	// applies the store's quarantine shard to the rule table, then
+	// restores the translated blocks and superblock traces recorded for
+	// this exact (guest code, backend, rule table, engine version) key —
+	// through the normal translation path, so restored code is as
+	// verified as demand-translated code. A Run ending in a clean HLT
+	// publishes the cache contents and merges run-time quarantine
+	// demotions back into the shard. Every failure mode degrades to a
+	// cold start (see Engine.WarmStats).
+	ArtifactDir string
+
 	// InterpFallback lets Run execute a block on the reference
 	// interpreter when translation fails persistently, instead of
 	// aborting the run. New enables it automatically whenever shadow
@@ -179,6 +192,12 @@ type Stats struct {
 	// number of block entries.
 	Dispatches   uint64
 	ChainedExits uint64
+
+	// Translations counts demand translations performed during the run.
+	// A warm-started engine restores its code cache in New, before any
+	// Run begins, so this stays near zero on a warm replay — the
+	// headline number the warm-start bench gates on (BENCH_warmstart).
+	Translations uint64
 
 	// Hot-trace superblock counters (zero unless Config.HotThreshold is
 	// set). TracesFormed counts traces promoted to superblocks,
@@ -280,6 +299,13 @@ type Engine struct {
 	be        backend.Backend
 	blockRegs []host.Reg
 	tempPool  []host.Reg
+
+	// Warm-start persistence (nil/zero unless Config.ArtifactDir is
+	// set): art is the open store, artKey the engine's four-component
+	// lookup key, warm the restore outcome (see artifact.go).
+	art    *artifact.Store
+	artKey artifact.Key
+	warm   WarmStats
 }
 
 // tblock is one cached translation. The hb/insts/counter fields are
@@ -422,6 +448,7 @@ func New(m *mem.Memory, cfg Config) *Engine {
 			ElevatedRate: cfg.ShadowElevatedRate,
 		})}
 	}
+	e.initArtifacts()
 	return e
 }
 
@@ -663,6 +690,9 @@ func (e *Engine) Run(entry uint32, maxHostSteps uint64) (stats Stats, err error)
 	}
 	// Keep the architectural PC in the CPUState coherent.
 	e.Mem.Write32(env.StateBase+uint32(env.OffReg(int(guest.PC))), pc)
+	// A clean halt is the only point the cache is known-good end to end
+	// (every resident translation just carried the run): publish it.
+	e.publishArtifacts()
 	return snapshot(), nil
 }
 
@@ -695,9 +725,9 @@ func (e *Engine) block(pc uint32) (*tblock, error) {
 	if err != nil {
 		return nil, err
 	}
+	e.met.translations.Inc()
 	if on {
 		e.met.translateNs.ObserveSince(t0)
-		e.met.translations.Inc()
 	}
 	if e.Cfg.Trace != nil {
 		e.Cfg.Trace.Record(obs.EvTranslate, pc)

@@ -13,6 +13,7 @@ const (
 	MetBlocks       = "dbt.blocks"         // distinct blocks executed (first entries)
 	MetDispatches   = "dbt.dispatches"     // dispatcher round trips
 	MetChainedExits = "dbt.chained_exits"  // block transitions over patched links
+	MetTranslations = "dbt.translations"   // demand translations (promoted from telemetry: warm-start efficacy is measured as cold-vs-warm translation counts)
 
 	// Hot-trace superblock product counters (see superblock.go).
 	MetTracesFormed    = "dbt.traces_formed"    // hot traces promoted to superblocks
@@ -31,7 +32,6 @@ const (
 	MetInterpFallbacks   = "guard.interp_fallbacks"   // blocks executed by the reference interpreter
 
 	// Telemetry: only recorded while obs.On().
-	MetTranslations       = "dbt.translations"        // demand translations
 	MetSpecTranslations   = "dbt.spec_translations"   // worker (speculative) translations
 	MetInvalidations      = "dbt.invalidations"       // Invalidate calls that removed a block
 	MetTraceInvalidations = "dbt.trace_invalidations" // superblocks torn down
@@ -119,26 +119,28 @@ func newEngineMetrics(reg *obs.Registry) *engineMetrics {
 // even when the engine (or a shared registry) has counted before.
 type statsBase struct {
 	guest, covered, seq, blocks, disp, chained uint64
+	translations                               uint64
 	traces, sbExecs, sideExits                 uint64
 	shadow, diverged, quar, panRec, interpFB   uint64
 }
 
 func (m *engineMetrics) base() statsBase {
 	return statsBase{
-		guest:     m.guestInsts.Value(),
-		covered:   m.ruleCovered.Value(),
-		seq:       m.seqRuleInsts.Value(),
-		blocks:    m.blocks.Value(),
-		disp:      m.dispatches.Value(),
-		chained:   m.chainedExits.Value(),
-		traces:    m.tracesFormed.Value(),
-		sbExecs:   m.superblockExecs.Value(),
-		sideExits: m.sideExits.Value(),
-		shadow:    m.shadowChecks.Value(),
-		diverged:  m.divergences.Value(),
-		quar:      m.quarantined.Value(),
-		panRec:    m.panicsRecovered.Value(),
-		interpFB:  m.interpFallbacks.Value(),
+		guest:        m.guestInsts.Value(),
+		covered:      m.ruleCovered.Value(),
+		seq:          m.seqRuleInsts.Value(),
+		blocks:       m.blocks.Value(),
+		disp:         m.dispatches.Value(),
+		chained:      m.chainedExits.Value(),
+		translations: m.translations.Value(),
+		traces:       m.tracesFormed.Value(),
+		sbExecs:      m.superblockExecs.Value(),
+		sideExits:    m.sideExits.Value(),
+		shadow:       m.shadowChecks.Value(),
+		diverged:     m.divergences.Value(),
+		quar:         m.quarantined.Value(),
+		panRec:       m.panicsRecovered.Value(),
+		interpFB:     m.interpFallbacks.Value(),
 	}
 }
 
@@ -151,6 +153,7 @@ func (m *engineMetrics) delta(base statsBase) Stats {
 		Blocks:           int(m.blocks.Value() - base.blocks),
 		Dispatches:       m.dispatches.Value() - base.disp,
 		ChainedExits:     m.chainedExits.Value() - base.chained,
+		Translations:     m.translations.Value() - base.translations,
 		TracesFormed:     m.tracesFormed.Value() - base.traces,
 		SuperblockExecs:  m.superblockExecs.Value() - base.sbExecs,
 		SideExits:        m.sideExits.Value() - base.sideExits,

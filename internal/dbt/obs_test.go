@@ -122,8 +122,11 @@ func TestTelemetryGatedByEnable(t *testing.T) {
 	if n := e.Metrics().Histogram(MetTranslateNs).Count(); n != 0 {
 		t.Fatalf("translate_ns observed %d samples while disabled", n)
 	}
-	if n := e.Metrics().Counter(MetTranslations).Value(); n != 0 {
-		t.Fatalf("translations counted %d while disabled", n)
+	// Translations is a product counter (it backs Stats.Translations and
+	// the warm-start bench), so it counts with telemetry off.
+	if n := e.Metrics().Counter(MetTranslations).Value(); n == 0 || n != stOff.Translations {
+		t.Fatalf("translations = %d while disabled, Stats.Translations = %d; want equal and nonzero",
+			n, stOff.Translations)
 	}
 
 	obs.SetEnabled(true)

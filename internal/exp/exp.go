@@ -91,6 +91,9 @@ type RunResult struct {
 	Executed [3]uint64 // host instructions per category
 	Total    uint64
 	R0       uint32 // final guest r0 (the program's result value)
+	// Warm is the warm-start restore outcome (zero unless the Config
+	// named an ArtifactDir; see dbt.WarmStats).
+	Warm dbt.WarmStats
 }
 
 // Run executes a benchmark under the given DBT configuration.
@@ -112,7 +115,7 @@ func (c *Corpus) Run(name string, cfg dbt.Config) (RunResult, error) {
 		return RunResult{}, fmt.Errorf("%s: %w", name, err)
 	}
 	return RunResult{Stats: st, Executed: e.CPU.Executed, Total: e.CPU.Total(),
-		R0: e.GuestState().R[guest.R0]}, nil
+		R0: e.GuestState().R[guest.R0], Warm: e.WarmStats()}, nil
 }
 
 // Geomean computes the geometric mean of positive values.

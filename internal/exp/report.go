@@ -15,7 +15,9 @@ import (
 // shadow verification) and the top-level "backend" provenance field.
 // v4 added the "trace" section (hot-trace superblock formation and
 // dispatch statistics).
-const ReportSchema = "paramdbt-experiments/v4"
+// v5 added the "warmstart" section (cold-vs-warm artifact-store
+// comparison: translation counts, restored blocks/traces, wall clock).
+const ReportSchema = "paramdbt-experiments/v5"
 
 // Report is the machine-readable form of the experiment suite, written
 // by cmd/experiments -json in the same spirit as the checked-in
@@ -32,22 +34,23 @@ type Report struct {
 	// (empty means the default, x86).
 	Backend string `json:"backend,omitempty"`
 
-	Table1    []Table1Row      `json:"table1,omitempty"`
-	Fig2      []Fig2Point      `json:"fig2,omitempty"`
-	Fig11     *SpeedupSection  `json:"fig11,omitempty"`
-	Fig12     *CoverageSection `json:"fig12,omitempty"`
-	Fig13     *RatioSection    `json:"fig13,omitempty"`
-	Table2    []Table2Row      `json:"table2,omitempty"`
-	Fig14     *AblationSection `json:"fig14,omitempty"`
-	Fig15     *AblationSection `json:"fig15,omitempty"`
-	Fig16     []Fig16Point     `json:"fig16,omitempty"`
-	Table3    *core.Counts     `json:"table3,omitempty"`
-	Dispatch  *DispatchSection `json:"dispatch,omitempty"`
-	Trace     *TraceSection    `json:"trace,omitempty"`
-	Guard     *GuardSection    `json:"guard,omitempty"`
-	Analysis  *AnalysisSection `json:"analysis,omitempty"`
-	Backends  *BackendsSection `json:"backends,omitempty"`
-	Uncovered []string         `json:"uncovered,omitempty"`
+	Table1    []Table1Row       `json:"table1,omitempty"`
+	Fig2      []Fig2Point       `json:"fig2,omitempty"`
+	Fig11     *SpeedupSection   `json:"fig11,omitempty"`
+	Fig12     *CoverageSection  `json:"fig12,omitempty"`
+	Fig13     *RatioSection     `json:"fig13,omitempty"`
+	Table2    []Table2Row       `json:"table2,omitempty"`
+	Fig14     *AblationSection  `json:"fig14,omitempty"`
+	Fig15     *AblationSection  `json:"fig15,omitempty"`
+	Fig16     []Fig16Point      `json:"fig16,omitempty"`
+	Table3    *core.Counts      `json:"table3,omitempty"`
+	Dispatch  *DispatchSection  `json:"dispatch,omitempty"`
+	Trace     *TraceSection     `json:"trace,omitempty"`
+	Guard     *GuardSection     `json:"guard,omitempty"`
+	Analysis  *AnalysisSection  `json:"analysis,omitempty"`
+	Backends  *BackendsSection  `json:"backends,omitempty"`
+	Warmstart *WarmstartSection `json:"warmstart,omitempty"`
+	Uncovered []string          `json:"uncovered,omitempty"`
 }
 
 // WriteJSON writes the report, indented, to w.

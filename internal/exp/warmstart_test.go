@@ -1,0 +1,50 @@
+package exp
+
+import (
+	"testing"
+)
+
+// TestWarmstartExperiment is the suite-level acceptance test for
+// warm-start persistence: every benchmark replayed warm must match its
+// cold result exactly under shadow rate 1 (every block execution
+// differentially verified), with strictly fewer demand translations and
+// zero admission-gate rejections on the pack import.
+func TestWarmstartExperiment(t *testing.T) {
+	c := getCorpus(t)
+	s, err := WarmstartExperiment(c, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rows) != len(c.Names) {
+		t.Fatalf("%d rows, want %d", len(s.Rows), len(c.Names))
+	}
+	for _, r := range s.Rows {
+		if !r.R0Match {
+			t.Errorf("%s: warm result differs from cold", r.Name)
+		}
+		if r.ColdDivergences != 0 || r.WarmDivergences != 0 {
+			t.Errorf("%s: divergences cold=%d warm=%d, want 0/0",
+				r.Name, r.ColdDivergences, r.WarmDivergences)
+		}
+		if r.WarmTranslations != 0 {
+			t.Errorf("%s: warm pass demand-translated %d blocks, want 0 (restored %d)",
+				r.Name, r.WarmTranslations, r.RestoredBlocks)
+		}
+		if r.RestoredBlocks == 0 {
+			t.Errorf("%s: nothing restored", r.Name)
+		}
+	}
+	if s.WarmTranslations >= s.ColdTranslations {
+		t.Fatalf("warm translations %d not strictly below cold %d",
+			s.WarmTranslations, s.ColdTranslations)
+	}
+	if s.PackRules == 0 {
+		t.Fatal("pack imported no rules")
+	}
+	if s.PackRejected != 0 {
+		t.Fatalf("admission gate rejected %d pack rules; producer and importer gates disagree", s.PackRejected)
+	}
+	if out := RenderWarmstart(s); len(out) == 0 {
+		t.Fatal("empty rendering")
+	}
+}

@@ -226,6 +226,65 @@ func (m *Memory) RestoreBelow(src *Memory, limit uint32) {
 	}
 }
 
+// Checksum digests the address range [lo, hi) with 64-bit FNV-1a,
+// hashing allocated pages in ascending address order. Pages that are
+// absent or all zero contribute nothing, so two images that differ only
+// in untouched (or explicitly zeroed) pages checksum identically —
+// matching read semantics, where both return zero. The artifact store
+// uses it to fingerprint the guest code region: a warm-start artifact
+// keyed on the checksum can never be applied to a different code image.
+func (m *Memory) Checksum(lo, hi uint32) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	keys := make([]uint32, 0, len(m.pages))
+	for k := range m.pages {
+		base := k << PageBits
+		if base+PageSize > lo && base < hi {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	h := uint64(offset64)
+	var zero [PageSize]byte
+	for _, k := range keys {
+		p := m.pages[k]
+		base := k << PageBits
+		start, end := uint32(0), uint32(PageSize)
+		if base < lo {
+			start = lo - base
+		}
+		if base+PageSize > hi {
+			end = hi - base
+		}
+		window := p[start:end]
+		if start == 0 && end == PageSize && *p == zero {
+			continue
+		}
+		allZero := true
+		for _, b := range window {
+			if b != 0 {
+				allZero = false
+				break
+			}
+		}
+		if allZero {
+			continue
+		}
+		// Fold the page's absolute position in, so moving content to a
+		// different address changes the digest.
+		pos := base + start
+		for s := 0; s < 32; s += 8 {
+			h = (h ^ uint64(byte(pos>>s))) * prime64
+		}
+		for _, b := range window {
+			h = (h ^ uint64(b)) * prime64
+		}
+	}
+	return h
+}
+
 // Dump formats a hex dump of n bytes at addr, for debugging.
 func (m *Memory) Dump(addr uint32, n int) string {
 	s := ""

@@ -101,7 +101,21 @@ func (s *Store) Save(w io.Writer) error {
 // unsound entries are rejected — the defensive path for tables from
 // untrusted sources.
 func Load(r io.Reader, reverify bool) (*Store, error) {
+	out, _, err := LoadGated(r, reverify, nil)
+	return out, err
+}
+
+// LoadGated is Load with a caller-supplied admission predicate applied
+// to every structurally valid (and, under reverify, verified) template.
+// Templates the predicate refuses are skipped rather than failing the
+// load — a table carrying a handful of rules the local auditor refuses
+// is still usable — and the skip count is returned. Malformed entries
+// remain fatal: structural corruption means the table itself cannot be
+// trusted. learn.ImportPack wires the PR 4 static auditor through here
+// for warm-start rule packs.
+func LoadGated(r io.Reader, reverify bool, admit func(*Template) (ok bool, reason string)) (*Store, int, error) {
 	out := NewStore()
+	rejected := 0
 	dec := json.NewDecoder(r)
 	line := 0
 	for {
@@ -112,20 +126,26 @@ func Load(r io.Reader, reverify bool) (*Store, error) {
 		}
 		line++
 		if err != nil {
-			return nil, fmt.Errorf("rule: entry %d: %w", line, err)
+			return nil, rejected, fmt.Errorf("rule: entry %d: %w", line, err)
 		}
 		t := fromSerialized(s)
 		if err := validate(t); err != nil {
-			return nil, fmt.Errorf("rule: entry %d (%q): %w", line, t, err)
+			return nil, rejected, fmt.Errorf("rule: entry %d (%q): %w", line, t, err)
 		}
 		if reverify {
 			if res, ok := Verify(t); !ok {
-				return nil, fmt.Errorf("rule: entry %d (%q) fails verification: %s", line, t, res.Reason)
+				return nil, rejected, fmt.Errorf("rule: entry %d (%q) fails verification: %s", line, t, res.Reason)
+			}
+		}
+		if admit != nil {
+			if ok, _ := admit(t); !ok {
+				rejected++
+				continue
 			}
 		}
 		out.Add(t)
 	}
-	return out, nil
+	return out, rejected, nil
 }
 
 // QuarantineEntry is one persisted quarantine decision: a rule demoted

@@ -212,6 +212,33 @@ func (s *Store) All() []*Template {
 	return out
 }
 
+// Fingerprint64 digests the store's template set under its current
+// retrieval-key seed: 64-bit FNV-1a over the canonical template
+// fingerprints in deterministic (sorted) order, seeded by the
+// backend-namespaced key seed (KeyFpSeedFor, installed by
+// SetBackendID). Two stores agree iff they hold the same templates and
+// are keyed for the same backend — the component the artifact store
+// folds into its lookup keys, so a translation artifact produced under
+// one rule table or backend can never satisfy a lookup under another.
+// Quarantine state is deliberately excluded: demotions propagate
+// through the artifact store's quarantine shard instead of invalidating
+// every translation keyed on the table.
+func (s *Store) Fingerprint64() uint64 {
+	fps := make([]string, 0, len(s.byFp))
+	for fp := range s.byFp {
+		fps = append(fps, fp)
+	}
+	sort.Strings(fps)
+	h := s.keySeed()
+	for _, fp := range fps {
+		for i := 0; i < len(fp); i++ {
+			h = fnvByte(h, fp[i])
+		}
+		h = fnvByte(h, 0)
+	}
+	return h
+}
+
 // Quarantine demotes a template: it stays in the store (so Save and
 // the accounting still see it) but no lookup will return it until
 // Unquarantine. The reason is recorded for the persisted quarantine

@@ -17,6 +17,18 @@
 // the optimization still does not pay for its own translation cost:
 //
 //	go run ./tools/benchtrace -check BENCH_trace.json -against BENCH_dispatch.json
+//
+// The warm-start pair does the same for the artifact store:
+// -record-warmstart parses `go test -bench BenchmarkWarmstart` output
+// and writes BENCH_warmstart.json with both arms' ns/op and
+// demand-translation counts; -check-warmstart fails unless the recorded
+// warm translation count is strictly below cold — restoring the code
+// cache and then translating just as much would mean the store restored
+// nothing:
+//
+//	go test -run NONE -bench BenchmarkWarmstart -benchtime 20x . |
+//	    go run ./tools/benchtrace -record-warmstart BENCH_warmstart.json
+//	go run ./tools/benchtrace -check-warmstart BENCH_warmstart.json
 package main
 
 import (
@@ -35,12 +47,19 @@ import (
 // writing a JSON the check would pass vacuously.
 var arms = []string{"chained", "no-chain", "superblocks"}
 
+// warmArms are the BenchmarkWarmstart sub-benchmarks a warm-start
+// record must contain.
+var warmArms = []string{"cold", "warm"}
+
 type armResult struct {
 	NsPerOp float64 `json:"ns_per_op"`
 	// Superblock arm only.
 	PctSuperblock float64 `json:"pct_superblock,omitempty"`
 	PctSideExit   float64 `json:"pct_side_exit,omitempty"`
 	Traces        float64 `json:"traces,omitempty"`
+	// Warm-start arms only.
+	Translations   *float64 `json:"translations,omitempty"`
+	RestoredBlocks float64  `json:"restored_blocks,omitempty"`
 }
 
 type record struct {
@@ -50,17 +69,13 @@ type record struct {
 	Benchmarks map[string]armResult `json:"benchmarks"`
 }
 
-// benchLine matches one testing.B result line; the trailing metrics are
-// parsed separately as value-unit pairs.
-var benchLine = regexp.MustCompile(`^(BenchmarkDispatchChaining/\S+)\s+\d+\s+([0-9.]+) ns/op(.*)$`)
-
 var metricPair = regexp.MustCompile(`([0-9.]+) (\S+)`)
 
-// armName strips testing's -GOMAXPROCS suffix, which is only appended
-// when procs != 1, so both "…/superblocks" and "…/superblocks-8" must
-// resolve to the same arm.
-func armName(full string) string {
-	name := full[len("BenchmarkDispatchChaining/"):]
+// armName strips the bench prefix and testing's -GOMAXPROCS suffix,
+// which is only appended when procs != 1, so both "…/superblocks" and
+// "…/superblocks-8" must resolve to the same arm.
+func armName(full, prefix string, arms []string) string {
+	name := full[len(prefix):]
 	for _, a := range arms {
 		if name == a {
 			return a
@@ -72,7 +87,10 @@ func armName(full string) string {
 	return ""
 }
 
-func parse(r *bufio.Scanner) (map[string]armResult, string, error) {
+func parse(r *bufio.Scanner, prefix string, arms []string) (map[string]armResult, string, error) {
+	// One testing.B result line; the trailing metrics are parsed
+	// separately as value-unit pairs.
+	benchLine := regexp.MustCompile(`^(` + regexp.QuoteMeta(prefix) + `\S+)\s+\d+\s+([0-9.]+) ns/op(.*)$`)
 	out := map[string]armResult{}
 	cpu := ""
 	for r.Scan() {
@@ -85,7 +103,7 @@ func parse(r *bufio.Scanner) (map[string]armResult, string, error) {
 		if m == nil {
 			continue
 		}
-		arm := armName(m[1])
+		arm := armName(m[1], prefix, arms)
 		if arm == "" {
 			continue
 		}
@@ -106,6 +124,11 @@ func parse(r *bufio.Scanner) (map[string]armResult, string, error) {
 				res.PctSideExit = v
 			case "traces":
 				res.Traces = v
+			case "translations":
+				v := v
+				res.Translations = &v
+			case "restored-blocks":
+				res.RestoredBlocks = v
 			}
 		}
 		out[arm] = res
@@ -114,7 +137,7 @@ func parse(r *bufio.Scanner) (map[string]armResult, string, error) {
 }
 
 func doRecord(path string) error {
-	res, cpu, err := parse(bufio.NewScanner(os.Stdin))
+	res, cpu, err := parse(bufio.NewScanner(os.Stdin), "BenchmarkDispatchChaining/", arms)
 	if err != nil {
 		return err
 	}
@@ -198,19 +221,95 @@ func doCheck(tracePath, againstPath string) error {
 	return nil
 }
 
+func doRecordWarmstart(path string) error {
+	res, cpu, err := parse(bufio.NewScanner(os.Stdin), "BenchmarkWarmstart/", warmArms)
+	if err != nil {
+		return err
+	}
+	for _, a := range warmArms {
+		r, ok := res[a]
+		if !ok {
+			return fmt.Errorf("bench output is missing the %q arm", a)
+		}
+		if r.Translations == nil {
+			return fmt.Errorf("the %q arm reported no translations metric", a)
+		}
+	}
+	if res["warm"].RestoredBlocks == 0 {
+		return fmt.Errorf("warm arm restored no blocks")
+	}
+	rec := record{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		Command:    "make bench-warmstart",
+		CPU:        cpu,
+		Benchmarks: res,
+	}
+	buf, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchtrace: recorded %s (cold %.0f -> warm %.0f translations, wall clock %+.1f%%)\n",
+		path, *res["cold"].Translations, *res["warm"].Translations,
+		100*(res["warm"].NsPerOp/res["cold"].NsPerOp-1))
+	return nil
+}
+
+// doCheckWarmstart is the warm-start regression gate: the recorded warm
+// arm must demand-translate strictly fewer blocks than the cold arm.
+// Wall clock is recorded but not gated — ns/op on shared machines is
+// too noisy, and the translation count is the mechanism the wall-clock
+// win flows from.
+func doCheckWarmstart(path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("%w (run `make bench-warmstart` first)", err)
+	}
+	var rec record
+	if err := json.Unmarshal(buf, &rec); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	cold, warm := rec.Benchmarks["cold"], rec.Benchmarks["warm"]
+	if cold.Translations == nil || warm.Translations == nil {
+		return fmt.Errorf("%s is missing a translations count (re-record it)", path)
+	}
+	if *warm.Translations >= *cold.Translations {
+		return fmt.Errorf("FAIL warm arm translated %.0f blocks, not strictly below cold %.0f — the store restored nothing",
+			*warm.Translations, *cold.Translations)
+	}
+	fmt.Printf("benchtrace: ok warm %.0f translations < cold %.0f (restored %.0f blocks, wall clock %+.1f%%)\n",
+		*warm.Translations, *cold.Translations, warm.RestoredBlocks,
+		100*(warm.NsPerOp/cold.NsPerOp-1))
+	return nil
+}
+
 func main() {
 	recordPath := flag.String("record", "", "parse bench output on stdin and write this JSON record")
 	checkPath := flag.String("check", "", "gate: the BENCH_trace.json record to verify")
 	againstPath := flag.String("against", "BENCH_dispatch.json", "recorded dispatch baselines for -check")
+	recordWarm := flag.String("record-warmstart", "", "parse BenchmarkWarmstart output on stdin and write this JSON record")
+	checkWarm := flag.String("check-warmstart", "", "gate: the BENCH_warmstart.json record to verify")
 	flag.Parse()
+	modes := 0
+	for _, m := range []string{*recordPath, *checkPath, *recordWarm, *checkWarm} {
+		if m != "" {
+			modes++
+		}
+	}
 	var err error
 	switch {
-	case *recordPath != "" && *checkPath == "":
+	case modes != 1:
+		err = fmt.Errorf("exactly one of -record, -check, -record-warmstart or -check-warmstart is required")
+	case *recordPath != "":
 		err = doRecord(*recordPath)
-	case *checkPath != "" && *recordPath == "":
+	case *checkPath != "":
 		err = doCheck(*checkPath, *againstPath)
+	case *recordWarm != "":
+		err = doRecordWarmstart(*recordWarm)
 	default:
-		err = fmt.Errorf("exactly one of -record or -check is required")
+		err = doCheckWarmstart(*checkWarm)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchtrace:", err)
