@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet lint obsgate ruleaudit build test test-backends race race-obs test-faults test-persistence bench bench-dispatch bench-obs bench-backends bench-trace bench-check bench-warmstart bench-warmstart-check experiments linkcheck
+.PHONY: ci vet lint obsgate ruleaudit build test test-backends race race-obs test-faults test-persistence test-smc bench bench-dispatch bench-obs bench-backends bench-trace bench-check bench-warmstart bench-warmstart-check bench-smc bench-smc-check experiments linkcheck
 
-ci: lint build race test-backends test-faults test-persistence linkcheck bench
+ci: lint build race test-backends test-faults test-persistence test-smc linkcheck bench
 
 # Opt-in wall-clock gate: `CHECK_TRACE=1 make ci` re-measures the
 # dispatch arms and fails unless the superblock engine beats both
@@ -10,6 +10,13 @@ ci: lint build race test-backends test-faults test-persistence linkcheck bench
 # on shared CI machines is too noisy to block every merge on.
 ifeq ($(CHECK_TRACE),1)
 ci: bench-trace bench-check
+endif
+
+# Same opt-in, same noise rationale, for the write-tracking overhead
+# gate: `CHECK_SMC=1 make ci` re-measures BenchmarkSMC and fails unless
+# the tracked arm stays within 2% of the recorded superblock baseline.
+ifeq ($(CHECK_SMC),1)
+ci: bench-smc bench-smc-check
 endif
 
 vet:
@@ -69,6 +76,18 @@ test-persistence:
 	$(GO) test -count=1 ./internal/artifact
 	$(GO) test -count=1 -run 'TestWarmStart|TestWarmstartExperiment' ./internal/dbt ./internal/exp
 
+# The self-modifying-code scenarios (docs/ROBUSTNESS.md "Self-modifying
+# code"): write-then-execute in the store's own block, cross-block
+# overwrite, overwrite mid-superblock and during async formation, the
+# fault-injected code pokes, the TraceBudget refund, the builder-panic
+# recovery and the artifact page-checksum reject — functionally and
+# under the race detector (the async scenarios run guest
+# self-modification against the background builder and the speculative
+# worker pool).
+test-smc:
+	$(GO) test -count=1 -run TestSMC ./internal/workload ./internal/dbt
+	$(GO) test -race -count=1 -run TestSMC ./internal/workload ./internal/dbt
+
 # Warm-start wall-clock and translation-count measurement: runs the
 # cold/warm artifact-store comparison and records both arms in
 # BENCH_warmstart.json.
@@ -108,6 +127,19 @@ bench-trace:
 # costs more than the superblocks save).
 bench-check:
 	$(GO) run ./tools/benchtrace -check BENCH_trace.json -against BENCH_dispatch.json
+
+# Write-tracking overhead measurement: runs the tracked/untracked
+# superblock arms plus the hostile smc-async workload and records all
+# three in BENCH_smc.json.
+bench-smc:
+	$(GO) test -run NONE -bench BenchmarkSMC -benchtime 20x . 		| tee /dev/stderr | $(GO) run ./tools/benchtrace -record-smc BENCH_smc.json
+
+# Regression gate for the write tracker's fast path: fails unless the
+# recorded tracked arm stays within 2% of the BENCH_trace.json
+# superblock arm (same workload and configuration, recorded before
+# write tracking existed).
+bench-smc-check:
+	$(GO) run ./tools/benchtrace -check-smc BENCH_smc.json -against-trace BENCH_trace.json
 
 # The disabled-telemetry overhead guard (must stay 0 allocs/op, ~sub-ns).
 bench-obs:

@@ -17,6 +17,7 @@ import (
 	"paramdbt/internal/backend"
 	"paramdbt/internal/core"
 	"paramdbt/internal/dbt"
+	"paramdbt/internal/env"
 	"paramdbt/internal/exp"
 	"paramdbt/internal/guest"
 	"paramdbt/internal/host"
@@ -24,6 +25,7 @@ import (
 	"paramdbt/internal/obs"
 	"paramdbt/internal/rule"
 	"paramdbt/internal/tcg"
+	"paramdbt/internal/workload"
 )
 
 var (
@@ -592,6 +594,70 @@ func BenchmarkWarmstart(b *testing.B) {
 		}
 		b.ReportMetric(tx/float64(b.N), "translations")
 		b.ReportMetric(restored/float64(b.N), "restored-blocks")
+	})
+}
+
+// BenchmarkSMC prices the self-modifying-code safety layer. The
+// "tracked" and "untracked" arms run the exact superblock configuration
+// of BenchmarkDispatchChaining/superblocks on a guest that never writes
+// code — their gap is the write tracker's pure overhead (page lookups
+// on stores plus the fence check per dispatch), which `make bench-smc-check`
+// gates at 2% against the recorded superblock arm in BENCH_trace.json.
+// The "smc-heavy" arm runs the hostile smc-async workload (an
+// instruction toggled every four iterations under asynchronous trace
+// formation) and reports what each hazard costs in invalidations and
+// aborted executions.
+func BenchmarkSMC(b *testing.B) {
+	c := getCorpus(b)
+	full, _ := core.Parameterize(c.Union(c.Others("gcc")), core.Config{Opcode: true, AddrMode: true})
+	sbCfg := dbt.Config{
+		Rules: full, DelegateFlags: true,
+		HotThreshold: 4, TraceBudget: 12, SyncTraces: true,
+	}
+	for _, bc := range []struct {
+		name string
+		cfg  dbt.Config
+	}{
+		{"tracked", sbCfg},
+		{"untracked", func() dbt.Config { c := sbCfg; c.NoWriteTrack = true; return c }()},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := c.Run("gcc", bc.cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if r.Stats.SMCInvalidations != 0 || r.Stats.SMCSelfAborts != 0 {
+					b.Fatalf("non-modifying workload tripped SMC machinery: %+v", r.Stats)
+				}
+				b.ReportMetric(float64(r.Stats.GuestExec), "guest-insts")
+			}
+		})
+	}
+	b.Run("smc-heavy", func(b *testing.B) {
+		var p workload.SMCProfile
+		for _, q := range workload.SMCProfiles() {
+			if q.Name == "smc-async" {
+				p = q
+			}
+		}
+		for i := 0; i < b.N; i++ {
+			m := mem.New()
+			if err := guest.LoadProgram(m, env.CodeBase, p.Prog); err != nil {
+				b.Fatal(err)
+			}
+			e := dbt.New(m, dbt.Config{Rules: full, DelegateFlags: true, HotThreshold: p.HotThreshold})
+			e.SetGuestState(&guest.State{Mem: m})
+			st, err := e.Run(env.CodeBase, 1<<30)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if st.SMCInvalidations == 0 {
+				b.Fatalf("smc-async tripped no invalidations: %+v", st)
+			}
+			b.ReportMetric(float64(st.SMCInvalidations), "invalidations")
+			b.ReportMetric(float64(st.SMCSelfAborts), "self-aborts")
+		}
 	})
 }
 

@@ -30,7 +30,7 @@ import (
 
 func main() {
 	scale := flag.Int("scale", 1, "dynamic work multiplier (1 = reference input)")
-	only := flag.String("only", "", "comma-separated subset: table1,fig2,fig11,fig12,fig13,table2,fig14,fig15,fig16,table3,dispatch,trace,guard,analysis,backends,warmstart")
+	only := flag.String("only", "", "comma-separated subset: table1,fig2,fig11,fig12,fig13,table2,fig14,fig15,fig16,table3,dispatch,trace,guard,analysis,backends,warmstart,smc")
 	guardBench := flag.String("guard-bench", "mcf", "benchmark for the guard divergence/recovery experiment")
 	jsonPath := flag.String("json", "", "also write the selected sections as a JSON report to this file (\"-\" = stdout, text tables suppressed)")
 	beName := flag.String("backend", "", "host backend for all engine runs (default: $"+backend.EnvVar+" or x86); one of "+strings.Join(backend.Names(), ","))
@@ -220,6 +220,16 @@ func main() {
 		}
 		report.Warmstart = w
 		render(exp.RenderWarmstart(w))
+	}
+	if sel("smc") {
+		section("Self-modifying code: engine vs interpreter, shadow rate 1")
+		sm, err := exp.SMCExperiment(corpus)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smc:", err)
+			os.Exit(1)
+		}
+		report.Smc = sm
+		render(exp.RenderSMC(sm))
 	}
 	if sel("table3") {
 		section("Table III: rule number comparison")

@@ -20,6 +20,22 @@ type BlockManifest struct {
 	// in execution order within each trace, sorted by head pc across
 	// traces.
 	Traces [][]uint32 `json:"traces,omitempty"`
+	// Pages are the content digests of every guest page the recorded
+	// translations were decoded from, sorted by base. A restoring engine
+	// verifies each against its live memory and rejects the whole
+	// manifest on any mismatch: the artifact key's code hash covers only
+	// the static code region, so without these a guest that writes code
+	// elsewhere (or a region-layout change) could warm-start stale
+	// translations.
+	Pages []PageSum `json:"pages,omitempty"`
+}
+
+// PageSum is the digest of one guest page: Sum is the engine's memory
+// checksum over [Base, Base+pagesize) at publish time (the artifact
+// layer treats it as opaque; internal/mem defines the function).
+type PageSum struct {
+	Base uint32 `json:"base"`
+	Sum  uint64 `json:"sum"`
 }
 
 // Normalize sorts the manifest into its canonical order so that
@@ -34,6 +50,7 @@ func (m *BlockManifest) Normalize() {
 		}
 		return a[0] < b[0]
 	})
+	sort.Slice(m.Pages, func(i, j int) bool { return m.Pages[i].Base < m.Pages[j].Base })
 }
 
 // Encode renders the manifest as its canonical JSON payload.
@@ -52,6 +69,11 @@ func DecodeManifest(payload []byte) (*BlockManifest, error) {
 	for _, tr := range m.Traces {
 		if len(tr) < 2 {
 			return nil, fmt.Errorf("artifact: manifest: trace with %d blocks", len(tr))
+		}
+	}
+	for i := 1; i < len(m.Pages); i++ {
+		if m.Pages[i].Base <= m.Pages[i-1].Base {
+			return nil, fmt.Errorf("artifact: manifest: page sums unsorted or duplicated at %#x", m.Pages[i].Base)
 		}
 	}
 	return &m, nil

@@ -6,6 +6,7 @@ import (
 	"paramdbt/internal/artifact"
 	"paramdbt/internal/env"
 	"paramdbt/internal/guest"
+	"paramdbt/internal/mem"
 )
 
 // This file is the engine side of warm-start persistence (the store
@@ -22,7 +23,7 @@ import (
 // former or backend lowering changes observable output: a version
 // mismatch turns every prior artifact into a miss, which is the entire
 // point — stale translations must never be applied.
-const EngineVersion = "paramdbt-engine/7"
+const EngineVersion = "paramdbt-engine/8"
 
 // WarmStats reports the outcome of the warm-start restore New performed
 // (zero value when Config.ArtifactDir was empty). Hits/Misses/Rejects
@@ -110,7 +111,36 @@ func (e *Engine) initArtifacts() {
 		e.warm.Err = err.Error()
 		return
 	}
+	if err := e.verifyManifestPages(m); err != nil {
+		st.MarkReject()
+		e.warm.Rejects++
+		e.warm.Err = err.Error()
+		return
+	}
 	e.restoreManifest(m)
+}
+
+// verifyManifestPages checks the manifest's recorded page digests
+// against live memory. Any mismatch — or a manifest that records blocks
+// but no page sums at all — is a reject, not a miss: the artifact
+// claims to describe this code image and is wrong, which is the one
+// failure warm start must never act on (a guest that modified a
+// translated page since publish would otherwise warm-start stale
+// translations the write-tracking fence cannot see — they predate the
+// tracker).
+func (e *Engine) verifyManifestPages(m *artifact.BlockManifest) error {
+	if len(m.Pages) == 0 {
+		if len(m.Blocks) > 0 {
+			return fmt.Errorf("manifest records %d blocks but no page checksums", len(m.Blocks))
+		}
+		return nil
+	}
+	for _, ps := range m.Pages {
+		if got := e.Mem.Checksum(ps.Base, ps.Base+mem.PageSize); got != ps.Sum {
+			return fmt.Errorf("guest page %#x changed since publish (sum %#x, recorded %#x)", ps.Base, got, ps.Sum)
+		}
+	}
+	return nil
 }
 
 // restoreManifest rebuilds the code cache from a decoded manifest:
@@ -181,15 +211,32 @@ func (e *Engine) publishArtifacts() {
 		return
 	}
 	var m artifact.BlockManifest
+	pageSet := map[uint32]bool{}
+	addPages := func(lo, hi uint32) {
+		for k := lo >> mem.PageBits; k <= (hi-1)>>mem.PageBits; k++ {
+			pageSet[k<<mem.PageBits] = true
+		}
+	}
 	e.cache.each(func(pc uint32, tb *tblock) {
 		if tb.sb != nil {
 			// A superblock owns its head's cache slot; record the trace AND
 			// the head as a plain block — restore needs the head's per-block
 			// translation cached before it can re-grow the trace.
 			m.Traces = append(m.Traces, append([]uint32(nil), tb.sb.pcs...))
+			for i, hpc := range tb.sb.pcs {
+				addPages(hpc, hpc+uint32(len(tb.sb.insts[i]))*guest.InstBytes)
+			}
+		} else {
+			addPages(pc, pc+uint32(tb.nGuest)*guest.InstBytes)
 		}
 		m.Blocks = append(m.Blocks, pc)
 	})
+	// Record the digest of every page the recorded translations were
+	// decoded from; restore refuses the manifest if any differs (see
+	// verifyManifestPages).
+	for base := range pageSet {
+		m.Pages = append(m.Pages, artifact.PageSum{Base: base, Sum: e.Mem.Checksum(base, base+mem.PageSize)})
+	}
 	payload, err := m.Encode()
 	if err != nil {
 		if e.warm.Err == "" {

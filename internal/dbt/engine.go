@@ -171,8 +171,17 @@ type Config struct {
 	InterpFallback bool
 	// Faults, when non-nil, injects faults into translation, the code
 	// cache and the speculative workers (see internal/guard/faultinject
-	// and the FaultInjector interface).
+	// and the FaultInjector interface). An injector that additionally
+	// implements CodePokes(n) gets to write guest code words before each
+	// block entry — the deterministic SMC campaigns (see smc.go).
 	Faults FaultInjector
+
+	// NoWriteTrack disables guest-write tracking, the self-modifying-code
+	// safety layer (see smc.go and docs/ROBUSTNESS.md). Tracking is on by
+	// default and costs one pointer compare per guest store while no code
+	// page is dirty; this switch exists to measure that cost and must
+	// never be set for a guest that may write its own code.
+	NoWriteTrack bool
 }
 
 // Stats is a snapshot of the evaluation metrics. The live counts are
@@ -207,6 +216,17 @@ type Stats struct {
 	TracesFormed    uint64
 	SuperblockExecs uint64
 	SideExits       uint64
+
+	// Self-modifying-code counters (zero unless guest code pages are
+	// written; see docs/ROBUSTNESS.md "Self-modifying code").
+	// SMCInvalidations counts translations fenced out after guest writes
+	// into translated pages, SMCSelfAborts executions aborted because
+	// they stored into their own guest bytes, SBBuilderPanics background
+	// trace-formation panics absorbed (the builder demotes the trace to
+	// per-block execution instead of dying).
+	SMCInvalidations uint64
+	SMCSelfAborts    uint64
+	SBBuilderPanics  uint64
 
 	// UncoveredOps breaks down emulated instructions by opcode — the
 	// analysis behind the paper's "seven uncoverable instructions".
@@ -294,6 +314,11 @@ type Engine struct {
 	// Config.TraceBudget (Run goroutine only).
 	sbSpent int
 
+	// smcOn mirrors !Config.NoWriteTrack: guest-write tracking is
+	// installed on Mem and the dispatch loop runs the SMC fence and
+	// self-abort machinery (see smc.go).
+	smcOn bool
+
 	// be is the resolved host backend; blockRegs/tempPool cache its
 	// register policy so the translation hot path never re-queries it.
 	be        backend.Backend
@@ -351,6 +376,16 @@ type tblock struct {
 	hot     uint64
 	sbTries uint8
 	sb      *sbMeta
+
+	// SMC metadata (see smc.go), set once on the Run goroutine before
+	// the translation first executes: smcRanges are the guest [lo,hi)
+	// byte ranges the translation was decoded from (one per superblock
+	// constituent), hasStores whether it contains guest store
+	// instructions, smcDone that both are computed and the ranges'
+	// pages registered with the write tracker.
+	hasStores bool
+	smcDone   bool
+	smcRanges [][2]uint32
 }
 
 // blockLink is one direct-exit slot: the static successor pc plus the
@@ -448,6 +483,13 @@ func New(m *mem.Memory, cfg Config) *Engine {
 			ElevatedRate: cfg.ShadowElevatedRate,
 		})}
 	}
+	// Install write tracking before the warm restore: restored
+	// translations register their pages exactly like demand-translated
+	// ones.
+	e.smcOn = !cfg.NoWriteTrack
+	if e.smcOn {
+		m.EnableWriteTracking()
+	}
 	e.initArtifacts()
 	return e
 }
@@ -486,9 +528,14 @@ func (e *Engine) Run(entry uint32, maxHostSteps uint64) (stats Stats, err error)
 	}
 	if e.Cfg.TranslateWorkers > 0 {
 		e.spec = e.startSpec()
+		// The SMC fence shuts the pool down mid-run on the first guest
+		// code write (its startup snapshot is stale from then on), so the
+		// hook must re-check the field.
 		defer func() {
-			e.spec.shutdown()
-			e.spec = nil
+			if e.spec != nil {
+				e.spec.shutdown()
+				e.spec = nil
+			}
 		}()
 	}
 	// The superblock builder starts lazily at the first hot head, so the
@@ -540,9 +587,32 @@ func (e *Engine) Run(entry uint32, maxHostSteps uint64) (stats Stats, err error)
 	interpFallback := e.Cfg.InterpFallback
 	hotOn := e.Cfg.HotThreshold > 0 && !noChain
 	guarded := e.guard != nil
+	smcOn := e.smcOn
+	var poker codePoker
+	if faults != nil {
+		poker, _ = faults.(codePoker)
+	}
+	var entries uint64         // block entries, the ordinal CodePokes keys on
 	hostSteps := e.CPU.Total() // budget is engine-lifetime host work
 	var fallbackSteps uint64   // interpreter-fallback work, counted against the budget
 	for pc != HaltPC {
+		// Deterministic SMC fault injection: apply this entry's guest code
+		// writes through the tracked store path, so they exercise exactly
+		// the machinery a guest store does.
+		if poker != nil {
+			entries++
+			for _, pw := range poker.CodePokes(entries) {
+				e.Mem.Write32(pw[0], pw[1])
+			}
+		}
+		// The SMC fence: a store since the last entry dirtied a page
+		// holding translated code — invalidate every overlapping
+		// translation before following a chain link or dispatching, and
+		// break the chain (prev may itself have been invalidated).
+		if smcOn && e.Mem.CodeDirty() {
+			e.smcFence()
+			prev = nil
+		}
 		// Install any superblocks the background builder finished. Doing
 		// this before chain-follow/dispatch means a head installed here is
 		// entered through its superblock on this very iteration (installSB
@@ -627,12 +697,35 @@ func (e *Engine) Run(entry uint32, maxHostSteps uint64) (stats Stats, err error)
 		if hostSteps+fallbackSteps >= maxHostSteps {
 			return snapshot(), fmt.Errorf("dbt: host step budget exhausted at pc=%#x", pc)
 		}
+		if smcOn {
+			// Arm self-range detection and the undo journal for this
+			// execution (a no-op pair of clears when the translation has no
+			// guest stores).
+			e.Mem.ArmSMC(tb.hasStores, tb.smcRanges)
+		}
 		if sb != nil {
 			// Arm the exit slot with the full-trace marker; side-exit
 			// stubs overwrite it with their seam index (see superblock.go).
 			e.Mem.Write32(env.StateBase+env.OffSBExit, uint32(len(sb.pcs)-1))
 		}
 		res, xerr := e.CPU.Exec(tb.hb, maxHostSteps-hostSteps-fallbackSteps)
+		if smcOn && e.Mem.SMCSelfHit() {
+			// The translation stored into its own guest bytes: its host
+			// code was stale from that store on (this also covers xerr —
+			// garbled stale code may fail outright). Roll back, replay on
+			// the interpreter to the precise exit, fence, and resume
+			// through the dispatcher.
+			next, n, aerr := e.smcSelfAbort(tb, pc)
+			if aerr != nil {
+				return snapshot(), aerr
+			}
+			hostSteps = e.CPU.Total()
+			fallbackSteps += n
+			curShadow = nil
+			prev = nil
+			pc = next
+			continue
+		}
 		if xerr != nil {
 			return snapshot(), fmt.Errorf("dbt: executing block at %#x: %w\n%s", pc, xerr, tb.hb.Listing())
 		}
@@ -711,6 +804,12 @@ func (e *Engine) block(pc uint32) (*tblock, error) {
 		e.met.lookupNs.ObserveSince(t0)
 	}
 	if ok {
+		if e.smcOn && !tb.smcDone {
+			// First dispatch of a worker-inserted translation: compute its
+			// SMC metadata and register its pages here, on the Run
+			// goroutine (superblocks get theirs in installSB).
+			e.initSMCMeta(pc, tb)
+		}
 		return tb, nil
 	}
 	if on {
@@ -733,6 +832,9 @@ func (e *Engine) block(pc uint32) (*tblock, error) {
 		e.Cfg.Trace.Record(obs.EvTranslate, pc)
 	}
 	tb = e.cache.putIfAbsent(pc, tb)
+	if e.smcOn && !tb.smcDone {
+		e.initSMCMeta(pc, tb)
+	}
 	if on {
 		e.met.cachedBlocks.Set(int64(e.cache.size()))
 	}

@@ -20,6 +20,12 @@ const (
 	MetSuperblockExecs = "dbt.superblock_execs" // block entries that ran a superblock
 	MetSideExits       = "dbt.side_exits"       // superblock runs that left via a side exit
 
+	// Self-modifying-code product counters (see smc.go and
+	// docs/ROBUSTNESS.md "Self-modifying code"). Always counted.
+	MetSMCInvalidations = "dbt.smc_invalidations" // translations fenced out by guest code writes
+	MetSMCSelfAborts    = "dbt.smc_self_aborts"   // executions aborted for storing into their own bytes
+	MetSBBuilderPanics  = "dbt.sb_builder_panics" // background trace-formation panics absorbed
+
 	// Guarded-execution product counters (robustness layer; see
 	// docs/ROBUSTNESS.md). Always counted — they back the Stats guard
 	// fields and the acceptance invariants ("0 unrecovered panics").
@@ -62,6 +68,10 @@ type engineMetrics struct {
 	superblockExecs *obs.Counter
 	sideExits       *obs.Counter
 
+	smcInvalidations *obs.Counter
+	smcSelfAborts    *obs.Counter
+	sbBuilderPanics  *obs.Counter
+
 	shadowChecks      *obs.Counter
 	divergences       *obs.Counter
 	quarantined       *obs.Counter
@@ -94,6 +104,9 @@ func newEngineMetrics(reg *obs.Registry) *engineMetrics {
 		tracesFormed:       reg.Counter(MetTracesFormed),
 		superblockExecs:    reg.Counter(MetSuperblockExecs),
 		sideExits:          reg.Counter(MetSideExits),
+		smcInvalidations:   reg.Counter(MetSMCInvalidations),
+		smcSelfAborts:      reg.Counter(MetSMCSelfAborts),
+		sbBuilderPanics:    reg.Counter(MetSBBuilderPanics),
 		shadowChecks:       reg.Counter(MetShadowChecks),
 		divergences:        reg.Counter(MetDivergences),
 		quarantined:        reg.Counter(MetQuarantined),
@@ -121,6 +134,7 @@ type statsBase struct {
 	guest, covered, seq, blocks, disp, chained uint64
 	translations                               uint64
 	traces, sbExecs, sideExits                 uint64
+	smcInval, smcAborts, sbPanics              uint64
 	shadow, diverged, quar, panRec, interpFB   uint64
 }
 
@@ -136,6 +150,9 @@ func (m *engineMetrics) base() statsBase {
 		traces:       m.tracesFormed.Value(),
 		sbExecs:      m.superblockExecs.Value(),
 		sideExits:    m.sideExits.Value(),
+		smcInval:     m.smcInvalidations.Value(),
+		smcAborts:    m.smcSelfAborts.Value(),
+		sbPanics:     m.sbBuilderPanics.Value(),
 		shadow:       m.shadowChecks.Value(),
 		diverged:     m.divergences.Value(),
 		quar:         m.quarantined.Value(),
@@ -157,6 +174,9 @@ func (m *engineMetrics) delta(base statsBase) Stats {
 		TracesFormed:     m.tracesFormed.Value() - base.traces,
 		SuperblockExecs:  m.superblockExecs.Value() - base.sbExecs,
 		SideExits:        m.sideExits.Value() - base.sideExits,
+		SMCInvalidations: m.smcInvalidations.Value() - base.smcInval,
+		SMCSelfAborts:    m.smcSelfAborts.Value() - base.smcAborts,
+		SBBuilderPanics:  m.sbBuilderPanics.Value() - base.sbPanics,
 		ShadowChecks:     m.shadowChecks.Value() - base.shadow,
 		Divergences:      m.divergences.Value() - base.diverged,
 		QuarantinedRules: m.quarantined.Value() - base.quar,

@@ -1,0 +1,328 @@
+package dbt
+
+import (
+	"errors"
+	"testing"
+
+	"paramdbt/internal/artifact"
+	"paramdbt/internal/core"
+	"paramdbt/internal/env"
+	"paramdbt/internal/guard/faultinject"
+	"paramdbt/internal/guest"
+	"paramdbt/internal/mem"
+	"paramdbt/internal/obs"
+	"paramdbt/internal/workload"
+)
+
+// These tests cover the self-modifying-code safety layer (smc.go,
+// internal/mem/track.go; docs/ROBUSTNESS.md "Self-modifying code").
+// They all run under `make test-smc`, including a -race arm — keep the
+// TestSMC name prefix, it is the gate's -run pattern.
+
+// runSMC loads prog at CodeBase and runs it under cfg.
+func runSMC(t *testing.T, prog []guest.Inst, cfg Config) (*guest.State, Stats) {
+	t.Helper()
+	m := mem.New()
+	if err := guest.LoadProgram(m, env.CodeBase, prog); err != nil {
+		t.Fatal(err)
+	}
+	e := New(m, cfg)
+	e.SetGuestState(&guest.State{Mem: m})
+	st, err := e.Run(env.CodeBase, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e.GuestState(), st
+}
+
+func smcProfile(t *testing.T, name string) workload.SMCProfile {
+	t.Helper()
+	for _, p := range workload.SMCProfiles() {
+		if p.Name == name {
+			return p
+		}
+	}
+	t.Fatalf("no SMC profile %q", name)
+	return workload.SMCProfile{}
+}
+
+// TestSMCSelfStorePreciseExit: a block that stores into its own bytes
+// must abort at the store — effects up to and including it kept, the
+// stale tail never run — and the run must still produce the
+// interpreter's result (r0 pinned by workload.TestSMCProfilesInterpret).
+func TestSMCSelfStorePreciseExit(t *testing.T) {
+	p := smcProfile(t, "smc-patch")
+	got, st := runSMC(t, p.Prog, Config{ShadowRate: 1})
+	if got.R[guest.R0] != 300 {
+		t.Fatalf("r0 = %d, want 300", got.R[guest.R0])
+	}
+	if st.SMCSelfAborts == 0 {
+		t.Fatalf("no self-aborts recorded: %+v", st)
+	}
+	if st.SMCInvalidations == 0 {
+		t.Fatalf("no invalidations recorded: %+v", st)
+	}
+	if st.Divergences != 0 {
+		t.Fatalf("shadow divergences: %+v", st)
+	}
+}
+
+// TestSMCCrossBlockInvalidate: a store into another block's bytes takes
+// the fence path (no self-abort) and the stale translation never runs.
+func TestSMCCrossBlockInvalidate(t *testing.T) {
+	p := smcProfile(t, "smc-cross")
+	got, st := runSMC(t, p.Prog, Config{ShadowRate: 1})
+	if got.R[guest.R0] != 420 {
+		t.Fatalf("r0 = %d, want 420", got.R[guest.R0])
+	}
+	if st.SMCInvalidations == 0 {
+		t.Fatalf("no invalidations recorded: %+v", st)
+	}
+	if st.SMCSelfAborts != 0 {
+		t.Fatalf("cross-block store should not self-abort: %+v", st)
+	}
+	if st.Divergences != 0 {
+		t.Fatalf("shadow divergences: %+v", st)
+	}
+}
+
+// TestSMCMidSuperblock: the store sits mid-trace and rewrites a later
+// instruction of its own superblock; the abort must stop the superblock
+// at the store and the re-formed trace must compute the patched result.
+func TestSMCMidSuperblock(t *testing.T) {
+	p := smcProfile(t, "smc-sbmid")
+	got, st := runSMC(t, p.Prog, Config{
+		ShadowRate: 1, HotThreshold: p.HotThreshold, SyncTraces: p.SyncTraces,
+	})
+	if got.R[guest.R0] != 1304 {
+		t.Fatalf("r0 = %d, want 1304", got.R[guest.R0])
+	}
+	if st.TracesFormed == 0 {
+		t.Fatalf("no superblock formed: %+v", st)
+	}
+	if st.SMCSelfAborts == 0 {
+		t.Fatalf("no self-aborts recorded: %+v", st)
+	}
+	if st.Divergences != 0 {
+		t.Fatalf("shadow divergences: %+v", st)
+	}
+}
+
+// TestSMCBudgetRefund: with TraceBudget 1, re-forming the loop's
+// superblock after the SMC invalidation tears it down is only possible
+// if teardown refunds the budget claim. The smc-sbmid loop is hot both
+// before and after its iteration-50 patch, so a leak would pin the
+// second half to plain blocks.
+func TestSMCBudgetRefund(t *testing.T) {
+	p := smcProfile(t, "smc-sbmid")
+	got, st := runSMC(t, p.Prog, Config{
+		ShadowRate: 1, HotThreshold: p.HotThreshold, SyncTraces: p.SyncTraces,
+		TraceBudget: 1,
+	})
+	if got.R[guest.R0] != 1304 {
+		t.Fatalf("r0 = %d, want 1304", got.R[guest.R0])
+	}
+	if st.TracesFormed < 2 {
+		t.Fatalf("superblock not re-formed after invalidation (TracesFormed = %d): %+v", st.TracesFormed, st)
+	}
+}
+
+// TestSMCAsyncFormation: repeated toggling of one instruction while the
+// background builder forms traces and speculative workers pre-translate.
+// Every stale in-flight artifact must be discarded (cacheGen) and the
+// result must still be exact.
+func TestSMCAsyncFormation(t *testing.T) {
+	p := smcProfile(t, "smc-async")
+	got, st := runSMC(t, p.Prog, Config{
+		ShadowRate: 1, HotThreshold: p.HotThreshold,
+	})
+	if got.R[guest.R0] != 597 {
+		t.Fatalf("r0 = %d, want 597", got.R[guest.R0])
+	}
+	if st.SMCInvalidations == 0 {
+		t.Fatalf("no invalidations recorded: %+v", st)
+	}
+	if st.Divergences != 0 {
+		t.Fatalf("shadow divergences: %+v", st)
+	}
+}
+
+// TestSMCConcurrentRace is the -race arm's main course: guest
+// self-modification with the asynchronous trace builder AND the
+// speculative translation pool running, so invalidation, worker
+// shutdown and in-flight discard all interleave with real goroutines.
+func TestSMCConcurrentRace(t *testing.T) {
+	p := smcProfile(t, "smc-async")
+	got, st := runSMC(t, p.Prog, Config{
+		ShadowRate: 1, HotThreshold: p.HotThreshold, TranslateWorkers: 2,
+	})
+	if got.R[guest.R0] != 597 {
+		t.Fatalf("r0 = %d, want 597", got.R[guest.R0])
+	}
+	if st.Divergences != 0 {
+		t.Fatalf("shadow divergences: %+v", st)
+	}
+}
+
+// TestSMCFaultPokes drives the fence from the outside: a faultinject
+// plan rewrites the loop's accumulate instruction at block-entry
+// ordinal 12. With NoChain every block boundary passes the dispatcher,
+// so ordinals are exact: the setup block plus iteration 1 is entry 1,
+// iteration i is entry i, and the poke lands before iteration 12 —
+// 11 iterations at +1, 9 at +2.
+func TestSMCFaultPokes(t *testing.T) {
+	prog := guest.MustAssemble(`
+		mov r0, #0
+		mov r1, #0
+		mov r4, #20
+	loop:
+		add r0, r0, #1
+		add r1, r1, #1
+		cmp r1, r4
+		blt loop
+		hlt
+	`)
+	patched := guest.MustAssemble("add r0, r0, #2")
+	word, err := guest.Encode(patched[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultinject.New(faultinject.Plan{
+		SMCWrites: []faultinject.SMCWrite{
+			{Entry: 12, Addr: env.CodeBase + 3*guest.InstBytes, Word: word},
+		},
+	})
+	got, st := runSMC(t, prog, Config{ShadowRate: 1, NoChain: true, Faults: inj})
+	if got.R[guest.R0] != 11+9*2 {
+		t.Fatalf("r0 = %d, want %d", got.R[guest.R0], 11+9*2)
+	}
+	if st.SMCInvalidations == 0 {
+		t.Fatalf("poke did not invalidate: %+v", st)
+	}
+	if st.Divergences != 0 {
+		t.Fatalf("shadow divergences: %+v", st)
+	}
+}
+
+// TestSMCNoWriteTrackOptOut: NoWriteTrack disables the tracker for
+// guests known never to self-modify; a non-modifying program still runs
+// correctly and counts nothing.
+func TestSMCNoWriteTrackOptOut(t *testing.T) {
+	prog := guest.MustAssemble(`
+		mov r0, #0
+		mov r1, #0
+		mov r4, #10
+	loop:
+		add r0, r0, #3
+		add r1, r1, #1
+		cmp r1, r4
+		blt loop
+		hlt
+	`)
+	got, st := runSMC(t, prog, Config{ShadowRate: 1, NoWriteTrack: true})
+	if got.R[guest.R0] != 30 {
+		t.Fatalf("r0 = %d, want 30", got.R[guest.R0])
+	}
+	if st.SMCInvalidations != 0 || st.SMCSelfAborts != 0 {
+		t.Fatalf("untracked engine counted SMC events: %+v", st)
+	}
+}
+
+// TestSMCBuilderPanicRecovered: a panic inside the background builder's
+// translation must be absorbed by safeTranslate, surface as a failed
+// job (not a crashed goroutine) and increment dbt.sb_builder_panics.
+func TestSMCBuilderPanicRecovered(t *testing.T) {
+	e := New(mem.New(), Config{})
+	b := &sbBuilder{e: e}
+	var tx txctx
+	// Two constituents but only one instruction list: translateSuperblock
+	// indexes out of range, the kind of internal inconsistency the
+	// recover exists to contain.
+	job := sbJob{
+		head:   env.CodeBase,
+		pcs:    []uint32{env.CodeBase, env.CodeBase + 4},
+		blocks: [][]guest.Inst{guest.MustAssemble("b skip\nskip:\nhlt")[:1]},
+	}
+	tb, err := b.safeTranslate(job, &tx)
+	if tb != nil || err == nil {
+		t.Fatalf("safeTranslate = (%v, %v), want nil tb and an error", tb, err)
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v is not a PanicError", err)
+	}
+	if n := e.met.sbBuilderPanics.Value(); n != 1 {
+		t.Fatalf("sb_builder_panics = %d, want 1", n)
+	}
+}
+
+// TestSMCArtifactPageReject: a manifest whose recorded page digests no
+// longer match live guest memory must be rejected outright (not treated
+// as a miss), because its translations predate the write tracker and
+// the fence can never catch them.
+func TestSMCArtifactPageReject(t *testing.T) {
+	c := compileT(t, hotProgram())
+	_, rules := learnRules(t, hotProgram(), core.Config{Opcode: true, AddrMode: true})
+	dir := t.TempDir()
+
+	e1 := newArtEngine(t, c, warmRoundTripCfg(rules, dir))
+	if _, err := e1.Run(env.CodeBase, 100_000_000); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tamper the recorded page sums in place: the payload stays
+	// structurally valid and key-addressable, only its claim about the
+	// guest image is now false.
+	st, err := artifact.Open(dir, obs.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, res := st.Get(artifact.KindBlocks, e1.ArtifactKey())
+	if res != artifact.Hit {
+		t.Fatalf("published manifest not readable (result %d)", res)
+	}
+	m, err := artifact.DecodeManifest(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Pages) == 0 {
+		t.Fatal("published manifest has no page sums")
+	}
+	m.Pages[0].Sum ^= 0xdeadbeef
+	tampered, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(artifact.KindBlocks, e1.ArtifactKey(), tampered); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rules2 := learnRules(t, hotProgram(), core.Config{Opcode: true, AddrMode: true})
+	e2 := newArtEngine(t, c, warmRoundTripCfg(rules2, dir))
+	w := e2.WarmStats()
+	if w.Rejects == 0 {
+		t.Fatalf("changed-page manifest not rejected: %+v", w)
+	}
+	if w.Blocks != 0 || w.Traces != 0 {
+		t.Fatalf("changed-page manifest partially restored: %+v", w)
+	}
+	if st2, err := e2.Run(env.CodeBase, 100_000_000); err != nil {
+		t.Fatal(err)
+	} else if st2.Translations == 0 {
+		t.Fatalf("rejecting engine should run cold: %+v", st2)
+	}
+}
+
+// TestSMCManifestWithoutPagesRejected: a manifest recording blocks but
+// no page digests predates the page-checksum scheme (or was stripped);
+// restore must refuse it rather than trust unverifiable translations.
+func TestSMCManifestWithoutPagesRejected(t *testing.T) {
+	e := New(mem.New(), Config{})
+	m := &artifact.BlockManifest{Blocks: []uint32{env.CodeBase}}
+	if err := e.verifyManifestPages(m); err == nil {
+		t.Fatal("manifest with blocks but no page sums verified")
+	}
+	if err := e.verifyManifestPages(&artifact.BlockManifest{}); err != nil {
+		t.Fatalf("empty manifest should verify: %v", err)
+	}
+}

@@ -342,11 +342,16 @@ func (b *sbBuilder) work() {
 }
 
 // safeTranslate converts panics (e.g. a corrupted rule template) into
-// errors so the builder goroutine never takes the process down; the
-// head backs off and the demand path owns real error reporting.
+// errors so the builder goroutine never takes the process down: the
+// result arrives with tb nil, finishSBResult refunds the budget claim
+// and backs the head off, and execution continues per-block — a panic
+// in background trace formation costs the superblock, never the
+// process. Each absorbed panic counts into dbt.sb_builder_panics (the
+// counter is atomic; this runs off the Run goroutine).
 func (b *sbBuilder) safeTranslate(j sbJob, tx *txctx) (tb *tblock, err error) {
 	defer func() {
 		if r := recover(); r != nil {
+			b.e.met.sbBuilderPanics.Inc()
 			tb, err = nil, &PanicError{PC: j.head, Cause: r}
 		}
 	}()
@@ -374,6 +379,9 @@ func (e *Engine) installSB(s *tblock, old *tblock) {
 	for _, pc := range sb.pcs {
 		e.sbIndex[pc] = append(e.sbIndex[pc], s)
 	}
+	if e.smcOn && !s.smcDone {
+		e.initSMCMetaSB(s)
+	}
 }
 
 // teardownSB removes a superblock completely: the head cache entry (if
@@ -387,6 +395,12 @@ func (e *Engine) teardownSB(s *tblock) {
 		return
 	}
 	sb.dead = true
+	// Hand the trace's TraceBudget claim back: every installed superblock
+	// holds exactly one (formSuperblock, finishSBResult or the warm
+	// restore), and sb.dead makes this refund fire once. Without it,
+	// invalidation-heavy guests (SMC) would leak the budget and stop
+	// re-forming traces that are still profitable after retranslation.
+	e.sbSpent--
 	head := sb.pcs[0]
 	if cur, ok := e.cache.get(head); ok && cur == s {
 		e.cache.remove(head)

@@ -17,7 +17,9 @@ import (
 // dispatch statistics).
 // v5 added the "warmstart" section (cold-vs-warm artifact-store
 // comparison: translation counts, restored blocks/traces, wall clock).
-const ReportSchema = "paramdbt-experiments/v5"
+// v6 added the "smc" section (self-modifying workloads vs the reference
+// interpreter at shadow rate 1).
+const ReportSchema = "paramdbt-experiments/v6"
 
 // Report is the machine-readable form of the experiment suite, written
 // by cmd/experiments -json in the same spirit as the checked-in
@@ -50,6 +52,7 @@ type Report struct {
 	Analysis  *AnalysisSection  `json:"analysis,omitempty"`
 	Backends  *BackendsSection  `json:"backends,omitempty"`
 	Warmstart *WarmstartSection `json:"warmstart,omitempty"`
+	Smc       *SMCSection       `json:"smc,omitempty"`
 	Uncovered []string          `json:"uncovered,omitempty"`
 }
 

@@ -50,6 +50,24 @@ type Plan struct {
 	// FailWorkers kills speculative-translation workers (each injection
 	// terminates one worker goroutine).
 	FailWorkers int `json:"failWorkers,omitempty"`
+
+	// SMCWrites overwrite guest code words at named block-entry
+	// ordinals, exercising the self-modifying-code fence from outside
+	// the guest (write-then-execute, cross-block overwrite,
+	// overwrite-mid-superblock, overwrite-during-async-formation — the
+	// campaign picks the ordinals). The engine applies them through its
+	// tracked store path immediately before the named entry, so each
+	// lands exactly where a guest store at the preceding block boundary
+	// would.
+	SMCWrites []SMCWrite `json:"smcWrites,omitempty"`
+}
+
+// SMCWrite is one deterministic guest code overwrite: at block-entry
+// ordinal Entry (1-based), store Word at Addr.
+type SMCWrite struct {
+	Entry uint64 `json:"entry"`
+	Addr  uint32 `json:"addr"`
+	Word  uint32 `json:"word"`
 }
 
 // ParsePlan decodes a plan from JSON.
@@ -153,6 +171,22 @@ func (i *Injector) DropCacheShard() (int, bool) {
 	}
 	h := uint64(i.plan.Seed)*2654435761 + uint64(n)*0x9e3779b97f4a7c15
 	return int(h >> 60), true // top 4 bits: shard in [0,16)
+}
+
+// CodePokes returns the plan's guest code overwrites for block-entry
+// ordinal n (1-based) as (addr, word) pairs. A pure function of the
+// plan and n — no counters — so the sequence is identical on every run
+// and the method is trivially safe for concurrent use. The engine
+// discovers it by interface assertion (dbt's optional codePoker
+// extension of FaultInjector).
+func (i *Injector) CodePokes(n uint64) [][2]uint32 {
+	var out [][2]uint32
+	for _, w := range i.plan.SMCWrites {
+		if w.Entry == n {
+			out = append(out, [2]uint32{w.Addr, w.Word})
+		}
+	}
+	return out
 }
 
 // FailSpecWorker reports whether one speculative-translation worker

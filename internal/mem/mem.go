@@ -23,6 +23,9 @@ const pageMask = PageSize - 1
 // mapped anonymous page. The zero value is ready to use.
 type Memory struct {
 	pages map[uint32]*[PageSize]byte
+	// wt is the optional guest-write tracker (see track.go). Nil — the
+	// default — keeps every store on the fast path; clones never carry it.
+	wt *writeTracker
 }
 
 // New returns an empty memory.
@@ -57,6 +60,9 @@ func (m *Memory) Read8(addr uint32) byte {
 
 // Write8 stores b at addr.
 func (m *Memory) Write8(addr uint32, b byte) {
+	if m.wt != nil {
+		m.wt.note8(m, addr)
+	}
 	m.page(addr, true)[addr&pageMask] = b
 }
 
@@ -80,6 +86,9 @@ func (m *Memory) Read32(addr uint32) uint32 {
 // Write32 stores v little-endian at addr.
 func (m *Memory) Write32(addr uint32, v uint32) {
 	if addr&pageMask <= PageSize-4 {
+		if m.wt != nil {
+			m.wt.note32(m, addr)
+		}
 		p := m.page(addr, true)
 		off := addr & pageMask
 		p[off] = byte(v)
@@ -204,15 +213,31 @@ func (m *Memory) DiffBelow(other *Memory, limit uint32, max int) []uint32 {
 // interpreter's.
 func (m *Memory) RestoreBelow(src *Memory, limit uint32) {
 	limitKey := limit >> PageBits
+	// With write tracking on, a tracked page whose content the restore
+	// changes must be reported dirty like any other store — the
+	// divergence-recovery path may rewrite guest code the engine has
+	// translated, and the stale translations must be fenced out exactly
+	// as if the guest had stored the bytes itself.
+	markChanged := func(k uint32, before, after *[PageSize]byte) {
+		if m.wt == nil || *before == *after {
+			return
+		}
+		base := k << PageBits
+		if m.TrackedPage(base) {
+			m.wt.noteTracked(base, 1)
+		}
+	}
+	var zero [PageSize]byte
 	for k, p := range m.pages {
 		if k >= limitKey {
 			continue
 		}
-		if sp := src.pages[k]; sp != nil {
-			*p = *sp
-		} else {
-			*p = [PageSize]byte{}
+		sp := src.pages[k]
+		if sp == nil {
+			sp = &zero
 		}
+		markChanged(k, p, sp)
+		*p = *sp
 	}
 	for k, sp := range src.pages {
 		if k >= limitKey || m.pages[k] != nil {
@@ -222,6 +247,7 @@ func (m *Memory) RestoreBelow(src *Memory, limit uint32) {
 		if m.pages == nil {
 			m.pages = make(map[uint32]*[PageSize]byte)
 		}
+		markChanged(k, sp, &zero)
 		m.pages[k] = &cp
 	}
 }

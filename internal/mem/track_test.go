@@ -1,0 +1,124 @@
+package mem
+
+import "testing"
+
+func TestWriteTrackDirtyAndFastPath(t *testing.T) {
+	m := New()
+	m.EnableWriteTracking()
+	m.TrackRange(0x10000, 0x10040) // one code page
+
+	// Untracked store: no dirt.
+	m.Write32(0x2000000, 42)
+	if m.CodeDirty() {
+		t.Fatal("store outside tracked pages marked dirty")
+	}
+	// Tracked store: dirty, deduped.
+	m.Write32(0x10010, 7)
+	m.Write8(0x10021, 9)
+	if !m.CodeDirty() {
+		t.Fatal("store into tracked page not marked dirty")
+	}
+	pages := m.TakeDirtyPages()
+	if len(pages) != 1 || pages[0] != 0x10000>>PageBits {
+		t.Fatalf("dirty pages = %#v, want one page key %#x", pages, 0x10000>>PageBits)
+	}
+	if m.CodeDirty() {
+		t.Fatal("TakeDirtyPages did not clear the dirty set")
+	}
+	// Untrack: stores stop registering.
+	m.UntrackPage(0x10000 >> PageBits)
+	m.Write32(0x10010, 8)
+	if m.CodeDirty() {
+		t.Fatal("store into untracked page marked dirty")
+	}
+}
+
+func TestWriteTrackSelfHitAndJournalRollback(t *testing.T) {
+	m := New()
+	m.EnableWriteTracking()
+	m.TrackRange(0x10000, 0x10100)
+	m.Write32(0x10000, 0x11111111)
+	m.Write32(0x10004, 0x22222222)
+	m.Write32(0x2000000, 0xaaaaaaaa)
+	m.TakeDirtyPages() // setup stores are not the ones under test
+
+	m.ArmSMC(true, [][2]uint32{{0x10000, 0x10008}})
+	m.Write32(0x2000000, 0xbbbbbbbb) // data store: journaled, not self
+	if m.SMCSelfHit() {
+		t.Fatal("data store reported as self hit")
+	}
+	m.Write8(0x10020, 1) // tracked but outside the self range
+	if m.SMCSelfHit() {
+		t.Fatal("store outside self range reported as self hit")
+	}
+	m.Write32(0x10004, 0x33333333) // the self-modifying store
+	if !m.SMCSelfHit() {
+		t.Fatal("store into self range not reported")
+	}
+	if m.JournalLen() != 3 {
+		t.Fatalf("journal recorded %d writes, want 3", m.JournalLen())
+	}
+
+	m.RollbackJournal()
+	if got := m.Read32(0x10004); got != 0x22222222 {
+		t.Fatalf("code word after rollback = %#x, want the pre-arm value", got)
+	}
+	if got := m.Read32(0x2000000); got != 0xaaaaaaaa {
+		t.Fatalf("data word after rollback = %#x, want the pre-arm value", got)
+	}
+	if m.SMCSelfHit() || m.JournalLen() != 0 {
+		t.Fatal("rollback did not disarm the tracker")
+	}
+}
+
+func TestWriteTrackDisarmedJournalsNothing(t *testing.T) {
+	m := New()
+	m.EnableWriteTracking()
+	m.TrackRange(0x10000, 0x10040)
+	m.ArmSMC(false, nil) // translation without guest stores
+	m.Write32(0x2000000, 1)
+	m.Write32(0x10000, 2)
+	if m.JournalLen() != 0 {
+		t.Fatalf("disarmed tracker journaled %d writes", m.JournalLen())
+	}
+	if !m.CodeDirty() {
+		t.Fatal("disarmed tracker must still record dirty pages")
+	}
+}
+
+func TestWriteTrackCloneDropsTracker(t *testing.T) {
+	m := New()
+	m.EnableWriteTracking()
+	m.TrackRange(0x10000, 0x10040)
+	m.Write32(0x10000, 1)
+	c := m.Clone()
+	if c.WriteTrackingEnabled() {
+		t.Fatal("Clone carried the write tracker")
+	}
+	cb := m.CloneBelow(0x20000)
+	if cb.WriteTrackingEnabled() {
+		t.Fatal("CloneBelow carried the write tracker")
+	}
+}
+
+func TestWriteTrackRestoreBelowDirtiesChangedPages(t *testing.T) {
+	m := New()
+	m.EnableWriteTracking()
+	m.TrackRange(0x10000, 0x10040)
+	m.Write32(0x10000, 0x11111111)
+	m.Write32(0x2000000, 5)
+	snap := m.Clone()
+	m.TakeDirtyPages()
+
+	// Restore with no changes: nothing dirty.
+	m.RestoreBelow(snap, 0x3000000)
+	if m.CodeDirty() {
+		t.Fatal("no-op restore dirtied tracked pages")
+	}
+	// Change the tracked page in the snapshot and restore again.
+	snap.Write32(0x10000, 0x22222222)
+	m.RestoreBelow(snap, 0x3000000)
+	if !m.CodeDirty() {
+		t.Fatal("restore that rewrote a tracked code page not marked dirty")
+	}
+}

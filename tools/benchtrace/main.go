@@ -29,6 +29,17 @@
 //	go test -run NONE -bench BenchmarkWarmstart -benchtime 20x . |
 //	    go run ./tools/benchtrace -record-warmstart BENCH_warmstart.json
 //	go run ./tools/benchtrace -check-warmstart BENCH_warmstart.json
+//
+// The SMC pair gates the write tracker's cost on guests that never
+// modify code: -record-smc parses `go test -bench BenchmarkSMC` output
+// into BENCH_smc.json; -check-smc fails unless the recorded tracked arm
+// stays within 2% of the BENCH_trace.json superblock arm — the same
+// workload and configuration, measured before write tracking existed —
+// so the safety layer is demonstrably near-free when unused:
+//
+//	go test -run NONE -bench BenchmarkSMC -benchtime 20x . |
+//	    go run ./tools/benchtrace -record-smc BENCH_smc.json
+//	go run ./tools/benchtrace -check-smc BENCH_smc.json -against-trace BENCH_trace.json
 package main
 
 import (
@@ -51,6 +62,15 @@ var arms = []string{"chained", "no-chain", "superblocks"}
 // record must contain.
 var warmArms = []string{"cold", "warm"}
 
+// smcArms are the BenchmarkSMC sub-benchmarks an SMC record must
+// contain.
+var smcArms = []string{"tracked", "untracked", "smc-heavy"}
+
+// smcTrackedBudget is how much slower than the recorded pre-tracking
+// superblock arm the tracked arm may be: write tracking on a guest that
+// never writes code must cost at most 2%.
+const smcTrackedBudget = 1.02
+
 type armResult struct {
 	NsPerOp float64 `json:"ns_per_op"`
 	// Superblock arm only.
@@ -60,6 +80,9 @@ type armResult struct {
 	// Warm-start arms only.
 	Translations   *float64 `json:"translations,omitempty"`
 	RestoredBlocks float64  `json:"restored_blocks,omitempty"`
+	// SMC smc-heavy arm only.
+	Invalidations float64 `json:"invalidations,omitempty"`
+	SelfAborts    float64 `json:"self_aborts,omitempty"`
 }
 
 type record struct {
@@ -129,6 +152,10 @@ func parse(r *bufio.Scanner, prefix string, arms []string) (map[string]armResult
 				res.Translations = &v
 			case "restored-blocks":
 				res.RestoredBlocks = v
+			case "invalidations":
+				res.Invalidations = v
+			case "self-aborts":
+				res.SelfAborts = v
 			}
 		}
 		out[arm] = res
@@ -285,15 +312,96 @@ func doCheckWarmstart(path string) error {
 	return nil
 }
 
+func doRecordSMC(path string) error {
+	res, cpu, err := parse(bufio.NewScanner(os.Stdin), "BenchmarkSMC/", smcArms)
+	if err != nil {
+		return err
+	}
+	for _, a := range smcArms {
+		if _, ok := res[a]; !ok {
+			return fmt.Errorf("bench output is missing the %q arm", a)
+		}
+	}
+	if res["smc-heavy"].Invalidations == 0 {
+		return fmt.Errorf("smc-heavy arm recorded no invalidations")
+	}
+	rec := record{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		Command:    "make bench-smc",
+		CPU:        cpu,
+		Benchmarks: res,
+	}
+	buf, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchtrace: recorded %s (tracked %.0f ns/op, untracked %.0f ns/op, %+.1f%%)\n",
+		path, res["tracked"].NsPerOp, res["untracked"].NsPerOp,
+		100*(res["tracked"].NsPerOp/res["untracked"].NsPerOp-1))
+	return nil
+}
+
+// doCheckSMC is the write-tracking overhead gate: the recorded tracked
+// arm (superblock configuration, tracking on, guest never writes code)
+// must stay within smcTrackedBudget of the BENCH_trace.json superblock
+// arm — the identical workload recorded before tracking was added. The
+// tracked-vs-untracked gap is reported for context but not gated
+// separately; the cross-record comparison is the one that catches a
+// slow fast path even if both arms regress together.
+func doCheckSMC(path, tracePath string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("%w (run `make bench-smc` first)", err)
+	}
+	var rec record
+	if err := json.Unmarshal(buf, &rec); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	tracked, ok := rec.Benchmarks["tracked"]
+	if !ok || tracked.NsPerOp == 0 {
+		return fmt.Errorf("%s has no tracked result", path)
+	}
+	tbuf, err := os.ReadFile(tracePath)
+	if err != nil {
+		return fmt.Errorf("%w (run `make bench-trace` first)", err)
+	}
+	var tr record
+	if err := json.Unmarshal(tbuf, &tr); err != nil {
+		return fmt.Errorf("%s: %w", tracePath, err)
+	}
+	sb, ok := tr.Benchmarks["superblocks"]
+	if !ok || sb.NsPerOp == 0 {
+		return fmt.Errorf("%s has no superblock result", tracePath)
+	}
+	limit := sb.NsPerOp * smcTrackedBudget
+	if tracked.NsPerOp > limit {
+		return fmt.Errorf("FAIL tracked %.0f ns/op exceeds %.0f (recorded superblocks %.0f ns/op + %.0f%%)",
+			tracked.NsPerOp, limit, sb.NsPerOp, 100*(smcTrackedBudget-1))
+	}
+	fmt.Printf("benchtrace: ok tracked %.0f ns/op within %.0f%% of recorded superblocks %.0f ns/op (%+.1f%%",
+		tracked.NsPerOp, 100*(smcTrackedBudget-1), sb.NsPerOp, 100*(tracked.NsPerOp/sb.NsPerOp-1))
+	if un, ok := rec.Benchmarks["untracked"]; ok && un.NsPerOp > 0 {
+		fmt.Printf("; vs untracked %+.1f%%", 100*(tracked.NsPerOp/un.NsPerOp-1))
+	}
+	fmt.Println(")")
+	return nil
+}
+
 func main() {
 	recordPath := flag.String("record", "", "parse bench output on stdin and write this JSON record")
 	checkPath := flag.String("check", "", "gate: the BENCH_trace.json record to verify")
 	againstPath := flag.String("against", "BENCH_dispatch.json", "recorded dispatch baselines for -check")
 	recordWarm := flag.String("record-warmstart", "", "parse BenchmarkWarmstart output on stdin and write this JSON record")
 	checkWarm := flag.String("check-warmstart", "", "gate: the BENCH_warmstart.json record to verify")
+	recordSMC := flag.String("record-smc", "", "parse BenchmarkSMC output on stdin and write this JSON record")
+	checkSMC := flag.String("check-smc", "", "gate: the BENCH_smc.json record to verify")
+	againstTrace := flag.String("against-trace", "BENCH_trace.json", "recorded superblock baseline for -check-smc")
 	flag.Parse()
 	modes := 0
-	for _, m := range []string{*recordPath, *checkPath, *recordWarm, *checkWarm} {
+	for _, m := range []string{*recordPath, *checkPath, *recordWarm, *checkWarm, *recordSMC, *checkSMC} {
 		if m != "" {
 			modes++
 		}
@@ -301,15 +409,19 @@ func main() {
 	var err error
 	switch {
 	case modes != 1:
-		err = fmt.Errorf("exactly one of -record, -check, -record-warmstart or -check-warmstart is required")
+		err = fmt.Errorf("exactly one of -record, -check, -record-warmstart, -check-warmstart, -record-smc or -check-smc is required")
 	case *recordPath != "":
 		err = doRecord(*recordPath)
 	case *checkPath != "":
 		err = doCheck(*checkPath, *againstPath)
 	case *recordWarm != "":
 		err = doRecordWarmstart(*recordWarm)
-	default:
+	case *checkWarm != "":
 		err = doCheckWarmstart(*checkWarm)
+	case *recordSMC != "":
+		err = doRecordSMC(*recordSMC)
+	default:
+		err = doCheckSMC(*checkSMC, *againstTrace)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchtrace:", err)
