@@ -1,6 +1,12 @@
 GO ?= go
 
-.PHONY: ci vet lint obsgate ruleaudit build test test-backends race race-obs test-faults test-persistence test-smc bench bench-dispatch bench-obs bench-backends bench-trace bench-check bench-warmstart bench-warmstart-check bench-smc bench-smc-check experiments linkcheck
+# The staticcheck release CI is reproducible against. The binary is not
+# vendored and CI never installs it (the toolchain is hermetic): when
+# it is present it must be this version, when absent the lint step says
+# exactly what to install.
+STATICCHECK_VERSION ?= 2024.1.1
+
+.PHONY: ci vet lint staticcheck obsgate counterdoc ruleaudit codeaudit build test test-backends race race-obs test-faults test-persistence test-smc bench bench-dispatch bench-obs bench-backends bench-trace bench-check bench-warmstart bench-warmstart-check bench-smc bench-smc-check bench-peephole bench-peephole-check experiments linkcheck
 
 ci: lint build race test-backends test-faults test-persistence test-smc linkcheck bench
 
@@ -19,22 +25,49 @@ ifeq ($(CHECK_SMC),1)
 ci: bench-smc bench-smc-check
 endif
 
+# Same opt-in for the codegen-quality gate: `CHECK_PEEPHOLE=1 make ci`
+# re-measures BenchmarkPeephole and fails unless the validator-licensed
+# peephole pass keeps the risc host-insts/guest-inst ratio below the
+# as-lowered stream and below +6.7% of x86. The gated ratio is a
+# retired-instruction count (deterministic), but the arms take a
+# measurement-length run, hence opt-in.
+ifeq ($(CHECK_PEEPHOLE),1)
+ci: bench-peephole bench-peephole-check
+endif
+
 vet:
 	$(GO) vet ./...
 
-# Repo lint: standard vet, the obsgate telemetry-gating checker
-# (tools/lint/obsgate, run as a vettool), and staticcheck when the
-# binary is installed (it is not vendored; the gate keeps CI hermetic).
-lint: vet obsgate
+# Repo lint: standard vet, the two vettool checkers (tools/lint/obsgate
+# for telemetry gating, tools/lint/counterdoc for the metric catalog —
+# both directions: every Met* constant documented, every documented
+# name declared), and the pinned staticcheck.
+lint: vet obsgate counterdoc staticcheck
 	$(GO) vet -vettool=bin/obsgate ./...
+	$(GO) vet -vettool=bin/counterdoc ./...
+	bin/counterdoc -reverse docs/OBSERVABILITY.md
+
+# staticcheck runs un-gated in ci (via lint) whenever the binary is on
+# PATH, pinned to $(STATICCHECK_VERSION) so two machines cannot
+# disagree about what clean means. It is not vendored and the toolchain
+# stays hermetic (no downloads in CI), so an absent binary is a loud
+# skip naming the exact version to install, not a silent pass.
+staticcheck:
 	@if command -v staticcheck >/dev/null 2>&1; then \
-		staticcheck ./... ; \
+		v=$$(staticcheck -version 2>/dev/null); \
+		case "$$v" in \
+		*$(STATICCHECK_VERSION)*) staticcheck ./... ;; \
+		*) echo "lint: staticcheck is '$$v', want $(STATICCHECK_VERSION) (honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; exit 1 ;; \
+		esac \
 	else \
-		echo "lint: staticcheck not installed, skipping" ; \
+		echo "lint: staticcheck not installed, skipping (pin: honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))" ; \
 	fi
 
 obsgate:
 	$(GO) build -o bin/obsgate ./tools/lint/obsgate
+
+counterdoc:
+	$(GO) build -o bin/counterdoc ./tools/lint/counterdoc
 
 # Static audit of the full parameterized rule store (JSON verdicts on
 # stdout; see docs/ANALYSIS.md).
@@ -140,6 +173,24 @@ bench-smc:
 # write tracking existed).
 bench-smc-check:
 	$(GO) run ./tools/benchtrace -check-smc BENCH_smc.json -against-trace BENCH_trace.json
+
+# Peephole payoff measurement: runs the risc as-lowered / risc-peephole
+# / x86 arms on the chained gcc workload and records each arm's
+# host-insts/guest-inst in BENCH_peephole.json.
+bench-peephole:
+	$(GO) test -run NONE -bench BenchmarkPeephole -benchtime 20x . 		| tee /dev/stderr | $(GO) run ./tools/benchtrace -record-peephole BENCH_peephole.json
+
+# Regression gate for the peephole result: fails unless the recorded
+# optimized risc ratio is strictly below the as-lowered ratio and below
+# the +6.7% legalization-overhead line against the recorded x86 arm.
+bench-peephole-check:
+	$(GO) run ./tools/benchtrace -check-peephole BENCH_peephole.json
+
+# Static audit of every block the workload suite translates, via the
+# translation validator (JSON verdicts on stdout; see docs/ANALYSIS.md
+# "Translation validation").
+codeaudit:
+	$(GO) run ./cmd/codeaudit -summary
 
 # The disabled-telemetry overhead guard (must stay 0 allocs/op, ~sub-ns).
 bench-obs:

@@ -661,6 +661,49 @@ func BenchmarkSMC(b *testing.B) {
 	})
 }
 
+// BenchmarkPeephole measures what the validator-licensed peephole pass
+// buys back of the risc legalizer's +6.7% host-instruction overhead
+// (the BENCH_backend.json note on BenchmarkBackendDispatch/risc). Three
+// arms on the same chained gcc workload: risc as lowered, risc with
+// Config.Peephole (every optimized stream proved by the translation
+// validator before install — see docs/ANALYSIS.md), and the x86
+// baseline the overhead is measured against. The headline metric is
+// host-insts/guest-inst, which is deterministic — `make bench-peephole`
+// records the arms in BENCH_peephole.json and the benchtrace
+// -check-peephole gate fails unless the optimized risc ratio drops
+// below the +6.7% line.
+func BenchmarkPeephole(b *testing.B) {
+	c := getCorpus(b)
+	for _, bc := range []struct {
+		name     string
+		backend  string
+		peephole bool
+	}{
+		{"risc-base", "risc", false},
+		{"risc-peephole", "risc", true},
+		{"x86", "x86", false},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			full, _ := core.Parameterize(c.Union(c.Others("gcc")), core.Config{Opcode: true, AddrMode: true})
+			cfg := dbt.Config{Rules: full, DelegateFlags: true,
+				Backend: backend.MustLookup(bc.backend), Peephole: bc.peephole}
+			for i := 0; i < b.N; i++ {
+				r, err := c.Run("gcc", cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if bc.peephole && r.Stats.BlocksValidated == 0 {
+					b.Fatal("peephole arm proved and installed no optimized stream")
+				}
+				b.ReportMetric(float64(r.Total)/float64(r.Stats.GuestExec), "host-per-guest")
+				if bc.peephole {
+					b.ReportMetric(float64(r.Stats.BlocksValidated), "validated")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkObsDisabledOverhead pins the observability layer's core
 // invariant: with telemetry disabled (the default), an instrumented hot
 // path pays one atomic load and allocates nothing. "guard" is the exact

@@ -1,0 +1,157 @@
+// Command codeaudit runs translation validation over every block the
+// workload suite translates: each benchmark executes under the engine
+// with Config.Validate="all", and every finalized host block (and
+// superblock) is symbolically checked against the guest reference
+// semantics by internal/analysis.ValidateBlock. The result is one JSON
+// report with a verdict per block:
+//
+//	proved        every execution-path pair decided equivalent (the
+//	              report names the proof: structural, abstract, sweep)
+//	inconclusive  not provable by the symbolic layer; the engine keeps
+//	              the stream but it stays under shadow verification
+//	refuted       a replay-confirmed divergence — translator bug; the
+//	              report carries the concrete witness
+//
+//	go run ./cmd/codeaudit                  # audit, JSON to stdout
+//	go run ./cmd/codeaudit -o blocks.json   # write to a file
+//	go run ./cmd/codeaudit -summary         # verdict counts only (text)
+//	go run ./cmd/codeaudit -backend risc    # audit the risc legalizer
+//	go run ./cmd/codeaudit -peephole        # audit optimized streams too
+//	go run ./cmd/codeaudit -fail-refuted    # exit 2 on any refutation
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"paramdbt/internal/analysis"
+	"paramdbt/internal/backend"
+	"paramdbt/internal/core"
+	"paramdbt/internal/dbt"
+	"paramdbt/internal/exp"
+)
+
+// report is the JSON document codeaudit emits.
+type report struct {
+	Backend      string         `json:"backend"`
+	Scale        int            `json:"scale"`
+	Blocks       int            `json:"blocks"`
+	Proved       int            `json:"proved"`
+	Inconclusive int            `json:"inconclusive"`
+	Refuted      int            `json:"refuted"`
+	ByProof      map[string]int `json:"by_proof,omitempty"`
+	Benches      []benchBlocks  `json:"benches"`
+}
+
+type benchBlocks struct {
+	Bench  string                  `json:"bench"`
+	Blocks []*analysis.BlockReport `json:"blocks"`
+}
+
+func main() {
+	scale := flag.Int("scale", 1, "workload scale (1 = reference input)")
+	out := flag.String("o", "", "write the JSON report to this file instead of stdout")
+	summary := flag.Bool("summary", false, "print verdict counts as text instead of the JSON report")
+	peephole := flag.Bool("peephole", false, "also run the validator-licensed peephole pass (its candidate streams are audited too)")
+	failRefuted := flag.Bool("fail-refuted", false, "exit with status 2 when any block validation is refuted")
+	beName := flag.String("backend", "", "host backend to audit under (default: $"+backend.EnvVar+" or x86)")
+	flag.Parse()
+
+	be := backend.Default()
+	if *beName != "" {
+		var err error
+		be, err = backend.Lookup(*beName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "codeaudit:", err)
+			os.Exit(1)
+		}
+	}
+
+	corpus, err := exp.BuildCorpus(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "codeaudit: corpus:", err)
+		os.Exit(1)
+	}
+	full, _ := core.Parameterize(corpus.Union(corpus.Names), core.Config{Opcode: true, AddrMode: true})
+
+	rep := report{Backend: be.Name(), Scale: *scale, ByProof: map[string]int{}}
+	for _, bench := range corpus.Names {
+		bb := benchBlocks{Bench: bench}
+		cfg := dbt.Config{
+			Rules:         full,
+			DelegateFlags: true,
+			Backend:       be,
+			Validate:      "all",
+			Peephole:      *peephole,
+			ValidateHook: func(r *analysis.BlockReport) {
+				bb.Blocks = append(bb.Blocks, r)
+				switch r.Verdict {
+				case analysis.VerdictProved:
+					rep.Proved++
+					rep.ByProof[string(r.Proof)]++
+				case analysis.VerdictRefuted:
+					rep.Refuted++
+				default:
+					rep.Inconclusive++
+				}
+			},
+		}
+		if _, err := corpus.Run(bench, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "codeaudit: %s: %v\n", bench, err)
+			os.Exit(1)
+		}
+		rep.Blocks += len(bb.Blocks)
+		rep.Benches = append(rep.Benches, bb)
+	}
+	fmt.Fprintf(os.Stderr, "codeaudit: backend %s: %d validations: %d proved, %d inconclusive, %d refuted\n",
+		rep.Backend, rep.Blocks, rep.Proved, rep.Inconclusive, rep.Refuted)
+
+	if *summary {
+		fmt.Printf("blocks       %d\n", rep.Blocks)
+		fmt.Printf("proved       %d\n", rep.Proved)
+		for _, p := range []analysis.Proof{analysis.ProofStructural, analysis.ProofAbstract, analysis.ProofSweep} {
+			if n := rep.ByProof[string(p)]; n > 0 {
+				fmt.Printf("  by %-10s %d\n", p, n)
+			}
+		}
+		fmt.Printf("inconclusive %d\n", rep.Inconclusive)
+		for _, bb := range rep.Benches {
+			for _, r := range bb.Blocks {
+				if r.Verdict != analysis.VerdictProved && r.Verdict != analysis.VerdictRefuted {
+					fmt.Printf("  %s pc=%#x: %s\n", bb.Bench, r.PC, r.Reason)
+				}
+			}
+		}
+		fmt.Printf("refuted      %d\n", rep.Refuted)
+		for _, bb := range rep.Benches {
+			for _, r := range bb.Blocks {
+				if r.Verdict == analysis.VerdictRefuted {
+					fmt.Printf("  %s pc=%#x: %s (witness %s)\n", bb.Bench, r.PC, r.Reason, r.Witness.Check)
+				}
+			}
+		}
+	} else {
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "codeaudit:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(&rep); err != nil {
+			fmt.Fprintln(os.Stderr, "codeaudit: encode:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *failRefuted && rep.Refuted > 0 {
+		os.Exit(2)
+	}
+}

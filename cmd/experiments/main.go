@@ -30,12 +30,21 @@ import (
 
 func main() {
 	scale := flag.Int("scale", 1, "dynamic work multiplier (1 = reference input)")
-	only := flag.String("only", "", "comma-separated subset: table1,fig2,fig11,fig12,fig13,table2,fig14,fig15,fig16,table3,dispatch,trace,guard,analysis,backends,warmstart,smc")
+	only := flag.String("only", "", "comma-separated subset: table1,fig2,fig11,fig12,fig13,table2,fig14,fig15,fig16,table3,dispatch,trace,guard,analysis,backends,warmstart,smc,validate")
 	guardBench := flag.String("guard-bench", "mcf", "benchmark for the guard divergence/recovery experiment")
 	jsonPath := flag.String("json", "", "also write the selected sections as a JSON report to this file (\"-\" = stdout, text tables suppressed)")
 	beName := flag.String("backend", "", "host backend for all engine runs (default: $"+backend.EnvVar+" or x86); one of "+strings.Join(backend.Names(), ","))
 	artifactDir := flag.String("artifact-dir", "", "directory for the warmstart section's artifact store (default: a fresh temporary directory; an already-populated store would make the cold pass warm)")
+	validate := flag.String("validate", "", "translation-validation mode for all engine runs: off, optimized, or all (see dbt.Config.Validate)")
+	peephole := flag.Bool("peephole", false, "enable the validator-licensed peephole optimizer for all engine runs")
 	flag.Parse()
+
+	switch *validate {
+	case "", "off", "optimized", "all":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -validate mode %q (want off, optimized or all)\n", *validate)
+		os.Exit(1)
+	}
 
 	be := backend.Default()
 	if *beName != "" {
@@ -63,6 +72,8 @@ func main() {
 		os.Exit(1)
 	}
 	corpus.Backend = be
+	corpus.Validate = *validate
+	corpus.Peephole = *peephole
 
 	report := &exp.Report{
 		Schema:  exp.ReportSchema,
@@ -230,6 +241,16 @@ func main() {
 		}
 		report.Smc = sm
 		render(exp.RenderSMC(sm))
+	}
+	if sel("validate") {
+		section("Translation validation: per-backend verdicts & peephole payoff")
+		v, err := exp.ValidateExperiment(corpus, backend.Names())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "validate:", err)
+			os.Exit(1)
+		}
+		report.Validate = v
+		render(exp.RenderValidate(v))
 	}
 	if sel("table3") {
 		section("Table III: rule number comparison")

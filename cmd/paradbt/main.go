@@ -139,7 +139,16 @@ func main() {
 	injectPath := flag.String("inject", "", "fault-injection plan (JSON, see docs/ROBUSTNESS.md); corruptRules entries are applied to rules the benchmark actually uses")
 	beName := flag.String("backend", "", "host backend to translate for (default: $"+backend.EnvVar+" or x86); one of "+strings.Join(backend.Names(), ","))
 	artifactDir := flag.String("artifact-dir", "", "warm-start artifact store: reuse a previously published rule pack instead of re-deriving, restore the code cache from a prior run of the same guest, and publish both back on a clean halt (see docs/PERSISTENCE.md)")
+	peephole := flag.Bool("peephole", false, "enable the backend's post-Finalize peephole optimizer; the optimized stream is installed only when the translation validator proves it equivalent (see docs/ANALYSIS.md)")
+	validate := flag.String("validate", "", "translation validation: \"optimized\" validates only peephole candidates (the default when -peephole is set), \"all\" validates every finalized translation, \"off\" disables")
 	flag.Parse()
+
+	switch *validate {
+	case "", "off", "optimized", "all":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -validate mode %q (want off, optimized or all)\n", *validate)
+		os.Exit(1)
+	}
 
 	be := backend.Default()
 	if *beName != "" {
@@ -266,6 +275,8 @@ func main() {
 	cfg.TraceBudget = *traceBudget
 	cfg.SyncTraces = *syncTraces
 	cfg.ShadowRate = *shadowRate
+	cfg.Peephole = *peephole
+	cfg.Validate = *validate
 
 	if *quarFile != "" {
 		if cfg.Rules == nil {
@@ -360,6 +371,10 @@ func main() {
 	fmt.Printf("chained exits      %d (%.1f%% of block transitions)\n", st.ChainedExits, 100*st.ChainRate())
 	if cfg.Rules != nil {
 		fmt.Printf("rule table size    %d\n", cfg.Rules.Len())
+	}
+	if cfg.Peephole || (cfg.Validate != "" && cfg.Validate != "off") {
+		fmt.Printf("blocks validated   %d\n", st.BlocksValidated)
+		fmt.Printf("validate fallbacks %d\n", st.ValidateFallbacks)
 	}
 	if cfg.HotThreshold > 0 {
 		fmt.Printf("traces formed      %d\n", st.TracesFormed)

@@ -307,6 +307,31 @@ func absCarry(op symexec.XOp, a, b, c AbsVal) AbsVal {
 	return bool01()
 }
 
+// absOvf is the signed-overflow transfer for XOvfAdd/XOvfSub (the V
+// flag of a + b + c, with b complemented first for subtraction, per
+// the concrete fold). Two sound precise cases: when b + c wraps to
+// exactly zero the sum equals a and the sign cannot change (this is
+// CMP/SUBS against zero); and when the known sign bits of a and b
+// differ, signed addition cannot overflow.
+func absOvf(op symexec.XOp, a, b, c AbsVal) AbsVal {
+	if op == symexec.XOvfSub {
+		b = absNot(b)
+	}
+	if bv, ok := b.IsConst(); ok {
+		if cv, ok2 := c.IsConst(); ok2 && bv+cv == 0 {
+			return FromConst(0)
+		}
+	}
+	aNeg := a.KB.Ones&0x80000000 != 0
+	aPos := a.KB.Zeros&0x80000000 != 0
+	bNeg := b.KB.Ones&0x80000000 != 0
+	bPos := b.KB.Zeros&0x80000000 != 0
+	if (aNeg && bPos) || (aPos && bNeg) {
+		return FromConst(0)
+	}
+	return bool01()
+}
+
 // AbsEval evaluates an expression in the abstract domain. env supplies
 // abstract values for symbols (nil entries and absent symbols are top);
 // loads and unknowns are top. memo caches per-node results for the DAG.
@@ -362,7 +387,7 @@ func AbsEval(e *symexec.Expr, env map[string]AbsVal, memo map[*symexec.Expr]AbsV
 		case symexec.XCarryAdd, symexec.XCarrySub:
 			out = absCarry(e.Op, x, y, AbsEval(e.Z, env, memo))
 		case symexec.XOvfAdd, symexec.XOvfSub:
-			out = bool01()
+			out = absOvf(e.Op, x, y, AbsEval(e.Z, env, memo))
 		default:
 			out = Top()
 		}

@@ -14,6 +14,12 @@ const (
 	MetProofSweep   = "analysis.proof_sweep"      // sound via exhaustive immediate sweep
 	MetWitnesses    = "analysis.witnesses"        // confirmed divergence witnesses
 	MetGateRejects  = "analysis.gate_rejects"     // admission-gate rejections
+
+	// Translation-validation telemetry (validate.go).
+	MetValidateBlocks  = "analysis.validate_blocks"       // ValidateBlock calls
+	MetValidateProved  = "analysis.validate_proved"       // proved verdicts
+	MetValidateInconcl = "analysis.validate_inconclusive" // inconclusive verdicts
+	MetValidateRefuted = "analysis.validate_refuted"      // refuted verdicts (confirmed witness)
 )
 
 var (
@@ -26,4 +32,9 @@ var (
 	metProofSweep   = obs.Default.Counter(MetProofSweep)
 	metWitnesses    = obs.Default.Counter(MetWitnesses)
 	metGateRejects  = obs.Default.Counter(MetGateRejects)
+
+	metValidateBlocks  = obs.Default.Counter(MetValidateBlocks)
+	metValidateProved  = obs.Default.Counter(MetValidateProved)
+	metValidateInconcl = obs.Default.Counter(MetValidateInconcl)
+	metValidateRefuted = obs.Default.Counter(MetValidateRefuted)
 )

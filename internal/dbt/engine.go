@@ -29,6 +29,7 @@ import (
 	"os"
 	"time"
 
+	"paramdbt/internal/analysis"
 	"paramdbt/internal/artifact"
 	"paramdbt/internal/backend"
 	"paramdbt/internal/env"
@@ -182,6 +183,27 @@ type Config struct {
 	// page is dirty; this switch exists to measure that cost and must
 	// never be set for a guest that may write its own code.
 	NoWriteTrack bool
+
+	// Peephole enables the post-Finalize peephole optimizer for backends
+	// that implement backend.Optimizer (today: risc). An optimized
+	// stream is installed only when the translation validator
+	// (internal/analysis.ValidateBlock) proves it equivalent to the
+	// guest block; anything else falls back to the finalized stream and
+	// counts a dbt.validate_fallbacks. See docs/ANALYSIS.md
+	// "Translation validation".
+	Peephole bool
+	// Validate selects translation-validation coverage: "" or "off"
+	// validates nothing beyond what Peephole requires, "optimized" is
+	// the explicit spelling of that default, and "all" validates every
+	// finalized translation (blocks and superblocks), recording per-
+	// verdict analysis.validate_* counters — the experiments harness'
+	// -validate mode.
+	Validate string
+	// ValidateHook, when non-nil, observes every translation-validation
+	// report the engine produces (peephole candidates and Validate:"all"
+	// installs alike). cmd/codeaudit uses it to build its per-block
+	// report; it must not retain the host block beyond the call.
+	ValidateHook func(rep *analysis.BlockReport)
 }
 
 // Stats is a snapshot of the evaluation metrics. The live counts are
@@ -227,6 +249,15 @@ type Stats struct {
 	SMCInvalidations uint64
 	SMCSelfAborts    uint64
 	SBBuilderPanics  uint64
+
+	// Translation-validation counters (zero unless Config.Peephole or
+	// Config.Validate is set). BlocksValidated counts translations whose
+	// installed stream the validator proved equivalent to the guest
+	// block; ValidateFallbacks counts validations that did not prove
+	// (inconclusive or refuted) — for optimized streams that means the
+	// engine discarded the optimization and kept the finalized stream.
+	BlocksValidated   uint64
+	ValidateFallbacks uint64
 
 	// UncoveredOps breaks down emulated instructions by opcode — the
 	// analysis behind the paper's "seven uncoverable instructions".

@@ -20,6 +20,11 @@ const (
 	MetSuperblockExecs = "dbt.superblock_execs" // block entries that ran a superblock
 	MetSideExits       = "dbt.side_exits"       // superblock runs that left via a side exit
 
+	// Translation-validation product counters (see validate.go and
+	// docs/ANALYSIS.md "Translation validation"). Always counted.
+	MetBlocksValidated   = "dbt.blocks_validated"   // installed streams the validator proved
+	MetValidateFallbacks = "dbt.validate_fallbacks" // validations that fell back (not proved)
+
 	// Self-modifying-code product counters (see smc.go and
 	// docs/ROBUSTNESS.md "Self-modifying code"). Always counted.
 	MetSMCInvalidations = "dbt.smc_invalidations" // translations fenced out by guest code writes
@@ -68,6 +73,9 @@ type engineMetrics struct {
 	superblockExecs *obs.Counter
 	sideExits       *obs.Counter
 
+	blocksValidated   *obs.Counter
+	validateFallbacks *obs.Counter
+
 	smcInvalidations *obs.Counter
 	smcSelfAborts    *obs.Counter
 	sbBuilderPanics  *obs.Counter
@@ -104,6 +112,8 @@ func newEngineMetrics(reg *obs.Registry) *engineMetrics {
 		tracesFormed:       reg.Counter(MetTracesFormed),
 		superblockExecs:    reg.Counter(MetSuperblockExecs),
 		sideExits:          reg.Counter(MetSideExits),
+		blocksValidated:    reg.Counter(MetBlocksValidated),
+		validateFallbacks:  reg.Counter(MetValidateFallbacks),
 		smcInvalidations:   reg.Counter(MetSMCInvalidations),
 		smcSelfAborts:      reg.Counter(MetSMCSelfAborts),
 		sbBuilderPanics:    reg.Counter(MetSBBuilderPanics),
@@ -134,6 +144,7 @@ type statsBase struct {
 	guest, covered, seq, blocks, disp, chained uint64
 	translations                               uint64
 	traces, sbExecs, sideExits                 uint64
+	validated, valFallbacks                    uint64
 	smcInval, smcAborts, sbPanics              uint64
 	shadow, diverged, quar, panRec, interpFB   uint64
 }
@@ -150,6 +161,8 @@ func (m *engineMetrics) base() statsBase {
 		traces:       m.tracesFormed.Value(),
 		sbExecs:      m.superblockExecs.Value(),
 		sideExits:    m.sideExits.Value(),
+		validated:    m.blocksValidated.Value(),
+		valFallbacks: m.validateFallbacks.Value(),
 		smcInval:     m.smcInvalidations.Value(),
 		smcAborts:    m.smcSelfAborts.Value(),
 		sbPanics:     m.sbBuilderPanics.Value(),
@@ -164,23 +177,25 @@ func (m *engineMetrics) base() statsBase {
 // delta builds a Stats snapshot of everything counted since base.
 func (m *engineMetrics) delta(base statsBase) Stats {
 	return Stats{
-		GuestExec:        m.guestInsts.Value() - base.guest,
-		RuleCovered:      m.ruleCovered.Value() - base.covered,
-		SeqRuleUses:      m.seqRuleInsts.Value() - base.seq,
-		Blocks:           int(m.blocks.Value() - base.blocks),
-		Dispatches:       m.dispatches.Value() - base.disp,
-		ChainedExits:     m.chainedExits.Value() - base.chained,
-		Translations:     m.translations.Value() - base.translations,
-		TracesFormed:     m.tracesFormed.Value() - base.traces,
-		SuperblockExecs:  m.superblockExecs.Value() - base.sbExecs,
-		SideExits:        m.sideExits.Value() - base.sideExits,
-		SMCInvalidations: m.smcInvalidations.Value() - base.smcInval,
-		SMCSelfAborts:    m.smcSelfAborts.Value() - base.smcAborts,
-		SBBuilderPanics:  m.sbBuilderPanics.Value() - base.sbPanics,
-		ShadowChecks:     m.shadowChecks.Value() - base.shadow,
-		Divergences:      m.divergences.Value() - base.diverged,
-		QuarantinedRules: m.quarantined.Value() - base.quar,
-		PanicsRecovered:  m.panicsRecovered.Value() - base.panRec,
-		InterpFallbacks:  m.interpFallbacks.Value() - base.interpFB,
+		GuestExec:         m.guestInsts.Value() - base.guest,
+		RuleCovered:       m.ruleCovered.Value() - base.covered,
+		SeqRuleUses:       m.seqRuleInsts.Value() - base.seq,
+		Blocks:            int(m.blocks.Value() - base.blocks),
+		Dispatches:        m.dispatches.Value() - base.disp,
+		ChainedExits:      m.chainedExits.Value() - base.chained,
+		Translations:      m.translations.Value() - base.translations,
+		TracesFormed:      m.tracesFormed.Value() - base.traces,
+		SuperblockExecs:   m.superblockExecs.Value() - base.sbExecs,
+		SideExits:         m.sideExits.Value() - base.sideExits,
+		BlocksValidated:   m.blocksValidated.Value() - base.validated,
+		ValidateFallbacks: m.validateFallbacks.Value() - base.valFallbacks,
+		SMCInvalidations:  m.smcInvalidations.Value() - base.smcInval,
+		SMCSelfAborts:     m.smcSelfAborts.Value() - base.smcAborts,
+		SBBuilderPanics:   m.sbBuilderPanics.Value() - base.sbPanics,
+		ShadowChecks:      m.shadowChecks.Value() - base.shadow,
+		Divergences:       m.divergences.Value() - base.diverged,
+		QuarantinedRules:  m.quarantined.Value() - base.quar,
+		PanicsRecovered:   m.panicsRecovered.Value() - base.panRec,
+		InterpFallbacks:   m.interpFallbacks.Value() - base.interpFB,
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"paramdbt/internal/analysis"
 	"paramdbt/internal/core"
 	"paramdbt/internal/env"
 	"paramdbt/internal/guest"
@@ -567,6 +568,13 @@ func (e *Engine) translateSuperblock(pcs []uint32, blocks [][]guest.Inst, tx *tx
 	if err != nil {
 		return nil, err
 	}
+	segs := make([]analysis.GuestSeg, k)
+	for i := range segs {
+		segs[i] = analysis.GuestSeg{PC: pcs[i], Insts: blocks[i]}
+	}
+	// Superblocks delegate/elide flags across seams by design, so the
+	// NZCV words are never exact at exits: validate everything else.
+	hb = e.finishBlock(hb, segs, false)
 
 	return &tblock{
 		hb:     hb,

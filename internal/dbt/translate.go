@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"paramdbt/internal/analysis"
 	"paramdbt/internal/core"
 	"paramdbt/internal/env"
 	"paramdbt/internal/guest"
@@ -149,6 +150,7 @@ func (e *Engine) translateWith(m *mem.Memory, pc uint32, tx *txctx, skip func(*r
 	if err != nil {
 		return nil, err
 	}
+	hb = e.finishBlock(hb, []analysis.GuestSeg{{PC: pc, Insts: insts}}, em.flagsExact)
 
 	return &tblock{
 		hb:         hb,

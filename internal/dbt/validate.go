@@ -1,0 +1,84 @@
+package dbt
+
+import (
+	"paramdbt/internal/analysis"
+	"paramdbt/internal/backend"
+	"paramdbt/internal/host"
+)
+
+// finishBlock runs the post-Finalize optimization/validation stage on
+// one translated unit: when Config.Peephole is set and the backend
+// implements backend.Optimizer, the peephole-optimized stream is
+// installed only if the translation validator proves it equivalent to
+// the guest segments (anything else falls back to the finalized stream
+// and bumps dbt.validate_fallbacks); when Config.Validate is "all",
+// the installed stream itself is validated too, so every block's
+// verdict lands in the analysis.validate_* counters.
+//
+// Validation never fails a translation: an inconclusive or refuted
+// verdict only suppresses optimization. The unoptimized stream remains
+// covered by the shadow-verification layer, which is what the refuted
+// path's "demonstrably falls back" acceptance criterion leans on.
+func (e *Engine) finishBlock(hb *host.Block, segs []analysis.GuestSeg, flagsExact bool) *host.Block {
+	mode := e.Cfg.Validate
+	validateAll := mode == "all"
+	peep := e.Cfg.Peephole
+	if !peep && !validateAll {
+		return hb
+	}
+	opts := analysis.ValidateOpts{CheckFlags: flagsExact, HaltPC: HaltPC}
+	out := hb
+	installedProved := false
+	if peep {
+		if opt, ok := e.be.(backend.Optimizer); ok {
+			ob, st, err := opt.OptimizeBlock(hb)
+			if err == nil && st.Deleted() > 0 {
+				ob = e.faultOptimized(ob)
+				rep := e.validate(segs, ob, opts)
+				if rep.Verdict == analysis.VerdictProved {
+					out = ob
+					installedProved = true
+					e.met.blocksValidated.Inc()
+				} else {
+					e.met.validateFallbacks.Inc()
+				}
+			}
+		}
+	}
+	if validateAll && !installedProved {
+		rep := e.validate(segs, out, opts)
+		if rep.Verdict == analysis.VerdictProved {
+			e.met.blocksValidated.Inc()
+		} else {
+			e.met.validateFallbacks.Inc()
+		}
+	}
+	return out
+}
+
+// validate runs the block validator, stamps the report with engine
+// context, and feeds it to Config.ValidateHook when installed.
+func (e *Engine) validate(segs []analysis.GuestSeg, hb *host.Block, opts analysis.ValidateOpts) *analysis.BlockReport {
+	rep := analysis.ValidateBlock(e.be, segs, hb, opts)
+	rep.Backend = e.be.Name()
+	rep.PC = segs[0].PC
+	if e.Cfg.ValidateHook != nil {
+		e.Cfg.ValidateHook(rep)
+	}
+	return rep
+}
+
+// faultOptimized routes an optimized stream through the configured
+// fault injector when it implements OptimizedFaults — the adversarial
+// hook the validator-rejects-broken-peephole tests use.
+func (e *Engine) faultOptimized(ob *host.Block) *host.Block {
+	type optFaults interface {
+		MutateOptimized(*host.Block) *host.Block
+	}
+	if f, ok := e.Cfg.Faults.(optFaults); ok && f != nil {
+		if nb := f.MutateOptimized(ob); nb != nil {
+			return nb
+		}
+	}
+	return ob
+}

@@ -36,6 +36,12 @@ type Corpus struct {
 	// the per-run Config names one explicitly — it lets cmd/experiments
 	// route the whole suite through one backend with a single flag.
 	Backend backend.Backend
+	// Validate and Peephole, like Backend, are suite-wide defaults a
+	// per-run Config can override: cmd/experiments -validate/-peephole
+	// route every engine through translation validation and/or the
+	// validator-licensed peephole pass.
+	Validate string
+	Peephole bool
 }
 
 // BuildCorpus compiles and learns every benchmark once. scale sets the
@@ -100,6 +106,12 @@ type RunResult struct {
 func (c *Corpus) Run(name string, cfg dbt.Config) (RunResult, error) {
 	if cfg.Backend == nil {
 		cfg.Backend = c.Backend
+	}
+	if cfg.Validate == "" {
+		cfg.Validate = c.Validate
+	}
+	if !cfg.Peephole {
+		cfg.Peephole = c.Peephole
 	}
 	comp := c.Comp[name]
 	m := mem.New()

@@ -19,7 +19,9 @@ import (
 // comparison: translation counts, restored blocks/traces, wall clock).
 // v6 added the "smc" section (self-modifying workloads vs the reference
 // interpreter at shadow rate 1).
-const ReportSchema = "paramdbt-experiments/v6"
+// v7 added the "validate" section (per-backend translation-validation
+// verdicts and the peephole host/guest payoff).
+const ReportSchema = "paramdbt-experiments/v7"
 
 // Report is the machine-readable form of the experiment suite, written
 // by cmd/experiments -json in the same spirit as the checked-in
@@ -53,6 +55,7 @@ type Report struct {
 	Backends  *BackendsSection  `json:"backends,omitempty"`
 	Warmstart *WarmstartSection `json:"warmstart,omitempty"`
 	Smc       *SMCSection       `json:"smc,omitempty"`
+	Validate  *ValidateSection  `json:"validate,omitempty"`
 	Uncovered []string          `json:"uncovered,omitempty"`
 }
 

@@ -1,0 +1,143 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"paramdbt/internal/analysis"
+	"paramdbt/internal/backend"
+	"paramdbt/internal/core"
+	"paramdbt/internal/dbt"
+)
+
+// The translation-validation experiment runs the workload suite with
+// Config.Validate="all" under each backend, so every finalized block
+// (and superblock) is symbolically proved equivalent to its guest
+// semantics, and measures what the validator-licensed peephole
+// optimizer buys: the risc legalizer's host-instructions-per-guest-
+// instruction overhead with and without optimization. The acceptance
+// invariants are a prove rate at or above 95% per backend and zero
+// refuted verdicts — a refutation would mean the translator emitted
+// wrong code and the validator caught it escaping.
+
+// ValidateRow is one benchmark under one backend at -validate all.
+type ValidateRow struct {
+	Bench     string  `json:"bench"`
+	Blocks    uint64  `json:"blocks"`    // validations attempted
+	Proved    uint64  `json:"proved"`    // verdicts: proved
+	Fallbacks uint64  `json:"fallbacks"` // verdicts: inconclusive (conservative fallback)
+	Refuted   uint64  `json:"refuted"`   // verdicts: refuted (confirmed witness)
+	ProveRate float64 `json:"prove_rate"`
+}
+
+// ValidateResults aggregates one backend's column, including the
+// peephole payoff measured as host-insts/guest-inst across the suite.
+type ValidateResults struct {
+	Backend       string        `json:"backend"`
+	Rows          []ValidateRow `json:"rows"`
+	Proved        uint64        `json:"proved"`
+	Fallbacks     uint64        `json:"fallbacks"`
+	Refuted       uint64        `json:"refuted"`
+	ProveRate     float64       `json:"prove_rate"`
+	RatioBase     float64       `json:"ratio_base"`     // host/guest, peephole off
+	RatioPeephole float64       `json:"ratio_peephole"` // host/guest, peephole on
+}
+
+// ValidateSection is the full validation matrix.
+type ValidateSection struct {
+	Backends []ValidateResults `json:"backends"`
+}
+
+// ValidateExperiment runs every benchmark under each named backend with
+// full translation validation, counting per-verdict outcomes through
+// Config.ValidateHook (engine-local, independent of the obs switch),
+// then reruns the suite with the peephole optimizer enabled to measure
+// the translation-quality ratio it licenses.
+func ValidateExperiment(c *Corpus, names []string) (*ValidateSection, error) {
+	sec := &ValidateSection{}
+	full, _ := core.Parameterize(c.Union(c.Names), core.Config{Opcode: true, AddrMode: true})
+	for _, bn := range names {
+		be, err := backend.Lookup(bn)
+		if err != nil {
+			return nil, err
+		}
+		res := ValidateResults{Backend: be.Name()}
+		var baseHost, baseGuest, peepHost, peepGuest uint64
+		for _, bench := range c.Names {
+			row := ValidateRow{Bench: bench}
+			cfg := dbt.Config{
+				Rules:         full,
+				DelegateFlags: true,
+				Backend:       be,
+				Validate:      "all",
+				ValidateHook: func(rep *analysis.BlockReport) {
+					switch rep.Verdict {
+					case analysis.VerdictProved:
+						row.Proved++
+					case analysis.VerdictRefuted:
+						row.Refuted++
+					default:
+						row.Fallbacks++
+					}
+				},
+			}
+			r, err := c.Run(bench, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("validate %s: %w", be.Name(), err)
+			}
+			baseHost += r.Total
+			baseGuest += r.Stats.GuestExec
+			row.Blocks = row.Proved + row.Fallbacks + row.Refuted
+			if row.Blocks > 0 {
+				row.ProveRate = float64(row.Proved) / float64(row.Blocks)
+			}
+			res.Proved += row.Proved
+			res.Fallbacks += row.Fallbacks
+			res.Refuted += row.Refuted
+			res.Rows = append(res.Rows, row)
+
+			rp, err := c.Run(bench, dbt.Config{
+				Rules:         full,
+				DelegateFlags: true,
+				Backend:       be,
+				Peephole:      true,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("peephole %s: %w", be.Name(), err)
+			}
+			peepHost += rp.Total
+			peepGuest += rp.Stats.GuestExec
+		}
+		if t := res.Proved + res.Fallbacks + res.Refuted; t > 0 {
+			res.ProveRate = float64(res.Proved) / float64(t)
+		}
+		if baseGuest > 0 {
+			res.RatioBase = float64(baseHost) / float64(baseGuest)
+		}
+		if peepGuest > 0 {
+			res.RatioPeephole = float64(peepHost) / float64(peepGuest)
+		}
+		sec.Backends = append(sec.Backends, res)
+	}
+	return sec, nil
+}
+
+// RenderValidate formats the validation matrix.
+func RenderValidate(s *ValidateSection) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "translation validation (-validate all, union-trained rules)\n")
+	for _, r := range s.Backends {
+		fmt.Fprintf(&b, "%-6s\n", r.Backend)
+		fmt.Fprintf(&b, "  %-12s %7s %7s %10s %8s %10s\n",
+			"bench", "blocks", "proved", "fallbacks", "refuted", "prove-rate")
+		for _, row := range r.Rows {
+			fmt.Fprintf(&b, "  %-12s %7d %7d %10d %8d %9.1f%%\n",
+				row.Bench, row.Blocks, row.Proved, row.Fallbacks, row.Refuted, 100*row.ProveRate)
+		}
+		fmt.Fprintf(&b, "  total: %.1f%% proved (%d/%d), %d refuted\n",
+			100*r.ProveRate, r.Proved, r.Proved+r.Fallbacks+r.Refuted, r.Refuted)
+		fmt.Fprintf(&b, "  peephole payoff: host/guest %.2f -> %.2f\n",
+			r.RatioBase, r.RatioPeephole)
+	}
+	return b.String()
+}

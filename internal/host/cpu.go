@@ -96,6 +96,21 @@ func NewBlock(insts []Inst, labels map[int]int) *Block {
 	return b
 }
 
+// Labels returns the label-id -> instruction-index map the block was
+// built with. Static analyzers (the translation validator, the peephole
+// pass) need it to rebuild or walk the control-flow structure; Exec
+// itself never consults it.
+func (b *Block) Labels() map[int]int { return b.labels }
+
+// Target returns the resolved target index of the JMP/JCC at
+// instruction i, or -1 when i is not a jump (or its label is unbound).
+func (b *Block) Target(i int) int {
+	if i < 0 || i >= len(b.jt) {
+		return -1
+	}
+	return b.jt[i]
+}
+
 // CPU is the host machine simulator.
 type CPU struct {
 	R     [NumRegs]uint32

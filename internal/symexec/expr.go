@@ -440,7 +440,10 @@ func (as *Assignment) loadConcrete(addr uint32, size, ver int) uint32 {
 			if s.size == 8 && s.addr == a {
 				return s.val & 0xff
 			}
-			if s.size == 32 && a >= s.addr && a < s.addr+4 {
+			// Unsigned-difference containment so byte addresses wrap
+			// like the real memory's uint32 arithmetic (a store at
+			// 0xffffffff covers bytes 0xffffffff, 0, 1, 2).
+			if s.size == 32 && a-s.addr < 4 {
 				return (s.val >> (8 * (a - s.addr))) & 0xff
 			}
 		}

@@ -26,6 +26,10 @@ type GState struct {
 	// passed through to the hook.
 	immHook ImmHook
 	instIdx int
+
+	// exactShiftC selects the exact shifter-carry model over the
+	// strict Unknown("shiftC") (see EvalGuestExact).
+	exactShiftC bool
 }
 
 // ImmHook lets a caller substitute an expression for an immediate
@@ -106,6 +110,32 @@ func (s *GState) setReg(r guest.Reg, e *Expr) {
 	s.Written[r] = true
 }
 
+// shifterCarry models the carry-out of an S-suffixed shift. The strict
+// model (exact=false) is Unknown("shiftC"); the exact model mirrors
+// guest.EvalALU: a masked shift amount of zero leaves C unchanged,
+// otherwise C is the last bit shifted out (for ROR, bit 31 of the
+// result). The shift-amount expressions rely on XShr masking its
+// amount to 5 bits, exactly as concrete evaluation does.
+func shifterCarry(op guest.Op, a, b, res, oldC *Expr, exact bool) *Expr {
+	if !exact {
+		return Unknown("shiftC")
+	}
+	if op == guest.ROR {
+		return Bin(XShr, res, Const(31))
+	}
+	sh := Bin(XAnd, b, Const(31))
+	var bit *Expr
+	if op == guest.LSL {
+		bit = Bin(XAnd, Bin(XShr, a, Bin(XSub, Const(32), sh)), Const(1))
+	} else { // LSR, ASR
+		bit = Bin(XAnd, Bin(XShr, a, Bin(XSub, sh, Const(1))), Const(1))
+	}
+	zero := Bin(XEq, sh, Const(0))
+	keep := Bin(XAnd, zero, oldC)
+	out := Bin(XAnd, Bin(XXor, zero, Const(1)), bit)
+	return Bin(XOr, keep, out)
+}
+
 // aluFlags returns the NZCV expressions for a data-processing result,
 // matching guest.EvalALU exactly.
 func aluFlags(op guest.Op, a, b, res, oldC *Expr) (n, z, c, v *Expr) {
@@ -149,8 +179,23 @@ func EvalGuest(seq []guest.Inst) (*GState, error) {
 // EvalGuestImm is EvalGuest with an immediate-read hook (nil behaves
 // exactly like EvalGuest).
 func EvalGuestImm(seq []guest.Inst, hook ImmHook) (*GState, error) {
+	return evalGuest(seq, hook, false)
+}
+
+// EvalGuestExact is EvalGuestImm with the data-dependent shifter carry
+// modeled exactly (matching guest.EvalALU) instead of as an XUnknown.
+// Rule verification wants the strict Unknown — a parameterized host
+// rule cannot reproduce a data-dependent carry, so S-shift rules must
+// be rejected — but the block validator compares against translated
+// blocks that materialize the real carry, and needs the true function.
+func EvalGuestExact(seq []guest.Inst, hook ImmHook) (*GState, error) {
+	return evalGuest(seq, hook, true)
+}
+
+func evalGuest(seq []guest.Inst, hook ImmHook, exactShiftC bool) (*GState, error) {
 	s := NewGState()
 	s.immHook = hook
+	s.exactShiftC = exactShiftC
 	for idx, in := range seq {
 		s.instIdx = idx
 		if in.Cond != guest.AL {
@@ -206,10 +251,11 @@ func EvalGuestImm(seq []guest.Inst, hook ImmHook) (*GState, error) {
 					// Shifter carry is data-dependent; model N/Z exactly
 					// and C as unknown so that S-shift rules only verify
 					// when the host reproduces... it cannot, so they are
-					// rejected (strictness).
+					// rejected (strictness). EvalGuestExact opts into
+					// the true carry function instead.
 					s.N = Bin(XShr, res, Const(31))
 					s.Z = Bin(XEq, res, Const(0))
-					s.C = Unknown("shiftC")
+					s.C = shifterCarry(in.Op, a, b, res, s.C, s.exactShiftC)
 					s.V = Const(0)
 				} else {
 					s.N, s.Z, s.C, s.V = aluFlags(in.Op, a, b, res, s.C)

@@ -40,6 +40,19 @@
 //	go test -run NONE -bench BenchmarkSMC -benchtime 20x . |
 //	    go run ./tools/benchtrace -record-smc BENCH_smc.json
 //	go run ./tools/benchtrace -check-smc BENCH_smc.json -against-trace BENCH_trace.json
+//
+// The peephole pair gates the codegen-quality result: -record-peephole
+// parses `go test -bench BenchmarkPeephole` output into
+// BENCH_peephole.json (risc host-insts/guest-inst as lowered and with
+// the validator-licensed peephole pass, plus the x86 baseline);
+// -check-peephole fails unless the optimized risc ratio is strictly
+// below the as-lowered ratio AND below the +6.7% legalization-overhead
+// line against x86 that BENCH_backend.json records — host-per-guest is
+// an instruction count, so this gate is deterministic, not wall-clock:
+//
+//	go test -run NONE -bench BenchmarkPeephole -benchtime 20x . |
+//	    go run ./tools/benchtrace -record-peephole BENCH_peephole.json
+//	go run ./tools/benchtrace -check-peephole BENCH_peephole.json
 package main
 
 import (
@@ -71,6 +84,16 @@ var smcArms = []string{"tracked", "untracked", "smc-heavy"}
 // never writes code must cost at most 2%.
 const smcTrackedBudget = 1.02
 
+// peepArms are the BenchmarkPeephole sub-benchmarks a peephole record
+// must contain.
+var peepArms = []string{"risc-base", "risc-peephole", "x86"}
+
+// riscOverheadBudget is the legalization-overhead line the optimized
+// risc backend must beat: host-insts/guest-inst at most 6.7% above the
+// x86 arm (the overhead BENCH_backend.json recorded before the
+// peephole pass existed).
+const riscOverheadBudget = 1.067
+
 type armResult struct {
 	NsPerOp float64 `json:"ns_per_op"`
 	// Superblock arm only.
@@ -83,6 +106,9 @@ type armResult struct {
 	// SMC smc-heavy arm only.
 	Invalidations float64 `json:"invalidations,omitempty"`
 	SelfAborts    float64 `json:"self_aborts,omitempty"`
+	// Peephole arms only.
+	HostPerGuest float64 `json:"host_per_guest,omitempty"`
+	Validated    float64 `json:"validated,omitempty"`
 }
 
 type record struct {
@@ -156,6 +182,10 @@ func parse(r *bufio.Scanner, prefix string, arms []string) (map[string]armResult
 				res.Invalidations = v
 			case "self-aborts":
 				res.SelfAborts = v
+			case "host-per-guest":
+				res.HostPerGuest = v
+			case "validated":
+				res.Validated = v
 			}
 		}
 		out[arm] = res
@@ -390,6 +420,75 @@ func doCheckSMC(path, tracePath string) error {
 	return nil
 }
 
+func doRecordPeephole(path string) error {
+	res, cpu, err := parse(bufio.NewScanner(os.Stdin), "BenchmarkPeephole/", peepArms)
+	if err != nil {
+		return err
+	}
+	for _, a := range peepArms {
+		r, ok := res[a]
+		if !ok {
+			return fmt.Errorf("bench output is missing the %q arm", a)
+		}
+		if r.HostPerGuest == 0 {
+			return fmt.Errorf("the %q arm reported no host-per-guest metric", a)
+		}
+	}
+	if res["risc-peephole"].Validated == 0 {
+		return fmt.Errorf("peephole arm validated no blocks (the pass installs nothing unproved)")
+	}
+	rec := record{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		Command:    "make bench-peephole",
+		CPU:        cpu,
+		Benchmarks: res,
+	}
+	buf, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchtrace: recorded %s (risc host/guest %.3f -> %.3f, x86 %.3f)\n",
+		path, res["risc-base"].HostPerGuest, res["risc-peephole"].HostPerGuest,
+		res["x86"].HostPerGuest)
+	return nil
+}
+
+// doCheckPeephole is the codegen-quality gate: the recorded optimized
+// risc ratio must be strictly below the as-lowered ratio (the pass
+// pays for itself) and below riscOverheadBudget times the x86 ratio
+// (the ROADMAP's +6.7% legalization-overhead item is actually closed).
+// Both inputs are retired-instruction counts, so the gate is exact.
+func doCheckPeephole(path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("%w (run `make bench-peephole` first)", err)
+	}
+	var rec record
+	if err := json.Unmarshal(buf, &rec); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	base, peep, x86 := rec.Benchmarks["risc-base"], rec.Benchmarks["risc-peephole"], rec.Benchmarks["x86"]
+	if base.HostPerGuest == 0 || peep.HostPerGuest == 0 || x86.HostPerGuest == 0 {
+		return fmt.Errorf("%s is missing a host-per-guest ratio (re-record it)", path)
+	}
+	if peep.HostPerGuest >= base.HostPerGuest {
+		return fmt.Errorf("FAIL peephole risc ratio %.3f is not below the as-lowered %.3f",
+			peep.HostPerGuest, base.HostPerGuest)
+	}
+	limit := x86.HostPerGuest * riscOverheadBudget
+	if peep.HostPerGuest >= limit {
+		return fmt.Errorf("FAIL peephole risc ratio %.3f still above the +%.1f%% overhead line (%.3f, x86 %.3f)",
+			peep.HostPerGuest, 100*(riscOverheadBudget-1), limit, x86.HostPerGuest)
+	}
+	fmt.Printf("benchtrace: ok peephole risc %.3f < as-lowered %.3f and < %.3f (+%.1f%% of x86 %.3f); overhead %+.1f%%\n",
+		peep.HostPerGuest, base.HostPerGuest, limit, 100*(riscOverheadBudget-1),
+		x86.HostPerGuest, 100*(peep.HostPerGuest/x86.HostPerGuest-1))
+	return nil
+}
+
 func main() {
 	recordPath := flag.String("record", "", "parse bench output on stdin and write this JSON record")
 	checkPath := flag.String("check", "", "gate: the BENCH_trace.json record to verify")
@@ -399,9 +498,11 @@ func main() {
 	recordSMC := flag.String("record-smc", "", "parse BenchmarkSMC output on stdin and write this JSON record")
 	checkSMC := flag.String("check-smc", "", "gate: the BENCH_smc.json record to verify")
 	againstTrace := flag.String("against-trace", "BENCH_trace.json", "recorded superblock baseline for -check-smc")
+	recordPeep := flag.String("record-peephole", "", "parse BenchmarkPeephole output on stdin and write this JSON record")
+	checkPeep := flag.String("check-peephole", "", "gate: the BENCH_peephole.json record to verify")
 	flag.Parse()
 	modes := 0
-	for _, m := range []string{*recordPath, *checkPath, *recordWarm, *checkWarm, *recordSMC, *checkSMC} {
+	for _, m := range []string{*recordPath, *checkPath, *recordWarm, *checkWarm, *recordSMC, *checkSMC, *recordPeep, *checkPeep} {
 		if m != "" {
 			modes++
 		}
@@ -409,7 +510,7 @@ func main() {
 	var err error
 	switch {
 	case modes != 1:
-		err = fmt.Errorf("exactly one of -record, -check, -record-warmstart, -check-warmstart, -record-smc or -check-smc is required")
+		err = fmt.Errorf("exactly one of -record, -check, -record-warmstart, -check-warmstart, -record-smc, -check-smc, -record-peephole or -check-peephole is required")
 	case *recordPath != "":
 		err = doRecord(*recordPath)
 	case *checkPath != "":
@@ -420,8 +521,12 @@ func main() {
 		err = doCheckWarmstart(*checkWarm)
 	case *recordSMC != "":
 		err = doRecordSMC(*recordSMC)
-	default:
+	case *checkSMC != "":
 		err = doCheckSMC(*checkSMC, *againstTrace)
+	case *recordPeep != "":
+		err = doRecordPeephole(*recordPeep)
+	default:
+		err = doCheckPeephole(*checkPeep)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchtrace:", err)

@@ -1,0 +1,323 @@
+// Command counterdoc is a `go vet -vettool` checker keeping the metric
+// catalog in docs/OBSERVABILITY.md and the code in lockstep. The repo
+// convention (docs/OBSERVABILITY.md "Adding a metric") is that every
+// obs metric name is a `Met*` string constant shaped `<package>.<metric>`
+// next to its siblings; this checker enforces both directions of the
+// catalog contract:
+//
+//   - vettool mode (per package): every Met* metric-name constant the
+//     package declares must appear, backticked, in the catalog — an
+//     undeclared counter is reported at its declaration site.
+//   - `-reverse` mode (whole module): every backticked metric name the
+//     catalog documents must be declared somewhere in the module — a
+//     stale catalog row is reported with its doc line.
+//
+// The split follows the tool protocols: cmd/go's vettool interface
+// hands the checker one package at a time (ideal for "is this new
+// counter documented?", with a file:line diagnostic), while the reverse
+// question needs the union of every package's declarations, so it runs
+// as one standalone pass. `make lint` runs both:
+//
+//	go build -o bin/counterdoc ./tools/lint/counterdoc
+//	go vet -vettool=bin/counterdoc ./...
+//	bin/counterdoc -reverse docs/OBSERVABILITY.md
+//
+// Like tools/lint/obsgate, the vettool side speaks cmd/go's wire
+// protocol directly so it runs with the standard toolchain and no
+// third-party dependencies. Test files are exempt in both modes.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+const version = "counterdoc version v0.1.0"
+
+// docRelPath is where the catalog lives relative to the module root.
+const docRelPath = "docs/OBSERVABILITY.md"
+
+// metricName is the shape of an obs metric name: lowercase package
+// prefix, a dot, lowercase snake_case metric. The case restriction is
+// what keeps prose like `dbt.Stats` or `analysis.Gate` out of scope.
+var metricName = regexp.MustCompile(`^[a-z]+\.[a-z][a-z0-9_]*$`)
+
+// backtickSpan extracts inline code spans from one markdown line.
+var backtickSpan = regexp.MustCompile("`([^`]+)`")
+
+// vetConfig mirrors the JSON cmd/go writes to <objdir>/vet.cfg (see
+// tools/lint/obsgate for the field-by-field rationale).
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func main() {
+	for i, a := range os.Args[1:] {
+		switch a {
+		case "-V=full", "--V=full", "-V":
+			// Identity for the build cache key.
+			fmt.Println(version)
+			return
+		case "-flags", "--flags":
+			// cmd/go probes the analyzer flag set; counterdoc's -reverse
+			// is not an analyzer flag, so the set is empty.
+			fmt.Println("[]")
+			return
+		case "-reverse", "--reverse":
+			doc := docRelPath
+			if i+2 < len(os.Args) {
+				doc = os.Args[i+2]
+			}
+			os.Exit(reverseMain(doc))
+		}
+	}
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: counterdoc [-V=full] vet.cfg | counterdoc -reverse [docs/OBSERVABILITY.md]")
+		os.Exit(2)
+	}
+	os.Exit(vetMain(os.Args[len(os.Args)-1]))
+}
+
+// vetMain is the per-package direction: code → catalog.
+func vetMain(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "counterdoc:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "counterdoc: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	// cmd/go requires the facts file regardless of findings; this
+	// checker carries no cross-package facts, so it is always empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "counterdoc:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	root := moduleRoot(cfg.Dir)
+	if root == "" {
+		return 0 // outside a module (stdlib deps); nothing to check
+	}
+	documented, err := docNames(filepath.Join(root, docRelPath))
+	if err != nil {
+		// A package in a module without the catalog (e.g. a dependency)
+		// has no contract to enforce.
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	bad := 0
+	for _, name := range cfg.GoFiles {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "counterdoc:", err)
+			return 2
+		}
+		for _, d := range fileConsts(f) {
+			if _, ok := documented[d.name]; !ok {
+				fmt.Fprintf(os.Stderr,
+					"%s: metric %s (%s) is not in the %s catalog (see \"Adding a metric\")\n",
+					fset.Position(d.pos), d.name, d.ident, docRelPath)
+				bad++
+			}
+		}
+	}
+	if bad > 0 {
+		return 2
+	}
+	return 0
+}
+
+// reverseMain is the whole-module direction: catalog → code.
+func reverseMain(docPath string) int {
+	root := moduleRoot(filepath.Dir(docPath))
+	if root == "" {
+		if root = moduleRoot("."); root == "" {
+			fmt.Fprintln(os.Stderr, "counterdoc: no go.mod found")
+			return 2
+		}
+	}
+	documented, err := docNames(docPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "counterdoc:", err)
+		return 2
+	}
+	declared, err := moduleConsts(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "counterdoc:", err)
+		return 2
+	}
+	// Only prefixes the code actually uses are metric namespaces; other
+	// backticked dotted tokens in the doc (file names, flag examples)
+	// are prose, not catalog rows.
+	prefixes := map[string]bool{}
+	for name := range declared {
+		prefixes[name[:strings.Index(name, ".")]] = true
+	}
+	var stale []string
+	for name, line := range documented {
+		if prefixes[name[:strings.Index(name, ".")]] && !declared[name] {
+			stale = append(stale, fmt.Sprintf(
+				"%s:%d: documented metric %s is not declared anywhere in the module",
+				docPath, line, name))
+		}
+	}
+	sort.Strings(stale)
+	for _, s := range stale {
+		fmt.Fprintln(os.Stderr, s)
+	}
+	if len(stale) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// metConst is one Met* metric-name constant declaration.
+type metConst struct {
+	ident string // the Go identifier, e.g. MetGuestInsts
+	name  string // the metric name, e.g. dbt.guest_insts
+	pos   token.Pos
+}
+
+// fileConsts collects the Met* string constants in one parsed file
+// whose values are shaped like metric names.
+func fileConsts(f *ast.File) []metConst {
+	var out []metConst
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, id := range vs.Names {
+				if !strings.HasPrefix(id.Name, "Met") || i >= len(vs.Values) {
+					continue
+				}
+				lit, ok := vs.Values[i].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					continue
+				}
+				val, err := strconv.Unquote(lit.Value)
+				if err != nil || !metricName.MatchString(val) {
+					continue
+				}
+				out = append(out, metConst{ident: id.Name, name: val, pos: id.Pos()})
+			}
+		}
+	}
+	return out
+}
+
+// moduleConsts walks every non-test .go file under root and returns the
+// set of declared metric names.
+func moduleConsts(root string) (map[string]bool, error) {
+	declared := map[string]bool{}
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case "bin", "testdata", ".git":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return err
+		}
+		for _, c := range fileConsts(f) {
+			declared[c.name] = true
+		}
+		return nil
+	})
+	return declared, err
+}
+
+// docNames parses the markdown catalog and returns every backticked
+// metric-shaped name with the line it first appears on. Fenced code
+// blocks are skipped: the JSON /metrics example is sample output, not
+// the catalog.
+func docNames(path string) (map[string]int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	names := map[string]int{}
+	fenced := false
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			fenced = !fenced
+			continue
+		}
+		if fenced {
+			continue
+		}
+		for _, m := range backtickSpan.FindAllStringSubmatch(line, -1) {
+			if metricName.MatchString(m[1]) {
+				if _, ok := names[m[1]]; !ok {
+					names[m[1]] = i + 1
+				}
+			}
+		}
+	}
+	return names, nil
+}
+
+// moduleRoot walks up from dir to the nearest directory containing
+// go.mod, or "" when there is none.
+func moduleRoot(dir string) string {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return ""
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return ""
+		}
+		dir = parent
+	}
+}

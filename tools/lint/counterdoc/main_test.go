@@ -1,0 +1,115 @@
+package main
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func parseConsts(t *testing.T, src string) []metConst {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", "package p\n"+src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fileConsts(f)
+}
+
+func TestFileConstsSelectsMetricNames(t *testing.T) {
+	got := parseConsts(t, `
+const (
+	MetGuestInsts = "dbt.guest_insts" // metric name
+	MetBad        = "NotAMetric"      // wrong shape: ignored
+	Unrelated     = "dbt.lookups"     // not Met*: ignored
+	MetTyped      = 7                 // not a string: ignored
+)
+const MetSteps = "guest.steps"`)
+	want := map[string]string{"MetGuestInsts": "dbt.guest_insts", "MetSteps": "guest.steps"}
+	if len(got) != len(want) {
+		t.Fatalf("got %d consts %v, want %d", len(got), got, len(want))
+	}
+	for _, c := range got {
+		if want[c.ident] != c.name {
+			t.Errorf("const %s = %q, want %q", c.ident, c.name, want[c.ident])
+		}
+	}
+}
+
+func TestDocNamesSkipsFencesAndProse(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "doc.md")
+	md := "# catalog\n" +
+		"| `dbt.guest_insts` | counter |\n" +
+		"| `guard.divergences` / `guard.shadow_checks` | pair |\n" +
+		"Prose about `dbt.Stats`, `obs.On()` and `rule.*` stays out.\n" +
+		"```json\n{\"dbt.fenced_name\": 1}\n```\n" +
+		"`vet.cfg` is a file, matched here but filtered by prefix later.\n"
+	if err := os.WriteFile(path, []byte(md), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	names, err := docNames(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"dbt.guest_insts", "guard.divergences", "guard.shadow_checks"} {
+		if _, ok := names[want]; !ok {
+			t.Errorf("missing %s in %v", want, names)
+		}
+	}
+	for _, no := range []string{"dbt.Stats", "dbt.fenced_name", "rule.*"} {
+		if _, ok := names[no]; ok {
+			t.Errorf("%s should not parse as a metric name", no)
+		}
+	}
+	if names["dbt.guest_insts"] != 2 {
+		t.Errorf("line of dbt.guest_insts = %d, want 2", names["dbt.guest_insts"])
+	}
+}
+
+// TestRepoCatalogInSync runs both directions over the real repo: every
+// declared Met* name documented, every documented name declared. This
+// is the same check `make lint` performs; failing here means a metric
+// and docs/OBSERVABILITY.md have drifted.
+func TestRepoCatalogInSync(t *testing.T) {
+	root := moduleRoot(".")
+	if root == "" {
+		t.Skip("not inside the module")
+	}
+	documented, err := docNames(filepath.Join(root, docRelPath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	declared, err := moduleConsts(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(declared) == 0 {
+		t.Fatal("no metric constants found in the module")
+	}
+	prefixes := map[string]bool{}
+	for name := range declared {
+		prefixes[name[:indexDot(name)]] = true
+	}
+	for name := range declared {
+		if _, ok := documented[name]; !ok {
+			t.Errorf("metric %s is declared but missing from %s", name, docRelPath)
+		}
+	}
+	for name := range documented {
+		if prefixes[name[:indexDot(name)]] && !declared[name] {
+			t.Errorf("metric %s is documented but declared nowhere", name)
+		}
+	}
+}
+
+func indexDot(s string) int {
+	for i := range s {
+		if s[i] == '.' {
+			return i
+		}
+	}
+	return len(s)
+}
