@@ -6,9 +6,9 @@ GO ?= go
 # exactly what to install.
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: ci vet lint staticcheck obsgate counterdoc ruleaudit codeaudit build test test-backends race race-obs test-faults test-persistence test-smc bench bench-dispatch bench-obs bench-backends bench-trace bench-check bench-warmstart bench-warmstart-check bench-smc bench-smc-check bench-peephole bench-peephole-check experiments linkcheck
+.PHONY: ci vet lint staticcheck obsgate counterdoc ruleaudit codeaudit build test test-backends race race-obs test-faults test-persistence test-smc test-serve bench bench-dispatch bench-obs bench-backends bench-trace bench-check bench-warmstart bench-warmstart-check bench-smc bench-smc-check bench-peephole bench-peephole-check bench-serve bench-serve-check experiments linkcheck
 
-ci: lint build race test-backends test-faults test-persistence test-smc linkcheck bench
+ci: lint build race test-backends test-faults test-persistence test-smc test-serve linkcheck bench
 
 # Opt-in wall-clock gate: `CHECK_TRACE=1 make ci` re-measures the
 # dispatch arms and fails unless the superblock engine beats both
@@ -33,6 +33,16 @@ endif
 # measurement-length run, hence opt-in.
 ifeq ($(CHECK_PEEPHOLE),1)
 ci: bench-peephole bench-peephole-check
+endif
+
+# Same opt-in for the serving-load gate: `CHECK_SERVE=1 make ci`
+# re-drives the 1000-tenant load harness and fails unless the shared
+# service beats N independent engines on translations and resident
+# heap with zero divergences (docs/SERVING.md). The functional serving
+# suite runs un-gated via test-serve; only the wall-clock load run is
+# opt-in.
+ifeq ($(CHECK_SERVE),1)
+ci: bench-serve bench-serve-check
 endif
 
 vet:
@@ -121,6 +131,17 @@ test-smc:
 	$(GO) test -count=1 -run TestSMC ./internal/workload ./internal/dbt
 	$(GO) test -race -count=1 -run TestSMC ./internal/workload ./internal/dbt
 
+# The multi-tenant serving suite (docs/SERVING.md): the shared
+# translation service's single-flight/backpressure/shutdown/quarantine
+# scenarios, the adaptive shadow controller, the rule-store reseed
+# stress, and the serving layer's deterministic small-N load smoke —
+# functionally and under the race detector.
+test-serve:
+	$(GO) test -count=1 -run 'TestService|TestAdaptive|TestStoreReseed' ./internal/dbt
+	$(GO) test -count=1 ./internal/serve
+	$(GO) test -race -count=1 -run 'TestService|TestAdaptive|TestStoreReseed' ./internal/dbt
+	$(GO) test -race -count=1 ./internal/serve
+
 # Warm-start wall-clock and translation-count measurement: runs the
 # cold/warm artifact-store comparison and records both arms in
 # BENCH_warmstart.json.
@@ -185,6 +206,20 @@ bench-peephole:
 # the +6.7% legalization-overhead line against the recorded x86 arm.
 bench-peephole-check:
 	$(GO) run ./tools/benchtrace -check-peephole BENCH_peephole.json
+
+# Serving load measurement: drives 1000 concurrent tenants through one
+# shared translation service and through N independent engines, and
+# records both arms (translations, resident heap, run/queue-wait
+# latency quantiles, dedupe rate) in BENCH_serve.json.
+bench-serve:
+	$(GO) run ./tools/loadgen -tenants 1000 -out BENCH_serve.json
+
+# Regression gate for the serving result: fails unless the recorded
+# shared arm translated strictly less and resided in strictly less
+# heap than the independent arm, with zero divergences in both arms
+# and the adaptive controller demonstrably active.
+bench-serve-check:
+	$(GO) run ./tools/loadgen -check BENCH_serve.json
 
 # Static audit of every block the workload suite translates, via the
 # translation validator (JSON verdicts on stdout; see docs/ANALYSIS.md

@@ -30,7 +30,8 @@ import (
 
 func main() {
 	scale := flag.Int("scale", 1, "dynamic work multiplier (1 = reference input)")
-	only := flag.String("only", "", "comma-separated subset: table1,fig2,fig11,fig12,fig13,table2,fig14,fig15,fig16,table3,dispatch,trace,guard,analysis,backends,warmstart,smc,validate")
+	only := flag.String("only", "", "comma-separated subset: table1,fig2,fig11,fig12,fig13,table2,fig14,fig15,fig16,table3,dispatch,trace,guard,analysis,backends,warmstart,smc,validate,serve")
+	serveTenants := flag.Int("serve-tenants", 2, "concurrent tenants per workload in the serve section")
 	guardBench := flag.String("guard-bench", "mcf", "benchmark for the guard divergence/recovery experiment")
 	jsonPath := flag.String("json", "", "also write the selected sections as a JSON report to this file (\"-\" = stdout, text tables suppressed)")
 	beName := flag.String("backend", "", "host backend for all engine runs (default: $"+backend.EnvVar+" or x86); one of "+strings.Join(backend.Names(), ","))
@@ -251,6 +252,16 @@ func main() {
 		}
 		report.Validate = v
 		render(exp.RenderValidate(v))
+	}
+	if sel("serve") {
+		section("Multi-tenant serving: shared-service replay vs single-tenant, shadow rate 1")
+		sv, err := exp.ServeExperiment(corpus, backend.Names(), *serveTenants)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+		report.Serve = sv
+		render(exp.RenderServe(sv))
 	}
 	if sel("table3") {
 		section("Table III: rule number comparison")

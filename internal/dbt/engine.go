@@ -153,6 +153,32 @@ type Config struct {
 	// template at translation time (see analysis.StoreReport.ElevateFunc
 	// for the canonical source).
 	ShadowElevate func(*rule.Template) bool
+	// AdaptiveShadow enables the per-tenant adaptive guard controller
+	// (guard.Controller, docs/SERVING.md): the effective shadow rate
+	// starts at ShadowRate and decays exponentially with consecutive
+	// verified-clean checks, snapping back to ShadowRate on any
+	// divergence or quarantine event. ShadowFirstN and
+	// ShadowElevatedRate are untouched — fresh translations and
+	// audit-flagged rules keep their own verification floors.
+	AdaptiveShadow bool
+	// ShadowMinRate is the adaptive controller's rate floor (default
+	// 0.01). Only read when AdaptiveShadow is set.
+	ShadowMinRate float64
+	// ShadowHalfLife is how many consecutive clean checks halve the
+	// adaptive rate (default 64). Only read when AdaptiveShadow is set.
+	ShadowHalfLife uint64
+
+	// Service, when non-nil, attaches the engine to a shared translation
+	// service (see Service and docs/SERVING.md): demand misses are
+	// resolved through the service's single-flight batched queue and the
+	// engine adopts shared prototype translations instead of translating
+	// locally. The attachment is refused — silently, the engine then
+	// behaves exactly as without it — when the configurations disagree
+	// on anything translation-relevant (backend, rule store, codegen
+	// knobs) or when fault injection is configured (injected faults must
+	// stay inside one engine). Any service error (overload, shutdown,
+	// translation failure) falls back to the local translation path.
+	Service *Service
 	// ArtifactDir, when non-empty, points the engine at a warm-start
 	// artifact store (internal/artifact; docs/PERSISTENCE.md). New
 	// applies the store's quarantine shard to the rule table, then
@@ -275,6 +301,11 @@ type Stats struct {
 	QuarantinedRules uint64
 	PanicsRecovered  uint64
 	InterpFallbacks  uint64
+
+	// RateSnaps counts adaptive-controller snap-backs to the base
+	// shadow rate (divergence or quarantine while AdaptiveShadow is
+	// on; always zero otherwise).
+	RateSnaps uint64
 }
 
 // ChainRate returns the fraction of block transitions that bypassed the
@@ -325,6 +356,14 @@ type Engine struct {
 	spec  *specPool // live while Run executes with TranslateWorkers > 0
 	met   *engineMetrics
 	guard *guardState // non-nil when shadow verification is configured
+
+	// svc/tnt are the shared translation service and this engine's
+	// tenant registration (nil when Config.Service is unset or the
+	// attachment was refused). The SMC fence detaches mid-run — the
+	// tenant's code no longer matches its registered snapshot — after
+	// which the engine translates locally (see smcFence).
+	svc *Service
+	tnt *tenant
 
 	// Superblock bookkeeping (Run goroutine only): sbIndex maps every
 	// constituent pc of an installed superblock to the superblocks
@@ -513,6 +552,22 @@ func New(m *mem.Memory, cfg Config) *Engine {
 			Seed:         cfg.ShadowSeed,
 			ElevatedRate: cfg.ShadowElevatedRate,
 		})}
+		if cfg.AdaptiveShadow {
+			e.guard.ctrl = guard.NewController(guard.ControllerPolicy{
+				BaseRate: cfg.ShadowRate,
+				MinRate:  cfg.ShadowMinRate,
+				HalfLife: cfg.ShadowHalfLife,
+			})
+			e.guard.sampler.SetRate(e.guard.ctrl.Rate())
+		}
+	}
+	if cfg.Service != nil && cfg.Faults == nil {
+		// Attach after the backend/rule setup above so the compatibility
+		// check sees resolved values; a refused attachment leaves the
+		// engine a plain single-tenant translator.
+		if t := cfg.Service.attach(e, m); t != nil {
+			e.svc, e.tnt = cfg.Service, t
+		}
 	}
 	// Install write tracking before the warm restore: restored
 	// translations register their pages exactly like demand-translated
@@ -557,7 +612,10 @@ func (e *Engine) Run(entry uint32, maxHostSteps uint64) (stats Stats, err error)
 		st.UncoveredOps = uncovered
 		return st
 	}
-	if e.Cfg.TranslateWorkers > 0 {
+	// A service-attached tenant never starts a private speculative pool:
+	// the service's workers already chase successors for it, shared
+	// across every tenant (see Service.enqueueSpec).
+	if e.Cfg.TranslateWorkers > 0 && e.svc == nil {
 		e.spec = e.startSpec()
 		// The SMC fence shuts the pool down mid-run on the first guest
 		// code write (its startup snapshot is stale from then on), so the
@@ -801,6 +859,13 @@ func (e *Engine) Run(entry uint32, maxHostSteps uint64) (stats Stats, err error)
 				next, diverged = e.shadowCheck(tb, curShadow, pc, res.NextPC)
 			}
 			curShadow = nil
+			// Feed the adaptive controller, if configured: clean checks
+			// decay the steady-state rate, a divergence snaps it back.
+			if diverged {
+				e.guardEvent()
+			} else {
+				e.guardClean()
+			}
 			if diverged {
 				// The block's translation was purged; break the chain and
 				// resume from the corrected state.
@@ -846,16 +911,34 @@ func (e *Engine) block(pc uint32) (*tblock, error) {
 	if on {
 		t0 = time.Now()
 	}
-	var err error
-	if e.guard != nil || e.Cfg.Faults != nil {
-		tb, err = e.translateGuarded(pc)
-	} else {
-		tb, err = e.translateIn(e.Mem, pc, &e.tx)
+	tb = nil
+	if e.svc != nil {
+		// Shared-service path: the miss becomes a single-flight queue
+		// request; exactly one tenant per fresh translation is the leader
+		// and counts it, so summing dbt.translations across tenants
+		// equals the translation work actually performed. Any service
+		// error — backpressure, shutdown, a failed translation — falls
+		// through to the local path below, which owns error reporting and
+		// the guarded retry machinery.
+		if proto, leader, err := e.svc.request(e.tnt, pc); err == nil {
+			tb = e.adoptProto(pc, proto)
+			if leader {
+				e.met.translations.Inc()
+			}
+		}
 	}
-	if err != nil {
-		return nil, err
+	if tb == nil {
+		var err error
+		if e.guard != nil || e.Cfg.Faults != nil {
+			tb, err = e.translateGuarded(pc)
+		} else {
+			tb, err = e.translateIn(e.Mem, pc, &e.tx)
+		}
+		if err != nil {
+			return nil, err
+		}
+		e.met.translations.Inc()
 	}
-	e.met.translations.Inc()
 	if on {
 		e.met.translateNs.ObserveSince(t0)
 	}

@@ -75,10 +75,54 @@ const trialExecBudget = 1 << 20
 const maxDivergenceLog = 32
 
 // guardState is the engine's shadow-verification state, present only
-// when Config enables it (ShadowRate/ShadowFirstN).
+// when Config enables it (ShadowRate/ShadowFirstN). ctrl is the
+// adaptive shadow-rate controller, non-nil only under
+// Config.AdaptiveShadow; the Run goroutine feeds it through
+// guardClean/guardEvent.
 type guardState struct {
 	sampler     *guard.Sampler
+	ctrl        *guard.Controller
 	divergences []guard.Divergence
+}
+
+// guardClean records one verified-clean shadow check with the adaptive
+// controller (no-op without one) and installs the decayed rate.
+func (e *Engine) guardClean() {
+	if e.guard == nil || e.guard.ctrl == nil {
+		return
+	}
+	e.guard.ctrl.OnClean()
+	e.guard.sampler.SetRate(e.guard.ctrl.Rate())
+	if obs.On() {
+		e.met.shadowRatePPM.Set(int64(e.guard.ctrl.Rate() * 1e6))
+	}
+}
+
+// guardEvent records a divergence or quarantine event with the adaptive
+// controller (no-op without one): accumulated confidence is discarded
+// and the shadow rate snaps back to the configured base.
+func (e *Engine) guardEvent() {
+	if e.guard == nil || e.guard.ctrl == nil {
+		return
+	}
+	e.guard.ctrl.OnEvent()
+	e.guard.sampler.SetRate(e.guard.ctrl.Rate())
+	e.met.rateSnaps.Inc()
+	if obs.On() {
+		e.met.shadowRatePPM.Set(int64(e.guard.ctrl.Rate() * 1e6))
+	}
+}
+
+// ShadowRateNow reports the sampler's current steady-state shadow rate
+// — under AdaptiveShadow, the controller's decayed value; otherwise the
+// configured ShadowRate. Zero when shadow verification is off. Like the
+// sampler itself it is owned by the Run goroutine: read it before,
+// after, or from within a run, not concurrently with one.
+func (e *Engine) ShadowRateNow() float64 {
+	if e.guard == nil {
+		return 0
+	}
+	return e.guard.sampler.Rate()
 }
 
 // shadowCtx is the pre-block snapshot taken for a sampled execution.
@@ -309,6 +353,12 @@ func (e *Engine) purgeRules(guilty []*rule.Template) {
 	for _, t := range guilty {
 		set[t] = true
 	}
+	if e.svc != nil {
+		// Shared prototypes built from the guilty rules must go too, or
+		// the next tenant (or this one, after re-dispatch) would adopt a
+		// translation embedding a quarantined rule.
+		e.svc.purgeRules(set)
+	}
 	pcs := e.cache.pcsWhere(func(tb *tblock) bool {
 		for _, t := range tb.rules {
 			if set[t] {
@@ -344,6 +394,12 @@ func (e *Engine) translateGuarded(pc uint32) (*tblock, error) {
 			if culprit != nil && e.Cfg.Rules != nil {
 				if e.Cfg.Rules.Quarantine(culprit, fmt.Sprintf("translator panic at pc=%#x: %v", pc, pe.Cause)) {
 					e.met.quarantined.Inc()
+					// A quarantine is a trust event like a divergence: the
+					// adaptive controller snaps the shadow rate back to base.
+					e.guardEvent()
+					if e.svc != nil {
+						e.svc.purgeRules(map[*rule.Template]bool{culprit: true})
+					}
 				}
 			}
 			continue

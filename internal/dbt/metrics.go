@@ -41,6 +41,7 @@ const (
 	MetPanicsUnrecovered = "guard.panics_unrecovered" // panics that aborted Run (returned as PanicError)
 	MetTranslateRetries  = "guard.translate_retries"  // guarded-translation retry attempts
 	MetInterpFallbacks   = "guard.interp_fallbacks"   // blocks executed by the reference interpreter
+	MetRateSnaps         = "guard.rate_snaps"         // adaptive-controller snaps back to the base shadow rate
 
 	// Telemetry: only recorded while obs.On().
 	MetSpecTranslations   = "dbt.spec_translations"   // worker (speculative) translations
@@ -52,6 +53,7 @@ const (
 	MetLookupNs           = "dbt.lookup_ns"           // histogram: dispatcher code-cache lookup latency
 	MetChainNs            = "dbt.chain_ns"            // histogram: link-patch latency
 	MetInvalidateNs       = "dbt.invalidate_ns"       // histogram: invalidation + unchain latency
+	MetShadowRatePPM      = "guard.shadow_rate_ppm"   // gauge: current adaptive shadow rate, parts per million
 )
 
 // engineMetrics holds the resolved metric instances so the hot path
@@ -87,6 +89,7 @@ type engineMetrics struct {
 	panicsUnrecovered *obs.Counter
 	translateRetries  *obs.Counter
 	interpFallbacks   *obs.Counter
+	rateSnaps         *obs.Counter
 
 	translations       *obs.Counter
 	specTranslations   *obs.Counter
@@ -94,6 +97,7 @@ type engineMetrics struct {
 	traceInvalidations *obs.Counter
 	chainPatches       *obs.Counter
 	cachedBlocks       *obs.Gauge
+	shadowRatePPM      *obs.Gauge
 	translateNs        *obs.Histogram
 	lookupNs           *obs.Histogram
 	chainNs            *obs.Histogram
@@ -124,12 +128,14 @@ func newEngineMetrics(reg *obs.Registry) *engineMetrics {
 		panicsUnrecovered:  reg.Counter(MetPanicsUnrecovered),
 		translateRetries:   reg.Counter(MetTranslateRetries),
 		interpFallbacks:    reg.Counter(MetInterpFallbacks),
+		rateSnaps:          reg.Counter(MetRateSnaps),
 		translations:       reg.Counter(MetTranslations),
 		specTranslations:   reg.Counter(MetSpecTranslations),
 		invalidations:      reg.Counter(MetInvalidations),
 		traceInvalidations: reg.Counter(MetTraceInvalidations),
 		chainPatches:       reg.Counter(MetChainPatches),
 		cachedBlocks:       reg.Gauge(MetCachedBlocks),
+		shadowRatePPM:      reg.Gauge(MetShadowRatePPM),
 		translateNs:        reg.Histogram(MetTranslateNs),
 		lookupNs:           reg.Histogram(MetLookupNs),
 		chainNs:            reg.Histogram(MetChainNs),
@@ -147,6 +153,7 @@ type statsBase struct {
 	validated, valFallbacks                    uint64
 	smcInval, smcAborts, sbPanics              uint64
 	shadow, diverged, quar, panRec, interpFB   uint64
+	rateSnaps                                  uint64
 }
 
 func (m *engineMetrics) base() statsBase {
@@ -171,6 +178,7 @@ func (m *engineMetrics) base() statsBase {
 		quar:         m.quarantined.Value(),
 		panRec:       m.panicsRecovered.Value(),
 		interpFB:     m.interpFallbacks.Value(),
+		rateSnaps:    m.rateSnaps.Value(),
 	}
 }
 
@@ -197,5 +205,6 @@ func (m *engineMetrics) delta(base statsBase) Stats {
 		QuarantinedRules:  m.quarantined.Value() - base.quar,
 		PanicsRecovered:   m.panicsRecovered.Value() - base.panRec,
 		InterpFallbacks:   m.interpFallbacks.Value() - base.interpFB,
+		RateSnaps:         m.rateSnaps.Value() - base.rateSnaps,
 	}
 }

@@ -1,0 +1,539 @@
+package dbt
+
+import (
+	"sync"
+	"testing"
+
+	"paramdbt/internal/backend"
+	"paramdbt/internal/core"
+	"paramdbt/internal/env"
+	"paramdbt/internal/guard/faultinject"
+	"paramdbt/internal/guest"
+	"paramdbt/internal/mem"
+	"paramdbt/internal/minic"
+	"paramdbt/internal/rule"
+)
+
+// These tests cover the shared translation service (service.go,
+// docs/SERVING.md). They run under `make test-serve`, including a -race
+// arm — keep the TestService/TestAdaptive/TestStoreReseed name
+// prefixes, they are the gate's -run pattern.
+
+// serveRules learns and parameterizes the shared store the service
+// tests run over (full parameterization, the serving default).
+func serveRules(t *testing.T) *rule.Store {
+	t.Helper()
+	_, par := learnRules(t, testProgram(), core.Config{Opcode: true, AddrMode: true})
+	return par
+}
+
+// startTenant builds an engine over a fresh load of c attached to svc
+// (any extra knobs via cfg; Rules/Service are filled in here).
+func startTenant(t *testing.T, c *minic.Compiled, svc *Service, cfg Config) *Engine {
+	t.Helper()
+	cfg.Rules = svc.cfg.Rules
+	cfg.Service = svc
+	cfg.DelegateFlags = svc.cfg.DelegateFlags
+	return startEngine(t, c, cfg)
+}
+
+// TestServiceSingleFlight is the dedupe scenario: two tenants
+// demand-missing the same pc concurrently must produce exactly one
+// translation — the single-flight leader counts it, the duplicate
+// adopts it — so the tenants' summed dbt.translations deltas equal the
+// work actually done.
+func TestServiceSingleFlight(t *testing.T) {
+	c := compileT(t, testProgram())
+	want := interpret(t, c)
+	par := serveRules(t)
+	svc := NewService(ServiceConfig{Rules: par, DelegateFlags: true, SpecDepth: -1})
+	defer svc.Close()
+
+	e1 := startTenant(t, c, svc, Config{})
+	e2 := startTenant(t, c, svc, Config{})
+	if e1.svc == nil || e2.svc == nil {
+		t.Fatal("tenants did not attach")
+	}
+	if e1.tnt.snap != e2.tnt.snap {
+		t.Fatal("identical programs did not share a code snapshot")
+	}
+
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, e := range []*Engine{e1, e2} {
+		wg.Add(1)
+		go func(e *Engine) {
+			defer wg.Done()
+			<-start
+			tb, err := e.block(env.CodeBase)
+			if err != nil {
+				t.Errorf("block: %v", err)
+				return
+			}
+			if tb == nil {
+				t.Error("block returned nil")
+			}
+		}(e)
+	}
+	close(start)
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	sum := e1.LiveStats().Translations + e2.LiveStats().Translations
+	if sum != 1 {
+		t.Fatalf("summed tenant translations = %d, want exactly 1", sum)
+	}
+	st := svc.Stats()
+	if st.Translations != 1 {
+		t.Fatalf("service translations = %d, want 1", st.Translations)
+	}
+	if st.Requests != 2 || st.CacheHits+st.DedupHits != 1 {
+		t.Fatalf("requests=%d cache=%d dedup=%d, want 2 requests and 1 deduplicated",
+			st.Requests, st.CacheHits, st.DedupHits)
+	}
+
+	// Both tenants then run the adopted translations to completion and
+	// the leader-only accounting invariant holds for the whole run.
+	for i, e := range []*Engine{e1, e2} {
+		if _, err := e.Run(env.CodeBase, 100_000_000); err != nil {
+			t.Fatalf("tenant %d: %v", i, err)
+		}
+		sameResult(t, want, e.GuestState(), "single-flight tenant")
+	}
+	sum = e1.LiveStats().Translations + e2.LiveStats().Translations
+	if got := svc.Stats().Translations; sum != got {
+		t.Fatalf("summed tenant translations = %d, service performed %d", sum, got)
+	}
+}
+
+// TestServiceTenantsShareWork checks the sharing win: N tenants running
+// the same program through one service translate each block once in
+// total, strictly less than N independent engines would.
+func TestServiceTenantsShareWork(t *testing.T) {
+	c := compileT(t, testProgram())
+	want := interpret(t, c)
+	par := serveRules(t)
+
+	solo, soloStats := runProgram(t, c, Config{Rules: par, DelegateFlags: true})
+	sameResult(t, want, solo, "solo baseline")
+
+	svc := NewService(ServiceConfig{Rules: par, DelegateFlags: true})
+	defer svc.Close()
+	const tenants = 4
+	var wg sync.WaitGroup
+	engines := make([]*Engine, tenants)
+	for i := 0; i < tenants; i++ {
+		engines[i] = startTenant(t, c, svc, Config{})
+		wg.Add(1)
+		go func(e *Engine) {
+			defer wg.Done()
+			if _, err := e.Run(env.CodeBase, 100_000_000); err != nil {
+				t.Errorf("tenant run: %v", err)
+			}
+		}(engines[i])
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	var sum uint64
+	for _, e := range engines {
+		sameResult(t, want, e.GuestState(), "shared tenant")
+		sum += e.LiveStats().Translations
+	}
+	st := svc.Stats()
+	if sum != st.Translations {
+		t.Fatalf("summed tenant translations = %d, service performed %d", sum, st.Translations)
+	}
+	total := st.Translations + st.SpecTranslations
+	independent := uint64(tenants) * soloStats.Translations
+	if total >= independent {
+		t.Fatalf("service translated %d blocks, %d independent engines would translate %d",
+			total, tenants, independent)
+	}
+	if st.DedupRate() == 0 {
+		t.Fatalf("no dedupe recorded across %d identical tenants: %+v", tenants, st)
+	}
+}
+
+// TestServiceOverloadFallsBack checks backpressure: with no workers and
+// the one-slot demand queue already full, every request fails fast with
+// the typed overload error and the tenant translates locally — the run
+// still finishes correctly.
+func TestServiceOverloadFallsBack(t *testing.T) {
+	c := compileT(t, testProgram())
+	want := interpret(t, c)
+	par := serveRules(t)
+	svc := NewService(ServiceConfig{Rules: par, DelegateFlags: true, Workers: -1, QueueDepth: 1, SpecDepth: -1})
+	defer svc.Close()
+	// Fill the queue: nothing drains it (Workers < 0), so every tenant
+	// enqueue hits the full-queue branch deterministically.
+	svc.demand <- &svcCall{done: make(chan struct{})}
+
+	e := startTenant(t, c, svc, Config{})
+	st, err := e.Run(env.CodeBase, 100_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, want, e.GuestState(), "overloaded tenant")
+	ss := svc.Stats()
+	if ss.Overloads == 0 {
+		t.Fatal("full queue recorded no overloads")
+	}
+	if ss.Translations != 0 {
+		t.Fatalf("workerless service performed %d translations", ss.Translations)
+	}
+	if st.Translations == 0 {
+		t.Fatal("tenant recorded no local fallback translations")
+	}
+}
+
+// TestServiceClosedFallsBack: attach against a closed service is
+// refused, and a service closed after attach turns requests into
+// ErrServiceClosed — both leave the tenant translating locally.
+func TestServiceClosedFallsBack(t *testing.T) {
+	c := compileT(t, testProgram())
+	want := interpret(t, c)
+	par := serveRules(t)
+
+	closed := NewService(ServiceConfig{Rules: par, DelegateFlags: true})
+	closed.Close()
+	e := startTenant(t, c, closed, Config{})
+	if e.svc != nil {
+		t.Fatal("tenant attached to a closed service")
+	}
+	if _, err := e.Run(env.CodeBase, 100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, want, e.GuestState(), "refused tenant")
+
+	svc := NewService(ServiceConfig{Rules: par, DelegateFlags: true})
+	e2 := startTenant(t, c, svc, Config{})
+	if e2.svc == nil {
+		t.Fatal("tenant did not attach")
+	}
+	svc.Close()
+	st, err := e2.Run(env.CodeBase, 100_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, want, e2.GuestState(), "tenant outliving service")
+	if st.Translations == 0 {
+		t.Fatal("tenant of a closed service translated nothing locally")
+	}
+}
+
+// TestServiceShutdownDrains: demand requests queued when Close is
+// called are still served — Close returns only after the workers'
+// drain sweep has resolved (and woken) every queued call.
+func TestServiceShutdownDrains(t *testing.T) {
+	c := compileT(t, testProgram())
+	par := serveRules(t)
+	svc := NewService(ServiceConfig{Rules: par, DelegateFlags: true, Workers: 1, QueueDepth: 16, SpecDepth: -1})
+	e := startTenant(t, c, svc, Config{})
+	if e.svc == nil {
+		t.Fatal("tenant did not attach")
+	}
+
+	key := serviceKey{code: e.tnt.code, pc: env.CodeBase}
+	calls := make([]*svcCall, 8)
+	for i := range calls {
+		calls[i] = &svcCall{key: key, snap: e.tnt.snap, done: make(chan struct{})}
+		svc.demand <- calls[i]
+	}
+	svc.Close()
+
+	for i, cl := range calls {
+		select {
+		case <-cl.done:
+		default:
+			t.Fatalf("call %d not resolved by Close", i)
+		}
+		if cl.err != nil {
+			t.Fatalf("call %d: %v", i, cl.err)
+		}
+		if cl.tb == nil {
+			t.Fatalf("call %d resolved without a translation", i)
+		}
+	}
+	if _, ok := svc.cache.Load(key); !ok {
+		t.Fatal("drained translation not published to the prototype cache")
+	}
+}
+
+// TestServicePurgeOnQuarantine: a tenant's shadow layer catching a
+// corrupted rule must also evict the service's prototypes built from it
+// (the shared store quarantine keeps it out of fresh ones), so a second
+// tenant runs clean.
+func TestServicePurgeOnQuarantine(t *testing.T) {
+	c := compileT(t, testProgram())
+	want := interpret(t, c)
+	par := serveRules(t)
+	bad := corruptUsedAddRule(t, c, par)
+
+	svc := NewService(ServiceConfig{Rules: par, DelegateFlags: true})
+	defer svc.Close()
+	e1 := startTenant(t, c, svc, Config{ShadowRate: 1})
+	if e1.svc == nil {
+		t.Fatal("tenant did not attach")
+	}
+	st1, err := e1.Run(env.CodeBase, 100_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, want, e1.GuestState(), "diverging tenant recovered")
+	if st1.Divergences == 0 || !par.IsQuarantined(bad) {
+		t.Fatalf("corrupted rule not caught: %+v", st1)
+	}
+	if svc.Stats().Purged == 0 {
+		t.Fatal("quarantine purged no service prototypes")
+	}
+	svc.cache.Range(func(_, v any) bool {
+		for _, tm := range v.(*tblock).rules {
+			if tm == bad {
+				t.Fatal("quarantined rule still embedded in a cached prototype")
+			}
+		}
+		return true
+	})
+
+	e2 := startTenant(t, c, svc, Config{ShadowRate: 1})
+	st2, err := e2.Run(env.CodeBase, 100_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, want, e2.GuestState(), "post-quarantine tenant")
+	if st2.Divergences != 0 {
+		t.Fatalf("second tenant diverged %d times after the purge", st2.Divergences)
+	}
+}
+
+// TestServiceIncompatibleTenant: tenants whose translation shape or
+// fault plan disagrees with the service must be refused at attach and
+// run correctly on the local path.
+func TestServiceIncompatibleTenant(t *testing.T) {
+	c := compileT(t, testProgram())
+	want := interpret(t, c)
+	par := serveRules(t)
+	svc := NewService(ServiceConfig{Rules: par, DelegateFlags: true})
+	defer svc.Close()
+
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"peephole mismatch", Config{Rules: par, DelegateFlags: true, Peephole: true, Service: svc}},
+		{"flags mismatch", Config{Rules: par, Service: svc}},
+		{"different store", Config{Rules: serveRules(t), DelegateFlags: true, Service: svc}},
+		{"fault plan", Config{Rules: par, DelegateFlags: true, Service: svc,
+			Faults: faultinject.New(faultinject.Plan{})}},
+	}
+	for _, tc := range cases {
+		e := startEngine(t, c, tc.cfg)
+		if e.svc != nil {
+			t.Fatalf("%s: tenant attached", tc.name)
+		}
+		if _, err := e.Run(env.CodeBase, 100_000_000); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		sameResult(t, want, e.GuestState(), tc.name)
+	}
+	if st := svc.Stats(); st.Tenants != 0 || st.Requests != 0 {
+		t.Fatalf("refused tenants still reached the service: %+v", st)
+	}
+}
+
+// TestServiceSMCDetach: the first guest code write makes the service's
+// registered code snapshot stale, so the fence must detach the tenant;
+// the run finishes on local translation with the patched semantics.
+func TestServiceSMCDetach(t *testing.T) {
+	p := smcProfile(t, "smc-cross")
+	svc := NewService(ServiceConfig{})
+	defer svc.Close()
+
+	m := mem.New()
+	if err := guest.LoadProgram(m, env.CodeBase, p.Prog); err != nil {
+		t.Fatal(err)
+	}
+	e := New(m, Config{Service: svc})
+	e.SetGuestState(&guest.State{Mem: m})
+	if e.svc == nil {
+		t.Fatal("tenant did not attach")
+	}
+	st, err := e.Run(env.CodeBase, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.GuestState().R[guest.R0]; got != 420 {
+		t.Fatalf("r0 = %d, want 420", got)
+	}
+	if st.SMCInvalidations == 0 {
+		t.Fatalf("no SMC invalidations recorded: %+v", st)
+	}
+	if e.svc != nil || e.tnt != nil {
+		t.Fatal("self-modifying tenant still attached to the service")
+	}
+}
+
+// TestAdaptiveShadowDecays: on a clean run the controller lowers the
+// effective shadow rate as verified-clean executions accumulate, so the
+// adaptive run checks strictly fewer blocks than the fixed-rate run
+// while producing the same result.
+func TestAdaptiveShadowDecays(t *testing.T) {
+	c := compileT(t, testProgram())
+	want := interpret(t, c)
+	par := serveRules(t)
+
+	_, fixed := runProgram(t, c, Config{Rules: par, DelegateFlags: true, ShadowRate: 1})
+	if fixed.ShadowChecks == 0 {
+		t.Fatal("fixed-rate run recorded no shadow checks")
+	}
+
+	m := mem.New()
+	if _, err := c.LoadGuest(m); err != nil {
+		t.Fatal(err)
+	}
+	e := New(m, Config{
+		Rules: par, DelegateFlags: true,
+		ShadowRate: 1, AdaptiveShadow: true, ShadowHalfLife: 8, ShadowMinRate: 0.01,
+	})
+	init := &guest.State{Mem: m}
+	init.R[guest.SP] = env.StackTop
+	e.SetGuestState(init)
+	st, err := e.Run(env.CodeBase, 100_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, want, e.GuestState(), "adaptive clean")
+	if st.Divergences != 0 || st.RateSnaps != 0 {
+		t.Fatalf("clean adaptive run snapped: %+v", st)
+	}
+	if st.ShadowChecks == 0 || st.ShadowChecks >= fixed.ShadowChecks {
+		t.Fatalf("adaptive checks = %d, fixed = %d; want 0 < adaptive < fixed",
+			st.ShadowChecks, fixed.ShadowChecks)
+	}
+	if now := e.ShadowRateNow(); now >= 1 || now < 0.01 {
+		t.Fatalf("decayed rate = %v, want in [MinRate, 1)", now)
+	}
+}
+
+// TestAdaptiveSnapsOnDivergence: a divergence (here from a corrupted
+// rule) must snap the rate back to the base immediately — trust is
+// earned slowly and lost instantly — while the run still recovers the
+// correct result and quarantines the culprit.
+func TestAdaptiveSnapsOnDivergence(t *testing.T) {
+	c := compileT(t, testProgram())
+	want := interpret(t, c)
+	par := serveRules(t)
+	corruptUsedAddRule(t, c, par)
+
+	e := startEngine(t, c, Config{
+		Rules: par, DelegateFlags: true,
+		ShadowRate: 1, AdaptiveShadow: true, ShadowHalfLife: 8, ShadowMinRate: 0.01,
+	})
+	st, err := e.Run(env.CodeBase, 100_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, want, e.GuestState(), "adaptive corrupt recovered")
+	if st.Divergences == 0 {
+		t.Fatal("corrupted rule produced no divergences")
+	}
+	if st.RateSnaps == 0 {
+		t.Fatalf("divergence did not snap the rate: %+v", st)
+	}
+	if par.QuarantineLen() == 0 {
+		t.Fatal("nothing quarantined")
+	}
+}
+
+// TestAdaptiveElevatedRuleStaysElevated pins the PR 4 policy: decay
+// applies to the base rate only — blocks carrying ShadowElevate-flagged
+// rules keep verifying at ShadowElevatedRate no matter how far the
+// controller has decayed (see guard.Sampler.SelectWith).
+func TestAdaptiveElevatedRuleStaysElevated(t *testing.T) {
+	c := compileT(t, testProgram())
+	want := interpret(t, c)
+	par := serveRules(t)
+
+	// Elevate every rule the program uses: with the base rate decayed to
+	// the floor, shadow checks must still track every covered block.
+	e := startEngine(t, c, Config{
+		Rules: par, DelegateFlags: true,
+		ShadowRate: 1, AdaptiveShadow: true, ShadowHalfLife: 2, ShadowMinRate: 0.01,
+		ShadowElevate: func(*rule.Template) bool { return true }, ShadowElevatedRate: 1,
+	})
+	st, err := e.Run(env.CodeBase, 100_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, want, e.GuestState(), "elevated adaptive")
+	if now := e.ShadowRateNow(); now >= 1 {
+		t.Fatalf("base rate did not decay: %v", now)
+	}
+	// Every execution of an elevated (rule-covered) block is verified;
+	// with HalfLife 2 the base rate hits the floor almost immediately, so
+	// a fixed-floor sampler would check far fewer blocks than this.
+	if st.ShadowChecks == 0 || st.RuleCovered == 0 {
+		t.Fatalf("elevated blocks not verified: %+v", st)
+	}
+	minElevated := st.ShadowChecks >= uint64(st.Blocks)
+	if !minElevated {
+		t.Fatalf("shadow checks = %d with %d blocks; elevation did not hold", st.ShadowChecks, st.Blocks)
+	}
+}
+
+// TestStoreReseedStress hammers the rule store's atomic retrieval
+// index: service workers translate on one backend while misconfigured
+// tenants concurrently construct engines for the other backend over the
+// same store (each construction rekeys the index). Run under -race via
+// `make test-serve`.
+func TestStoreReseedStress(t *testing.T) {
+	c := compileT(t, testProgram())
+	want := interpret(t, c)
+	par := serveRules(t)
+
+	x86 := backend.MustLookup("x86")
+	risc := backend.MustLookup("risc")
+	svc := NewService(ServiceConfig{Rules: par, DelegateFlags: true, Backend: x86})
+	defer svc.Close()
+
+	// x86 tenants translate through the service while risc engines are
+	// concurrently constructed over the same store (each New rekeys its
+	// retrieval index) and refused by the x86 service.
+	backends := []backend.Backend{x86, x86, x86, x86, risc, risc, risc, risc}
+	engines := make([]*Engine, len(backends))
+	var wg sync.WaitGroup
+	for i, be := range backends {
+		m := mem.New()
+		if _, err := c.LoadGuest(m); err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, be backend.Backend, m *mem.Memory) {
+			defer wg.Done()
+			e := New(m, Config{Rules: par, DelegateFlags: true, Backend: be, Service: svc})
+			init := &guest.State{Mem: m}
+			init.R[guest.SP] = env.StackTop
+			e.SetGuestState(init)
+			if _, err := e.Run(env.CodeBase, 100_000_000); err != nil {
+				t.Error(err)
+				return
+			}
+			engines[i] = e
+		}(i, be, m)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	for i, e := range engines {
+		sameResult(t, want, e.GuestState(), "engine under reseed")
+		if backends[i].ID() == risc.ID() && e.svc != nil {
+			t.Fatal("risc tenant attached to the x86 service")
+		}
+	}
+}

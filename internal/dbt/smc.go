@@ -127,6 +127,10 @@ func (e *Engine) smcFence() int {
 		e.spec.shutdown()
 		e.spec = nil
 	}
+	// Same staleness argument detaches a shared translation service:
+	// its prototypes were built from the code image this tenant
+	// registered at attach time, and that image just changed.
+	e.svc, e.tnt = nil, nil
 	set := make(map[uint32]bool, len(pages))
 	for _, k := range pages {
 		set[k] = true

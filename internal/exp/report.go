@@ -21,7 +21,10 @@ import (
 // interpreter at shadow rate 1).
 // v7 added the "validate" section (per-backend translation-validation
 // verdicts and the peephole host/guest payoff).
-const ReportSchema = "paramdbt-experiments/v7"
+// v8 added the "serve" section (multi-tenant shared-service replay:
+// per-backend tenant-vs-baseline result matrix and service dedupe
+// counters).
+const ReportSchema = "paramdbt-experiments/v8"
 
 // Report is the machine-readable form of the experiment suite, written
 // by cmd/experiments -json in the same spirit as the checked-in
@@ -56,6 +59,7 @@ type Report struct {
 	Warmstart *WarmstartSection `json:"warmstart,omitempty"`
 	Smc       *SMCSection       `json:"smc,omitempty"`
 	Validate  *ValidateSection  `json:"validate,omitempty"`
+	Serve     *ServeSection     `json:"serve,omitempty"`
 	Uncovered []string          `json:"uncovered,omitempty"`
 }
 

@@ -1,0 +1,81 @@
+package guard
+
+import "math"
+
+// ControllerPolicy parameterizes the adaptive shadow-rate controller.
+type ControllerPolicy struct {
+	// BaseRate is the rate the controller starts at and snaps back to on
+	// any divergence or quarantine event; zero or negative defaults to 1
+	// (every tenant starts fully verified).
+	BaseRate float64
+	// MinRate is the floor the decay asymptotically approaches; zero or
+	// negative defaults to 0.01 (one steady-state check per ~100 block
+	// executions even for a long-clean tenant). Clamped to BaseRate.
+	MinRate float64
+	// HalfLife is the number of consecutive clean shadow checks that
+	// halves the effective rate; zero defaults to 64.
+	HalfLife uint64
+}
+
+// Controller is the adaptive shadow-rate policy: the effective rate
+// decays exponentially with the count of consecutive verified-clean
+// shadow checks and snaps back to BaseRate the moment anything goes
+// wrong (a divergence, or a rule quarantined by translator-panic blame).
+// Verification cost thus scales down as confidence accumulates, while a
+// single bad event buys back full scrutiny.
+//
+// Like Sampler it is not concurrent-safe: the engine drives it from the
+// Run goroutine only, and each tenant owns its controller — confidence
+// earned by one guest never discounts verification for another.
+type Controller struct {
+	pol   ControllerPolicy
+	clean uint64 // consecutive clean checks since the last event
+	snaps uint64 // events that snapped the rate back to BaseRate
+	rate  float64
+}
+
+// NewController returns a controller at BaseRate with zero confidence.
+func NewController(pol ControllerPolicy) *Controller {
+	if pol.BaseRate <= 0 {
+		pol.BaseRate = 1
+	}
+	if pol.MinRate <= 0 {
+		pol.MinRate = 0.01
+	}
+	if pol.MinRate > pol.BaseRate {
+		pol.MinRate = pol.BaseRate
+	}
+	if pol.HalfLife == 0 {
+		pol.HalfLife = 64
+	}
+	return &Controller{pol: pol, rate: pol.BaseRate}
+}
+
+// Rate reports the current effective shadow rate.
+func (c *Controller) Rate() float64 { return c.rate }
+
+// Clean reports the consecutive-clean-check count.
+func (c *Controller) Clean() uint64 { return c.clean }
+
+// Snaps reports how many events have snapped the rate back to BaseRate.
+func (c *Controller) Snaps() uint64 { return c.snaps }
+
+// OnClean records one verified-clean shadow check and decays the rate:
+// rate = max(MinRate, BaseRate · 2^(−clean/HalfLife)), which is
+// monotonically non-increasing between events.
+func (c *Controller) OnClean() {
+	c.clean++
+	r := c.pol.BaseRate * math.Exp2(-float64(c.clean)/float64(c.pol.HalfLife))
+	if r < c.pol.MinRate {
+		r = c.pol.MinRate
+	}
+	c.rate = r
+}
+
+// OnEvent records a divergence or quarantine event: accumulated
+// confidence is discarded and the rate snaps back to BaseRate.
+func (c *Controller) OnEvent() {
+	c.clean = 0
+	c.snaps++
+	c.rate = c.pol.BaseRate
+}

@@ -58,6 +58,17 @@ func (s *Sampler) Select(exec uint64) bool {
 	return s.SelectWith(exec, false)
 }
 
+// Rate reports the sampler's current steady-state rate. Like every
+// Sampler method it is not concurrent-safe; read it from the Run
+// goroutine or after the run.
+func (s *Sampler) Rate() float64 { return s.pol.Rate }
+
+// SetRate replaces the sampler's steady-state rate. The FirstN warm-up
+// and ElevatedRate are deliberately untouched: an adaptive controller
+// decays only the background rate — fresh translations and
+// audit-flagged rules keep their own floors. Run-goroutine only.
+func (s *Sampler) SetRate(r float64) { s.pol.Rate = r }
+
 // SelectWith is Select with an elevation bit: when elevated is true and
 // the policy carries a positive ElevatedRate, that rate replaces the
 // steady-state Rate for this decision. The FirstN warm-up applies

@@ -103,38 +103,58 @@ const maxKeyWindow = 16
 // Store is the rule table: a hash map from guest-window key
 // fingerprints to candidate templates, with duplicate merging. Once
 // populated it is safe for concurrent readers (Lookup); Add must not
-// run concurrently with lookups. The quarantine set is the one mutable
-// piece of a live store: Quarantine may be called concurrently with
-// lookups (the guard layer demotes rules mid-run), so it is kept in a
-// sync.Map keyed by template pointer, with an atomic count gating the
-// hot path to a single load when the set is empty.
+// run concurrently with lookups. The quarantine set is one of the two
+// mutable pieces of a live store: Quarantine may be called concurrently
+// with lookups (the guard layer demotes rules mid-run), so it is kept
+// in a sync.Map keyed by template pointer, with an atomic count gating
+// the hot path to a single load when the set is empty. The other is the
+// retrieval index itself: SetBackendID swaps a fresh immutable index in
+// atomically, so a rekey may race live lookups (a mid-rekey lookup sees
+// either the old or the new keying, never a torn map) — engines sharing
+// one store with a translation service may be constructed at any time.
 type Store struct {
-	byKey  map[uint64][]*Template
 	byFp   map[string]*Template
 	maxLen int
 
-	// seed is the per-backend retrieval-key seed (see KeyFpSeedFor);
-	// zero means "unset" and behaves as the default KeyFpSeed. rekeyMu
-	// serializes SetBackendID, whose no-op path must stay write-free:
-	// engines sharing one store may be constructed concurrently.
-	seed    uint64
+	// idx is the immutable retrieval index (key seed + fingerprint
+	// map), replaced wholesale by SetBackendID. rekeyMu serializes the
+	// rebuilds themselves; readers never take it.
+	idx     atomic.Pointer[ruleIndex]
 	rekeyMu sync.Mutex
 
 	quarN atomic.Int32
 	quar  sync.Map // *Template -> reason string
 }
 
-// NewStore returns an empty store keyed for the default backend.
-func NewStore() *Store {
-	return &Store{byKey: map[uint64][]*Template{}, byFp: map[string]*Template{}}
+// ruleIndex is one immutable snapshot of the retrieval index: the
+// per-backend key seed (see KeyFpSeedFor; zero means "unset" and
+// behaves as the default KeyFpSeed) and the fingerprint → candidates
+// map built under it. Lookups load the pointer once and work against a
+// consistent (seed, byKey) pair even while SetBackendID swaps in a
+// replacement.
+type ruleIndex struct {
+	seed  uint64
+	byKey map[uint64][]*Template
 }
 
-// keySeed returns the store's retrieval-key seed.
-func (s *Store) keySeed() uint64 {
-	if s.seed == 0 {
+// keySeed returns the index's effective retrieval-key seed.
+func (ix *ruleIndex) keySeed() uint64 {
+	if ix.seed == 0 {
 		return KeyFpSeed
 	}
-	return s.seed
+	return ix.seed
+}
+
+// NewStore returns an empty store keyed for the default backend.
+func NewStore() *Store {
+	s := &Store{byFp: map[string]*Template{}}
+	s.idx.Store(&ruleIndex{byKey: map[uint64][]*Template{}})
+	return s
+}
+
+// keySeed returns the store's current retrieval-key seed.
+func (s *Store) keySeed() uint64 {
+	return s.idx.Load().keySeed()
 }
 
 // KeySeed exposes the store's retrieval-key seed, so callers deriving
@@ -144,15 +164,20 @@ func (s *Store) KeySeed() uint64 { return s.keySeed() }
 // SetBackendID rekeys the store for a host backend: retrieval-key
 // fingerprints are seeded per backend id (KeyFpSeedFor), so rule
 // lookups — and every MissSet memo and code-cache key derived from
-// them — can never alias across backends. Like Add it must not run
-// concurrently with lookups; the engine calls it at construction.
-// Quarantine state is deliberately untouched: entries are keyed by
-// backend-neutral rule fingerprints, so a rule quarantined under one
-// backend stays quarantined when the engine restarts under another.
+// them — can never alias across backends. The engine calls it at
+// construction. Quarantine state is deliberately untouched: entries are
+// keyed by backend-neutral rule fingerprints, so a rule quarantined
+// under one backend stays quarantined when the engine restarts under
+// another.
 //
-// The seed-unchanged path performs no writes, so engines sharing one
-// store may be constructed concurrently as long as they agree on the
-// backend (rekeyMu serializes the calls themselves).
+// Safe to call concurrently with lookups: the rebuild happens off to
+// the side and is installed with one atomic pointer swap, so a racing
+// lookup observes either the old or the new index in full. The
+// seed-unchanged path performs no writes at all, and rekeyMu serializes
+// the rebuilds, so engines sharing one store may be constructed
+// concurrently — including the misconfigured case where a tenant names
+// a different backend than the service that owns the store (its lookups
+// then simply miss until the store is rekeyed back).
 func (s *Store) SetBackendID(bid uint8) {
 	seed := KeyFpSeedFor(bid)
 	s.rekeyMu.Lock()
@@ -160,13 +185,12 @@ func (s *Store) SetBackendID(bid uint8) {
 	if seed == s.keySeed() {
 		return
 	}
-	s.seed = seed
-	byKey := make(map[uint64][]*Template, len(s.byKey))
+	byKey := make(map[uint64][]*Template, len(s.byFp))
 	for _, t := range s.All() {
 		k := patKeyFpSeed(t, seed)
 		byKey[k] = append(byKey[k], t)
 	}
-	s.byKey = byKey
+	s.idx.Store(&ruleIndex{seed: seed, byKey: byKey})
 }
 
 // Add inserts a template unless an identical one exists (the merging
@@ -184,8 +208,9 @@ func (s *Store) Add(t *Template) bool {
 		return false
 	}
 	s.byFp[fp] = t
-	k := patKeyFpSeed(t, s.keySeed())
-	s.byKey[k] = append(s.byKey[k], t)
+	ix := s.idx.Load()
+	k := patKeyFpSeed(t, ix.keySeed())
+	ix.byKey[k] = append(ix.byKey[k], t)
 	if t.GuestLen() > s.maxLen {
 		s.maxLen = t.GuestLen()
 	}
@@ -353,12 +378,15 @@ func (s *Store) LookupInto(seq []guest.Inst, miss *MissSet, skip func(*Template)
 	if telemetry {
 		metLookups.Inc()
 	}
+	// One index load for the whole retrieval: seed and map stay mutually
+	// consistent even if SetBackendID swaps in a rekeyed index mid-call.
+	ix := s.idx.Load()
 	max := s.maxLen
 	if max > len(seq) {
 		max = len(seq)
 	}
 	var fps [maxKeyWindow]uint64
-	h := s.keySeed()
+	h := ix.keySeed()
 	for l := 1; l <= max; l++ {
 		h = ExtendKeyFp(h, seq[l-1])
 		fps[l-1] = h
@@ -371,7 +399,7 @@ func (s *Store) LookupInto(seq []guest.Inst, miss *MissSet, skip func(*Template)
 			}
 			continue
 		}
-		cands := s.byKey[fp]
+		cands := ix.byKey[fp]
 		if len(cands) == 0 {
 			if miss != nil {
 				miss.add(fp)

@@ -1,0 +1,319 @@
+// Command loadgen is the multi-tenant load harness behind `make
+// bench-serve` (docs/SERVING.md): it runs the same workload fleet twice
+// — N tenant engines sharing one translation service, then N fully
+// independent engines — and records latency quantiles, queue behavior,
+// dedupe rate, translation totals and live-heap cost for both arms in
+// BENCH_serve.json. `-check` validates a recorded file's acceptance
+// invariants (1000+ tenants, zero divergences with every tenant
+// starting at shadow rate 1, shared arm strictly cheaper than the
+// independent fleet in translations and heap).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"paramdbt/internal/core"
+	"paramdbt/internal/dbt"
+	"paramdbt/internal/env"
+	"paramdbt/internal/exp"
+	"paramdbt/internal/guest"
+	"paramdbt/internal/mem"
+	"paramdbt/internal/obs"
+	"paramdbt/internal/rule"
+)
+
+// Schema identifies the report format; bump on layout changes.
+const Schema = "paramdbt-serve/v1"
+
+// Arm is one fleet measurement.
+type Arm struct {
+	Translations uint64 `json:"translations"` // total translation work performed
+	Divergences  uint64 `json:"divergences"`
+	ShadowChecks uint64 `json:"shadow_checks"`
+	HeapBytes    uint64 `json:"heap_bytes"` // live heap growth with the fleet resident
+	WallNs       int64  `json:"wall_ns"`
+	RunP50Ns     uint64 `json:"run_p50_ns"` // per-tenant run latency quantiles
+	RunP99Ns     uint64 `json:"run_p99_ns"`
+
+	// Service-side fields, zero in the independent arm.
+	ServiceTranslations uint64  `json:"service_translations,omitempty"`
+	SpecTranslations    uint64  `json:"spec_translations,omitempty"`
+	Requests            uint64  `json:"requests,omitempty"`
+	CacheHits           uint64  `json:"cache_hits,omitempty"`
+	DedupHits           uint64  `json:"dedup_hits,omitempty"`
+	Overloads           uint64  `json:"overloads,omitempty"`
+	DedupRate           float64 `json:"dedup_rate,omitempty"`
+	MaxQueueDepth       int64   `json:"max_queue_depth,omitempty"`
+	WaitP50Ns           uint64  `json:"wait_p50_ns,omitempty"` // demand-miss queue wait quantiles
+	WaitP99Ns           uint64  `json:"wait_p99_ns,omitempty"`
+	DecayedTenants      int     `json:"decayed_tenants,omitempty"` // tenants whose adaptive rate fell below 1
+}
+
+// Report is the BENCH_serve.json layout.
+type Report struct {
+	Schema      string `json:"schema"`
+	Bench       string `json:"bench"`
+	Tenants     int    `json:"tenants"`
+	Scale       int    `json:"scale"`
+	Parallelism int    `json:"parallelism"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	Shared      Arm    `json:"shared"`
+	Independent Arm    `json:"independent"`
+}
+
+func main() {
+	tenants := flag.Int("tenants", 1000, "fleet size per arm")
+	bench := flag.String("bench", "mcf", "workload every tenant runs")
+	scale := flag.Int("scale", 1, "workload dynamic-work multiplier")
+	workers := flag.Int("workers", 0, "service translation workers (0 = default)")
+	queue := flag.Int("queue", 0, "service demand queue depth (0 = default)")
+	parallel := flag.Int("parallel", 4*runtime.GOMAXPROCS(0), "concurrently running tenants")
+	out := flag.String("out", "BENCH_serve.json", "report path")
+	check := flag.String("check", "", "validate a recorded report instead of measuring")
+	flag.Parse()
+
+	if *check != "" {
+		if err := checkReport(*check); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("loadgen: %s ok\n", *check)
+		return
+	}
+	if err := measure(*tenants, *bench, *scale, *workers, *queue, *parallel, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// fleet is the per-arm engine recipe: every tenant starts at shadow
+// rate 1 with the adaptive controller on (the acceptance condition),
+// seeded per tenant for reproducible sampling.
+func tenantConfig(par *rule.Store, id int, svc *dbt.Service) dbt.Config {
+	return dbt.Config{
+		Rules:          par,
+		DelegateFlags:  true,
+		ShadowRate:     1,
+		ShadowSeed:     int64(id + 1),
+		AdaptiveShadow: true,
+		Service:        svc,
+	}
+}
+
+// runFleet runs n tenants (at most parallel concurrently), keeps every
+// engine resident, and aggregates the arm. The caller drops the
+// returned engines to release the fleet.
+func runFleet(c *exp.Corpus, par *rule.Store, bench string, n, parallel int, svc *dbt.Service) (Arm, []*dbt.Engine, error) {
+	comp := c.Comp[bench]
+	engines := make([]*dbt.Engine, n)
+	stats := make([]dbt.Stats, n)
+	errs := make([]error, n)
+	runNs := &obs.Histogram{}
+
+	var heapBase runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&heapBase)
+
+	sem := make(chan struct{}, parallel)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			m := mem.New()
+			if _, err := comp.LoadGuest(m); err != nil {
+				errs[i] = err
+				return
+			}
+			e := dbt.New(m, tenantConfig(par, i, svc))
+			init := &guest.State{Mem: m}
+			init.R[guest.SP] = env.StackTop
+			e.SetGuestState(init)
+			r0 := time.Now()
+			st, err := e.Run(env.CodeBase, 4_000_000_000)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if obs.On() {
+				runNs.Observe(uint64(time.Since(r0).Nanoseconds()))
+			}
+			engines[i], stats[i] = e, st
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(t0)
+	for _, err := range errs {
+		if err != nil {
+			return Arm{}, nil, err
+		}
+	}
+
+	var heapNow runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&heapNow)
+
+	arm := Arm{
+		WallNs:   wall.Nanoseconds(),
+		RunP50Ns: runNs.Quantile(0.50),
+		RunP99Ns: runNs.Quantile(0.99),
+	}
+	if heapNow.HeapAlloc > heapBase.HeapAlloc {
+		arm.HeapBytes = heapNow.HeapAlloc - heapBase.HeapAlloc
+	}
+	for i, st := range stats {
+		arm.Translations += st.Translations
+		arm.Divergences += st.Divergences
+		arm.ShadowChecks += st.ShadowChecks
+		if engines[i].ShadowRateNow() < 1 {
+			arm.DecayedTenants++
+		}
+	}
+	runtime.KeepAlive(engines)
+	return arm, engines, nil
+}
+
+func measure(tenants int, bench string, scale, workers, queue, parallel int, outPath string) error {
+	obs.SetEnabled(true)
+	corpus, err := exp.BuildCorpus(scale)
+	if err != nil {
+		return err
+	}
+	if _, ok := corpus.Comp[bench]; !ok {
+		return fmt.Errorf("unknown bench %q (have %v)", bench, corpus.Names)
+	}
+	par, _ := core.Parameterize(corpus.Union(corpus.Names), core.Config{Opcode: true, AddrMode: true})
+
+	rep := Report{
+		Schema:      Schema,
+		Bench:       bench,
+		Tenants:     tenants,
+		Scale:       scale,
+		Parallelism: parallel,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
+
+	// Independent arm first: N engines, no sharing. The fleet is
+	// dropped (and collected) before the shared arm so the two heap
+	// measurements do not overlap.
+	fmt.Fprintf(os.Stderr, "loadgen: independent arm, %d engines × %s\n", tenants, bench)
+	indep, fleet, err := runFleet(corpus, par, bench, tenants, parallel, nil)
+	if err != nil {
+		return err
+	}
+	rep.Independent = indep
+	for i := range fleet {
+		fleet[i] = nil
+	}
+
+	// Shared arm: one service, N tenant facades.
+	fmt.Fprintf(os.Stderr, "loadgen: shared arm, %d tenants × %s\n", tenants, bench)
+	reg := obs.NewRegistry()
+	svc := dbt.NewService(dbt.ServiceConfig{
+		Rules:         par,
+		DelegateFlags: true,
+		Workers:       workers,
+		QueueDepth:    queue,
+		Metrics:       reg,
+	})
+	shared, fleet2, err := runFleet(corpus, par, bench, tenants, parallel, svc)
+	if err != nil {
+		svc.Close()
+		return err
+	}
+	st := svc.Stats()
+	shared.ServiceTranslations = st.Translations
+	shared.SpecTranslations = st.SpecTranslations
+	shared.Requests = st.Requests
+	shared.CacheHits = st.CacheHits
+	shared.DedupHits = st.DedupHits
+	shared.Overloads = st.Overloads
+	shared.DedupRate = st.DedupRate()
+	shared.MaxQueueDepth = st.MaxQueueDepth
+	wait := reg.Histogram(dbt.MetServeWaitNs)
+	shared.WaitP50Ns = wait.Quantile(0.50)
+	shared.WaitP99Ns = wait.Quantile(0.99)
+	// Total work in the shared arm: the tenants' summed dbt.translations
+	// count single-flight leaders plus local fallbacks exactly once, and
+	// the service's speculative translations come on top.
+	shared.Translations += st.SpecTranslations
+	rep.Shared = shared
+	svc.Close()
+	runtime.KeepAlive(fleet2)
+
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("loadgen: %s: shared %d translations / %d B heap vs independent %d / %d B (dedup %.3f)\n",
+		outPath, rep.Shared.Translations, rep.Shared.HeapBytes,
+		rep.Independent.Translations, rep.Independent.HeapBytes, rep.Shared.DedupRate)
+	return nil
+}
+
+// checkReport enforces the acceptance invariants on a recorded report.
+func checkReport(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return err
+	}
+	if rep.Schema != Schema {
+		return fmt.Errorf("schema %q, want %q", rep.Schema, Schema)
+	}
+	if rep.Tenants < 1000 {
+		return fmt.Errorf("%d tenants, need >= 1000", rep.Tenants)
+	}
+	if rep.Shared.Divergences != 0 || rep.Independent.Divergences != 0 {
+		return fmt.Errorf("divergences: shared %d, independent %d, want 0",
+			rep.Shared.Divergences, rep.Independent.Divergences)
+	}
+	if rep.Shared.ShadowChecks == 0 || rep.Independent.ShadowChecks == 0 {
+		return fmt.Errorf("an arm ran unverified (shadow checks: shared %d, independent %d)",
+			rep.Shared.ShadowChecks, rep.Independent.ShadowChecks)
+	}
+	if rep.Shared.DecayedTenants == 0 {
+		return fmt.Errorf("adaptive controller inactive: no tenant's rate decayed")
+	}
+	if rep.Shared.Translations >= rep.Independent.Translations {
+		return fmt.Errorf("shared arm translated %d blocks, not below independent %d",
+			rep.Shared.Translations, rep.Independent.Translations)
+	}
+	if rep.Shared.HeapBytes == 0 || rep.Shared.HeapBytes >= rep.Independent.HeapBytes {
+		return fmt.Errorf("shared heap %d B not below independent %d B",
+			rep.Shared.HeapBytes, rep.Independent.HeapBytes)
+	}
+	if rep.Shared.DedupRate <= 0 {
+		return fmt.Errorf("dedup rate %.3f, want > 0", rep.Shared.DedupRate)
+	}
+	if rep.Shared.RunP50Ns == 0 || rep.Shared.RunP99Ns < rep.Shared.RunP50Ns {
+		return fmt.Errorf("implausible run quantiles p50=%d p99=%d",
+			rep.Shared.RunP50Ns, rep.Shared.RunP99Ns)
+	}
+	if rep.Shared.WaitP99Ns < rep.Shared.WaitP50Ns {
+		return fmt.Errorf("implausible wait quantiles p50=%d p99=%d",
+			rep.Shared.WaitP50Ns, rep.Shared.WaitP99Ns)
+	}
+	return nil
+}
